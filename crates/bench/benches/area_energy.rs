@@ -1,0 +1,36 @@
+//! Criterion bench: the area/energy model evaluation across all design
+//! points (pure analytical model).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rasa_power::{AreaModel, EnergyModel, EngineActivitySummary};
+use rasa_systolic::{ControlScheme, PeVariant, SystolicConfig};
+
+fn bench_area_energy(c: &mut Criterion) {
+    let area = AreaModel::new();
+    let energy = EnergyModel::new();
+    let activity = EngineActivitySummary {
+        macs: 4096 * 8192,
+        weight_loads: 2048,
+        busy_engine_cycles: 4096 * 24,
+        tile_io_bytes: 4096 * 4096,
+    };
+    let configs: Vec<SystolicConfig> = vec![
+        SystolicConfig::paper_baseline(),
+        SystolicConfig::paper(PeVariant::Db, ControlScheme::Wls).unwrap(),
+        SystolicConfig::paper(PeVariant::Dm, ControlScheme::Wlbp).unwrap(),
+        SystolicConfig::paper(PeVariant::Dmdb, ControlScheme::Wls).unwrap(),
+    ];
+    c.bench_function("area_energy_all_variants", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for cfg in &configs {
+                total += area.array_area_mm2(cfg);
+                total += energy.energy(cfg, &activity).total();
+            }
+            total
+        })
+    });
+}
+
+criterion_group!(benches, bench_area_energy);
+criterion_main!(benches);

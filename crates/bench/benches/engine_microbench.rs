@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks of the core simulation components: the matrix
+//! engine scheduler, the functional array and the end-to-end CPU run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rasa_isa::TileReg;
+use rasa_numeric::{Bf16, GemmShape, Matrix};
+use rasa_sim::{DesignPoint, Simulator};
+use rasa_systolic::{
+    ControlScheme, FunctionalArray, MatrixEngine, MmRequest, PeVariant, SystolicConfig, TileDims,
+};
+
+fn bench_engine_scheduler(c: &mut Criterion) {
+    let tile = TileDims::new(16, 32, 16);
+    let mut group = c.benchmark_group("engine_scheduler");
+    for (label, pe, scheme) in [
+        ("baseline", PeVariant::Baseline, ControlScheme::Base),
+        ("wlbp", PeVariant::Baseline, ControlScheme::Wlbp),
+        ("dmdb_wls", PeVariant::Dmdb, ControlScheme::Wls),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("submit_1000_matmuls", label),
+            &(pe, scheme),
+            |b, &(pe, scheme)| {
+                b.iter(|| {
+                    let mut engine =
+                        MatrixEngine::new(SystolicConfig::paper(pe, scheme).unwrap());
+                    let regs = [TileReg::new(4).unwrap(), TileReg::new(5).unwrap()];
+                    for i in 0..1000u64 {
+                        let reg = regs[(i as usize / 2) % 2];
+                        engine
+                            .submit(MmRequest::ready_at(reg, tile, 0))
+                            .expect("full tile fits");
+                    }
+                    engine.busy_horizon()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_functional_array(c: &mut Criterion) {
+    let mut group = c.benchmark_group("functional_array");
+    group.sample_size(20);
+    for pe in [PeVariant::Baseline, PeVariant::Dmdb] {
+        let scheme = if pe.has_double_buffering() {
+            ControlScheme::Wls
+        } else {
+            ControlScheme::Base
+        };
+        let cfg = SystolicConfig::paper(pe, scheme).unwrap();
+        let a = Matrix::from_fn(16, 32, |i, j| Bf16::from_f32(((i + j) % 7) as f32 - 3.0));
+        let b_op = Matrix::from_fn(32, 16, |i, j| Bf16::from_f32(((i * j) % 5) as f32 - 2.0));
+        let c_in = Matrix::<f32>::zeros(16, 16);
+        group.bench_with_input(
+            BenchmarkId::new("full_tile_matmul", cfg.label()),
+            &cfg,
+            |bench, cfg| {
+                bench.iter(|| {
+                    let mut array = FunctionalArray::new(*cfg);
+                    let (out, activity) = array.matmul(&a, &b_op, &c_in).expect("valid tile");
+                    assert_eq!(activity.total_macs(), 16 * 32 * 16);
+                    out
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    let shape = GemmShape::new(256, 256, 256);
+    for design in [DesignPoint::baseline(), DesignPoint::rasa_dmdb_wls()] {
+        group.bench_with_input(
+            BenchmarkId::new("gemm_256cubed", design.name().to_string()),
+            &design,
+            |b, design| {
+                let sim = Simulator::new(design.clone()).expect("design builds");
+                b.iter(|| sim.run_gemm(shape).expect("gemm runs").core_cycles)
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_scheduler,
+    bench_functional_array,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench: regenerating the Fig. 2 utilization sweep (pure
+//! closed-form model, so this also serves as a fast smoke benchmark).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rasa_sim::ExperimentSuite;
+
+fn bench_fig2(c: &mut Criterion) {
+    let suite = ExperimentSuite::new();
+    c.bench_function("fig2_utilization_sweep", |b| {
+        b.iter(|| {
+            let result = suite.fig2_utilization();
+            assert!(!result.curves.is_empty());
+            result
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

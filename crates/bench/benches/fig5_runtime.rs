@@ -1,0 +1,22 @@
+//! Criterion bench: regenerating the Fig. 5 runtime comparison (9 layers ×
+//! 8 designs) at a reduced per-run matmul cap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rasa_sim::ExperimentSuite;
+
+fn bench_fig5(c: &mut Criterion) {
+    let suite = ExperimentSuite::new().with_matmul_cap(Some(256));
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("runtime_9layers_x_8designs_cap256", |b| {
+        b.iter(|| {
+            let fig5 = suite.fig5_runtime().expect("fig5 runs");
+            assert_eq!(fig5.rows.len(), 9);
+            fig5
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench: deriving Fig. 6 (performance per area) from a Fig. 5
+//! run; the derivation itself is measured separately from the simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rasa_sim::ExperimentSuite;
+
+fn bench_fig6(c: &mut Criterion) {
+    let suite = ExperimentSuite::new().with_matmul_cap(Some(192));
+    let fig5 = suite.fig5_runtime().expect("fig5 runs");
+    c.bench_function("fig6_ppa_derivation", |b| {
+        b.iter(|| {
+            let fig6 = suite.fig6_from(&fig5);
+            assert_eq!(fig6.rows.len(), 3);
+            fig6
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

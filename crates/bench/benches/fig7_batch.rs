@@ -1,0 +1,24 @@
+//! Criterion bench: the Fig. 7 batch-size sweep at a reduced cap and batch
+//! ceiling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rasa_sim::ExperimentSuite;
+
+fn bench_fig7(c: &mut Criterion) {
+    let suite = ExperimentSuite::new()
+        .with_matmul_cap(Some(192))
+        .with_fig7_max_batch(64);
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("batch_sweep_to_64", |b| {
+        b.iter(|| {
+            let fig7 = suite.fig7_batch().expect("fig7 runs");
+            assert!(!fig7.rows.is_empty());
+            fig7
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Ablation: host-CPU sensitivity (ROB size, engine:core clock ratio) of the
+//! RASA-DMDB-WLS runtime reduction.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let suite = rasa_bench::BinOptions::from_env().suite();
+    let result = suite.ablation_cpu()?;
+    println!("{result}");
+    Ok(())
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 2: PE utilization vs TM for several array sizes.
+
+fn main() {
+    let suite = rasa_bench::BinOptions::from_env().suite();
+    let result = suite.fig2_utilization();
+    println!("{result}");
+}

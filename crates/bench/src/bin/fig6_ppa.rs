@@ -1,0 +1,11 @@
+//! Regenerates Fig. 6: performance per area of the RASA-Data designs.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let suite = rasa_bench::BinOptions::from_env().suite();
+    let fig5 = suite.fig5_runtime()?;
+    let fig6 = suite.fig6_from(&fig5);
+    println!("{fig6}");
+    println!("(The paper's observation: because the area overheads are only a few");
+    println!(" percent, performance per area follows the same trend as runtime.)");
+    Ok(())
+}

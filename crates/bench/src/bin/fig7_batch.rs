@@ -1,0 +1,17 @@
+//! Regenerates Fig. 7: batch-size sensitivity of RASA-DMDB-WLS.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let suite = rasa_bench::BinOptions::from_env().suite();
+    let result = suite.fig7_batch()?;
+    println!("{result}");
+    println!(
+        "{}",
+        rasa_bench::compare_line(
+            "asymptote",
+            result.asymptote,
+            rasa_bench::PAPER_FIG7_ASYMPTOTE,
+            ""
+        )
+    );
+    Ok(())
+}

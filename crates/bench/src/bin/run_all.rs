@@ -1,0 +1,21 @@
+//! Runs every experiment in sequence (the full EXPERIMENTS.md regeneration).
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let options = rasa_bench::BinOptions::from_env();
+    let suite = options.suite();
+
+    println!("== Fig. 1 ==");
+    println!("{}", suite.fig1_toy()?);
+    println!("== Fig. 2 ==");
+    println!("{}", suite.fig2_utilization());
+    println!("== Fig. 5 ==");
+    let fig5 = suite.fig5_runtime()?;
+    println!("{fig5}");
+    println!("== Fig. 6 ==");
+    println!("{}", suite.fig6_from(&fig5));
+    println!("== Area / energy ==");
+    println!("{}", suite.area_energy_from(&fig5));
+    println!("== Fig. 7 ==");
+    println!("{}", suite.fig7_batch()?);
+    Ok(())
+}

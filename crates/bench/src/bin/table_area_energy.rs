@@ -1,0 +1,26 @@
+//! Regenerates the §V area-overhead and energy-efficiency comparison.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let suite = rasa_bench::BinOptions::from_env().suite();
+    let table = suite.area_energy()?;
+    println!("{table}");
+
+    println!("Measured vs paper:");
+    for (design, paper) in rasa_bench::PAPER_AREA_OVERHEADS {
+        if let Some(row) = table.row(design) {
+            println!(
+                "{}",
+                rasa_bench::compare_line(design, row.area_overhead * 100.0, paper * 100.0, "%")
+            );
+        }
+    }
+    for (design, paper) in rasa_bench::PAPER_ENERGY_EFFICIENCY {
+        if let Some(row) = table.row(design) {
+            println!(
+                "{}",
+                rasa_bench::compare_line(design, row.energy_efficiency, paper, "x")
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,175 @@
+//! # rasa-bench — benchmark harness regenerating every paper table and figure
+//!
+//! The crate has two faces:
+//!
+//! * **Experiment binaries** (`src/bin/*.rs`) — one per figure/table of the
+//!   paper's evaluation. Each runs the corresponding
+//!   [`rasa_sim::ExperimentSuite`] experiment and prints a paper-style table
+//!   together with the values the paper reports, so the reproduction gap is
+//!   visible at a glance. Run them with, e.g.
+//!   `cargo run --release -p rasa-bench --bin fig5_runtime`.
+//! * **Criterion benches** (`benches/*.rs`) — wall-clock benchmarks of the
+//!   simulator itself (how long it takes to regenerate each experiment and
+//!   how fast the matrix-engine scheduler is), run via `cargo bench`.
+//!
+//! The shared helpers here parse the tiny command-line interface of the
+//! binaries and hold the paper's reference numbers.
+
+#![deny(missing_docs)]
+
+use rasa_sim::ExperimentSuite;
+
+/// The paper's reported average runtime reductions (Fig. 5), as fractions.
+pub const PAPER_FIG5_REDUCTIONS: [(&str, f64); 5] = [
+    ("RASA-PIPE", 0.157),
+    ("RASA-WLBP", 0.309),
+    ("RASA-DM-WLBP", 0.555),
+    ("RASA-DB-WLS", 0.781),
+    ("RASA-DMDB-WLS", 0.792),
+];
+
+/// The paper's reported area overheads over the baseline array.
+pub const PAPER_AREA_OVERHEADS: [(&str, f64); 3] = [
+    ("RASA-DB-WLS", 0.031),
+    ("RASA-DM-WLBP", 0.026),
+    ("RASA-DMDB-WLS", 0.055),
+];
+
+/// The paper's reported energy-efficiency improvements over the baseline.
+pub const PAPER_ENERGY_EFFICIENCY: [(&str, f64); 3] = [
+    ("RASA-DB-WLS", 4.38),
+    ("RASA-DM-WLBP", 2.19),
+    ("RASA-DMDB-WLS", 4.59),
+];
+
+/// The batch-size asymptote of Fig. 7 (16 / 95).
+pub const PAPER_FIG7_ASYMPTOTE: f64 = 16.0 / 95.0;
+
+/// Command-line options shared by the experiment binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinOptions {
+    /// Cap on simulated `rasa_mm` instructions per workload/design pair
+    /// (`None` = simulate every tile).
+    pub matmul_cap: Option<usize>,
+    /// Largest batch size for the Fig. 7 sweep.
+    pub fig7_max_batch: usize,
+}
+
+impl Default for BinOptions {
+    fn default() -> Self {
+        BinOptions {
+            matmul_cap: Some(4096),
+            fig7_max_batch: 1024,
+        }
+    }
+}
+
+impl BinOptions {
+    /// Parses the binaries' tiny CLI: `--cap N`, `--full` (no cap) and
+    /// `--max-batch N`. Unknown arguments are ignored so the binaries can be
+    /// run under criterion or other wrappers.
+    #[must_use]
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut options = BinOptions::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--cap" => {
+                    if let Some(value) = args.next().and_then(|v| v.parse().ok()) {
+                        options.matmul_cap = Some(value);
+                    }
+                }
+                "--full" => options.matmul_cap = None,
+                "--max-batch" => {
+                    if let Some(value) = args.next().and_then(|v| v.parse().ok()) {
+                        options.fig7_max_batch = value;
+                    }
+                }
+                _ => {}
+            }
+        }
+        options
+    }
+
+    /// Parses the current process arguments.
+    #[must_use]
+    pub fn from_env() -> Self {
+        BinOptions::parse(std::env::args().skip(1))
+    }
+
+    /// Builds the experiment suite these options describe.
+    #[must_use]
+    pub fn suite(&self) -> ExperimentSuite {
+        ExperimentSuite::new()
+            .with_matmul_cap(self.matmul_cap)
+            .with_fig7_max_batch(self.fig7_max_batch)
+    }
+}
+
+/// Formats a `measured vs paper` comparison line used by the binaries.
+#[must_use]
+pub fn compare_line(label: &str, measured: f64, paper: f64, unit: &str) -> String {
+    format!(
+        "  {label:<16} measured {measured:>8.3}{unit}   paper {paper:>8.3}{unit}   ratio {:.2}",
+        if paper.abs() > f64::EPSILON {
+            measured / paper
+        } else {
+            f64::NAN
+        }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options() {
+        let o = BinOptions::default();
+        assert_eq!(o.matmul_cap, Some(4096));
+        assert_eq!(o.fig7_max_batch, 1024);
+    }
+
+    #[test]
+    fn parse_cap_and_full() {
+        let o = BinOptions::parse(["--cap".to_string(), "512".to_string()]);
+        assert_eq!(o.matmul_cap, Some(512));
+        let o = BinOptions::parse(["--full".to_string()]);
+        assert_eq!(o.matmul_cap, None);
+        let o = BinOptions::parse([
+            "--max-batch".to_string(),
+            "64".to_string(),
+            "--junk".to_string(),
+        ]);
+        assert_eq!(o.fig7_max_batch, 64);
+        // Malformed values fall back to the default.
+        let o = BinOptions::parse(["--cap".to_string(), "notanumber".to_string()]);
+        assert_eq!(o.matmul_cap, Some(4096));
+    }
+
+    #[test]
+    fn suite_reflects_options() {
+        let o = BinOptions {
+            matmul_cap: Some(64),
+            fig7_max_batch: 32,
+        };
+        let s = o.suite();
+        assert_eq!(s.matmul_cap(), Some(64));
+        assert_eq!(s.fig7_max_batch(), 32);
+    }
+
+    #[test]
+    fn paper_constants_are_sane() {
+        assert_eq!(PAPER_FIG5_REDUCTIONS.len(), 5);
+        assert!(PAPER_FIG5_REDUCTIONS.iter().all(|(_, r)| *r > 0.0 && *r < 1.0));
+        assert!(PAPER_ENERGY_EFFICIENCY.iter().all(|(_, e)| *e > 1.0));
+        assert!((PAPER_FIG7_ASYMPTOTE - 0.168).abs() < 1e-3);
+    }
+
+    #[test]
+    fn compare_line_formats() {
+        let line = compare_line("RASA-WLBP", 0.35, 0.309, "");
+        assert!(line.contains("RASA-WLBP"));
+        assert!(line.contains("paper"));
+    }
+}

@@ -1,0 +1,161 @@
+use crate::CpuError;
+use std::fmt;
+
+/// Configuration of the out-of-order core.
+///
+/// The default ([`CpuConfig::skylake_like`]) matches the paper's MacSim
+/// setup: 2 GHz, 16 pipeline stages, a 97-entry ROB and 4-wide
+/// fetch/issue/retire, with idealized (never-stalling) memory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuConfig {
+    /// Instructions renamed/dispatched per cycle.
+    pub fetch_width: usize,
+    /// Instructions issued to functional units per cycle.
+    pub issue_width: usize,
+    /// Instructions retired per cycle.
+    pub retire_width: usize,
+    /// Front-end depth in cycles (fetch → rename), the "16 pipeline stages"
+    /// of the paper's configuration.
+    pub frontend_depth: u64,
+    /// Reorder-buffer capacity.
+    pub rob_size: usize,
+    /// Reservation-station (scheduler) capacity.
+    pub rs_size: usize,
+    /// Number of scalar ALU ports.
+    pub alu_units: usize,
+    /// Scalar ALU latency in cycles.
+    pub alu_latency: u64,
+    /// Number of load/store ports.
+    pub lsu_ports: usize,
+    /// Latency of a tile load (`rasa_tl`) in core cycles — idealized L1 hit
+    /// streaming 16 rows of 64 B.
+    pub tile_load_latency: u64,
+    /// Latency of a tile store (`rasa_ts`) in core cycles.
+    pub tile_store_latency: u64,
+    /// Latency of a scalar load in core cycles.
+    pub scalar_load_latency: u64,
+    /// Number of SIMD FMA ports (AVX baseline traces).
+    pub vector_units: usize,
+    /// SIMD FMA latency in cycles.
+    pub vector_latency: u64,
+    /// Core clock frequency in GHz (used only to convert cycles to seconds
+    /// in reports).
+    pub clock_ghz: f64,
+}
+
+impl CpuConfig {
+    /// The paper's MacSim configuration: 2 GHz, 16 pipeline stages, ROB 97,
+    /// 4-wide fetch/issue/retire, idealized memory.
+    #[must_use]
+    pub fn skylake_like() -> Self {
+        CpuConfig {
+            fetch_width: 4,
+            issue_width: 4,
+            retire_width: 4,
+            frontend_depth: 16,
+            rob_size: 97,
+            rs_size: 60,
+            alu_units: 4,
+            alu_latency: 1,
+            lsu_ports: 2,
+            tile_load_latency: 24,
+            tile_store_latency: 12,
+            scalar_load_latency: 5,
+            vector_units: 2,
+            vector_latency: 4,
+            clock_ghz: 2.0,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError::InvalidConfig`] when any width, buffer size or
+    /// clock is zero.
+    pub fn validate(&self) -> Result<(), CpuError> {
+        let checks: [(&str, bool); 8] = [
+            ("fetch width", self.fetch_width == 0),
+            ("issue width", self.issue_width == 0),
+            ("retire width", self.retire_width == 0),
+            ("rob size", self.rob_size == 0),
+            ("rs size", self.rs_size == 0),
+            ("alu units", self.alu_units == 0),
+            ("lsu ports", self.lsu_ports == 0),
+            ("clock", self.clock_ghz <= 0.0),
+        ];
+        for (name, bad) in checks {
+            if bad {
+                return Err(CpuError::InvalidConfig {
+                    reason: format!("{name} must be non-zero"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Converts a cycle count to seconds at the configured clock.
+    #[must_use]
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_ghz * 1.0e9)
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig::skylake_like()
+    }
+}
+
+impl fmt::Display for CpuConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}-wide OoO, ROB {}, RS {}, {}-cycle front end @ {} GHz",
+            self.issue_width, self.rob_size, self.rs_size, self.frontend_depth, self.clock_ghz
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skylake_like_matches_paper() {
+        let c = CpuConfig::skylake_like();
+        assert_eq!(c.rob_size, 97);
+        assert_eq!(c.fetch_width, 4);
+        assert_eq!(c.issue_width, 4);
+        assert_eq!(c.retire_width, 4);
+        assert_eq!(c.frontend_depth, 16);
+        assert!((c.clock_ghz - 2.0).abs() < f64::EPSILON);
+        assert!(c.validate().is_ok());
+        assert_eq!(CpuConfig::default(), c);
+    }
+
+    #[test]
+    fn zero_fields_rejected() {
+        let mut c = CpuConfig::skylake_like();
+        c.rob_size = 0;
+        assert!(c.validate().is_err());
+        let mut c = CpuConfig::skylake_like();
+        c.fetch_width = 0;
+        assert!(c.validate().is_err());
+        let mut c = CpuConfig::skylake_like();
+        c.clock_ghz = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn cycle_time_conversion() {
+        let c = CpuConfig::skylake_like();
+        // 2e9 cycles at 2 GHz is one second.
+        assert!((c.cycles_to_seconds(2_000_000_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_rob() {
+        assert!(CpuConfig::skylake_like().to_string().contains("ROB 97"));
+    }
+}

@@ -1,0 +1,596 @@
+use crate::{CpuConfig, CpuError, CpuStats};
+use rasa_isa::{Instruction, InstructionKind, Program, TileReg, NUM_GPR_REGS, NUM_TILE_REGS};
+use rasa_systolic::{MatrixEngine, MmRequest, TileDims};
+use std::collections::VecDeque;
+
+/// Number of flat vector registers modelled for the AVX baseline traces.
+const NUM_VEC_REGS: usize = 32;
+
+/// A reorder-buffer entry.
+#[derive(Debug, Clone, Copy)]
+struct RobEntry {
+    kind: InstructionKind,
+    issued: bool,
+    complete_cycle: u64,
+    retired: bool,
+}
+
+/// A reservation-station entry for the non-matrix functional units.
+#[derive(Debug, Clone)]
+struct RsEntry {
+    rob_seq: u64,
+    kind: InstructionKind,
+    producers: Vec<u64>,
+}
+
+/// Events handed to the matrix engine in program order: tile-register
+/// writes (for dirty-bit maintenance) and `rasa_mm` submissions.
+#[derive(Debug, Clone, Copy)]
+enum EngineEvent {
+    Write(TileReg),
+    Matmul {
+        rob_seq: u64,
+        weight: TileReg,
+        tile: TileDims,
+    },
+}
+
+/// The trace-driven out-of-order core.
+///
+/// See the crate-level documentation for the modelled pipeline. A `CpuCore`
+/// owns its [`MatrixEngine`]; [`CpuCore::run`] executes one program to
+/// completion and returns the [`CpuStats`], leaving the engine statistics
+/// accessible through [`CpuCore::engine`].
+#[derive(Debug, Clone)]
+pub struct CpuCore {
+    config: CpuConfig,
+    engine: MatrixEngine,
+}
+
+impl CpuCore {
+    /// Creates a core hosting the given matrix engine.
+    #[must_use]
+    pub fn new(config: CpuConfig, engine: MatrixEngine) -> Self {
+        CpuCore { config, engine }
+    }
+
+    /// The core configuration.
+    #[must_use]
+    pub const fn config(&self) -> &CpuConfig {
+        &self.config
+    }
+
+    /// The hosted matrix engine (and its statistics).
+    #[must_use]
+    pub const fn engine(&self) -> &MatrixEngine {
+        &self.engine
+    }
+
+    /// Executes `program` to completion and returns the run statistics.
+    ///
+    /// The matrix engine is reset at the start of every run so a single core
+    /// can be reused across workloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError::InvalidConfig`] for an invalid configuration and
+    /// [`CpuError::Engine`] when the engine rejects an instruction (tile
+    /// larger than the configured array).
+    pub fn run(&mut self, program: &Program) -> Result<CpuStats, CpuError> {
+        self.config.validate()?;
+        self.engine.reset();
+
+        let instructions = program.instructions();
+        let total = instructions.len();
+        let mut stats = CpuStats::default();
+        if total == 0 {
+            return Ok(stats);
+        }
+
+        let isa = program.isa();
+        let full_tile = TileDims::new(isa.tm(), isa.tk(), isa.tn());
+        let clock_ratio = u64::from(self.engine.config().clock_ratio());
+
+        // Architectural register → ROB sequence of the last (program-order)
+        // writer that has not yet retired. `None` means the value is ready.
+        let mut tile_writer: [Option<u64>; NUM_TILE_REGS] = [None; NUM_TILE_REGS];
+        let mut gpr_writer: [Option<u64>; NUM_GPR_REGS] = [None; NUM_GPR_REGS];
+        let mut vec_writer: [Option<u64>; NUM_VEC_REGS] = [None; NUM_VEC_REGS];
+
+        // The ROB, indexed by sequence number − rob_base.
+        let mut rob: VecDeque<RobEntry> = VecDeque::with_capacity(self.config.rob_size);
+        let mut rob_base: u64 = 0;
+        let mut next_seq: u64 = 0;
+
+        let mut rs: Vec<RsEntry> = Vec::with_capacity(self.config.rs_size);
+        let mut engine_events: VecDeque<EngineEvent> = VecDeque::new();
+        // Producers of each pending matmul, looked up when it reaches the
+        // head of the engine-event queue.
+        let mut matmul_producers: std::collections::HashMap<u64, Vec<u64>> =
+            std::collections::HashMap::new();
+
+        let mut next_fetch = 0usize; // next program index to rename
+        let mut retired = 0usize;
+        // The front end delivers the first instructions after the pipeline
+        // depth has elapsed.
+        let mut cycle: u64 = self.config.frontend_depth;
+
+        let entry_completed = |rob: &VecDeque<RobEntry>, rob_base: u64, seq: u64, now: u64| {
+            // Anything older than the ROB window has retired and is complete.
+            if seq < rob_base {
+                return true;
+            }
+            let entry = &rob[(seq - rob_base) as usize];
+            entry.issued && entry.complete_cycle <= now
+        };
+
+        loop {
+            let mut progress = false;
+
+            // ---- Retire (in order) -------------------------------------
+            let mut retired_this_cycle = 0;
+            while retired_this_cycle < self.config.retire_width {
+                let Some(front) = rob.front() else { break };
+                if !(front.issued && front.complete_cycle <= cycle && !front.retired) {
+                    break;
+                }
+                let entry = rob.pop_front().expect("front exists");
+                rob_base += 1;
+                retired += 1;
+                retired_this_cycle += 1;
+                progress = true;
+                stats.retired_instructions += 1;
+                match entry.kind {
+                    InstructionKind::MatMul => stats.retired_matmuls += 1,
+                    InstructionKind::TileLoad | InstructionKind::TileStore => {
+                        stats.retired_tile_memory_ops += 1;
+                    }
+                    _ => {}
+                }
+            }
+            if retired == total {
+                stats.cycles = cycle;
+                break;
+            }
+
+            // ---- Issue to functional units ------------------------------
+            let mut issued_this_cycle = 0;
+            let mut alu_used = 0;
+            let mut lsu_used = 0;
+            let mut vec_used = 0;
+
+            // Matrix-engine events are processed in program order.
+            while issued_this_cycle < self.config.issue_width {
+                match engine_events.front() {
+                    Some(EngineEvent::Write(reg)) => {
+                        self.engine.note_tile_write(*reg);
+                        engine_events.pop_front();
+                    }
+                    Some(EngineEvent::Matmul {
+                        rob_seq,
+                        weight,
+                        tile,
+                    }) => {
+                        let seq = *rob_seq;
+                        let producers = matmul_producers
+                            .get(&seq)
+                            .expect("producers recorded at rename");
+                        let ready = producers
+                            .iter()
+                            .all(|&p| entry_completed(&rob, rob_base, p, cycle));
+                        if !ready {
+                            break;
+                        }
+                        let engine_ready = cycle.div_ceil(clock_ratio);
+                        let request = MmRequest::ready_at(*weight, *tile, engine_ready);
+                        let completion = self.engine.submit(request).map_err(|source| {
+                            CpuError::Engine {
+                                instruction_index: (seq) as usize,
+                                source,
+                            }
+                        })?;
+                        let idx = (seq - rob_base) as usize;
+                        rob[idx].issued = true;
+                        rob[idx].complete_cycle = completion.complete_cycle * clock_ratio;
+                        matmul_producers.remove(&seq);
+                        engine_events.pop_front();
+                        issued_this_cycle += 1;
+                        progress = true;
+                    }
+                    None => break,
+                }
+            }
+
+            // Ordinary reservation-station issue, oldest first.
+            if issued_this_cycle < self.config.issue_width && !rs.is_empty() {
+                rs.sort_unstable_by_key(|e| e.rob_seq);
+                let mut i = 0;
+                while i < rs.len() && issued_this_cycle < self.config.issue_width {
+                    let entry = &rs[i];
+                    let port_free = match entry.kind {
+                        InstructionKind::ScalarAlu
+                        | InstructionKind::Branch
+                        | InstructionKind::Nop
+                        | InstructionKind::TileZero => alu_used < self.config.alu_units,
+                        InstructionKind::TileLoad
+                        | InstructionKind::TileStore
+                        | InstructionKind::ScalarLoad => lsu_used < self.config.lsu_ports,
+                        InstructionKind::VectorFma => vec_used < self.config.vector_units,
+                        InstructionKind::MatMul => false,
+                    };
+                    if !port_free {
+                        i += 1;
+                        continue;
+                    }
+                    let ready = entry
+                        .producers
+                        .iter()
+                        .all(|&p| entry_completed(&rob, rob_base, p, cycle));
+                    if !ready {
+                        i += 1;
+                        continue;
+                    }
+                    let latency = match entry.kind {
+                        InstructionKind::ScalarAlu
+                        | InstructionKind::Branch
+                        | InstructionKind::Nop
+                        | InstructionKind::TileZero => {
+                            alu_used += 1;
+                            self.config.alu_latency
+                        }
+                        InstructionKind::TileLoad => {
+                            lsu_used += 1;
+                            self.config.tile_load_latency
+                        }
+                        InstructionKind::TileStore => {
+                            lsu_used += 1;
+                            self.config.tile_store_latency
+                        }
+                        InstructionKind::ScalarLoad => {
+                            lsu_used += 1;
+                            self.config.scalar_load_latency
+                        }
+                        InstructionKind::VectorFma => {
+                            vec_used += 1;
+                            self.config.vector_latency
+                        }
+                        InstructionKind::MatMul => unreachable!("handled via engine events"),
+                    };
+                    let seq = entry.rob_seq;
+                    let idx = (seq - rob_base) as usize;
+                    rob[idx].issued = true;
+                    rob[idx].complete_cycle = cycle + latency;
+                    rs.swap_remove(i);
+                    issued_this_cycle += 1;
+                    progress = true;
+                    // Do not advance `i`: swap_remove moved a new entry here.
+                }
+            }
+
+            // ---- Rename / dispatch --------------------------------------
+            let mut renamed_this_cycle = 0;
+            while renamed_this_cycle < self.config.fetch_width && next_fetch < total {
+                if rob.len() >= self.config.rob_size {
+                    stats.rob_full_stalls += 1;
+                    break;
+                }
+                let inst = &instructions[next_fetch];
+                let kind = inst.kind();
+                let needs_rs = !matches!(kind, InstructionKind::MatMul);
+                if needs_rs && rs.len() >= self.config.rs_size {
+                    stats.rs_full_stalls += 1;
+                    break;
+                }
+                let seq = next_seq;
+
+                // Collect producers from the current renaming map.
+                let mut producers = Vec::new();
+                for r in inst.tile_reads().iter() {
+                    if let Some(p) = tile_writer[r.index()] {
+                        producers.push(p);
+                    }
+                }
+                for r in inst.gpr_reads().iter() {
+                    if let Some(p) = gpr_writer[r.index()] {
+                        producers.push(p);
+                    }
+                }
+                if let Instruction::VectorFma { dst, src1, src2 } = inst {
+                    for r in [dst, src1, src2] {
+                        if let Some(p) = vec_writer[*r as usize % NUM_VEC_REGS] {
+                            producers.push(p);
+                        }
+                    }
+                }
+
+                // Dispatch either to the matrix-engine event queue or the RS.
+                match inst {
+                    Instruction::MatMul { acc, a: _, b } => {
+                        engine_events.push_back(EngineEvent::Matmul {
+                            rob_seq: seq,
+                            weight: *b,
+                            tile: full_tile,
+                        });
+                        matmul_producers.insert(seq, producers);
+                        // The destination write is visible to the engine's
+                        // dirty-bit logic after the instruction itself.
+                        engine_events.push_back(EngineEvent::Write(*acc));
+                    }
+                    _ => {
+                        for w in inst.tile_writes().iter() {
+                            engine_events.push_back(EngineEvent::Write(w));
+                        }
+                        rs.push(RsEntry {
+                            rob_seq: seq,
+                            kind,
+                            producers,
+                        });
+                    }
+                }
+
+                // Update the renaming map with this instruction's writes.
+                for w in inst.tile_writes().iter() {
+                    tile_writer[w.index()] = Some(seq);
+                }
+                for w in inst.gpr_writes().iter() {
+                    gpr_writer[w.index()] = Some(seq);
+                }
+                if let Instruction::VectorFma { dst, .. } = inst {
+                    vec_writer[*dst as usize % NUM_VEC_REGS] = Some(seq);
+                }
+
+                rob.push_back(RobEntry {
+                    kind,
+                    issued: false,
+                    complete_cycle: u64::MAX,
+                    retired: false,
+                });
+                next_seq += 1;
+                next_fetch += 1;
+                renamed_this_cycle += 1;
+                progress = true;
+            }
+
+            // ---- Advance time -------------------------------------------
+            if progress {
+                cycle += 1;
+            } else {
+                // Nothing moved: jump to the next completion event instead
+                // of spinning cycle by cycle.
+                let next_completion = rob
+                    .iter()
+                    .filter(|e| e.issued && e.complete_cycle > cycle)
+                    .map(|e| e.complete_cycle)
+                    .min();
+                match next_completion {
+                    Some(c) => cycle = c,
+                    None => {
+                        // No instruction in flight can unblock us; this only
+                        // happens if the program deadlocks, which a validated
+                        // program cannot do — but guard against it anyway.
+                        return Err(CpuError::InvalidConfig {
+                            reason: "pipeline deadlock: no in-flight completion can unblock"
+                                .to_string(),
+                        });
+                    }
+                }
+            }
+        }
+
+        stats.engine = *self.engine.stats();
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rasa_isa::{GprReg, IsaConfig, MemRef, ProgramBuilder};
+    use rasa_systolic::{ControlScheme, PeVariant, SystolicConfig};
+
+    fn treg(i: u8) -> TileReg {
+        TileReg::new(i).unwrap()
+    }
+
+    fn core(pe: PeVariant, scheme: ControlScheme) -> CpuCore {
+        let engine = MatrixEngine::new(SystolicConfig::paper(pe, scheme).unwrap());
+        CpuCore::new(CpuConfig::skylake_like(), engine)
+    }
+
+    /// Emits `k_steps` iterations of the Algorithm-1 micro-kernel (2 A × 2 B
+    /// register blocking, 4 accumulators).
+    fn microkernel_program(k_steps: usize) -> Program {
+        let mut b = ProgramBuilder::new(IsaConfig::amx_like());
+        b.set_name("microkernel");
+        for i in 0..4u8 {
+            b.tile_load(treg(i), MemRef::tile(u64::from(i) * 0x400, 64));
+        }
+        for k in 0..k_steps {
+            let base = 0x10_000 + (k as u64) * 0x2000;
+            b.tile_load(treg(4), MemRef::tile(base, 64));
+            b.tile_load(treg(6), MemRef::tile(base + 0x400, 64));
+            b.matmul(treg(0), treg(6), treg(4));
+            b.tile_load(treg(7), MemRef::tile(base + 0x800, 64));
+            b.matmul(treg(1), treg(7), treg(4));
+            b.tile_load(treg(5), MemRef::tile(base + 0xc00, 64));
+            b.matmul(treg(2), treg(6), treg(5));
+            b.matmul(treg(3), treg(7), treg(5));
+        }
+        for i in 0..4u8 {
+            b.tile_store(MemRef::tile(u64::from(i) * 0x400, 64), treg(i));
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn empty_program_runs_instantly() {
+        let p = ProgramBuilder::new(IsaConfig::amx_like()).finish().unwrap();
+        let mut c = core(PeVariant::Baseline, ControlScheme::Base);
+        let stats = c.run(&p).unwrap();
+        assert_eq!(stats.cycles, 0);
+        assert_eq!(stats.retired_instructions, 0);
+    }
+
+    #[test]
+    fn single_matmul_latency_includes_engine_and_frontend() {
+        let mut b = ProgramBuilder::new(IsaConfig::amx_like());
+        b.tile_load(treg(0), MemRef::tile(0, 64));
+        b.tile_load(treg(4), MemRef::tile(0x400, 64));
+        b.tile_load(treg(6), MemRef::tile(0x800, 64));
+        b.matmul(treg(0), treg(6), treg(4));
+        let p = b.finish().unwrap();
+
+        let mut c = core(PeVariant::Baseline, ControlScheme::Base);
+        let stats = c.run(&p).unwrap();
+        assert_eq!(stats.retired_instructions, 4);
+        assert_eq!(stats.retired_matmuls, 1);
+        // The run must at least cover the front end, the tile loads and the
+        // 95-engine-cycle (380-core-cycle) matmul.
+        assert!(stats.cycles >= 380);
+        // …but not be absurdly long either.
+        assert!(stats.cycles < 600);
+    }
+
+    #[test]
+    fn all_instructions_retire_exactly_once() {
+        let p = microkernel_program(8);
+        let mut c = core(PeVariant::Baseline, ControlScheme::Wlbp);
+        let stats = c.run(&p).unwrap();
+        assert_eq!(stats.retired_instructions as usize, p.len());
+        assert_eq!(stats.retired_matmuls as usize, p.count_matmuls());
+        assert_eq!(stats.engine.matmuls as usize, p.count_matmuls());
+    }
+
+    #[test]
+    fn pipelining_schemes_preserve_runtime_ordering() {
+        let p = microkernel_program(32);
+        let designs = [
+            (PeVariant::Baseline, ControlScheme::Base),
+            (PeVariant::Baseline, ControlScheme::Pipe),
+            (PeVariant::Baseline, ControlScheme::Wlbp),
+            (PeVariant::Dm, ControlScheme::Wlbp),
+            (PeVariant::Db, ControlScheme::Wls),
+            (PeVariant::Dmdb, ControlScheme::Wls),
+        ];
+        let mut cycles = Vec::new();
+        for (pe, scheme) in designs {
+            let mut c = core(pe, scheme);
+            cycles.push(c.run(&p).unwrap().cycles);
+        }
+        for pair in cycles.windows(2) {
+            assert!(
+                pair[0] >= pair[1],
+                "runtimes should improve monotonically: {cycles:?}"
+            );
+        }
+        // The most aggressive design is far faster than the baseline.
+        assert!(cycles[0] as f64 / *cycles.last().unwrap() as f64 > 2.5);
+    }
+
+    #[test]
+    fn wlbp_bypasses_half_the_matmuls_on_algorithm1_blocking() {
+        let p = microkernel_program(64);
+        let mut c = core(PeVariant::Baseline, ControlScheme::Wlbp);
+        let stats = c.run(&p).unwrap();
+        // Each k-step has 4 matmuls of which 2 reuse the weight register.
+        let rate = stats.engine.bypass_rate();
+        assert!(rate > 0.40 && rate <= 0.55, "bypass rate {rate}");
+    }
+
+    #[test]
+    fn scalar_dependencies_are_respected() {
+        // A chain of dependent ALU instructions retires in bounded time and
+        // the chain length is reflected in the cycle count.
+        let isa = IsaConfig::amx_like();
+        let mut b = ProgramBuilder::new(isa);
+        let r0 = GprReg::new(0).unwrap();
+        for _ in 0..64 {
+            b.scalar_alu(r0, &[r0]);
+        }
+        let p = b.finish().unwrap();
+        let mut c = core(PeVariant::Baseline, ControlScheme::Base);
+        let stats = c.run(&p).unwrap();
+        assert_eq!(stats.retired_instructions, 64);
+        // A fully serial 64-deep chain needs at least 64 execute cycles.
+        assert!(stats.cycles >= 64);
+    }
+
+    #[test]
+    fn independent_alu_ops_reach_high_ipc() {
+        let isa = IsaConfig::amx_like();
+        let mut b = ProgramBuilder::new(isa);
+        for i in 0u16..256 {
+            b.scalar_alu(GprReg::new((i % 16) as u8).unwrap(), &[]);
+        }
+        let p = b.finish().unwrap();
+        let mut c = core(PeVariant::Baseline, ControlScheme::Base);
+        let stats = c.run(&p).unwrap();
+        // 4-wide core on independent single-cycle ops: IPC well above 2.
+        assert!(stats.ipc() > 2.0, "ipc {}", stats.ipc());
+    }
+
+    #[test]
+    fn rob_pressure_is_reported_for_long_latency_chains() {
+        // With the serialized BASE engine, matmuls back up and fill the ROB.
+        let p = microkernel_program(64);
+        let mut c = core(PeVariant::Baseline, ControlScheme::Base);
+        let stats = c.run(&p).unwrap();
+        assert!(stats.rob_full_stalls > 0);
+    }
+
+    #[test]
+    fn engine_rejection_is_reported() {
+        // An ISA with a larger tile geometry produces tiles the paper-sized
+        // array cannot hold.
+        let isa = rasa_isa::IsaConfig::new(
+            rasa_isa::TileGeometry::new(16, 128).unwrap(),
+            8,
+            rasa_isa::DataType::Bf16,
+            rasa_isa::DataType::Fp32,
+        )
+        .unwrap();
+        let mut b = ProgramBuilder::new(isa);
+        b.tile_load(treg(0), MemRef::tile(0, 64));
+        b.tile_load(treg(4), MemRef::tile(0x400, 64));
+        b.tile_load(treg(6), MemRef::tile(0x800, 64));
+        b.matmul(treg(0), treg(6), treg(4));
+        let p = b.finish().unwrap();
+        let mut c = core(PeVariant::Baseline, ControlScheme::Base);
+        let err = c.run(&p).unwrap_err();
+        assert!(matches!(err, CpuError::Engine { .. }));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let engine = MatrixEngine::new(SystolicConfig::paper_baseline());
+        let mut cfg = CpuConfig::skylake_like();
+        cfg.rob_size = 0;
+        let mut c = CpuCore::new(cfg, engine);
+        let p = microkernel_program(1);
+        assert!(matches!(c.run(&p), Err(CpuError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn core_is_reusable_across_runs() {
+        let p = microkernel_program(4);
+        let mut c = core(PeVariant::Dmdb, ControlScheme::Wls);
+        let first = c.run(&p).unwrap();
+        let second = c.run(&p).unwrap();
+        assert_eq!(first.cycles, second.cycles);
+        assert_eq!(first.retired_instructions, second.retired_instructions);
+    }
+
+    #[test]
+    fn vector_trace_executes() {
+        let isa = IsaConfig::amx_like();
+        let mut b = ProgramBuilder::new(isa);
+        for i in 0..64u8 {
+            b.vector_fma(i % 8, 8 + (i % 8), 16 + (i % 8));
+        }
+        let p = b.finish().unwrap();
+        let mut c = core(PeVariant::Baseline, ControlScheme::Base);
+        let stats = c.run(&p).unwrap();
+        assert_eq!(stats.retired_instructions, 64);
+        assert!(stats.cycles >= 64 / 2);
+    }
+}

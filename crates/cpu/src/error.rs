@@ -1,0 +1,76 @@
+use rasa_systolic::SystolicError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the CPU model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CpuError {
+    /// The CPU configuration was internally inconsistent.
+    InvalidConfig {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// The matrix engine rejected an instruction (e.g. a tile larger than
+    /// the array) — the trace and the engine configuration disagree.
+    Engine {
+        /// Index of the offending instruction in the program.
+        instruction_index: usize,
+        /// The underlying engine error.
+        source: SystolicError,
+    },
+}
+
+impl fmt::Display for CpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuError::InvalidConfig { reason } => {
+                write!(f, "invalid cpu configuration: {reason}")
+            }
+            CpuError::Engine {
+                instruction_index,
+                source,
+            } => write!(
+                f,
+                "matrix engine rejected instruction {instruction_index}: {source}"
+            ),
+        }
+    }
+}
+
+impl Error for CpuError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CpuError::Engine { source, .. } => Some(source),
+            CpuError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CpuError::Engine {
+            instruction_index: 7,
+            source: SystolicError::InvalidConfig {
+                reason: "x".to_string(),
+            },
+        };
+        assert!(e.to_string().contains("instruction 7"));
+        assert!(Error::source(&e).is_some());
+        let c = CpuError::InvalidConfig {
+            reason: "zero width".to_string(),
+        };
+        assert!(c.to_string().contains("zero width"));
+        assert!(Error::source(&c).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<CpuError>();
+    }
+}

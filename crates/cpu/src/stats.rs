@@ -1,0 +1,97 @@
+use rasa_systolic::EngineStats;
+use std::fmt;
+
+/// Statistics produced by one [`crate::CpuCore::run`] invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CpuStats {
+    /// Total core cycles from the first fetch to the last retirement.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub retired_instructions: u64,
+    /// `rasa_mm` instructions retired.
+    pub retired_matmuls: u64,
+    /// `rasa_tl` / `rasa_ts` instructions retired.
+    pub retired_tile_memory_ops: u64,
+    /// Cycles in which rename was blocked because the ROB was full.
+    pub rob_full_stalls: u64,
+    /// Cycles in which rename was blocked because the reservation station
+    /// was full.
+    pub rs_full_stalls: u64,
+    /// Matrix-engine statistics (in engine cycles).
+    pub engine: EngineStats,
+}
+
+impl CpuStats {
+    /// Retired instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired_instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average core cycles between retired `rasa_mm` instructions — the
+    /// quantity the paper's Fig. 5 runtime comparisons reduce to for
+    /// GEMM-dominated workloads.
+    #[must_use]
+    pub fn cycles_per_matmul(&self) -> f64 {
+        if self.retired_matmuls == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.retired_matmuls as f64
+        }
+    }
+
+    /// Wall-clock runtime at the given core clock.
+    #[must_use]
+    pub fn runtime_seconds(&self, clock_ghz: f64) -> f64 {
+        if clock_ghz <= 0.0 {
+            return 0.0;
+        }
+        self.cycles as f64 / (clock_ghz * 1.0e9)
+    }
+}
+
+impl fmt::Display for CpuStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles, {} instructions (IPC {:.2}), {} rasa_mm ({:.1} cycles/mm)",
+            self.cycles,
+            self.retired_instructions,
+            self.ipc(),
+            self.retired_matmuls,
+            self.cycles_per_matmul()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let s = CpuStats {
+            cycles: 1000,
+            retired_instructions: 2500,
+            retired_matmuls: 100,
+            retired_tile_memory_ops: 300,
+            ..CpuStats::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.cycles_per_matmul() - 10.0).abs() < 1e-12);
+        assert!((s.runtime_seconds(2.0) - 0.5e-6).abs() < 1e-15);
+        assert!(s.to_string().contains("IPC 2.50"));
+    }
+
+    #[test]
+    fn zero_denominators_are_safe() {
+        let s = CpuStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.cycles_per_matmul(), 0.0);
+        assert_eq!(s.runtime_seconds(0.0), 0.0);
+    }
+}

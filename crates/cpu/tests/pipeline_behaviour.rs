@@ -1,0 +1,162 @@
+//! Integration tests of the out-of-order core: resource pressure, engine
+//! statistics consistency and configuration sensitivity.
+
+use rasa_cpu::{CpuConfig, CpuCore};
+use rasa_isa::{GprReg, IsaConfig, MemRef, Program, ProgramBuilder, TileReg};
+use rasa_systolic::{ControlScheme, MatrixEngine, PeVariant, SystolicConfig};
+
+fn treg(i: u8) -> TileReg {
+    TileReg::new(i).unwrap()
+}
+
+/// The Algorithm-1 micro-kernel repeated `k_steps` times.
+fn microkernel(k_steps: usize) -> Program {
+    let mut b = ProgramBuilder::new(IsaConfig::amx_like());
+    for i in 0..4u8 {
+        b.tile_load(treg(i), MemRef::tile(u64::from(i) * 0x400, 64));
+    }
+    for k in 0..k_steps {
+        let base = 0x10_000 + (k as u64) * 0x2000;
+        b.tile_load(treg(4), MemRef::tile(base, 64));
+        b.tile_load(treg(6), MemRef::tile(base + 0x400, 64));
+        b.matmul(treg(0), treg(6), treg(4));
+        b.tile_load(treg(7), MemRef::tile(base + 0x800, 64));
+        b.matmul(treg(1), treg(7), treg(4));
+        b.tile_load(treg(5), MemRef::tile(base + 0xc00, 64));
+        b.matmul(treg(2), treg(6), treg(5));
+        b.matmul(treg(3), treg(7), treg(5));
+    }
+    for i in 0..4u8 {
+        b.tile_store(MemRef::tile(u64::from(i) * 0x400, 64), treg(i));
+    }
+    b.finish().unwrap()
+}
+
+fn run(cpu: CpuConfig, pe: PeVariant, scheme: ControlScheme, program: &Program) -> rasa_cpu::CpuStats {
+    let engine = MatrixEngine::new(SystolicConfig::paper(pe, scheme).unwrap());
+    let mut core = CpuCore::new(cpu, engine);
+    core.run(program).unwrap()
+}
+
+#[test]
+fn engine_statistics_are_internally_consistent() {
+    let program = microkernel(48);
+    for (pe, scheme) in [
+        (PeVariant::Baseline, ControlScheme::Base),
+        (PeVariant::Baseline, ControlScheme::Wlbp),
+        (PeVariant::Db, ControlScheme::Wls),
+        (PeVariant::Dmdb, ControlScheme::Wls),
+    ] {
+        let stats = run(CpuConfig::skylake_like(), pe, scheme, &program);
+        let engine = stats.engine;
+        assert_eq!(engine.matmuls, stats.retired_matmuls);
+        assert_eq!(
+            engine.weight_bypasses + engine.weight_prefetches + engine.full_weight_loads,
+            engine.matmuls
+        );
+        // The engine horizon (in core cycles) can never exceed the run time.
+        assert!(engine.last_completion_cycle * 4 <= stats.cycles);
+        // Every matmul moves 16*32*16 MACs.
+        assert_eq!(engine.total_macs, engine.matmuls * 8192);
+    }
+}
+
+#[test]
+fn smaller_rob_cannot_be_faster() {
+    let program = microkernel(64);
+    let mut small = CpuConfig::skylake_like();
+    small.rob_size = 24;
+    let mut large = CpuConfig::skylake_like();
+    large.rob_size = 192;
+    for (pe, scheme) in [
+        (PeVariant::Baseline, ControlScheme::Wlbp),
+        (PeVariant::Dmdb, ControlScheme::Wls),
+    ] {
+        let slow = run(small, pe, scheme, &program);
+        let fast = run(large, pe, scheme, &program);
+        assert!(slow.cycles >= fast.cycles, "{pe:?}/{scheme:?}");
+    }
+}
+
+#[test]
+fn tiny_reservation_station_reports_pressure() {
+    let program = microkernel(32);
+    let mut cfg = CpuConfig::skylake_like();
+    cfg.rs_size = 4;
+    let stats = run(cfg, PeVariant::Dmdb, ControlScheme::Wls, &program);
+    assert_eq!(stats.retired_instructions as usize, program.len());
+    assert!(stats.rs_full_stalls > 0);
+}
+
+#[test]
+fn narrower_front_end_is_never_faster() {
+    let program = microkernel(64);
+    let mut narrow = CpuConfig::skylake_like();
+    narrow.fetch_width = 1;
+    narrow.issue_width = 1;
+    narrow.retire_width = 1;
+    let narrow_stats = run(narrow, PeVariant::Dmdb, ControlScheme::Wls, &program);
+    let wide_stats = run(
+        CpuConfig::skylake_like(),
+        PeVariant::Dmdb,
+        ControlScheme::Wls,
+        &program,
+    );
+    assert!(narrow_stats.cycles >= wide_stats.cycles);
+    assert_eq!(
+        narrow_stats.retired_instructions,
+        wide_stats.retired_instructions
+    );
+}
+
+#[test]
+fn slower_tile_loads_slow_the_serialized_design_less_than_the_pipelined_one() {
+    // With BASE the 380-cycle matmuls dominate; with DMDB-WLS the loads are
+    // a larger fraction of the critical path, so increasing their latency
+    // hurts relatively more. This guards the latency plumbing of the LSU.
+    let program = microkernel(64);
+    let mut slow_loads = CpuConfig::skylake_like();
+    slow_loads.tile_load_latency = 96;
+
+    let base_fast = run(CpuConfig::skylake_like(), PeVariant::Baseline, ControlScheme::Base, &program);
+    let base_slow = run(slow_loads, PeVariant::Baseline, ControlScheme::Base, &program);
+    let rasa_fast = run(CpuConfig::skylake_like(), PeVariant::Dmdb, ControlScheme::Wls, &program);
+    let rasa_slow = run(slow_loads, PeVariant::Dmdb, ControlScheme::Wls, &program);
+
+    let base_penalty = base_slow.cycles as f64 / base_fast.cycles as f64;
+    let rasa_penalty = rasa_slow.cycles as f64 / rasa_fast.cycles as f64;
+    assert!(base_penalty < 1.1, "baseline penalty {base_penalty}");
+    assert!(rasa_penalty >= base_penalty - 1e-9);
+}
+
+#[test]
+fn mixed_scalar_and_matrix_work_retires_completely() {
+    // Interleave matrix work with a dependent scalar loop (address
+    // generation) and an independent vector stream; everything must retire.
+    let mut b = ProgramBuilder::new(IsaConfig::amx_like());
+    let r = GprReg::new(5).unwrap();
+    b.tile_load(treg(0), MemRef::tile(0, 64));
+    b.tile_load(treg(4), MemRef::tile(0x400, 64));
+    b.tile_load(treg(6), MemRef::tile(0x800, 64));
+    for i in 0..32 {
+        b.scalar_alu(r, &[r]);
+        b.vector_fma((i % 8) as u8, 8, 16);
+        b.matmul(treg(0), treg(6), treg(4));
+        b.branch(i != 31);
+    }
+    b.tile_store(MemRef::tile(0, 64), treg(0));
+    let program = b.finish().unwrap();
+
+    let stats = run(
+        CpuConfig::skylake_like(),
+        PeVariant::Baseline,
+        ControlScheme::Wlbp,
+        &program,
+    );
+    assert_eq!(stats.retired_instructions as usize, program.len());
+    assert_eq!(stats.retired_matmuls, 32);
+    // The accumulation chain through treg0 serializes the matmuls: with a
+    // 63-cycle engine occupancy (252 core cycles) the run takes at least
+    // 32 × 252 cycles.
+    assert!(stats.cycles > 32 * 250);
+}

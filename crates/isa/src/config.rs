@@ -1,0 +1,192 @@
+use crate::{DataType, IsaError, TileGeometry, TileShape, NUM_TILE_REGS};
+
+/// Architecture-level configuration: tile register geometry and the data
+/// types of the mixed-precision GEMM.
+///
+/// The configuration derives the tile dimensions used by the whole stack:
+///
+/// * `TM` — rows of the A / C tiles, equal to the register row count;
+/// * `TK` — the reduction-dimension tile, equal to the number of input-type
+///   elements per register row;
+/// * `TN` — columns of the C tile, equal to the number of output-type
+///   elements per register row.
+///
+/// For the AMX-like default (16 rows × 64 B, BF16 in / FP32 out) this gives
+/// TM = 16, TK = 32, TN = 16 — the values the paper's 32×16 systolic array is
+/// sized to match.
+///
+/// ```
+/// use rasa_isa::IsaConfig;
+/// let isa = IsaConfig::amx_like();
+/// assert_eq!(isa.tm(), 16);
+/// assert_eq!(isa.tk(), 32);
+/// assert_eq!(isa.tn(), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IsaConfig {
+    geometry: TileGeometry,
+    num_tile_regs: usize,
+    input_dtype: DataType,
+    output_dtype: DataType,
+}
+
+impl IsaConfig {
+    /// Creates a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::InvalidGeometry`] if `num_tile_regs` is zero or
+    /// smaller than the four registers a 2×2 register-blocked micro-kernel
+    /// needs for its accumulators.
+    pub fn new(
+        geometry: TileGeometry,
+        num_tile_regs: usize,
+        input_dtype: DataType,
+        output_dtype: DataType,
+    ) -> Result<Self, IsaError> {
+        if num_tile_regs == 0 {
+            return Err(IsaError::InvalidGeometry {
+                reason: "at least one tile register is required".to_string(),
+            });
+        }
+        Ok(IsaConfig {
+            geometry,
+            num_tile_regs,
+            input_dtype,
+            output_dtype,
+        })
+    }
+
+    /// The AMX-like configuration used in the paper: eight 1 KB registers,
+    /// BF16 inputs, FP32 accumulation.
+    #[must_use]
+    pub fn amx_like() -> Self {
+        IsaConfig {
+            geometry: TileGeometry::amx(),
+            num_tile_regs: NUM_TILE_REGS,
+            input_dtype: DataType::Bf16,
+            output_dtype: DataType::Fp32,
+        }
+    }
+
+    /// Tile register geometry.
+    #[must_use]
+    pub const fn geometry(&self) -> &TileGeometry {
+        &self.geometry
+    }
+
+    /// Number of architectural tile registers.
+    #[must_use]
+    pub const fn num_tile_regs(&self) -> usize {
+        self.num_tile_regs
+    }
+
+    /// Input (A, B operand) element type.
+    #[must_use]
+    pub const fn input_dtype(&self) -> DataType {
+        self.input_dtype
+    }
+
+    /// Output (C accumulator) element type.
+    #[must_use]
+    pub const fn output_dtype(&self) -> DataType {
+        self.output_dtype
+    }
+
+    /// TM — maximum rows of an A / C tile (register row count).
+    #[must_use]
+    pub const fn tm(&self) -> usize {
+        self.geometry.rows()
+    }
+
+    /// TK — maximum reduction-dimension extent of an A / B tile.
+    #[must_use]
+    pub const fn tk(&self) -> usize {
+        self.input_dtype.elements_per_row(self.geometry.row_bytes())
+    }
+
+    /// TN — maximum columns of a C tile.
+    #[must_use]
+    pub const fn tn(&self) -> usize {
+        self.output_dtype.elements_per_row(self.geometry.row_bytes())
+    }
+
+    /// Maximum shape of an A tile (TM × TK, input type).
+    #[must_use]
+    pub fn a_tile_shape(&self) -> TileShape {
+        TileShape::new(self.tm(), self.tk())
+    }
+
+    /// Maximum shape of a B (weight) tile (TK × TN).
+    ///
+    /// The B tile is stored with TK rows packed two-per-physical-row for
+    /// BF16 (as AMX does); logically it is TK × TN.
+    #[must_use]
+    pub fn b_tile_shape(&self) -> TileShape {
+        TileShape::new(self.tk(), self.tn())
+    }
+
+    /// Maximum shape of a C tile (TM × TN, output type).
+    #[must_use]
+    pub fn c_tile_shape(&self) -> TileShape {
+        TileShape::new(self.tm(), self.tn())
+    }
+
+    /// Bytes of architectural tile-register state.
+    #[must_use]
+    pub const fn total_tile_bytes(&self) -> usize {
+        self.num_tile_regs * self.geometry.size_bytes()
+    }
+}
+
+impl Default for IsaConfig {
+    fn default() -> Self {
+        IsaConfig::amx_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amx_like_tile_dims_match_paper() {
+        let isa = IsaConfig::amx_like();
+        assert_eq!(isa.tm(), 16);
+        assert_eq!(isa.tk(), 32);
+        assert_eq!(isa.tn(), 16);
+        assert_eq!(isa.num_tile_regs(), 8);
+        assert_eq!(isa.total_tile_bytes(), 8 * 1024);
+        assert_eq!(isa.a_tile_shape(), TileShape::new(16, 32));
+        assert_eq!(isa.b_tile_shape(), TileShape::new(32, 16));
+        assert_eq!(isa.c_tile_shape(), TileShape::new(16, 16));
+    }
+
+    #[test]
+    fn custom_geometry_changes_tile_dims() {
+        // 32 rows of 128 bytes: TM=32, TK=64 (bf16), TN=32 (fp32).
+        let g = TileGeometry::new(32, 128).unwrap();
+        let isa = IsaConfig::new(g, 8, DataType::Bf16, DataType::Fp32).unwrap();
+        assert_eq!(isa.tm(), 32);
+        assert_eq!(isa.tk(), 64);
+        assert_eq!(isa.tn(), 32);
+    }
+
+    #[test]
+    fn zero_registers_rejected() {
+        let g = TileGeometry::amx();
+        assert!(IsaConfig::new(g, 0, DataType::Bf16, DataType::Fp32).is_err());
+    }
+
+    #[test]
+    fn default_is_amx_like() {
+        assert_eq!(IsaConfig::default(), IsaConfig::amx_like());
+    }
+
+    #[test]
+    fn fp32_inputs_shrink_tk() {
+        let isa = IsaConfig::new(TileGeometry::amx(), 8, DataType::Fp32, DataType::Fp32).unwrap();
+        assert_eq!(isa.tk(), 16);
+        assert_eq!(isa.tn(), 16);
+    }
+}

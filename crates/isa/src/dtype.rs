@@ -1,0 +1,97 @@
+use std::fmt;
+
+/// Element data types supported by the RASA matrix engine.
+///
+/// The paper's processing elements perform mixed-precision multiply
+/// accumulate: BF16 inputs (matrices A and B) and FP32 accumulation
+/// (matrix C). The data type determines how many logical matrix elements a
+/// 64-byte tile-register row can hold, which in turn fixes the tile
+/// dimensions TM/TK/TN used throughout the timing model.
+///
+/// ```
+/// use rasa_isa::DataType;
+/// assert_eq!(DataType::Bf16.size_bytes(), 2);
+/// assert_eq!(DataType::Fp32.size_bytes(), 4);
+/// assert_eq!(DataType::Bf16.elements_per_row(64), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataType {
+    /// 16-bit brain floating point (1 sign, 8 exponent, 7 mantissa bits).
+    Bf16,
+    /// IEEE-754 single precision.
+    Fp32,
+}
+
+impl DataType {
+    /// Size of one element in bytes.
+    #[must_use]
+    pub const fn size_bytes(self) -> usize {
+        match self {
+            DataType::Bf16 => 2,
+            DataType::Fp32 => 4,
+        }
+    }
+
+    /// Size of one element in bits.
+    #[must_use]
+    pub const fn size_bits(self) -> usize {
+        self.size_bytes() * 8
+    }
+
+    /// Number of elements of this type that fit in a row of `row_bytes`
+    /// bytes.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic; rows smaller than one element simply hold zero
+    /// elements.
+    #[must_use]
+    pub const fn elements_per_row(self, row_bytes: usize) -> usize {
+        row_bytes / self.size_bytes()
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Bf16 => write!(f, "bf16"),
+            DataType::Fp32 => write!(f, "fp32"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_formats() {
+        assert_eq!(DataType::Bf16.size_bytes(), 2);
+        assert_eq!(DataType::Bf16.size_bits(), 16);
+        assert_eq!(DataType::Fp32.size_bytes(), 4);
+        assert_eq!(DataType::Fp32.size_bits(), 32);
+    }
+
+    #[test]
+    fn elements_per_amx_row() {
+        // A 64-byte AMX-style row holds 32 BF16 or 16 FP32 elements.
+        assert_eq!(DataType::Bf16.elements_per_row(64), 32);
+        assert_eq!(DataType::Fp32.elements_per_row(64), 16);
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(DataType::Bf16.to_string(), "bf16");
+        assert_eq!(DataType::Fp32.to_string(), "fp32");
+    }
+
+    #[test]
+    fn ordering_and_hash_derives_exist() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(DataType::Bf16);
+        s.insert(DataType::Fp32);
+        assert_eq!(s.len(), 2);
+        assert!(DataType::Bf16 < DataType::Fp32);
+    }
+}

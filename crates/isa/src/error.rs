@@ -1,0 +1,102 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing ISA-level objects.
+///
+/// All fallible constructors and builders in this crate return `IsaError`;
+/// it is `Send + Sync + 'static` so it composes with downstream error types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// A tile register index was outside `0..NUM_TILE_REGS`.
+    InvalidTileReg {
+        /// The offending register index.
+        index: u8,
+    },
+    /// A general-purpose register index was outside `0..NUM_GPR_REGS`.
+    InvalidGprReg {
+        /// The offending register index.
+        index: u8,
+    },
+    /// A tile geometry parameter was zero or otherwise unusable.
+    InvalidGeometry {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A program failed validation (e.g. an instruction reads a tile
+    /// register that no prior instruction or program input defined).
+    InvalidProgram {
+        /// Index of the offending instruction within the program.
+        index: usize,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A logical tile shape does not fit in the tile register geometry.
+    TileShapeTooLarge {
+        /// Requested rows.
+        rows: usize,
+        /// Requested columns.
+        cols: usize,
+        /// Maximum rows permitted by the geometry.
+        max_rows: usize,
+        /// Maximum columns permitted by the geometry for the data type.
+        max_cols: usize,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::InvalidTileReg { index } => {
+                write!(f, "tile register index {index} is out of range")
+            }
+            IsaError::InvalidGprReg { index } => {
+                write!(f, "general-purpose register index {index} is out of range")
+            }
+            IsaError::InvalidGeometry { reason } => {
+                write!(f, "invalid tile geometry: {reason}")
+            }
+            IsaError::InvalidProgram { index, reason } => {
+                write!(f, "invalid program at instruction {index}: {reason}")
+            }
+            IsaError::TileShapeTooLarge {
+                rows,
+                cols,
+                max_rows,
+                max_cols,
+            } => write!(
+                f,
+                "tile shape {rows}x{cols} exceeds register capacity {max_rows}x{max_cols}"
+            ),
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = IsaError::InvalidTileReg { index: 12 };
+        let msg = e.to_string();
+        assert!(msg.contains("12"));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+
+        let e = IsaError::TileShapeTooLarge {
+            rows: 20,
+            cols: 40,
+            max_rows: 16,
+            max_cols: 32,
+        };
+        assert!(e.to_string().contains("20x40"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<IsaError>();
+    }
+}

@@ -1,0 +1,341 @@
+use crate::{GprReg, MemRef, RegSet, TileReg};
+use std::fmt;
+
+/// Coarse instruction classes used by the CPU model to pick a functional
+/// unit and by statistics reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstructionKind {
+    /// `rasa_tl` — tile load from memory into a tile register.
+    TileLoad,
+    /// `rasa_ts` — tile store from a tile register to memory.
+    TileStore,
+    /// `rasa_mm` — matrix multiply-accumulate on the systolic array.
+    MatMul,
+    /// Tile register zeroing (accumulator initialisation).
+    TileZero,
+    /// Scalar integer ALU operation (address/loop overhead).
+    ScalarAlu,
+    /// Scalar load (e.g. reloading a pointer from the stack).
+    ScalarLoad,
+    /// SIMD fused multiply-add (used by the AVX baseline traces).
+    VectorFma,
+    /// Conditional or unconditional branch (loop back-edges).
+    Branch,
+    /// No-operation / padding.
+    Nop,
+}
+
+impl InstructionKind {
+    /// Whether this kind executes on the matrix engine.
+    #[must_use]
+    pub const fn uses_matrix_engine(self) -> bool {
+        matches!(self, InstructionKind::MatMul)
+    }
+
+    /// Whether this kind accesses memory.
+    #[must_use]
+    pub const fn is_memory(self) -> bool {
+        matches!(
+            self,
+            InstructionKind::TileLoad | InstructionKind::TileStore | InstructionKind::ScalarLoad
+        )
+    }
+}
+
+impl fmt::Display for InstructionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InstructionKind::TileLoad => "rasa_tl",
+            InstructionKind::TileStore => "rasa_ts",
+            InstructionKind::MatMul => "rasa_mm",
+            InstructionKind::TileZero => "rasa_tz",
+            InstructionKind::ScalarAlu => "alu",
+            InstructionKind::ScalarLoad => "load",
+            InstructionKind::VectorFma => "vfma",
+            InstructionKind::Branch => "branch",
+            InstructionKind::Nop => "nop",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A decoded RASA-trace instruction.
+///
+/// Instructions carry their architectural operands so that the out-of-order
+/// core can rename and schedule them; they do **not** carry data. Functional
+/// behaviour (what the numbers are) lives in `rasa-numeric` and the
+/// functional systolic array in `rasa-systolic`; the trace-driven simulation
+/// only needs dependencies and kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Instruction {
+    /// `rasa_tl dst, [mem]` — load a tile register from memory.
+    TileLoad {
+        /// Destination tile register.
+        dst: TileReg,
+        /// Source memory reference.
+        src: MemRef,
+        /// Optional scalar register providing the base address.
+        base: Option<GprReg>,
+    },
+    /// `rasa_ts [mem], src` — store a tile register to memory.
+    TileStore {
+        /// Destination memory reference.
+        dst: MemRef,
+        /// Source tile register.
+        src: TileReg,
+        /// Optional scalar register providing the base address.
+        base: Option<GprReg>,
+    },
+    /// `rasa_mm acc, a, b` — `acc += a × b` on the systolic array.
+    ///
+    /// `a` holds a TM×TK BF16 tile, `b` a TK×TN BF16 tile (the stationary
+    /// weights) and `acc` a TM×TN FP32 tile that is both read and written.
+    MatMul {
+        /// Accumulator tile register (read-modify-write).
+        acc: TileReg,
+        /// Input (moving) operand tile register.
+        a: TileReg,
+        /// Weight (stationary) operand tile register.
+        b: TileReg,
+    },
+    /// `rasa_tz dst` — zero a tile register (fresh accumulator).
+    TileZero {
+        /// Destination tile register.
+        dst: TileReg,
+    },
+    /// Scalar integer operation, e.g. pointer bump or loop counter update.
+    ScalarAlu {
+        /// Destination register.
+        dst: GprReg,
+        /// Source registers.
+        srcs: RegSet<GprReg>,
+    },
+    /// Scalar load feeding a pointer register.
+    ScalarLoad {
+        /// Destination register.
+        dst: GprReg,
+        /// Address base register, when the address itself is register-carried.
+        base: Option<GprReg>,
+    },
+    /// Vector fused multiply-add (AVX baseline traces).
+    VectorFma {
+        /// Destination/accumulator vector register index (flat space).
+        dst: u8,
+        /// First source vector register index.
+        src1: u8,
+        /// Second source vector register index.
+        src2: u8,
+    },
+    /// Branch instruction; only its existence (front-end slot) matters.
+    Branch {
+        /// Whether the branch is taken (loop back-edge).
+        taken: bool,
+    },
+    /// Padding no-op.
+    Nop,
+}
+
+impl Instruction {
+    /// The coarse kind of the instruction.
+    #[must_use]
+    pub const fn kind(&self) -> InstructionKind {
+        match self {
+            Instruction::TileLoad { .. } => InstructionKind::TileLoad,
+            Instruction::TileStore { .. } => InstructionKind::TileStore,
+            Instruction::MatMul { .. } => InstructionKind::MatMul,
+            Instruction::TileZero { .. } => InstructionKind::TileZero,
+            Instruction::ScalarAlu { .. } => InstructionKind::ScalarAlu,
+            Instruction::ScalarLoad { .. } => InstructionKind::ScalarLoad,
+            Instruction::VectorFma { .. } => InstructionKind::VectorFma,
+            Instruction::Branch { .. } => InstructionKind::Branch,
+            Instruction::Nop => InstructionKind::Nop,
+        }
+    }
+
+    /// Tile registers read by the instruction.
+    #[must_use]
+    pub fn tile_reads(&self) -> RegSet<TileReg> {
+        let mut set = RegSet::new();
+        match self {
+            Instruction::TileStore { src, .. } => set.push(*src),
+            Instruction::MatMul { acc, a, b } => {
+                set.push(*acc);
+                set.push(*a);
+                set.push(*b);
+            }
+            _ => {}
+        }
+        set
+    }
+
+    /// Tile registers written by the instruction.
+    #[must_use]
+    pub fn tile_writes(&self) -> RegSet<TileReg> {
+        let mut set = RegSet::new();
+        match self {
+            Instruction::TileLoad { dst, .. } | Instruction::TileZero { dst } => set.push(*dst),
+            Instruction::MatMul { acc, .. } => set.push(*acc),
+            _ => {}
+        }
+        set
+    }
+
+    /// Scalar registers read by the instruction.
+    #[must_use]
+    pub fn gpr_reads(&self) -> RegSet<GprReg> {
+        let mut set = RegSet::new();
+        match self {
+            Instruction::TileLoad { base, .. }
+            | Instruction::TileStore { base, .. }
+            | Instruction::ScalarLoad { base, .. } => {
+                if let Some(b) = base {
+                    set.push(*b);
+                }
+            }
+            Instruction::ScalarAlu { srcs, .. } => {
+                for s in srcs.iter() {
+                    set.push(s);
+                }
+            }
+            _ => {}
+        }
+        set
+    }
+
+    /// Scalar registers written by the instruction.
+    #[must_use]
+    pub fn gpr_writes(&self) -> RegSet<GprReg> {
+        let mut set = RegSet::new();
+        match self {
+            Instruction::ScalarAlu { dst, .. } | Instruction::ScalarLoad { dst, .. } => {
+                set.push(*dst)
+            }
+            _ => {}
+        }
+        set
+    }
+
+    /// Whether the instruction is a `rasa_mm`.
+    #[must_use]
+    pub const fn is_matmul(&self) -> bool {
+        matches!(self, Instruction::MatMul { .. })
+    }
+
+    /// For a `rasa_mm`, the weight (stationary) operand register.
+    #[must_use]
+    pub const fn weight_operand(&self) -> Option<TileReg> {
+        match self {
+            Instruction::MatMul { b, .. } => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instruction::TileLoad { dst, src, .. } => write!(f, "rasa_tl {dst}, {src}"),
+            Instruction::TileStore { dst, src, .. } => write!(f, "rasa_ts {dst}, {src}"),
+            Instruction::MatMul { acc, a, b } => write!(f, "rasa_mm {acc}, {a}, {b}"),
+            Instruction::TileZero { dst } => write!(f, "rasa_tz {dst}"),
+            Instruction::ScalarAlu { dst, .. } => write!(f, "alu {dst}"),
+            Instruction::ScalarLoad { dst, .. } => write!(f, "load {dst}"),
+            Instruction::VectorFma { dst, src1, src2 } => {
+                write!(f, "vfma zmm{dst}, zmm{src1}, zmm{src2}")
+            }
+            Instruction::Branch { taken } => {
+                write!(f, "branch{}", if *taken { " (taken)" } else { "" })
+            }
+            Instruction::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IsaError;
+
+    fn treg(i: u8) -> TileReg {
+        TileReg::new(i).unwrap()
+    }
+
+    #[test]
+    fn matmul_operand_sets() -> Result<(), IsaError> {
+        let mm = Instruction::MatMul {
+            acc: treg(0),
+            a: treg(6),
+            b: treg(4),
+        };
+        assert!(mm.is_matmul());
+        assert_eq!(mm.kind(), InstructionKind::MatMul);
+        assert_eq!(mm.weight_operand(), Some(treg(4)));
+        let reads: Vec<_> = mm.tile_reads().iter().collect();
+        assert_eq!(reads, vec![treg(0), treg(6), treg(4)]);
+        let writes: Vec<_> = mm.tile_writes().iter().collect();
+        assert_eq!(writes, vec![treg(0)]);
+        assert!(mm.gpr_reads().is_empty());
+        assert!(mm.gpr_writes().is_empty());
+        Ok(())
+    }
+
+    #[test]
+    fn tile_load_store_operand_sets() {
+        let base = GprReg::new(3).unwrap();
+        let tl = Instruction::TileLoad {
+            dst: treg(1),
+            src: MemRef::tile(0x100, 64),
+            base: Some(base),
+        };
+        assert_eq!(tl.kind(), InstructionKind::TileLoad);
+        assert!(tl.kind().is_memory());
+        assert_eq!(tl.tile_writes().iter().collect::<Vec<_>>(), vec![treg(1)]);
+        assert!(tl.tile_reads().is_empty());
+        assert_eq!(tl.gpr_reads().iter().collect::<Vec<_>>(), vec![base]);
+
+        let ts = Instruction::TileStore {
+            dst: MemRef::tile(0x200, 64),
+            src: treg(1),
+            base: None,
+        };
+        assert_eq!(ts.tile_reads().iter().collect::<Vec<_>>(), vec![treg(1)]);
+        assert!(ts.tile_writes().is_empty());
+    }
+
+    #[test]
+    fn scalar_alu_operand_sets() {
+        let d = GprReg::new(0).unwrap();
+        let s1 = GprReg::new(1).unwrap();
+        let s2 = GprReg::new(2).unwrap();
+        let alu = Instruction::ScalarAlu {
+            dst: d,
+            srcs: [s1, s2].into_iter().collect(),
+        };
+        assert_eq!(alu.gpr_reads().iter().collect::<Vec<_>>(), vec![s1, s2]);
+        assert_eq!(alu.gpr_writes().iter().collect::<Vec<_>>(), vec![d]);
+        assert!(alu.tile_reads().is_empty());
+    }
+
+    #[test]
+    fn kind_properties() {
+        assert!(InstructionKind::MatMul.uses_matrix_engine());
+        assert!(!InstructionKind::TileLoad.uses_matrix_engine());
+        assert!(InstructionKind::TileLoad.is_memory());
+        assert!(InstructionKind::TileStore.is_memory());
+        assert!(InstructionKind::ScalarLoad.is_memory());
+        assert!(!InstructionKind::Branch.is_memory());
+    }
+
+    #[test]
+    fn display_forms() {
+        let mm = Instruction::MatMul {
+            acc: treg(0),
+            a: treg(6),
+            b: treg(4),
+        };
+        assert_eq!(mm.to_string(), "rasa_mm treg0, treg6, treg4");
+        assert_eq!(Instruction::Nop.to_string(), "nop");
+        assert_eq!(InstructionKind::MatMul.to_string(), "rasa_mm");
+    }
+}

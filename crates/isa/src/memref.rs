@@ -1,0 +1,120 @@
+use std::fmt;
+
+/// A strided 2-D memory reference used by tile load/store instructions.
+///
+/// A tile in memory is a set of up to 16 row chunks of up to 64 bytes each,
+/// separated by a fixed stride (the layout described in §II-B of the paper
+/// for AMX `tileload`/`tilestore`). The simulator's memory is idealized, so
+/// the reference only carries enough information to derive the number of
+/// cache lines touched and to distinguish different tiles for dependence
+/// purposes.
+///
+/// ```
+/// use rasa_isa::MemRef;
+/// let m = MemRef::new(0x10_000, 256, 16, 64);
+/// assert_eq!(m.total_bytes(), 1024);
+/// assert_eq!(m.cache_lines(64), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Byte address of the first row.
+    pub base: u64,
+    /// Stride in bytes between consecutive rows.
+    pub stride: u64,
+    /// Number of rows transferred.
+    pub rows: u16,
+    /// Bytes transferred per row.
+    pub row_bytes: u16,
+}
+
+impl MemRef {
+    /// Creates a memory reference.
+    #[must_use]
+    pub const fn new(base: u64, stride: u64, rows: u16, row_bytes: u16) -> Self {
+        MemRef {
+            base,
+            stride,
+            rows,
+            row_bytes,
+        }
+    }
+
+    /// Convenience constructor for a dense AMX-style tile (16 rows of 64
+    /// bytes) whose row stride equals `stride`.
+    #[must_use]
+    pub const fn tile(base: u64, stride: u64) -> Self {
+        MemRef::new(base, stride, 16, 64)
+    }
+
+    /// Total number of bytes transferred.
+    #[must_use]
+    pub const fn total_bytes(&self) -> usize {
+        self.rows as usize * self.row_bytes as usize
+    }
+
+    /// Number of distinct cache lines of `line_bytes` bytes touched by the
+    /// transfer, assuming each row begins on a line boundary (the idealized
+    /// memory model used throughout the workspace).
+    #[must_use]
+    pub fn cache_lines(&self, line_bytes: usize) -> usize {
+        let per_row = (self.row_bytes as usize).div_ceil(line_bytes);
+        per_row * self.rows as usize
+    }
+
+    /// Last byte address (exclusive) that the reference may touch.
+    #[must_use]
+    pub fn end_address(&self) -> u64 {
+        if self.rows == 0 {
+            return self.base;
+        }
+        self.base + (self.rows as u64 - 1) * self.stride + self.row_bytes as u64
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:#x} +{}*{} rows of {}B]",
+            self.base, self.stride, self.rows, self.row_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_constructor_is_1kb() {
+        let m = MemRef::tile(0x1000, 64);
+        assert_eq!(m.total_bytes(), 1024);
+        assert_eq!(m.rows, 16);
+        assert_eq!(m.row_bytes, 64);
+    }
+
+    #[test]
+    fn cache_line_count() {
+        let m = MemRef::new(0, 128, 16, 64);
+        assert_eq!(m.cache_lines(64), 16);
+        // 64-byte rows on 32-byte lines touch two lines per row.
+        assert_eq!(m.cache_lines(32), 32);
+        // Partial rows round up.
+        let m = MemRef::new(0, 128, 4, 10);
+        assert_eq!(m.cache_lines(64), 4);
+    }
+
+    #[test]
+    fn end_address_accounts_for_stride() {
+        let m = MemRef::new(0x1000, 256, 4, 64);
+        assert_eq!(m.end_address(), 0x1000 + 3 * 256 + 64);
+        let empty = MemRef::new(0x1000, 256, 0, 64);
+        assert_eq!(empty.end_address(), 0x1000);
+    }
+
+    #[test]
+    fn display_contains_base() {
+        let m = MemRef::tile(0xdead00, 64);
+        assert!(m.to_string().contains("0xdead00"));
+    }
+}

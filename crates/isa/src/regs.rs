@@ -1,0 +1,251 @@
+use crate::IsaError;
+use std::fmt;
+
+/// Number of architectural tile registers (`treg0`–`treg7`), as in Intel AMX
+/// and the RASA paper.
+pub const NUM_TILE_REGS: usize = 8;
+
+/// Number of modelled general-purpose (scalar) registers available to the
+/// address-generation / loop-overhead instructions in generated traces.
+pub const NUM_GPR_REGS: usize = 16;
+
+/// An architectural tile register identifier (`treg0`–`treg7`).
+///
+/// ```
+/// use rasa_isa::TileReg;
+/// let t = TileReg::new(3)?;
+/// assert_eq!(t.index(), 3);
+/// assert_eq!(t.to_string(), "treg3");
+/// # Ok::<(), rasa_isa::IsaError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TileReg(u8);
+
+impl TileReg {
+    /// Creates a tile register identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::InvalidTileReg`] if `index >= NUM_TILE_REGS`.
+    pub fn new(index: u8) -> Result<Self, IsaError> {
+        if (index as usize) < NUM_TILE_REGS {
+            Ok(TileReg(index))
+        } else {
+            Err(IsaError::InvalidTileReg { index })
+        }
+    }
+
+    /// Register index in `0..NUM_TILE_REGS`.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// All architectural tile registers, in index order.
+    #[must_use]
+    pub fn all() -> [TileReg; NUM_TILE_REGS] {
+        [
+            TileReg(0),
+            TileReg(1),
+            TileReg(2),
+            TileReg(3),
+            TileReg(4),
+            TileReg(5),
+            TileReg(6),
+            TileReg(7),
+        ]
+    }
+}
+
+impl fmt::Display for TileReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "treg{}", self.0)
+    }
+}
+
+impl TryFrom<u8> for TileReg {
+    type Error = IsaError;
+
+    fn try_from(value: u8) -> Result<Self, Self::Error> {
+        TileReg::new(value)
+    }
+}
+
+/// A modelled general-purpose (scalar) register identifier.
+///
+/// These registers only exist so that generated traces carry realistic
+/// address-generation and loop-control dependencies; the CPU model renames
+/// them like any other register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GprReg(u8);
+
+impl GprReg {
+    /// Creates a general-purpose register identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::InvalidGprReg`] if `index >= NUM_GPR_REGS`.
+    pub fn new(index: u8) -> Result<Self, IsaError> {
+        if (index as usize) < NUM_GPR_REGS {
+            Ok(GprReg(index))
+        } else {
+            Err(IsaError::InvalidGprReg { index })
+        }
+    }
+
+    /// Register index in `0..NUM_GPR_REGS`.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GprReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl TryFrom<u8> for GprReg {
+    type Error = IsaError;
+
+    fn try_from(value: u8) -> Result<Self, Self::Error> {
+        GprReg::new(value)
+    }
+}
+
+/// A small fixed-capacity set of register operands.
+///
+/// Instructions have at most three tile operands and two scalar operands, so
+/// a heap-free inline vector keeps the hot renaming path in the CPU model
+/// allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegSet<T: Copy> {
+    items: [Option<T>; 4],
+    len: u8,
+}
+
+impl<T: Copy> RegSet<T> {
+    /// Creates an empty set.
+    #[must_use]
+    pub const fn new() -> Self {
+        RegSet {
+            items: [None, None, None, None],
+            len: 0,
+        }
+    }
+
+    /// Appends an operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than four operands are pushed; no modelled instruction
+    /// has more than four operands of one class.
+    pub fn push(&mut self, item: T) {
+        assert!((self.len as usize) < self.items.len(), "RegSet overflow");
+        self.items[self.len as usize] = Some(item);
+        self.len += 1;
+    }
+
+    /// Number of operands in the set.
+    #[must_use]
+    pub const fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over the operands in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        self.items.iter().take(self.len as usize).map(|x| {
+            x.expect("populated entries below len are always Some")
+        })
+    }
+}
+
+impl<T: Copy> FromIterator<T> for RegSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut set = RegSet::new();
+        for item in iter {
+            set.push(item);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_reg_bounds() {
+        assert!(TileReg::new(0).is_ok());
+        assert!(TileReg::new(7).is_ok());
+        assert_eq!(
+            TileReg::new(8),
+            Err(IsaError::InvalidTileReg { index: 8 })
+        );
+    }
+
+    #[test]
+    fn gpr_reg_bounds() {
+        assert!(GprReg::new(0).is_ok());
+        assert!(GprReg::new(15).is_ok());
+        assert_eq!(GprReg::new(16), Err(IsaError::InvalidGprReg { index: 16 }));
+    }
+
+    #[test]
+    fn tile_reg_display_matches_paper_notation() {
+        let t = TileReg::new(4).unwrap();
+        assert_eq!(t.to_string(), "treg4");
+    }
+
+    #[test]
+    fn all_tile_regs_are_distinct() {
+        let regs = TileReg::all();
+        assert_eq!(regs.len(), NUM_TILE_REGS);
+        for (i, r) in regs.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn try_from_round_trips() {
+        let t = TileReg::try_from(5u8).unwrap();
+        assert_eq!(t.index(), 5);
+        let g = GprReg::try_from(9u8).unwrap();
+        assert_eq!(g.index(), 9);
+    }
+
+    #[test]
+    fn regset_push_iter() {
+        let mut s: RegSet<u8> = RegSet::new();
+        assert!(s.is_empty());
+        s.push(1);
+        s.push(2);
+        s.push(3);
+        assert_eq!(s.len(), 3);
+        let v: Vec<u8> = s.iter().collect();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn regset_from_iterator() {
+        let s: RegSet<u8> = [4u8, 5, 6].into_iter().collect();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![4, 5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "RegSet overflow")]
+    fn regset_overflow_panics() {
+        let mut s: RegSet<u8> = RegSet::new();
+        for i in 0..5 {
+            s.push(i);
+        }
+    }
+}

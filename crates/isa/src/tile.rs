@@ -1,0 +1,364 @@
+use crate::{DataType, IsaError, TileReg, NUM_TILE_REGS};
+
+/// Physical geometry of one tile register: a number of rows, each holding a
+/// fixed number of bytes.
+///
+/// The RASA paper (following Intel AMX) uses 16 rows of 64 bytes, i.e. 1 KB
+/// per register. The geometry determines the maximum logical tile shapes:
+/// with BF16 inputs a register holds a 16×32 operand tile and with FP32
+/// outputs a 16×16 accumulator tile, which fixes TM = 16, TK = 32, TN = 16.
+///
+/// ```
+/// use rasa_isa::{TileGeometry, DataType};
+/// let g = TileGeometry::amx();
+/// assert_eq!(g.size_bytes(), 1024);
+/// assert_eq!(g.max_cols(DataType::Bf16), 32);
+/// assert_eq!(g.max_cols(DataType::Fp32), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileGeometry {
+    rows: usize,
+    row_bytes: usize,
+}
+
+impl TileGeometry {
+    /// Creates a new geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::InvalidGeometry`] if either dimension is zero or
+    /// if a row cannot hold at least one FP32 element.
+    pub fn new(rows: usize, row_bytes: usize) -> Result<Self, IsaError> {
+        if rows == 0 {
+            return Err(IsaError::InvalidGeometry {
+                reason: "tile register must have at least one row".to_string(),
+            });
+        }
+        if row_bytes < DataType::Fp32.size_bytes() {
+            return Err(IsaError::InvalidGeometry {
+                reason: format!("row of {row_bytes} bytes cannot hold one fp32 element"),
+            });
+        }
+        Ok(TileGeometry { rows, row_bytes })
+    }
+
+    /// The AMX-style geometry used throughout the paper: 16 rows × 64 bytes.
+    #[must_use]
+    pub fn amx() -> Self {
+        TileGeometry {
+            rows: 16,
+            row_bytes: 64,
+        }
+    }
+
+    /// Number of rows per register.
+    #[must_use]
+    pub const fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Bytes per row.
+    #[must_use]
+    pub const fn row_bytes(&self) -> usize {
+        self.row_bytes
+    }
+
+    /// Total register capacity in bytes.
+    #[must_use]
+    pub const fn size_bytes(&self) -> usize {
+        self.rows * self.row_bytes
+    }
+
+    /// Maximum number of columns of `dtype` elements a row can hold.
+    #[must_use]
+    pub const fn max_cols(&self, dtype: DataType) -> usize {
+        dtype.elements_per_row(self.row_bytes)
+    }
+
+    /// Maximum logical tile shape for elements of `dtype`.
+    #[must_use]
+    pub fn max_shape(&self, dtype: DataType) -> TileShape {
+        TileShape {
+            rows: self.rows,
+            cols: self.max_cols(dtype),
+        }
+    }
+
+    /// Validates that `shape` (of `dtype` elements) fits in this geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::TileShapeTooLarge`] when it does not fit.
+    pub fn check_shape(&self, shape: TileShape, dtype: DataType) -> Result<(), IsaError> {
+        let max = self.max_shape(dtype);
+        if shape.rows > max.rows || shape.cols > max.cols {
+            Err(IsaError::TileShapeTooLarge {
+                rows: shape.rows,
+                cols: shape.cols,
+                max_rows: max.rows,
+                max_cols: max.cols,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Default for TileGeometry {
+    fn default() -> Self {
+        TileGeometry::amx()
+    }
+}
+
+/// A logical (rows × cols) tile shape stored in a tile register.
+///
+/// `TileShape` does not carry a data type; pair it with a [`DataType`] and a
+/// [`TileGeometry`] to check that it fits in a register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TileShape {
+    /// Number of rows of the logical tile.
+    pub rows: usize,
+    /// Number of columns of the logical tile.
+    pub cols: usize,
+}
+
+impl TileShape {
+    /// Creates a shape.
+    #[must_use]
+    pub const fn new(rows: usize, cols: usize) -> Self {
+        TileShape { rows, cols }
+    }
+
+    /// Number of elements in the tile.
+    #[must_use]
+    pub const fn elements(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Whether the tile has no elements.
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+}
+
+impl std::fmt::Display for TileShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+/// Architectural tile register file state tracked at the ISA level.
+///
+/// The register file records, per register:
+///
+/// * whether the register has been written at all (so program validation can
+///   reject reads of undefined registers), and
+/// * the **dirty bit** introduced by the RASA-WLBP optimization: it is set
+///   whenever the register is overwritten and cleared when the matrix engine
+///   installs the register as its stationary weight plane. A subsequent
+///   `rasa_mm` that names the same weight register with a clear dirty bit may
+///   skip its Weight Load stage.
+///
+/// ```
+/// use rasa_isa::{TileRegisterFile, TileReg};
+/// let mut trf = TileRegisterFile::new(Default::default());
+/// let b = TileReg::new(4)?;
+/// trf.mark_written(b);
+/// assert!(trf.is_dirty(b));
+/// trf.install_as_weights(b);
+/// assert!(!trf.is_dirty(b));
+/// assert_eq!(trf.installed_weights(), Some(b));
+/// # Ok::<(), rasa_isa::IsaError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileRegisterFile {
+    geometry: TileGeometry,
+    written: [bool; NUM_TILE_REGS],
+    dirty: [bool; NUM_TILE_REGS],
+    installed_weights: Option<TileReg>,
+}
+
+impl TileRegisterFile {
+    /// Creates a register file with all registers undefined and dirty.
+    #[must_use]
+    pub fn new(geometry: TileGeometry) -> Self {
+        TileRegisterFile {
+            geometry,
+            written: [false; NUM_TILE_REGS],
+            dirty: [true; NUM_TILE_REGS],
+            installed_weights: None,
+        }
+    }
+
+    /// The geometry shared by every register in the file.
+    #[must_use]
+    pub const fn geometry(&self) -> &TileGeometry {
+        &self.geometry
+    }
+
+    /// Records that `reg` has been written (by `rasa_tl` or as a `rasa_mm`
+    /// destination), setting its dirty bit.
+    pub fn mark_written(&mut self, reg: TileReg) {
+        self.written[reg.index()] = true;
+        self.dirty[reg.index()] = true;
+        if self.installed_weights == Some(reg) {
+            // Overwriting the register currently installed in the array
+            // invalidates the installed weight plane.
+            self.installed_weights = None;
+        }
+    }
+
+    /// Whether `reg` has been written at least once.
+    #[must_use]
+    pub fn is_written(&self, reg: TileReg) -> bool {
+        self.written[reg.index()]
+    }
+
+    /// Whether `reg`'s dirty bit is set (its contents differ from whatever
+    /// the matrix engine last loaded as weights from it).
+    #[must_use]
+    pub fn is_dirty(&self, reg: TileReg) -> bool {
+        self.dirty[reg.index()]
+    }
+
+    /// Installs `reg` as the matrix engine's stationary weight plane,
+    /// clearing its dirty bit.
+    pub fn install_as_weights(&mut self, reg: TileReg) {
+        if let Some(prev) = self.installed_weights {
+            if prev != reg {
+                // The previously installed register's contents are no longer
+                // in the array; mark it dirty so a later reuse reloads it.
+                self.dirty[prev.index()] = true;
+            }
+        }
+        self.installed_weights = Some(reg);
+        self.dirty[reg.index()] = false;
+    }
+
+    /// The register currently installed as the array's weight plane, if any.
+    #[must_use]
+    pub fn installed_weights(&self) -> Option<TileReg> {
+        self.installed_weights
+    }
+
+    /// Returns `true` when a `rasa_mm` naming `reg` as its weight operand may
+    /// bypass the Weight Load stage (RASA-WLBP): the register is already the
+    /// installed weight plane and has not been modified since.
+    #[must_use]
+    pub fn can_bypass_weight_load(&self, reg: TileReg) -> bool {
+        self.installed_weights == Some(reg) && !self.is_dirty(reg)
+    }
+
+    /// Resets the file to its initial (undefined, dirty) state.
+    pub fn reset(&mut self) {
+        self.written = [false; NUM_TILE_REGS];
+        self.dirty = [true; NUM_TILE_REGS];
+        self.installed_weights = None;
+    }
+}
+
+impl Default for TileRegisterFile {
+    fn default() -> Self {
+        TileRegisterFile::new(TileGeometry::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amx_geometry_matches_paper() {
+        let g = TileGeometry::amx();
+        assert_eq!(g.rows(), 16);
+        assert_eq!(g.row_bytes(), 64);
+        assert_eq!(g.size_bytes(), 1024);
+        // TM=16, TK=32 (bf16 operand), TN=16 (fp32 accumulator)
+        assert_eq!(g.max_shape(DataType::Bf16), TileShape::new(16, 32));
+        assert_eq!(g.max_shape(DataType::Fp32), TileShape::new(16, 16));
+    }
+
+    #[test]
+    fn zero_geometry_rejected() {
+        assert!(TileGeometry::new(0, 64).is_err());
+        assert!(TileGeometry::new(16, 2).is_err());
+        assert!(TileGeometry::new(16, 4).is_ok());
+    }
+
+    #[test]
+    fn shape_check() {
+        let g = TileGeometry::amx();
+        assert!(g.check_shape(TileShape::new(16, 32), DataType::Bf16).is_ok());
+        assert!(g.check_shape(TileShape::new(8, 8), DataType::Fp32).is_ok());
+        let err = g
+            .check_shape(TileShape::new(17, 32), DataType::Bf16)
+            .unwrap_err();
+        assert!(matches!(err, IsaError::TileShapeTooLarge { .. }));
+        let err = g
+            .check_shape(TileShape::new(16, 17), DataType::Fp32)
+            .unwrap_err();
+        assert!(matches!(err, IsaError::TileShapeTooLarge { .. }));
+    }
+
+    #[test]
+    fn tile_shape_helpers() {
+        let s = TileShape::new(16, 32);
+        assert_eq!(s.elements(), 512);
+        assert!(!s.is_empty());
+        assert!(TileShape::new(0, 4).is_empty());
+        assert_eq!(s.to_string(), "16x32");
+    }
+
+    #[test]
+    fn dirty_bit_lifecycle() {
+        let mut trf = TileRegisterFile::default();
+        let b = TileReg::new(4).unwrap();
+        // Initially undefined and dirty.
+        assert!(!trf.is_written(b));
+        assert!(trf.is_dirty(b));
+        assert!(!trf.can_bypass_weight_load(b));
+
+        trf.mark_written(b);
+        assert!(trf.is_written(b));
+        assert!(trf.is_dirty(b));
+
+        trf.install_as_weights(b);
+        assert!(!trf.is_dirty(b));
+        assert!(trf.can_bypass_weight_load(b));
+
+        // A write after installation sets the dirty bit and uninstalls.
+        trf.mark_written(b);
+        assert!(trf.is_dirty(b));
+        assert!(!trf.can_bypass_weight_load(b));
+        assert_eq!(trf.installed_weights(), None);
+    }
+
+    #[test]
+    fn installing_new_weights_dirties_previous_plane() {
+        let mut trf = TileRegisterFile::default();
+        let b0 = TileReg::new(4).unwrap();
+        let b1 = TileReg::new(5).unwrap();
+        trf.mark_written(b0);
+        trf.mark_written(b1);
+        trf.install_as_weights(b0);
+        assert!(trf.can_bypass_weight_load(b0));
+        trf.install_as_weights(b1);
+        assert!(trf.can_bypass_weight_load(b1));
+        // b0 is no longer resident in the array.
+        assert!(!trf.can_bypass_weight_load(b0));
+        assert!(trf.is_dirty(b0));
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut trf = TileRegisterFile::default();
+        let r = TileReg::new(2).unwrap();
+        trf.mark_written(r);
+        trf.install_as_weights(r);
+        trf.reset();
+        assert!(!trf.is_written(r));
+        assert!(trf.is_dirty(r));
+        assert_eq!(trf.installed_weights(), None);
+    }
+}

@@ -1,0 +1,238 @@
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A software brain-float-16 value (1 sign, 8 exponent, 7 mantissa bits).
+///
+/// BF16 is the input data type of the RASA processing elements; partial sums
+/// accumulate in FP32. The conversion from `f32` uses round-to-nearest-even,
+/// matching common hardware implementations (and the behaviour assumed by
+/// the paper's mixed-precision MAC units).
+///
+/// Arithmetic on `Bf16` is defined as "convert to f32, operate, convert
+/// back" — the semantics of a BF16 multiplier feeding an FP32 adder are
+/// obtained by using [`Bf16::to_f32`] explicitly before accumulating, which
+/// is what [`crate::gemm_bf16_fp32`] and the functional systolic array do.
+///
+/// ```
+/// use rasa_numeric::Bf16;
+/// let x = Bf16::from_f32(1.5);
+/// assert_eq!(x.to_f32(), 1.5);
+/// // 1/3 is not representable exactly; conversion rounds.
+/// let third = Bf16::from_f32(1.0 / 3.0);
+/// assert!((third.to_f32() - 1.0 / 3.0).abs() < 1.0 / 256.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Bf16(u16);
+
+impl Bf16 {
+    /// Positive zero.
+    pub const ZERO: Bf16 = Bf16(0);
+    /// One.
+    pub const ONE: Bf16 = Bf16(0x3f80);
+
+    /// Creates a BF16 from its raw bit pattern.
+    #[must_use]
+    pub const fn from_bits(bits: u16) -> Self {
+        Bf16(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    #[must_use]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts from `f32` with round-to-nearest-even.
+    #[must_use]
+    pub fn from_f32(value: f32) -> Self {
+        let bits = value.to_bits();
+        if value.is_nan() {
+            // Preserve NaN, set a quiet bit so the truncated mantissa is
+            // never all zeros (which would turn NaN into infinity).
+            return Bf16(((bits >> 16) as u16) | 0x0040);
+        }
+        // Round to nearest even on the truncated 16 bits.
+        let round_bit = 0x0000_8000u32;
+        let lsb = (bits >> 16) & 1;
+        let rounded = bits.wrapping_add(0x0000_7fff + lsb);
+        // Overflow of the mantissa correctly carries into the exponent and,
+        // at the extreme, rounds large finite values to infinity.
+        let _ = round_bit;
+        Bf16((rounded >> 16) as u16)
+    }
+
+    /// Converts to `f32` (exact: every BF16 value is representable).
+    #[must_use]
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits(u32::from(self.0) << 16)
+    }
+
+    /// Whether the value is NaN.
+    #[must_use]
+    pub fn is_nan(self) -> bool {
+        self.to_f32().is_nan()
+    }
+
+    /// Whether the value is finite.
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.to_f32().is_finite()
+    }
+
+    /// The quantisation step around 1.0 (2^-7), useful for test tolerances.
+    #[must_use]
+    pub const fn epsilon() -> f32 {
+        1.0 / 128.0
+    }
+}
+
+impl From<f32> for Bf16 {
+    fn from(value: f32) -> Self {
+        Bf16::from_f32(value)
+    }
+}
+
+impl From<Bf16> for f32 {
+    fn from(value: Bf16) -> Self {
+        value.to_f32()
+    }
+}
+
+impl fmt::Display for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl Add for Bf16 {
+    type Output = Bf16;
+
+    fn add(self, rhs: Bf16) -> Bf16 {
+        Bf16::from_f32(self.to_f32() + rhs.to_f32())
+    }
+}
+
+impl Sub for Bf16 {
+    type Output = Bf16;
+
+    fn sub(self, rhs: Bf16) -> Bf16 {
+        Bf16::from_f32(self.to_f32() - rhs.to_f32())
+    }
+}
+
+impl Mul for Bf16 {
+    type Output = Bf16;
+
+    fn mul(self, rhs: Bf16) -> Bf16 {
+        Bf16::from_f32(self.to_f32() * rhs.to_f32())
+    }
+}
+
+impl Neg for Bf16 {
+    type Output = Bf16;
+
+    fn neg(self) -> Bf16 {
+        Bf16::from_bits(self.0 ^ 0x8000)
+    }
+}
+
+impl PartialOrd for Bf16 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_round_trip() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, -3.5, 256.0, 65536.0, -0.0078125] {
+            let b = Bf16::from_f32(v);
+            assert_eq!(b.to_f32(), v, "value {v} should be exactly representable");
+        }
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(Bf16::ZERO.to_f32(), 0.0);
+        assert_eq!(Bf16::ONE.to_f32(), 1.0);
+    }
+
+    #[test]
+    fn rounding_is_nearest_even() {
+        // 1.0 + 2^-8 lies exactly between 1.0 and the next BF16 (1.0 + 2^-7);
+        // nearest-even rounds down to 1.0.
+        let half_ulp = 1.0 + f32::powi(2.0, -8);
+        assert_eq!(Bf16::from_f32(half_ulp).to_f32(), 1.0);
+        // 1.0 + 3*2^-8 lies between 1.0+2^-7 and 1.0+2^-6... nearest is
+        // 1.0 + 2^-7 + 2^-7? Check monotonically: it must round to one of
+        // the two adjacent representable values.
+        let x = 1.0 + 3.0 * f32::powi(2.0, -8);
+        let r = Bf16::from_f32(x).to_f32();
+        assert!((r - x).abs() <= f32::powi(2.0, -8));
+    }
+
+    #[test]
+    fn rounding_error_is_bounded() {
+        // Relative error of BF16 conversion is at most 2^-8 for normal values.
+        let mut v = 1.0e-3f32;
+        while v < 1.0e3 {
+            let r = Bf16::from_f32(v).to_f32();
+            assert!(((r - v) / v).abs() <= f32::powi(2.0, -8) * 1.001, "v={v} r={r}");
+            v *= 1.37;
+        }
+    }
+
+    #[test]
+    fn nan_and_infinity_preserved() {
+        assert!(Bf16::from_f32(f32::NAN).is_nan());
+        assert_eq!(Bf16::from_f32(f32::INFINITY).to_f32(), f32::INFINITY);
+        assert_eq!(Bf16::from_f32(f32::NEG_INFINITY).to_f32(), f32::NEG_INFINITY);
+        assert!(!Bf16::from_f32(f32::NAN).is_finite());
+        assert!(Bf16::ONE.is_finite());
+    }
+
+    #[test]
+    fn overflow_rounds_to_infinity() {
+        // Just above the largest finite BF16 (~3.39e38).
+        let big = 3.4e38f32;
+        let b = Bf16::from_f32(big);
+        assert!(b.to_f32().is_infinite() || b.to_f32() >= 3.3e38);
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let a = Bf16::from_f32(1.5);
+        let b = Bf16::from_f32(2.0);
+        assert_eq!((a + b).to_f32(), 3.5);
+        assert_eq!((b - a).to_f32(), 0.5);
+        assert_eq!((a * b).to_f32(), 3.0);
+        assert_eq!((-a).to_f32(), -1.5);
+    }
+
+    #[test]
+    fn negation_of_zero() {
+        assert_eq!((-Bf16::ZERO).to_f32(), -0.0);
+        assert_eq!((-Bf16::ZERO).to_bits(), 0x8000);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Bf16::from_f32(1.0) < Bf16::from_f32(2.0));
+        assert!(Bf16::from_f32(-1.0) < Bf16::ZERO);
+    }
+
+    #[test]
+    fn display_shows_decimal_value() {
+        assert_eq!(Bf16::from_f32(2.5).to_string(), "2.5");
+    }
+
+    #[test]
+    fn conversion_traits() {
+        let b: Bf16 = 4.0f32.into();
+        let f: f32 = b.into();
+        assert_eq!(f, 4.0);
+    }
+}

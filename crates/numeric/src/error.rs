@@ -1,0 +1,69 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the numeric substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NumericError {
+    /// Two matrices had incompatible dimensions for the requested operation.
+    DimensionMismatch {
+        /// Description of the operation that failed.
+        operation: &'static str,
+        /// Human-readable description of the shapes involved.
+        detail: String,
+    },
+    /// A convolution shape was internally inconsistent (e.g. the filter is
+    /// larger than the padded input).
+    InvalidConvShape {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A tiling configuration had a zero tile dimension.
+    InvalidTiling {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// An index was outside the bounds of a matrix or grid.
+    OutOfBounds {
+        /// Human-readable description of the access.
+        detail: String,
+    },
+}
+
+impl fmt::Display for NumericError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericError::DimensionMismatch { operation, detail } => {
+                write!(f, "dimension mismatch in {operation}: {detail}")
+            }
+            NumericError::InvalidConvShape { reason } => {
+                write!(f, "invalid convolution shape: {reason}")
+            }
+            NumericError::InvalidTiling { reason } => write!(f, "invalid tiling: {reason}"),
+            NumericError::OutOfBounds { detail } => write!(f, "out of bounds: {detail}"),
+        }
+    }
+}
+
+impl Error for NumericError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NumericError::DimensionMismatch {
+            operation: "gemm",
+            detail: "a is 4x3 but b is 5x2".to_string(),
+        };
+        assert!(e.to_string().contains("gemm"));
+        assert!(e.to_string().contains("4x3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<NumericError>();
+    }
+}

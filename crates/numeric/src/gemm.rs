@@ -1,0 +1,249 @@
+use crate::{Bf16, Matrix, NumericError};
+use std::fmt;
+
+/// The dimensions of a GEMM: `C(M×N) += A(M×K) × B(K×N)`.
+///
+/// The same notation as the paper (§II-C): M indexes output rows, N output
+/// columns and K the reduction dimension.
+///
+/// ```
+/// use rasa_numeric::GemmShape;
+/// let g = GemmShape::new(128, 256, 64);
+/// assert_eq!(g.flops(), 2 * 128 * 256 * 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmShape {
+    /// Rows of A and C.
+    pub m: usize,
+    /// Reduction dimension (columns of A, rows of B).
+    pub k: usize,
+    /// Columns of B and C.
+    pub n: usize,
+}
+
+impl GemmShape {
+    /// Creates a GEMM shape.
+    #[must_use]
+    pub const fn new(m: usize, k: usize, n: usize) -> Self {
+        GemmShape { m, k, n }
+    }
+
+    /// Number of floating-point operations (multiply + add counted
+    /// separately, the usual 2·M·N·K convention).
+    #[must_use]
+    pub const fn flops(&self) -> usize {
+        2 * self.m * self.n * self.k
+    }
+
+    /// Number of multiply-accumulate operations (M·N·K).
+    #[must_use]
+    pub const fn macs(&self) -> usize {
+        self.m * self.n * self.k
+    }
+
+    /// Whether any dimension is zero.
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
+        self.m == 0 || self.n == 0 || self.k == 0
+    }
+
+    /// The number of (TM, TK, TN) register tiles needed to cover this GEMM,
+    /// rounding each dimension up.
+    #[must_use]
+    pub const fn tile_counts(&self, tm: usize, tk: usize, tn: usize) -> (usize, usize, usize) {
+        (self.m.div_ceil(tm), self.k.div_ceil(tk), self.n.div_ceil(tn))
+    }
+}
+
+impl fmt::Display for GemmShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M={} K={} N={}", self.m, self.k, self.n)
+    }
+}
+
+/// Reference single-precision GEMM: `c += a × b`.
+///
+/// # Panics
+///
+/// Panics if the matrix dimensions are inconsistent; use
+/// [`try_gemm_f32`](gemm_f32) semantics by checking shapes beforehand when
+/// the shapes come from untrusted input.
+pub fn gemm_f32(a: &Matrix<f32>, b: &Matrix<f32>, c: &mut Matrix<f32>) {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must match");
+    assert_eq!(a.rows(), c.rows(), "output rows must match a");
+    assert_eq!(b.cols(), c.cols(), "output cols must match b");
+    for i in 0..a.rows() {
+        for kk in 0..a.cols() {
+            let aik = a[(i, kk)];
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..b.cols() {
+                c[(i, j)] += aik * b[(kk, j)];
+            }
+        }
+    }
+}
+
+/// Mixed-precision reference GEMM matching the RASA PE datapath: BF16
+/// operands are multiplied exactly (every product of two BF16 values is
+/// representable in f32) and accumulated in FP32.
+///
+/// This is the golden model the functional systolic array is validated
+/// against, for every PE variant.
+///
+/// # Errors
+///
+/// Returns [`NumericError::DimensionMismatch`] if the operand shapes are
+/// inconsistent.
+pub fn gemm_bf16_fp32(
+    a: &Matrix<Bf16>,
+    b: &Matrix<Bf16>,
+    c: &mut Matrix<f32>,
+) -> Result<(), NumericError> {
+    if a.cols() != b.rows() || a.rows() != c.rows() || b.cols() != c.cols() {
+        return Err(NumericError::DimensionMismatch {
+            operation: "gemm_bf16_fp32",
+            detail: format!(
+                "a is {}x{}, b is {}x{}, c is {}x{}",
+                a.rows(),
+                a.cols(),
+                b.rows(),
+                b.cols(),
+                c.rows(),
+                c.cols()
+            ),
+        });
+    }
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = c[(i, j)];
+            for kk in 0..a.cols() {
+                acc += a[(i, kk)].to_f32() * b[(kk, j)].to_f32();
+            }
+            c[(i, j)] = acc;
+        }
+    }
+    Ok(())
+}
+
+/// Maximum absolute element-wise difference between two matrices of the same
+/// shape — the comparison metric used by the functional-correctness tests.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+#[must_use]
+pub fn max_abs_diff(x: &Matrix<f32>, y: &Matrix<f32>) -> f32 {
+    assert_eq!(x.rows(), y.rows(), "row count must match");
+    assert_eq!(x.cols(), y.cols(), "column count must match");
+    let mut max = 0.0f32;
+    for ((_, _, a), (_, _, b)) in x.iter().zip(y.iter()) {
+        max = max.max((a - b).abs());
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn shape_helpers() {
+        let g = GemmShape::new(100, 30, 50);
+        assert_eq!(g.macs(), 150_000);
+        assert_eq!(g.flops(), 300_000);
+        assert!(!g.is_empty());
+        assert!(GemmShape::new(0, 3, 4).is_empty());
+        assert_eq!(g.tile_counts(16, 32, 16), (7, 1, 4));
+        assert_eq!(g.to_string(), "M=100 K=30 N=50");
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let a = Matrix::from_fn(3, 3, |i, j| if i == j { 1.0 } else { 0.0 });
+        let b = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as f32);
+        let mut c = Matrix::zeros(3, 3);
+        gemm_f32(&a, &b, &mut c);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn known_small_product() {
+        // [[1,2],[3,4]] x [[5,6],[7,8]] = [[19,22],[43,50]]
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let mut c = Matrix::zeros(2, 2);
+        gemm_f32(&a, &b, &mut c);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn accumulation_adds_to_existing_c() {
+        let a = Matrix::from_vec(1, 1, vec![2.0]).unwrap();
+        let b = Matrix::from_vec(1, 1, vec![3.0]).unwrap();
+        let mut c = Matrix::from_vec(1, 1, vec![10.0]).unwrap();
+        gemm_f32(&a, &b, &mut c);
+        assert_eq!(c[(0, 0)], 16.0);
+    }
+
+    #[test]
+    fn mixed_precision_matches_f32_for_exact_values() {
+        // Small integers are exactly representable in BF16, so the mixed
+        // precision result must equal the full-precision result exactly.
+        let mut rng = StdRng::seed_from_u64(42);
+        let a32 = Matrix::from_fn(8, 12, |_, _| rng.gen_range(-8i32..8) as f32);
+        let b32 = Matrix::from_fn(12, 6, |_, _| rng.gen_range(-8i32..8) as f32);
+        let mut c_ref = Matrix::zeros(8, 6);
+        gemm_f32(&a32, &b32, &mut c_ref);
+
+        let a16 = a32.map(Bf16::from_f32);
+        let b16 = b32.map(Bf16::from_f32);
+        let mut c_mixed = Matrix::zeros(8, 6);
+        gemm_bf16_fp32(&a16, &b16, &mut c_mixed).unwrap();
+        assert_eq!(max_abs_diff(&c_ref, &c_mixed), 0.0);
+    }
+
+    #[test]
+    fn mixed_precision_error_is_bounded_for_random_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a32 = crate::matrix::random_matrix(16, 32, &mut rng);
+        let b32 = crate::matrix::random_matrix(32, 16, &mut rng);
+        let mut c_ref = Matrix::zeros(16, 16);
+        gemm_f32(&a32, &b32, &mut c_ref);
+
+        let a16 = a32.map(Bf16::from_f32);
+        let b16 = b32.map(Bf16::from_f32);
+        let mut c_mixed = Matrix::zeros(16, 16);
+        gemm_bf16_fp32(&a16, &b16, &mut c_mixed).unwrap();
+        // Each operand has relative error <= 2^-8; with K=32 terms of
+        // magnitude <= 1 the absolute error stays well below 32 * 2^-7.
+        assert!(max_abs_diff(&c_ref, &c_mixed) < 32.0 * Bf16::epsilon());
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let a = Matrix::<Bf16>::zeros(2, 3);
+        let b = Matrix::<Bf16>::zeros(4, 2);
+        let mut c = Matrix::<f32>::zeros(2, 2);
+        assert!(gemm_bf16_fp32(&a, &b, &mut c).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn gemm_f32_panics_on_mismatch() {
+        let a = Matrix::<f32>::zeros(2, 3);
+        let b = Matrix::<f32>::zeros(4, 2);
+        let mut c = Matrix::<f32>::zeros(2, 2);
+        gemm_f32(&a, &b, &mut c);
+    }
+
+    #[test]
+    fn max_abs_diff_finds_largest_deviation() {
+        let x = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]).unwrap();
+        let y = Matrix::from_vec(1, 3, vec![1.5, 2.0, 0.0]).unwrap();
+        assert_eq!(max_abs_diff(&x, &y), 3.0);
+    }
+}

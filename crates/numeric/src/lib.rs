@@ -1,0 +1,46 @@
+//! # rasa-numeric — numeric substrate for the RASA simulation stack
+//!
+//! The RASA paper evaluates a mixed-precision matrix engine: BF16 operands
+//! with FP32 accumulation. This crate provides everything the functional
+//! model needs to compute and check real numbers:
+//!
+//! * a software [`Bf16`] type with round-to-nearest-even conversion from
+//!   `f32`, matching the numerics a BF16 multiplier array would produce;
+//! * a row-major [`Matrix`] container with tile extraction/insertion;
+//! * reference GEMM kernels ([`gemm_f32`], [`gemm_bf16_fp32`]) used as the
+//!   golden model for the functional systolic array;
+//! * convolution-to-GEMM lowering ([`im2col`], [`ConvShape`]) so that the
+//!   ResNet50 convolution layers of Table I can be expressed as GEMMs, the
+//!   same lowering the paper relies on (§II-A);
+//! * tiling helpers ([`TileGrid`]) that partition a GEMM into the
+//!   TM×TK×TN register tiles executed by `rasa_mm` instructions.
+//!
+//! ## Example
+//!
+//! ```
+//! use rasa_numeric::{Matrix, gemm_f32, GemmShape};
+//!
+//! let shape = GemmShape::new(4, 3, 2);
+//! let a = Matrix::from_fn(4, 3, |i, j| (i + j) as f32);
+//! let b = Matrix::from_fn(3, 2, |i, j| (i * 2 + j) as f32);
+//! let mut c = Matrix::zeros(4, 2);
+//! gemm_f32(&a, &b, &mut c);
+//! assert_eq!(c.rows(), shape.m);
+//! assert_eq!(c.cols(), shape.n);
+//! ```
+
+#![deny(missing_docs)]
+
+mod bf16;
+mod error;
+mod gemm;
+mod im2col;
+mod matrix;
+mod tiling;
+
+pub use bf16::Bf16;
+pub use error::NumericError;
+pub use gemm::{gemm_bf16_fp32, gemm_f32, max_abs_diff, GemmShape};
+pub use im2col::{im2col, lower_conv_to_gemm, ConvShape};
+pub use matrix::{random_matrix, Matrix};
+pub use tiling::{TileCoord, TileGrid, TilingConfig};

@@ -1,0 +1,350 @@
+use crate::NumericError;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix.
+///
+/// `Matrix<f32>` is used for accumulators and reference results;
+/// `Matrix<Bf16>` for operand data fed to the functional systolic array.
+/// The container deliberately stays simple — the interesting numerics live
+/// in the GEMM kernels and the systolic array model.
+///
+/// ```
+/// use rasa_numeric::Matrix;
+/// let m = Matrix::from_fn(2, 3, |i, j| (i * 3 + j) as f32);
+/// assert_eq!(m[(1, 2)], 5.0);
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.cols(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Matrix<T> {
+    /// Creates a matrix filled with `T::default()` (zero for numeric types).
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![T::default(); rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a generator function `f(row, col)`.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `data.len() != rows*cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Result<Self, NumericError> {
+        if data.len() != rows * cols {
+            return Err(NumericError::DimensionMismatch {
+                operation: "matrix construction",
+                detail: format!(
+                    "{} elements provided for a {rows}x{cols} matrix",
+                    data.len()
+                ),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub const fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub const fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub const fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Whether the matrix has no elements.
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Element accessor returning `None` when out of bounds.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> Option<T> {
+        if row < self.rows && col < self.cols {
+            Some(self.data[row * self.cols + col])
+        } else {
+            None
+        }
+    }
+
+    /// Sets an element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::OutOfBounds`] when the indices exceed the
+    /// matrix dimensions.
+    pub fn set(&mut self, row: usize, col: usize, value: T) -> Result<(), NumericError> {
+        if row < self.rows && col < self.cols {
+            self.data[row * self.cols + col] = value;
+            Ok(())
+        } else {
+            Err(NumericError::OutOfBounds {
+                detail: format!("({row},{col}) in a {}x{} matrix", self.rows, self.cols),
+            })
+        }
+    }
+
+    /// Borrow of the underlying row-major data.
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// A single row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    #[must_use]
+    pub fn row(&self, row: usize) -> &[T] {
+        assert!(row < self.rows, "row {row} out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Extracts the sub-tile starting at `(row0, col0)` with shape
+    /// `(tile_rows, tile_cols)`, zero-padding any part that falls outside
+    /// the matrix (the behaviour of a tile load past the edge of an operand,
+    /// which kernel generators rely on for edge tiles).
+    #[must_use]
+    pub fn tile(&self, row0: usize, col0: usize, tile_rows: usize, tile_cols: usize) -> Matrix<T> {
+        Matrix::from_fn(tile_rows, tile_cols, |i, j| {
+            self.get(row0 + i, col0 + j).unwrap_or_default()
+        })
+    }
+
+    /// Writes `tile` into this matrix at `(row0, col0)`, ignoring any part of
+    /// the tile that falls outside the matrix (the inverse of [`Matrix::tile`]).
+    pub fn set_tile(&mut self, row0: usize, col0: usize, tile: &Matrix<T>) {
+        for i in 0..tile.rows {
+            for j in 0..tile.cols {
+                if row0 + i < self.rows && col0 + j < self.cols {
+                    self.data[(row0 + i) * self.cols + (col0 + j)] = tile.data[i * tile.cols + j];
+                }
+            }
+        }
+    }
+
+    /// Transposes the matrix.
+    #[must_use]
+    pub fn transpose(&self) -> Matrix<T> {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self.data[j * self.cols + i])
+    }
+
+    /// Applies `f` element-wise producing a new matrix (e.g. `f32 → Bf16`).
+    #[must_use]
+    pub fn map<U: Copy + Default>(&self, mut f: impl FnMut(T) -> U) -> Matrix<U> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Iterates over `(row, col, value)` triples in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        let cols = self.cols;
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(idx, &v)| (idx / cols, idx % cols, v))
+    }
+}
+
+impl<T: Copy + Default> Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+
+    fn index(&self, (row, col): (usize, usize)) -> &T {
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row},{col}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        &self.data[row * self.cols + col]
+    }
+}
+
+impl<T: Copy + Default> IndexMut<(usize, usize)> for Matrix<T> {
+    fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut T {
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row},{col}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        &mut self.data[row * self.cols + col]
+    }
+}
+
+impl<T: Copy + Default + fmt::Display> fmt::Display for Matrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}x{}]", self.rows, self.cols)?;
+        let max_rows = 8.min(self.rows);
+        let max_cols = 8.min(self.cols);
+        for i in 0..max_rows {
+            for j in 0..max_cols {
+                write!(f, "{:>10} ", self.data[i * self.cols + j])?;
+            }
+            if max_cols < self.cols {
+                write!(f, "…")?;
+            }
+            writeln!(f)?;
+        }
+        if max_rows < self.rows {
+            writeln!(f, "…")?;
+        }
+        Ok(())
+    }
+}
+
+/// Fills a matrix with uniformly distributed values in `[-1, 1)` using the
+/// supplied RNG — the standard way the tests and examples create operand
+/// data.
+#[must_use]
+pub fn random_matrix(rows: usize, cols: usize, rng: &mut impl rand::Rng) -> Matrix<f32> {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0f32..1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Bf16;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Matrix::from_fn(3, 4, |i, j| (i * 10 + j) as f32);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.len(), 12);
+        assert_eq!(m[(2, 3)], 23.0);
+        assert_eq!(m.get(2, 3), Some(23.0));
+        assert_eq!(m.get(3, 0), None);
+        assert_eq!(m.get(0, 4), None);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0f32, 2.0, 3.0, 4.0]).is_ok());
+        assert!(Matrix::from_vec(2, 2, vec![1.0f32, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn set_and_out_of_bounds() {
+        let mut m = Matrix::<f32>::zeros(2, 2);
+        m.set(1, 1, 5.0).unwrap();
+        assert_eq!(m[(1, 1)], 5.0);
+        assert!(m.set(2, 0, 1.0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_panics_out_of_bounds() {
+        let m = Matrix::<f32>::zeros(2, 2);
+        let _ = m[(2, 0)];
+    }
+
+    #[test]
+    fn row_slice() {
+        let m = Matrix::from_fn(2, 3, |i, j| (i * 3 + j) as i32);
+        assert_eq!(m.row(1), &[3, 4, 5]);
+    }
+
+    #[test]
+    fn tile_extraction_with_padding() {
+        let m = Matrix::from_fn(3, 3, |i, j| (i * 3 + j + 1) as f32);
+        // A 2x2 tile fully inside.
+        let t = m.tile(1, 1, 2, 2);
+        assert_eq!(t[(0, 0)], 5.0);
+        assert_eq!(t[(1, 1)], 9.0);
+        // A tile hanging off the edge is zero padded.
+        let t = m.tile(2, 2, 2, 2);
+        assert_eq!(t[(0, 0)], 9.0);
+        assert_eq!(t[(0, 1)], 0.0);
+        assert_eq!(t[(1, 0)], 0.0);
+        assert_eq!(t[(1, 1)], 0.0);
+    }
+
+    #[test]
+    fn set_tile_round_trips_and_clips() {
+        let mut m = Matrix::<f32>::zeros(4, 4);
+        let t = Matrix::from_fn(2, 2, |i, j| (i * 2 + j + 1) as f32);
+        m.set_tile(1, 1, &t);
+        assert_eq!(m[(1, 1)], 1.0);
+        assert_eq!(m[(2, 2)], 4.0);
+        // Writing past the edge silently clips.
+        m.set_tile(3, 3, &t);
+        assert_eq!(m[(3, 3)], 1.0);
+    }
+
+    #[test]
+    fn transpose() {
+        let m = Matrix::from_fn(2, 3, |i, j| (i * 3 + j) as f32);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t[(2, 1)], m[(1, 2)]);
+    }
+
+    #[test]
+    fn map_to_bf16() {
+        let m = Matrix::from_fn(2, 2, |i, j| (i + j) as f32 + 0.5);
+        let b = m.map(Bf16::from_f32);
+        assert_eq!(b[(0, 0)].to_f32(), 0.5);
+        assert_eq!(b[(1, 1)].to_f32(), 2.5);
+    }
+
+    #[test]
+    fn iteration_order_is_row_major() {
+        let m = Matrix::from_fn(2, 2, |i, j| (i * 2 + j) as i32);
+        let items: Vec<_> = m.iter().collect();
+        assert_eq!(items, vec![(0, 0, 0), (0, 1, 1), (1, 0, 2), (1, 1, 3)]);
+    }
+
+    #[test]
+    fn random_matrix_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = random_matrix(8, 8, &mut rng);
+        assert!(m.iter().all(|(_, _, v)| (-1.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn display_truncates_large_matrices() {
+        let m = Matrix::<f32>::zeros(20, 20);
+        let s = m.to_string();
+        assert!(s.contains("[20x20]"));
+        assert!(s.contains('…'));
+    }
+}

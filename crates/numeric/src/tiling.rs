@@ -1,0 +1,312 @@
+use crate::{GemmShape, NumericError};
+use std::fmt;
+
+/// The register-tile dimensions used to partition a GEMM: TM×TK for A tiles,
+/// TK×TN for B tiles and TM×TN for C tiles.
+///
+/// For the AMX-like ISA these are 16/32/16; the values are carried here (and
+/// not hard-coded) so that design-space exploration over tile-register
+/// geometries remains possible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TilingConfig {
+    /// Tile extent in the M dimension.
+    pub tm: usize,
+    /// Tile extent in the K (reduction) dimension.
+    pub tk: usize,
+    /// Tile extent in the N dimension.
+    pub tn: usize,
+}
+
+impl TilingConfig {
+    /// Creates a tiling configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidTiling`] if any dimension is zero.
+    pub fn new(tm: usize, tk: usize, tn: usize) -> Result<Self, NumericError> {
+        if tm == 0 || tk == 0 || tn == 0 {
+            return Err(NumericError::InvalidTiling {
+                reason: format!("tile dimensions must be non-zero, got {tm}/{tk}/{tn}"),
+            });
+        }
+        Ok(TilingConfig { tm, tk, tn })
+    }
+
+    /// The AMX-like tiling of the paper: TM=16, TK=32, TN=16.
+    #[must_use]
+    pub const fn amx() -> Self {
+        TilingConfig {
+            tm: 16,
+            tk: 32,
+            tn: 16,
+        }
+    }
+}
+
+impl Default for TilingConfig {
+    fn default() -> Self {
+        TilingConfig::amx()
+    }
+}
+
+impl fmt::Display for TilingConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TM={} TK={} TN={}", self.tm, self.tk, self.tn)
+    }
+}
+
+/// The coordinates of one register tile inside the tiled GEMM iteration
+/// space, together with its actual (possibly clipped) extents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileCoord {
+    /// Tile index along M.
+    pub mi: usize,
+    /// Tile index along K.
+    pub ki: usize,
+    /// Tile index along N.
+    pub ni: usize,
+    /// Rows covered by this tile (≤ TM; smaller at the bottom edge).
+    pub rows: usize,
+    /// Reduction extent covered by this tile (≤ TK; smaller at the right
+    /// edge of A).
+    pub depth: usize,
+    /// Columns covered by this tile (≤ TN; smaller at the right edge of C).
+    pub cols: usize,
+}
+
+impl TileCoord {
+    /// Starting row of the tile in the full GEMM.
+    #[must_use]
+    pub const fn row0(&self, tiling: &TilingConfig) -> usize {
+        self.mi * tiling.tm
+    }
+
+    /// Starting reduction index of the tile in the full GEMM.
+    #[must_use]
+    pub const fn k0(&self, tiling: &TilingConfig) -> usize {
+        self.ki * tiling.tk
+    }
+
+    /// Starting column of the tile in the full GEMM.
+    #[must_use]
+    pub const fn col0(&self, tiling: &TilingConfig) -> usize {
+        self.ni * tiling.tn
+    }
+
+    /// Whether the tile is full-sized (not clipped by a matrix edge).
+    #[must_use]
+    pub const fn is_full(&self, tiling: &TilingConfig) -> bool {
+        self.rows == tiling.tm && self.depth == tiling.tk && self.cols == tiling.tn
+    }
+}
+
+/// The grid of register tiles covering a GEMM.
+///
+/// The grid enumerates tile coordinates; the *order* of traversal (loop
+/// nest) is chosen by the kernel generator in `rasa-trace`, because loop
+/// order determines tile-register reuse and therefore WLBP effectiveness.
+///
+/// ```
+/// use rasa_numeric::{GemmShape, TileGrid, TilingConfig};
+/// let grid = TileGrid::new(GemmShape::new(100, 70, 40), TilingConfig::amx())?;
+/// assert_eq!(grid.m_tiles(), 7);
+/// assert_eq!(grid.k_tiles(), 3);
+/// assert_eq!(grid.n_tiles(), 3);
+/// assert_eq!(grid.total_tiles(), 63);
+/// # Ok::<(), rasa_numeric::NumericError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileGrid {
+    shape: GemmShape,
+    tiling: TilingConfig,
+    m_tiles: usize,
+    k_tiles: usize,
+    n_tiles: usize,
+}
+
+impl TileGrid {
+    /// Creates a tile grid for `shape` partitioned by `tiling`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidTiling`] if the GEMM shape is empty.
+    pub fn new(shape: GemmShape, tiling: TilingConfig) -> Result<Self, NumericError> {
+        if shape.is_empty() {
+            return Err(NumericError::InvalidTiling {
+                reason: format!("cannot tile an empty GEMM ({shape})"),
+            });
+        }
+        let (m_tiles, k_tiles, n_tiles) = shape.tile_counts(tiling.tm, tiling.tk, tiling.tn);
+        Ok(TileGrid {
+            shape,
+            tiling,
+            m_tiles,
+            k_tiles,
+            n_tiles,
+        })
+    }
+
+    /// The GEMM shape being tiled.
+    #[must_use]
+    pub const fn shape(&self) -> &GemmShape {
+        &self.shape
+    }
+
+    /// The tiling configuration.
+    #[must_use]
+    pub const fn tiling(&self) -> &TilingConfig {
+        &self.tiling
+    }
+
+    /// Number of tiles along M.
+    #[must_use]
+    pub const fn m_tiles(&self) -> usize {
+        self.m_tiles
+    }
+
+    /// Number of tiles along K.
+    #[must_use]
+    pub const fn k_tiles(&self) -> usize {
+        self.k_tiles
+    }
+
+    /// Number of tiles along N.
+    #[must_use]
+    pub const fn n_tiles(&self) -> usize {
+        self.n_tiles
+    }
+
+    /// Total number of (mi, ki, ni) tiles — one `rasa_mm` each.
+    #[must_use]
+    pub const fn total_tiles(&self) -> usize {
+        self.m_tiles * self.k_tiles * self.n_tiles
+    }
+
+    /// The tile at the given indices, with clipped extents at the edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::OutOfBounds`] when an index exceeds the grid.
+    pub fn tile(&self, mi: usize, ki: usize, ni: usize) -> Result<TileCoord, NumericError> {
+        if mi >= self.m_tiles || ki >= self.k_tiles || ni >= self.n_tiles {
+            return Err(NumericError::OutOfBounds {
+                detail: format!(
+                    "tile ({mi},{ki},{ni}) in a {}x{}x{} grid",
+                    self.m_tiles, self.k_tiles, self.n_tiles
+                ),
+            });
+        }
+        let rows = (self.shape.m - mi * self.tiling.tm).min(self.tiling.tm);
+        let depth = (self.shape.k - ki * self.tiling.tk).min(self.tiling.tk);
+        let cols = (self.shape.n - ni * self.tiling.tn).min(self.tiling.tn);
+        Ok(TileCoord {
+            mi,
+            ki,
+            ni,
+            rows,
+            depth,
+            cols,
+        })
+    }
+
+    /// Iterates over all tiles in `(ni, mi, ki)` nesting order — the
+    /// "weights outermost, reduction innermost" order that keeps the B tile
+    /// resident across the K loop of a register block.
+    pub fn iter(&self) -> impl Iterator<Item = TileCoord> + '_ {
+        let (mt, kt, nt) = (self.m_tiles, self.k_tiles, self.n_tiles);
+        (0..nt).flat_map(move |ni| {
+            (0..mt).flat_map(move |mi| {
+                (0..kt).map(move |ki| {
+                    self.tile(mi, ki, ni)
+                        .expect("indices produced by the grid are in range")
+                })
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amx_tiling_defaults() {
+        let t = TilingConfig::amx();
+        assert_eq!((t.tm, t.tk, t.tn), (16, 32, 16));
+        assert_eq!(TilingConfig::default(), t);
+        assert_eq!(t.to_string(), "TM=16 TK=32 TN=16");
+    }
+
+    #[test]
+    fn zero_tiling_rejected() {
+        assert!(TilingConfig::new(0, 32, 16).is_err());
+        assert!(TilingConfig::new(16, 0, 16).is_err());
+        assert!(TilingConfig::new(16, 32, 0).is_err());
+        assert!(TilingConfig::new(1, 1, 1).is_ok());
+    }
+
+    #[test]
+    fn grid_counts_round_up() {
+        let grid = TileGrid::new(GemmShape::new(100, 70, 40), TilingConfig::amx()).unwrap();
+        assert_eq!(grid.m_tiles(), 7);
+        assert_eq!(grid.k_tiles(), 3);
+        assert_eq!(grid.n_tiles(), 3);
+        assert_eq!(grid.total_tiles(), 63);
+    }
+
+    #[test]
+    fn exact_division_has_no_partial_tiles() {
+        let grid = TileGrid::new(GemmShape::new(64, 64, 64), TilingConfig::amx()).unwrap();
+        assert!(grid.iter().all(|t| t.is_full(grid.tiling())));
+        assert_eq!(grid.iter().count(), grid.total_tiles());
+    }
+
+    #[test]
+    fn edge_tiles_are_clipped() {
+        let grid = TileGrid::new(GemmShape::new(20, 40, 18), TilingConfig::amx()).unwrap();
+        let corner = grid.tile(1, 1, 1).unwrap();
+        assert_eq!(corner.rows, 4);
+        assert_eq!(corner.depth, 8);
+        assert_eq!(corner.cols, 2);
+        assert!(!corner.is_full(grid.tiling()));
+        let origin = grid.tile(0, 0, 0).unwrap();
+        assert!(origin.is_full(grid.tiling()));
+        assert_eq!(origin.row0(grid.tiling()), 0);
+        assert_eq!(corner.row0(grid.tiling()), 16);
+        assert_eq!(corner.k0(grid.tiling()), 32);
+        assert_eq!(corner.col0(grid.tiling()), 16);
+    }
+
+    #[test]
+    fn out_of_range_tile_rejected() {
+        let grid = TileGrid::new(GemmShape::new(16, 32, 16), TilingConfig::amx()).unwrap();
+        assert!(grid.tile(1, 0, 0).is_err());
+        assert!(grid.tile(0, 1, 0).is_err());
+        assert!(grid.tile(0, 0, 1).is_err());
+    }
+
+    #[test]
+    fn empty_gemm_rejected() {
+        assert!(TileGrid::new(GemmShape::new(0, 32, 16), TilingConfig::amx()).is_err());
+    }
+
+    #[test]
+    fn iteration_covers_every_tile_once() {
+        let grid = TileGrid::new(GemmShape::new(50, 50, 50), TilingConfig::amx()).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for t in grid.iter() {
+            assert!(seen.insert((t.mi, t.ki, t.ni)), "tile visited twice");
+        }
+        assert_eq!(seen.len(), grid.total_tiles());
+    }
+
+    #[test]
+    fn iteration_keeps_weights_outermost() {
+        // In (ni, mi, ki) order the ni coordinate is non-decreasing.
+        let grid = TileGrid::new(GemmShape::new(64, 64, 64), TilingConfig::amx()).unwrap();
+        let coords: Vec<_> = grid.iter().collect();
+        for pair in coords.windows(2) {
+            assert!(pair[0].ni <= pair[1].ni);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the numeric substrate.
+
+use proptest::prelude::*;
+use rasa_numeric::{
+    gemm_bf16_fp32, gemm_f32, im2col, lower_conv_to_gemm, max_abs_diff, Bf16, ConvShape,
+    GemmShape, Matrix, TileGrid, TilingConfig,
+};
+
+fn arb_small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<f32>> {
+    proptest::collection::vec(-4.0f32..4.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v).expect("length matches"))
+}
+
+proptest! {
+    /// BF16 round trip: converting f32→bf16→f32 never moves a value by more
+    /// than one BF16 ulp (relative 2^-7 for normal values).
+    #[test]
+    fn bf16_round_trip_error_bounded(x in -1.0e6f32..1.0e6) {
+        let r = Bf16::from_f32(x).to_f32();
+        let bound = (x.abs() * Bf16::epsilon()).max(f32::MIN_POSITIVE * 256.0);
+        prop_assert!((r - x).abs() <= bound, "x={x} r={r}");
+    }
+
+    /// BF16 conversion is monotone: a larger f32 never produces a smaller
+    /// BF16.
+    #[test]
+    fn bf16_conversion_is_monotone(a in -1.0e6f32..1.0e6, b in -1.0e6f32..1.0e6) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(Bf16::from_f32(lo).to_f32() <= Bf16::from_f32(hi).to_f32());
+    }
+
+    /// GEMM distributes over split accumulation: computing C += A×B in one
+    /// pass equals computing it in two K-halves.
+    #[test]
+    fn gemm_split_k_accumulation(
+        a in arb_small_matrix(5, 8),
+        b in arb_small_matrix(8, 4),
+    ) {
+        let mut c_once = Matrix::zeros(5, 4);
+        gemm_f32(&a, &b, &mut c_once);
+
+        // Split K = 8 into 5 + 3 and accumulate in two passes.
+        let a1 = a.tile(0, 0, 5, 5);
+        let a2 = a.tile(0, 5, 5, 3);
+        let b1 = b.tile(0, 0, 5, 4);
+        let b2 = b.tile(5, 0, 3, 4);
+        let mut c_twice = Matrix::zeros(5, 4);
+        gemm_f32(&a1, &b1, &mut c_twice);
+        gemm_f32(&a2, &b2, &mut c_twice);
+
+        prop_assert!(max_abs_diff(&c_once, &c_twice) < 1e-4);
+    }
+
+    /// The mixed-precision GEMM agrees with the full-precision GEMM computed
+    /// on the already-quantized operands (i.e. quantization is the only
+    /// source of error, accumulation is exact in f32 for these sizes).
+    #[test]
+    fn mixed_precision_gemm_matches_quantized_reference(
+        a in arb_small_matrix(6, 10),
+        b in arb_small_matrix(10, 7),
+    ) {
+        let a16 = a.map(Bf16::from_f32);
+        let b16 = b.map(Bf16::from_f32);
+        let aq = a16.map(Bf16::to_f32);
+        let bq = b16.map(Bf16::to_f32);
+        let mut c_ref = Matrix::zeros(6, 7);
+        gemm_f32(&aq, &bq, &mut c_ref);
+        let mut c_mixed = Matrix::zeros(6, 7);
+        gemm_bf16_fp32(&a16, &b16, &mut c_mixed).unwrap();
+        prop_assert!(max_abs_diff(&c_ref, &c_mixed) < 1e-3);
+    }
+
+    /// Tiling always covers the full GEMM exactly: the sum of tile extents
+    /// along each axis equals the GEMM dimension.
+    #[test]
+    fn tile_grid_covers_shape(m in 1usize..200, k in 1usize..200, n in 1usize..200) {
+        let shape = GemmShape::new(m, k, n);
+        let grid = TileGrid::new(shape, TilingConfig::amx()).unwrap();
+        let mut m_sum = 0;
+        let mut k_sum = 0;
+        let mut n_sum = 0;
+        for mi in 0..grid.m_tiles() {
+            m_sum += grid.tile(mi, 0, 0).unwrap().rows;
+        }
+        for ki in 0..grid.k_tiles() {
+            k_sum += grid.tile(0, ki, 0).unwrap().depth;
+        }
+        for ni in 0..grid.n_tiles() {
+            n_sum += grid.tile(0, 0, ni).unwrap().cols;
+        }
+        prop_assert_eq!(m_sum, m);
+        prop_assert_eq!(k_sum, k);
+        prop_assert_eq!(n_sum, n);
+        prop_assert_eq!(grid.iter().count(), grid.total_tiles());
+    }
+
+    /// im2col lowering preserves the total MAC count: the lowered GEMM
+    /// computes exactly conv.macs() multiply-accumulates.
+    #[test]
+    fn conv_lowering_preserves_macs(
+        n in 1usize..3, c in 1usize..4, y in 3usize..8, x in 3usize..8,
+        k in 1usize..4, r in 1usize..4, s in 1usize..4,
+    ) {
+        prop_assume!(r <= y && s <= x);
+        let conv = ConvShape::new(n, c, y, x, k, r, s, 1, 0);
+        conv.validate().unwrap();
+        let gemm = conv.to_gemm();
+        prop_assert_eq!(gemm.macs(), conv.macs());
+        prop_assert_eq!(gemm.m, n * conv.out_y() * conv.out_x());
+        prop_assert_eq!(gemm.k, c * r * s);
+        prop_assert_eq!(gemm.n, k);
+    }
+
+    /// im2col followed by GEMM equals direct convolution for random data
+    /// (small shapes keep the test fast).
+    #[test]
+    fn im2col_gemm_matches_direct(
+        seed in 0u64..1000,
+        pad in 0usize..2,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let shape = ConvShape::new(1, 2, 5, 5, 3, 3, 3, 1, pad);
+        let input = Matrix::from_fn(1, 2 * 25, |_, _| rng.gen_range(-2.0f32..2.0));
+        let filters = Matrix::from_fn(3, 2 * 9, |_, _| rng.gen_range(-2.0f32..2.0));
+
+        // Direct convolution.
+        let out_y = shape.out_y();
+        let out_x = shape.out_x();
+        let mut golden = Matrix::zeros(out_y * out_x, 3);
+        for oy in 0..out_y {
+            for ox in 0..out_x {
+                for kf in 0..3 {
+                    let mut acc = 0.0;
+                    for c in 0..2 {
+                        for r in 0..3 {
+                            for s in 0..3 {
+                                let iy = (oy + r) as isize - pad as isize;
+                                let ix = (ox + s) as isize - pad as isize;
+                                if iy >= 0 && ix >= 0 && (iy as usize) < 5 && (ix as usize) < 5 {
+                                    let in_idx = (c * 5 + iy as usize) * 5 + ix as usize;
+                                    let f_idx = (c * 3 + r) * 3 + s;
+                                    acc += input[(0, in_idx)] * filters[(kf, f_idx)];
+                                }
+                            }
+                        }
+                    }
+                    golden[(oy * out_x + ox, kf)] = acc;
+                }
+            }
+        }
+
+        let (a, b) = lower_conv_to_gemm(&input, &filters, &shape).unwrap();
+        let mut cmat = Matrix::zeros(a.rows(), b.cols());
+        gemm_f32(&a, &b, &mut cmat);
+        prop_assert!(max_abs_diff(&golden, &cmat) < 1e-4);
+        // And the standalone im2col agrees with the paired lowering.
+        let a2 = im2col(&input, &shape).unwrap();
+        prop_assert_eq!(a, a2);
+    }
+}

@@ -1,0 +1,212 @@
+use crate::constants;
+use rasa_systolic::{PeVariant, SystolicConfig};
+use std::fmt;
+
+/// Component-wise area of one systolic-array configuration (all in mm²).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaBreakdown {
+    /// Total multiplier area.
+    pub multipliers: f64,
+    /// Total adder area (including the DM merge-adder row).
+    pub adders: f64,
+    /// Total weight-buffer area (stationary plus shadow planes).
+    pub weight_buffers: f64,
+    /// Total PE pipeline/control area.
+    pub pipeline: f64,
+    /// Array-level control, skew buffers and register ports.
+    pub control: f64,
+}
+
+impl AreaBreakdown {
+    /// Total array area.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.multipliers + self.adders + self.weight_buffers + self.pipeline + self.control
+    }
+}
+
+impl fmt::Display for AreaBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.3} mm² (mul {:.3}, add {:.3}, wbuf {:.3}, pipe {:.3}, ctrl {:.3})",
+            self.total(),
+            self.multipliers,
+            self.adders,
+            self.weight_buffers,
+            self.pipeline,
+            self.control
+        )
+    }
+}
+
+/// The analytical area model (see [`crate::constants`] for calibration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AreaModel;
+
+impl AreaModel {
+    /// Creates the model.
+    #[must_use]
+    pub fn new() -> Self {
+        AreaModel
+    }
+
+    /// Area of a single PE of the given variant (mm²), excluding the
+    /// array-level control and the merge-adder row.
+    #[must_use]
+    pub fn pe_area_mm2(&self, variant: PeVariant) -> f64 {
+        let lanes = variant.multipliers_per_pe() as f64;
+        let multipliers = lanes * constants::BF16_MULTIPLIER_AREA;
+        let adders = lanes * constants::FP32_ADDER_AREA;
+        let weight_buffers = lanes * constants::WEIGHT_BUFFER_AREA
+            + if variant.has_double_buffering() {
+                lanes * (constants::WEIGHT_BUFFER_AREA + constants::SHADOW_BUFFER_AREA)
+            } else {
+                0.0
+            };
+        let pipeline = if variant.has_double_multiplier() {
+            constants::PE_PIPELINE_AREA_DM
+        } else {
+            constants::PE_PIPELINE_AREA
+        };
+        multipliers + adders + weight_buffers + pipeline
+    }
+
+    /// Full component breakdown for an array configuration.
+    #[must_use]
+    pub fn breakdown(&self, config: &SystolicConfig) -> AreaBreakdown {
+        let variant = config.pe();
+        let pes = config.num_pes() as f64;
+        let lanes = variant.multipliers_per_pe() as f64;
+
+        let multipliers = pes * lanes * constants::BF16_MULTIPLIER_AREA;
+        let mut adders = pes * lanes * constants::FP32_ADDER_AREA;
+        if variant.needs_merge_adder_row() {
+            adders += config.cols() as f64 * constants::FP32_ADDER_AREA;
+        }
+        let mut weight_buffers = pes * lanes * constants::WEIGHT_BUFFER_AREA;
+        if variant.has_double_buffering() {
+            weight_buffers +=
+                pes * lanes * (constants::WEIGHT_BUFFER_AREA + constants::SHADOW_BUFFER_AREA);
+        }
+        let pipeline = pes
+            * if variant.has_double_multiplier() {
+                constants::PE_PIPELINE_AREA_DM
+            } else {
+                constants::PE_PIPELINE_AREA
+            };
+        AreaBreakdown {
+            multipliers,
+            adders,
+            weight_buffers,
+            pipeline,
+            control: constants::ARRAY_CONTROL_AREA,
+        }
+    }
+
+    /// Total array area (mm²).
+    #[must_use]
+    pub fn array_area_mm2(&self, config: &SystolicConfig) -> f64 {
+        self.breakdown(config).total()
+    }
+
+    /// Area overhead of `config` relative to `baseline` (0.031 means
+    /// "+3.1 %").
+    #[must_use]
+    pub fn overhead_vs(&self, config: &SystolicConfig, baseline: &SystolicConfig) -> f64 {
+        self.array_area_mm2(config) / self.array_area_mm2(baseline) - 1.0
+    }
+
+    /// The array's share of the Skylake GT2 4-core die (the paper reports
+    /// ≈0.7 % for the baseline array).
+    #[must_use]
+    pub fn fraction_of_skylake_die(&self, config: &SystolicConfig) -> f64 {
+        self.array_area_mm2(config) / constants::SKYLAKE_GT2_4C_DIE_AREA
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rasa_systolic::ControlScheme;
+
+    fn cfg(pe: PeVariant) -> SystolicConfig {
+        let scheme = if pe.has_double_buffering() {
+            ControlScheme::Wls
+        } else {
+            ControlScheme::Wlbp
+        };
+        SystolicConfig::paper(pe, scheme).unwrap()
+    }
+
+    #[test]
+    fn baseline_area_matches_reported_scale() {
+        let model = AreaModel::new();
+        let baseline = model.array_area_mm2(&SystolicConfig::paper_baseline());
+        // ≈0.8 mm², about 0.7 % of the Skylake die.
+        assert!(baseline > 0.70 && baseline < 0.95, "baseline {baseline}");
+        let frac = model.fraction_of_skylake_die(&SystolicConfig::paper_baseline());
+        assert!(frac > 0.005 && frac < 0.009, "die fraction {frac}");
+    }
+
+    #[test]
+    fn variant_overheads_match_paper_ordering() {
+        let model = AreaModel::new();
+        let base = SystolicConfig::paper_baseline();
+        let db = model.overhead_vs(&cfg(PeVariant::Db), &base);
+        let dm = model.overhead_vs(&cfg(PeVariant::Dm), &base);
+        let dmdb = model.overhead_vs(&cfg(PeVariant::Dmdb), &base);
+        // Paper: +3.1 %, +2.6 %, +5.5 %. Allow a ±1.5 point band.
+        assert!((db - 0.031).abs() < 0.015, "db overhead {db}");
+        assert!((dm - 0.026).abs() < 0.015, "dm overhead {dm}");
+        assert!((dmdb - 0.055).abs() < 0.02, "dmdb overhead {dmdb}");
+        // All overheads are small and DMDB is the largest.
+        assert!(dmdb > db && dmdb > dm);
+        assert!(dmdb < 0.10);
+    }
+
+    #[test]
+    fn dmdb_total_is_close_to_the_papers_0847() {
+        let model = AreaModel::new();
+        let dmdb = model.array_area_mm2(&cfg(PeVariant::Dmdb));
+        assert!((dmdb - 0.847).abs() < 0.05, "dmdb area {dmdb}");
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let model = AreaModel::new();
+        for pe in PeVariant::all() {
+            let config = if pe.has_double_buffering() {
+                cfg(pe)
+            } else {
+                SystolicConfig::paper(pe, ControlScheme::Base).unwrap()
+            };
+            let b = model.breakdown(&config);
+            assert!((b.total() - model.array_area_mm2(&config)).abs() < 1e-12);
+            assert!(b.multipliers > 0.0 && b.pipeline > 0.0 && b.control > 0.0);
+            assert!(b.to_string().contains("mm²"));
+        }
+    }
+
+    #[test]
+    fn multiplier_area_is_constant_across_variants() {
+        // The paper keeps the multiplier count constant (512); so must the
+        // multiplier area.
+        let model = AreaModel::new();
+        let base = model.breakdown(&SystolicConfig::paper_baseline());
+        let dm = model.breakdown(&cfg(PeVariant::Dm));
+        assert!((base.multipliers - dm.multipliers).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pe_area_ordering() {
+        let model = AreaModel::new();
+        let base = model.pe_area_mm2(PeVariant::Baseline);
+        let db = model.pe_area_mm2(PeVariant::Db);
+        let dm = model.pe_area_mm2(PeVariant::Dm);
+        let dmdb = model.pe_area_mm2(PeVariant::Dmdb);
+        assert!(db > base);
+        assert!(dm > db); // a DM PE is roughly two PEs worth of datapath
+        assert!(dmdb > dm);
+    }
+}

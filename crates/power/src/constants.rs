@@ -1,0 +1,85 @@
+//! Calibrated technology constants of the area/energy model.
+//!
+//! The RASA paper reports *relative* area and energy numbers obtained from a
+//! Nangate 15 nm synthesis flow. The constants below are not lifted from
+//! that (unavailable) flow; they are chosen so that the component sums
+//! reproduce the paper's reported relations (see the crate documentation)
+//! while staying in a physically plausible range for a 15 nm-class library.
+//! All areas are in mm², energies in joules, powers in watts.
+
+/// Area of one BF16 multiplier (mm²).
+pub const BF16_MULTIPLIER_AREA: f64 = 560.0e-6;
+
+/// Area of one FP32 adder (mm²).
+pub const FP32_ADDER_AREA: f64 = 430.0e-6;
+
+/// Area of one 2-byte stationary weight buffer inside a PE (mm²).
+pub const WEIGHT_BUFFER_AREA: f64 = 28.0e-6;
+
+/// Area of the extra shadow weight buffer plus its dedicated load link per
+/// PE lane (the RASA-DB addition) (mm²).
+pub const SHADOW_BUFFER_AREA: f64 = 18.0e-6;
+
+/// Area of the pipeline registers, operand muxes and local control of one
+/// single-multiplier PE (mm²).
+pub const PE_PIPELINE_AREA: f64 = 465.0e-6;
+
+/// Area of the (wider) pipeline registers and the second accumulation path
+/// of a double-multiplier PE (mm²).
+pub const PE_PIPELINE_AREA_DM: f64 = 983.0e-6;
+
+/// Area of the array-level control, operand skew buffers and tile-register
+/// read/write ports, independent of the PE variant (mm²).
+pub const ARRAY_CONTROL_AREA: f64 = 0.044;
+
+/// Die area of the Intel Skylake GT2 4-core CPU the paper compares against
+/// (mm²); the baseline array is reported as ≈0.7 % of it.
+pub const SKYLAKE_GT2_4C_DIE_AREA: f64 = 122.0;
+
+/// Dynamic energy of one BF16 multiply + FP32 accumulate (J).
+pub const MAC_ENERGY: f64 = 0.08e-12;
+
+/// Dynamic energy of moving one weight value into a PE's (shadow) weight
+/// buffer during Weight Load (J).
+pub const WEIGHT_LOAD_ENERGY_PER_VALUE: f64 = 0.02e-12;
+
+/// Dynamic energy of moving one byte between the tile registers and the
+/// array edges (operand feed and drain) (J).
+pub const TILE_IO_ENERGY_PER_BYTE: f64 = 0.10e-12;
+
+/// Time-proportional power per mm² of array (leakage plus the ungated clock
+/// tree at 500 MHz) (W/mm²). This term dominating the energy balance is what
+/// the paper's reported energy-efficiency ratios (≈ the inverse runtime
+/// ratios, slightly degraded by the added area) imply.
+pub const STATIC_CLOCK_POWER_DENSITY: f64 = 1.2;
+
+/// Engine clock frequency used for converting engine cycles to seconds (Hz).
+pub const ENGINE_CLOCK_HZ: f64 = 500.0e6;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn constants_are_physically_sensible() {
+        // Component areas are positive and no single PE component exceeds
+        // a few thousand square microns at 15 nm.
+        for a in [
+            BF16_MULTIPLIER_AREA,
+            FP32_ADDER_AREA,
+            WEIGHT_BUFFER_AREA,
+            SHADOW_BUFFER_AREA,
+            PE_PIPELINE_AREA,
+            PE_PIPELINE_AREA_DM,
+        ] {
+            assert!(a > 0.0 && a < 5.0e-3);
+        }
+        assert!(ARRAY_CONTROL_AREA < 0.1);
+        // Energies are femto/picojoule scale.
+        assert!(MAC_ENERGY > 0.0 && MAC_ENERGY < 10.0e-12);
+        assert!(WEIGHT_LOAD_ENERGY_PER_VALUE < MAC_ENERGY);
+        assert!(STATIC_CLOCK_POWER_DENSITY > 0.0);
+        assert!(ENGINE_CLOCK_HZ > 1.0e8);
+    }
+}

@@ -1,0 +1,46 @@
+//! # rasa-power — analytical area, power and energy model for RASA designs
+//!
+//! The paper synthesizes its RTL with Synopsys DC on the Nangate 15 nm
+//! library and uses Cadence Innovus for place-and-route to obtain area and
+//! power. Neither tool nor library is available here, so this crate is the
+//! documented substitute: a component-level analytical model whose constants
+//! are **calibrated** so that the paper's *reported relative results* are
+//! reproduced:
+//!
+//! * the baseline 32×16 array occupies ≈0.8 mm², about 0.7 % of a Skylake
+//!   GT2 4-core die;
+//! * the RASA-DB / RASA-DM / RASA-DMDB arrays cost ≈3.1 % / 2.6 % / 5.5 %
+//!   more area than the baseline (the full DMDB design totals ≈0.847 mm²);
+//! * energy efficiency relative to the baseline is dominated by the runtime
+//!   reduction (the array's idle/clock power over the run), giving ≈4.4× /
+//!   2.2× / 4.6× for DB-WLS / DM-WLBP / DMDB-WLS.
+//!
+//! The model is deliberately transparent: every constant lives in
+//! [`constants`] with the reasoning behind its value, and the area and
+//! energy computations are simple sums over component counts, so the
+//! sensitivity of any conclusion to the calibration is easy to inspect.
+//!
+//! ```
+//! use rasa_power::AreaModel;
+//! use rasa_systolic::{SystolicConfig, PeVariant, ControlScheme};
+//!
+//! let area = AreaModel::new();
+//! let baseline = area.array_area_mm2(&SystolicConfig::paper_baseline());
+//! let dmdb = area.array_area_mm2(
+//!     &SystolicConfig::paper(PeVariant::Dmdb, ControlScheme::Wls)?);
+//! assert!(dmdb > baseline);
+//! assert!((dmdb / baseline - 1.0) < 0.08); // small overhead, as reported
+//! # Ok::<(), rasa_systolic::SystolicError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod constants;
+
+mod area;
+mod energy;
+mod report;
+
+pub use area::{AreaBreakdown, AreaModel};
+pub use energy::{EnergyBreakdown, EnergyModel, EngineActivitySummary};
+pub use report::PowerReport;

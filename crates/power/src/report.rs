@@ -1,0 +1,139 @@
+use crate::{AreaBreakdown, AreaModel, EnergyBreakdown, EnergyModel, EngineActivitySummary};
+use rasa_systolic::SystolicConfig;
+use std::fmt;
+
+/// A combined area/energy/performance report for one design point on one
+/// workload — the raw material of Fig. 6 (performance per area) and the
+/// §V energy-efficiency comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerReport {
+    /// The design label (e.g. `RASA-DMDB-WLS`).
+    pub design: String,
+    /// Area breakdown of the array.
+    pub area: AreaBreakdown,
+    /// Energy breakdown of the run.
+    pub energy: EnergyBreakdown,
+    /// Core cycles of the run (runtime in the CPU clock domain).
+    pub core_cycles: u64,
+}
+
+impl PowerReport {
+    /// Builds a report for a design point and its observed activity.
+    #[must_use]
+    pub fn new(
+        config: &SystolicConfig,
+        activity: &EngineActivitySummary,
+        core_cycles: u64,
+    ) -> Self {
+        let area_model = AreaModel::new();
+        let energy_model = EnergyModel::new();
+        PowerReport {
+            design: config.label(),
+            area: area_model.breakdown(config),
+            energy: energy_model.energy(config, activity),
+            core_cycles,
+        }
+    }
+
+    /// Performance relative to a baseline report (baseline cycles divided by
+    /// this design's cycles; >1 means faster).
+    #[must_use]
+    pub fn speedup_vs(&self, baseline: &PowerReport) -> f64 {
+        if self.core_cycles == 0 {
+            return 0.0;
+        }
+        baseline.core_cycles as f64 / self.core_cycles as f64
+    }
+
+    /// Performance-per-area relative to a baseline report — the Fig. 6
+    /// metric: speedup divided by the area ratio.
+    #[must_use]
+    pub fn performance_per_area_vs(&self, baseline: &PowerReport) -> f64 {
+        let area_ratio = self.area.total() / baseline.area.total();
+        if area_ratio <= 0.0 {
+            return 0.0;
+        }
+        self.speedup_vs(baseline) / area_ratio
+    }
+
+    /// Energy-efficiency improvement relative to a baseline report (>1 means
+    /// this design uses less energy for the same work).
+    #[must_use]
+    pub fn energy_efficiency_vs(&self, baseline: &PowerReport) -> f64 {
+        let e = self.energy.total();
+        if e <= 0.0 {
+            return 0.0;
+        }
+        baseline.energy.total() / e
+    }
+}
+
+impl fmt::Display for PowerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.3} mm², {:.3e} J, {} core cycles",
+            self.design,
+            self.area.total(),
+            self.energy.total(),
+            self.core_cycles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rasa_systolic::{ControlScheme, PeVariant};
+
+    fn report(pe: PeVariant, scheme: ControlScheme, interval: u64) -> PowerReport {
+        let cfg = SystolicConfig::paper(pe, scheme).unwrap();
+        let mm = 10_000u64;
+        let act = EngineActivitySummary {
+            macs: mm * 8192,
+            weight_loads: mm / 2,
+            busy_engine_cycles: mm * interval,
+            tile_io_bytes: mm * 4096,
+        };
+        PowerReport::new(&cfg, &act, mm * interval * 4)
+    }
+
+    #[test]
+    fn fig6_style_comparison() {
+        let baseline = report(PeVariant::Baseline, ControlScheme::Base, 95);
+        let db_wls = report(PeVariant::Db, ControlScheme::Wls, 21);
+        let dm_wlbp = report(PeVariant::Dm, ControlScheme::Wlbp, 42);
+        let dmdb_wls = report(PeVariant::Dmdb, ControlScheme::Wls, 20);
+
+        // Speedups mirror the runtime reductions.
+        assert!(db_wls.speedup_vs(&baseline) > 4.0);
+        assert!(dm_wlbp.speedup_vs(&baseline) > 2.0);
+        assert!(dmdb_wls.speedup_vs(&baseline) >= db_wls.speedup_vs(&baseline));
+
+        // Because the area overheads are small, PPA follows the same trend
+        // (the Fig. 6 observation).
+        let ppa_db = db_wls.performance_per_area_vs(&baseline);
+        let ppa_dm = dm_wlbp.performance_per_area_vs(&baseline);
+        let ppa_dmdb = dmdb_wls.performance_per_area_vs(&baseline);
+        assert!(ppa_db > ppa_dm);
+        assert!(ppa_dmdb > ppa_dm);
+        assert!(ppa_db > 0.9 * db_wls.speedup_vs(&baseline));
+
+        // Energy efficiency is in the paper's reported range.
+        let eff = dmdb_wls.energy_efficiency_vs(&baseline);
+        assert!(eff > 3.8 && eff < 5.8, "efficiency {eff}");
+
+        assert!(baseline.to_string().contains("BASELINE"));
+        assert_eq!(baseline.speedup_vs(&baseline), 1.0);
+        assert!((baseline.performance_per_area_vs(&baseline) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycle_report_is_safe() {
+        let cfg = SystolicConfig::paper_baseline();
+        let r = PowerReport::new(&cfg, &EngineActivitySummary::default(), 0);
+        let baseline = report(PeVariant::Baseline, ControlScheme::Base, 95);
+        assert_eq!(r.speedup_vs(&baseline), 0.0);
+        assert_eq!(r.energy_efficiency_vs(&baseline), 0.0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Ablation studies beyond the paper's own figures.
+//!
+//! * **Kernel blocking** — how much of the WLBP/WLS benefit comes from the
+//!   consecutive weight-register reuse the micro-kernel exposes. The paper's
+//!   Algorithm 1 reuses each weight register twice in a row; an interleaved
+//!   emission order removes that reuse entirely. The paper's reported WLBP
+//!   reduction (30.9 %) falls between the two extremes, consistent with
+//!   LIBXSMM kernels exposing partial reuse.
+//! * **Host CPU sensitivity** — how the best design's speedup varies with
+//!   the reorder-buffer size and the engine:core clock ratio, showing that
+//!   the matrix engine (not the out-of-order window) is the bottleneck for
+//!   every paper-sized configuration.
+
+use super::ExperimentSuite;
+use crate::{DesignPoint, SimError, Simulator};
+use rasa_cpu::CpuConfig;
+use rasa_systolic::{ControlScheme, PeVariant, SystolicConfig};
+use rasa_trace::{GemmKernelConfig, MatmulOrder};
+use rasa_workloads::WorkloadSuite;
+use std::fmt;
+
+/// One cell of the kernel-blocking ablation: a design under a given
+/// `rasa_mm` emission order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockingAblationRow {
+    /// Emission order label.
+    pub order: MatmulOrder,
+    /// Design name.
+    pub design: String,
+    /// Average runtime reduction vs. the baseline under the same order.
+    pub reduction: f64,
+    /// Average weight-load bypass rate observed by the engine.
+    pub bypass_rate: f64,
+}
+
+/// The kernel-blocking ablation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockingAblationResult {
+    /// One row per (order, design) pair.
+    pub rows: Vec<BlockingAblationRow>,
+}
+
+/// One cell of the host-CPU ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuAblationRow {
+    /// Reorder-buffer size of the host core.
+    pub rob_size: usize,
+    /// Engine cycles per core cycle (the paper uses 4: 2 GHz core, 500 MHz
+    /// engine).
+    pub clock_ratio: u32,
+    /// Runtime reduction of RASA-DMDB-WLS vs. the baseline with the same
+    /// host configuration.
+    pub reduction: f64,
+}
+
+/// The host-CPU ablation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuAblationResult {
+    /// One row per (ROB size, clock ratio) pair.
+    pub rows: Vec<CpuAblationRow>,
+}
+
+/// The layers used by the ablations (one per workload family keeps the
+/// runtime modest while covering conv and FC shapes).
+fn ablation_layers() -> Vec<rasa_workloads::LayerSpec> {
+    let suite = WorkloadSuite::mlperf();
+    ["ResNet50-3", "DLRM-1", "BERT-2"]
+        .iter()
+        .filter_map(|name| suite.layer(name).cloned())
+        .collect()
+}
+
+/// The designs compared by the blocking ablation.
+fn blocking_designs() -> Vec<DesignPoint> {
+    vec![
+        DesignPoint::rasa_pipe(),
+        DesignPoint::rasa_wlbp(),
+        DesignPoint::rasa_db_wls(),
+        DesignPoint::rasa_dmdb_wls(),
+    ]
+}
+
+pub(super) fn run_blocking(suite: &ExperimentSuite) -> Result<BlockingAblationResult, SimError> {
+    let layers = ablation_layers();
+    let mut rows = Vec::new();
+    for order in [MatmulOrder::WeightPaired, MatmulOrder::Interleaved] {
+        let mut kernel = GemmKernelConfig::amx_like().with_matmul_order(order);
+        kernel.max_matmuls = suite.matmul_cap();
+
+        // Baseline runtime under the same kernel order.
+        let mut baseline_cycles = Vec::new();
+        for layer in &layers {
+            let report = Simulator::new(DesignPoint::baseline())?
+                .with_kernel(kernel)?
+                .run_layer(layer)?;
+            baseline_cycles.push(report.core_cycles as f64);
+        }
+
+        for design in blocking_designs() {
+            let mut normalized = Vec::new();
+            let mut bypass = Vec::new();
+            for (layer, base) in layers.iter().zip(&baseline_cycles) {
+                let report = Simulator::new(design.clone())?
+                    .with_kernel(kernel)?
+                    .run_layer(layer)?;
+                normalized.push(report.core_cycles as f64 / base);
+                bypass.push(report.cpu.engine.bypass_rate());
+            }
+            let avg_norm = normalized.iter().sum::<f64>() / normalized.len() as f64;
+            let avg_bypass = bypass.iter().sum::<f64>() / bypass.len() as f64;
+            rows.push(BlockingAblationRow {
+                order,
+                design: design.name().to_string(),
+                reduction: 1.0 - avg_norm,
+                bypass_rate: avg_bypass,
+            });
+        }
+    }
+    Ok(BlockingAblationResult { rows })
+}
+
+pub(super) fn run_cpu(suite: &ExperimentSuite) -> Result<CpuAblationResult, SimError> {
+    let layers = ablation_layers();
+    let mut rows = Vec::new();
+    for rob_size in [32usize, 64, 97, 192] {
+        for clock_ratio in [2u32, 4, 8] {
+            let mut cpu = CpuConfig::skylake_like();
+            cpu.rob_size = rob_size;
+            let baseline_systolic = SystolicConfig::new(
+                32,
+                16,
+                PeVariant::Baseline,
+                ControlScheme::Base,
+                clock_ratio,
+            )?;
+            let rasa_systolic =
+                SystolicConfig::new(16, 16, PeVariant::Dmdb, ControlScheme::Wls, clock_ratio)?;
+            let baseline = DesignPoint::new("BASELINE", baseline_systolic, cpu);
+            let rasa = DesignPoint::new("RASA-DMDB-WLS", rasa_systolic, cpu);
+
+            let mut normalized = Vec::new();
+            for layer in &layers {
+                let base = Simulator::new(baseline.clone())?
+                    .with_matmul_cap(suite.matmul_cap())?
+                    .run_layer(layer)?;
+                let fast = Simulator::new(rasa.clone())?
+                    .with_matmul_cap(suite.matmul_cap())?
+                    .run_layer(layer)?;
+                normalized.push(fast.core_cycles as f64 / base.core_cycles as f64);
+            }
+            let avg = normalized.iter().sum::<f64>() / normalized.len() as f64;
+            rows.push(CpuAblationRow {
+                rob_size,
+                clock_ratio,
+                reduction: 1.0 - avg,
+            });
+        }
+    }
+    Ok(CpuAblationResult { rows })
+}
+
+impl BlockingAblationResult {
+    /// The row for a given order and design, if present.
+    #[must_use]
+    pub fn row(&self, order: MatmulOrder, design: &str) -> Option<&BlockingAblationRow> {
+        self.rows
+            .iter()
+            .find(|r| r.order == order && r.design == design)
+    }
+}
+
+impl fmt::Display for BlockingAblationResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Ablation — kernel blocking (consecutive weight reuse) sensitivity"
+        )?;
+        writeln!(
+            f,
+            "{:>16}{:>18}{:>14}{:>14}",
+            "design", "mm order", "reduction", "bypass rate"
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:>16}{:>18}{:>13.1}%{:>13.1}%",
+                row.design,
+                row.order.label(),
+                row.reduction * 100.0,
+                row.bypass_rate * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl CpuAblationResult {
+    /// The row for a given ROB size and clock ratio, if present.
+    #[must_use]
+    pub fn row(&self, rob_size: usize, clock_ratio: u32) -> Option<&CpuAblationRow> {
+        self.rows
+            .iter()
+            .find(|r| r.rob_size == rob_size && r.clock_ratio == clock_ratio)
+    }
+}
+
+impl fmt::Display for CpuAblationResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Ablation — RASA-DMDB-WLS runtime reduction vs host ROB size and clock ratio"
+        )?;
+        writeln!(f, "{:>10}{:>14}{:>14}", "ROB", "engine:core", "reduction")?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:>10}{:>13}x{:>13.1}%",
+                row.rob_size,
+                row.clock_ratio,
+                row.reduction * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocking_ablation_shows_wlbp_sensitivity_and_wls_robustness() {
+        let suite = ExperimentSuite::new().with_matmul_cap(Some(192));
+        let result = run_blocking(&suite).unwrap();
+        assert_eq!(result.rows.len(), 8);
+
+        let wlbp_paired = result
+            .row(MatmulOrder::WeightPaired, "RASA-WLBP")
+            .unwrap();
+        let wlbp_interleaved = result
+            .row(MatmulOrder::Interleaved, "RASA-WLBP")
+            .unwrap();
+        let pipe_interleaved = result
+            .row(MatmulOrder::Interleaved, "RASA-PIPE")
+            .unwrap();
+        // WLBP loses most of its advantage without consecutive reuse…
+        assert!(wlbp_paired.reduction > wlbp_interleaved.reduction + 0.15);
+        assert!(wlbp_paired.bypass_rate > 0.4);
+        assert!(wlbp_interleaved.bypass_rate < 0.05);
+        // …degenerating to roughly PIPE.
+        assert!((wlbp_interleaved.reduction - pipe_interleaved.reduction).abs() < 0.05);
+
+        // The WLS designs stay near their ceiling under either order.
+        let dmdb_paired = result
+            .row(MatmulOrder::WeightPaired, "RASA-DMDB-WLS")
+            .unwrap();
+        let dmdb_interleaved = result
+            .row(MatmulOrder::Interleaved, "RASA-DMDB-WLS")
+            .unwrap();
+        assert!(dmdb_paired.reduction > 0.6);
+        assert!(dmdb_interleaved.reduction > 0.6);
+        assert!((dmdb_paired.reduction - dmdb_interleaved.reduction).abs() < 0.1);
+
+        assert!(result.to_string().contains("interleaved"));
+    }
+
+    #[test]
+    fn cpu_ablation_is_insensitive_to_rob_size_at_paper_scale() {
+        let suite = ExperimentSuite::new().with_matmul_cap(Some(160));
+        let result = run_cpu(&suite).unwrap();
+        assert_eq!(result.rows.len(), 12);
+        // At the paper's clock ratio the reduction barely moves with ROB
+        // size: the engine, not the window, is the bottleneck.
+        let r32 = result.row(32, 4).unwrap().reduction;
+        let r97 = result.row(97, 4).unwrap().reduction;
+        let r192 = result.row(192, 4).unwrap().reduction;
+        assert!((r97 - r192).abs() < 0.05);
+        assert!(r97 > 0.6);
+        assert!(r32 > 0.4);
+        // Every configuration still shows a large benefit.
+        assert!(result.rows.iter().all(|r| r.reduction > 0.3));
+        assert!(result.to_string().contains("ROB"));
+    }
+}

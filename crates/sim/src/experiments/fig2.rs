@@ -1,0 +1,89 @@
+//! Fig. 2: PE utilization versus TM for several array sizes.
+
+use rasa_systolic::{utilization_curve, UtilizationPoint};
+use std::fmt;
+
+/// The Fig. 2 sweep: for each square array dimension, the average PE
+/// utilization of one serialized instruction as a function of TM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2Result {
+    /// The TM values swept (the X axis).
+    pub tm_values: Vec<usize>,
+    /// One `(array dimension, curve)` pair per evaluated array size.
+    pub curves: Vec<(usize, Vec<UtilizationPoint>)>,
+}
+
+/// The array dimensions the figure compares.
+const ARRAY_DIMS: [usize; 6] = [4, 8, 16, 32, 64, 128];
+
+/// Runs the analytical sweep.
+pub(super) fn run() -> Fig2Result {
+    // TM from one tile-register's worth up to the very large values a
+    // standalone accelerator could stream (log-spaced powers of two).
+    let tm_values: Vec<usize> = (2..=14).map(|p| 1usize << p).collect();
+    let curves = ARRAY_DIMS
+        .iter()
+        .map(|&dim| (dim, utilization_curve(dim, &tm_values)))
+        .collect();
+    Fig2Result { tm_values, curves }
+}
+
+impl Fig2Result {
+    /// The utilization for a given array dimension and TM, if present.
+    #[must_use]
+    pub fn utilization(&self, array_dim: usize, tm: usize) -> Option<f64> {
+        self.curves
+            .iter()
+            .find(|(dim, _)| *dim == array_dim)
+            .and_then(|(_, curve)| curve.iter().find(|p| p.tm == tm))
+            .map(|p| p.utilization)
+    }
+}
+
+impl fmt::Display for Fig2Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 2 — PE utilization vs TM (rows: SA dimension)")?;
+        write!(f, "{:>8}", "SA\\TM")?;
+        for tm in &self.tm_values {
+            write!(f, "{tm:>8}")?;
+        }
+        writeln!(f)?;
+        for (dim, curve) in &self.curves {
+            write!(f, "{:>5}x{:<2}", dim, dim)?;
+            for p in curve {
+                write!(f, "{:>7.1}%", p.utilization * 100.0)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_rises_with_tm_and_falls_with_array_size() {
+        let r = run();
+        assert_eq!(r.curves.len(), ARRAY_DIMS.len());
+        // Monotone in TM for every array size.
+        for (_, curve) in &r.curves {
+            for pair in curve.windows(2) {
+                assert!(pair[0].utilization < pair[1].utilization);
+            }
+        }
+        // At fixed TM, a larger array is less utilized.
+        let tm = 64;
+        let small = r.utilization(8, tm).unwrap();
+        let large = r.utilization(128, tm).unwrap();
+        assert!(small > large);
+        // The paper's motivating point: with TM limited to 16 by the tile
+        // registers, even a 16x16 array stays around a quarter utilized.
+        assert!(r.utilization(16, 16).unwrap() < 0.26);
+        // With a huge TM (standalone accelerator) utilization approaches 1.
+        assert!(r.utilization(16, 16384).unwrap() > 0.99);
+        assert!(r.utilization(7, 16).is_none());
+        assert!(r.to_string().contains("SA"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Experiment runners that regenerate every figure and table of the paper's
+//! evaluation (§V).
+//!
+//! Each experiment returns a plain-data result struct with a `Display`
+//! implementation that prints a paper-style table, so the `rasa-bench`
+//! binaries can simply run and print them, and tests can assert on the
+//! numbers.
+
+mod ablation;
+mod area_energy;
+mod fig1;
+mod fig2;
+mod fig5;
+mod fig6;
+mod fig7;
+
+pub use ablation::{
+    BlockingAblationResult, BlockingAblationRow, CpuAblationResult, CpuAblationRow,
+};
+pub use area_energy::{AreaEnergyResult, AreaEnergyRow};
+pub use fig1::Fig1Result;
+pub use fig2::Fig2Result;
+pub use fig5::{Fig5Result, Fig5Row};
+pub use fig6::{Fig6Result, Fig6Row};
+pub use fig7::{Fig7Result, Fig7Row};
+
+use crate::SimError;
+
+/// Configuration shared by all experiment runners.
+///
+/// `matmul_cap` bounds the number of `rasa_mm` instructions simulated per
+/// workload/design pair; the full-workload runtime is extrapolated from the
+/// simulated steady state (see [`crate::SimReport`]). The default of 4096
+/// reproduces stable normalized runtimes in seconds of wall-clock time; the
+/// experiment binaries expose a flag to raise it (or remove it entirely) for
+/// full-fidelity runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentSuite {
+    matmul_cap: Option<usize>,
+    fig7_max_batch: usize,
+}
+
+impl ExperimentSuite {
+    /// Creates the suite with the default per-run matmul cap.
+    #[must_use]
+    pub fn new() -> Self {
+        ExperimentSuite {
+            matmul_cap: Some(crate::simulator::DEFAULT_MATMUL_CAP),
+            fig7_max_batch: 1024,
+        }
+    }
+
+    /// Overrides the per-run matmul cap (`None` simulates every tile).
+    #[must_use]
+    pub const fn with_matmul_cap(mut self, cap: Option<usize>) -> Self {
+        self.matmul_cap = cap;
+        self
+    }
+
+    /// Restricts the Fig. 7 sweep to batch sizes up to `max_batch`
+    /// (inclusive); the paper sweeps up to 1024.
+    #[must_use]
+    pub const fn with_fig7_max_batch(mut self, max_batch: usize) -> Self {
+        self.fig7_max_batch = max_batch;
+        self
+    }
+
+    /// The configured matmul cap.
+    #[must_use]
+    pub const fn matmul_cap(&self) -> Option<usize> {
+        self.matmul_cap
+    }
+
+    /// The configured Fig. 7 batch ceiling.
+    #[must_use]
+    pub const fn fig7_max_batch(&self) -> usize {
+        self.fig7_max_batch
+    }
+
+    /// Fig. 1: the 2×2 weight-stationary walkthrough (per-cycle utilization,
+    /// 28.6 % average).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Design`] if the toy array configuration is
+    /// rejected (it never is).
+    pub fn fig1_toy(&self) -> Result<Fig1Result, SimError> {
+        fig1::run()
+    }
+
+    /// Fig. 2: PE utilization versus TM for square arrays of several sizes.
+    #[must_use]
+    pub fn fig2_utilization(&self) -> Fig2Result {
+        fig2::run()
+    }
+
+    /// Fig. 5: runtime of the baseline and the seven RASA designs on the
+    /// nine Table I layers, normalized to the baseline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn fig5_runtime(&self) -> Result<Fig5Result, SimError> {
+        fig5::run(self)
+    }
+
+    /// Fig. 6: performance-per-area of the three RASA-Data designs (each
+    /// with its best control scheme), derived from a Fig. 5 run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn fig6_ppa(&self) -> Result<Fig6Result, SimError> {
+        let fig5 = self.fig5_runtime()?;
+        Ok(fig6::from_fig5(&fig5))
+    }
+
+    /// Fig. 6 derived from an existing Fig. 5 result (avoids re-running the
+    /// simulations).
+    #[must_use]
+    pub fn fig6_from(&self, fig5: &Fig5Result) -> Fig6Result {
+        fig6::from_fig5(fig5)
+    }
+
+    /// Fig. 7: batch-size sensitivity of RASA-DMDB-WLS on the FC layers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn fig7_batch(&self) -> Result<Fig7Result, SimError> {
+        fig7::run(self)
+    }
+
+    /// The §V area and energy-efficiency comparison of the RASA-Data
+    /// designs, derived from a Fig. 5 run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn area_energy(&self) -> Result<AreaEnergyResult, SimError> {
+        let fig5 = self.fig5_runtime()?;
+        Ok(area_energy::from_fig5(&fig5))
+    }
+
+    /// Area/energy table derived from an existing Fig. 5 result.
+    #[must_use]
+    pub fn area_energy_from(&self, fig5: &Fig5Result) -> AreaEnergyResult {
+        area_energy::from_fig5(fig5)
+    }
+
+    /// Ablation: sensitivity of the RASA-Control benefit to the consecutive
+    /// weight-register reuse exposed by the micro-kernel emission order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn ablation_blocking(&self) -> Result<BlockingAblationResult, SimError> {
+        ablation::run_blocking(self)
+    }
+
+    /// Ablation: sensitivity of the best design's speedup to the host CPU's
+    /// reorder-buffer size and the engine:core clock ratio.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn ablation_cpu(&self) -> Result<CpuAblationResult, SimError> {
+        ablation::run_cpu(self)
+    }
+}
+
+impl Default for ExperimentSuite {
+    fn default() -> Self {
+        ExperimentSuite::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_configuration() {
+        let s = ExperimentSuite::new();
+        assert_eq!(s.matmul_cap(), Some(4096));
+        assert_eq!(s.fig7_max_batch(), 1024);
+        let s = s.with_matmul_cap(Some(128)).with_fig7_max_batch(64);
+        assert_eq!(s.matmul_cap(), Some(128));
+        assert_eq!(s.fig7_max_batch(), 64);
+        assert_eq!(ExperimentSuite::default(), ExperimentSuite::new());
+    }
+}

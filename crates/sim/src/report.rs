@@ -1,0 +1,255 @@
+use rasa_cpu::CpuStats;
+use rasa_power::PowerReport;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The result of simulating one workload on one design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Design name (e.g. `RASA-DMDB-WLS`).
+    pub design: String,
+    /// Workload name (e.g. `BERT-2`).
+    pub workload: String,
+    /// Core cycles for the **full** workload. When the trace was capped for
+    /// tractability this is extrapolated from the simulated portion at the
+    /// observed steady-state throughput.
+    pub core_cycles: u64,
+    /// Core cycles actually simulated.
+    pub simulated_core_cycles: u64,
+    /// `rasa_mm` instructions actually simulated.
+    pub simulated_matmuls: u64,
+    /// `rasa_mm` instructions the full workload contains.
+    pub total_matmuls: u64,
+    /// Wall-clock runtime of the full workload at the configured core clock.
+    pub runtime_seconds: f64,
+    /// Detailed CPU statistics of the simulated portion.
+    pub cpu: CpuStats,
+    /// Area/energy report of the simulated portion.
+    pub power: PowerReport,
+}
+
+impl SimReport {
+    /// Whether the trace was truncated and the full-workload numbers are
+    /// extrapolated.
+    #[must_use]
+    pub fn is_extrapolated(&self) -> bool {
+        self.simulated_matmuls < self.total_matmuls
+    }
+
+    /// Runtime normalized to a baseline run of the same workload (the Fig. 5
+    /// metric; < 1 means faster than the baseline).
+    #[must_use]
+    pub fn normalized_runtime_vs(&self, baseline: &SimReport) -> f64 {
+        if baseline.core_cycles == 0 {
+            return 0.0;
+        }
+        self.core_cycles as f64 / baseline.core_cycles as f64
+    }
+
+    /// Speedup over a baseline run of the same workload (> 1 means faster).
+    #[must_use]
+    pub fn speedup_vs(&self, baseline: &SimReport) -> f64 {
+        if self.core_cycles == 0 {
+            return 0.0;
+        }
+        baseline.core_cycles as f64 / self.core_cycles as f64
+    }
+
+    /// Flattens the report into the serializable summary used for CSV/JSON
+    /// export by the benchmark harness.
+    #[must_use]
+    pub fn summary(&self) -> SimSummary {
+        SimSummary {
+            design: self.design.clone(),
+            workload: self.workload.clone(),
+            core_cycles: self.core_cycles,
+            simulated_matmuls: self.simulated_matmuls,
+            total_matmuls: self.total_matmuls,
+            runtime_seconds: self.runtime_seconds,
+            ipc: self.cpu.ipc(),
+            engine_bypass_rate: self.cpu.engine.bypass_rate(),
+            area_mm2: self.power.area.total(),
+            energy_joules: self.power.energy.total(),
+        }
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {}: {} core cycles ({} mm simulated of {}){}",
+            self.design,
+            self.workload,
+            self.core_cycles,
+            self.simulated_matmuls,
+            self.total_matmuls,
+            if self.is_extrapolated() {
+                ", extrapolated"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+/// A flat, serializable summary of a [`SimReport`] (one CSV row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimSummary {
+    /// Design name.
+    pub design: String,
+    /// Workload name.
+    pub workload: String,
+    /// Full-workload core cycles.
+    pub core_cycles: u64,
+    /// Simulated `rasa_mm` count.
+    pub simulated_matmuls: u64,
+    /// Full-workload `rasa_mm` count.
+    pub total_matmuls: u64,
+    /// Full-workload runtime in seconds.
+    pub runtime_seconds: f64,
+    /// Instructions per cycle of the simulated portion.
+    pub ipc: f64,
+    /// Fraction of `rasa_mm` instructions that bypassed Weight Load.
+    pub engine_bypass_rate: f64,
+    /// Array area in mm².
+    pub area_mm2: f64,
+    /// Estimated energy of the simulated portion in joules.
+    pub energy_joules: f64,
+}
+
+impl SimSummary {
+    /// The CSV header matching [`SimSummary::to_csv_row`].
+    #[must_use]
+    pub fn csv_header() -> &'static str {
+        "design,workload,core_cycles,simulated_matmuls,total_matmuls,runtime_seconds,ipc,engine_bypass_rate,area_mm2,energy_joules"
+    }
+
+    /// One CSV row (no trailing newline).
+    #[must_use]
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{:.6e},{:.4},{:.4},{:.4},{:.6e}",
+            self.design,
+            self.workload,
+            self.core_cycles,
+            self.simulated_matmuls,
+            self.total_matmuls,
+            self.runtime_seconds,
+            self.ipc,
+            self.engine_bypass_rate,
+            self.area_mm2,
+            self.energy_joules
+        )
+    }
+}
+
+/// A labelled collection of reports for one workload across design points
+/// (one Fig. 5 column group).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadRun {
+    /// Workload name.
+    pub workload: String,
+    /// One report per design point, in the order they were run.
+    pub reports: Vec<SimReport>,
+}
+
+impl WorkloadRun {
+    /// The baseline report (design named `BASELINE`), if present.
+    #[must_use]
+    pub fn baseline(&self) -> Option<&SimReport> {
+        self.reports.iter().find(|r| r.design == "BASELINE")
+    }
+
+    /// Normalized runtime of every design against the workload's baseline.
+    #[must_use]
+    pub fn normalized_runtimes(&self) -> Vec<(String, f64)> {
+        let Some(base) = self.baseline() else {
+            return Vec::new();
+        };
+        self.reports
+            .iter()
+            .map(|r| (r.design.clone(), r.normalized_runtime_vs(base)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rasa_power::EngineActivitySummary;
+    use rasa_systolic::SystolicConfig;
+
+    fn report(design: &str, workload: &str, cycles: u64) -> SimReport {
+        let cfg = SystolicConfig::paper_baseline();
+        SimReport {
+            design: design.to_string(),
+            workload: workload.to_string(),
+            core_cycles: cycles,
+            simulated_core_cycles: cycles,
+            simulated_matmuls: 100,
+            total_matmuls: 100,
+            runtime_seconds: cycles as f64 / 2.0e9,
+            cpu: CpuStats::default(),
+            power: PowerReport::new(&cfg, &EngineActivitySummary::default(), cycles),
+        }
+    }
+
+    #[test]
+    fn normalization_and_speedup() {
+        let base = report("BASELINE", "DLRM-1", 1000);
+        let fast = report("RASA-DMDB-WLS", "DLRM-1", 200);
+        assert!((fast.normalized_runtime_vs(&base) - 0.2).abs() < 1e-12);
+        assert!((fast.speedup_vs(&base) - 5.0).abs() < 1e-12);
+        assert!(!fast.is_extrapolated());
+        assert!(fast.to_string().contains("RASA-DMDB-WLS"));
+    }
+
+    #[test]
+    fn extrapolation_flag() {
+        let mut r = report("BASELINE", "BERT-3", 500);
+        r.total_matmuls = 1000;
+        assert!(r.is_extrapolated());
+        assert!(r.to_string().contains("extrapolated"));
+    }
+
+    #[test]
+    fn summary_and_csv() {
+        let r = report("RASA-PIPE", "BERT-1", 123_456);
+        let s = r.summary();
+        assert_eq!(s.design, "RASA-PIPE");
+        assert_eq!(s.core_cycles, 123_456);
+        let row = s.to_csv_row();
+        assert!(row.starts_with("RASA-PIPE,BERT-1,123456"));
+        assert_eq!(
+            SimSummary::csv_header().split(',').count(),
+            row.split(',').count()
+        );
+        // The Serialize/Deserialize bounds exist for downstream exporters;
+        // assert them at compile time without pulling in a JSON dependency.
+        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+        assert_serde::<SimSummary>();
+    }
+
+    #[test]
+    fn workload_run_normalization() {
+        let run = WorkloadRun {
+            workload: "DLRM-1".to_string(),
+            reports: vec![
+                report("BASELINE", "DLRM-1", 1000),
+                report("RASA-WLBP", "DLRM-1", 700),
+            ],
+        };
+        let normalized = run.normalized_runtimes();
+        assert_eq!(normalized.len(), 2);
+        assert!((normalized[1].1 - 0.7).abs() < 1e-12);
+        assert!(run.baseline().is_some());
+
+        let empty = WorkloadRun {
+            workload: "x".to_string(),
+            reports: vec![report("RASA-PIPE", "x", 10)],
+        };
+        assert!(empty.baseline().is_none());
+        assert!(empty.normalized_runtimes().is_empty());
+    }
+}

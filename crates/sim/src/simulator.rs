@@ -1,0 +1,236 @@
+use crate::{DesignPoint, SimError, SimReport};
+use rasa_cpu::CpuCore;
+use rasa_isa::Program;
+use rasa_numeric::GemmShape;
+use rasa_power::{EngineActivitySummary, PowerReport};
+use rasa_systolic::MatrixEngine;
+use rasa_trace::{GemmKernelConfig, TraceGenerator};
+use rasa_workloads::LayerSpec;
+
+/// Default cap on the number of `rasa_mm` instructions simulated per
+/// workload. The Table I layers contain up to hundreds of thousands of
+/// register tiles; simulating a few thousand reaches steady state, and the
+/// full-workload runtime is extrapolated at the observed throughput (the
+/// [`SimReport`] records both numbers).
+pub(crate) const DEFAULT_MATMUL_CAP: usize = 4096;
+
+/// End-to-end simulator for one design point.
+///
+/// A `Simulator` owns the trace generator and the CPU/engine configuration;
+/// each `run_*` call generates the workload trace, executes it on a fresh
+/// core and returns a [`SimReport`].
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    design: DesignPoint,
+    generator: TraceGenerator,
+    matmul_cap: Option<usize>,
+}
+
+impl Simulator {
+    /// Creates a simulator for a design point with the default trace
+    /// generator and matmul cap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Trace`] if the kernel configuration is invalid
+    /// for the ISA (it never is for the built-in design points).
+    pub fn new(design: DesignPoint) -> Result<Self, SimError> {
+        let generator = TraceGenerator::amx_like()
+            .with_kernel(GemmKernelConfig::amx_like().with_max_matmuls(DEFAULT_MATMUL_CAP))?;
+        Ok(Simulator {
+            design,
+            generator,
+            matmul_cap: Some(DEFAULT_MATMUL_CAP),
+        })
+    }
+
+    /// Overrides the cap on simulated `rasa_mm` instructions (`None` removes
+    /// it and simulates every tile of the workload).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Trace`] if the resulting kernel configuration is
+    /// invalid (a cap of zero).
+    pub fn with_matmul_cap(mut self, cap: Option<usize>) -> Result<Self, SimError> {
+        let mut kernel = *self.generator.kernel();
+        kernel.max_matmuls = cap;
+        self.generator = self.generator.with_kernel(kernel)?;
+        self.matmul_cap = cap;
+        Ok(self)
+    }
+
+    /// Overrides the full kernel configuration (tiling, scalar overhead,
+    /// `rasa_mm` emission order and cap) used to generate traces — the hook
+    /// the kernel-blocking ablation uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Trace`] if the kernel configuration is invalid for
+    /// the ISA.
+    pub fn with_kernel(mut self, kernel: GemmKernelConfig) -> Result<Self, SimError> {
+        self.generator = self.generator.with_kernel(kernel)?;
+        self.matmul_cap = kernel.max_matmuls;
+        Ok(self)
+    }
+
+    /// The design point being simulated.
+    #[must_use]
+    pub const fn design(&self) -> &DesignPoint {
+        &self.design
+    }
+
+    /// The configured matmul cap, if any.
+    #[must_use]
+    pub const fn matmul_cap(&self) -> Option<usize> {
+        self.matmul_cap
+    }
+
+    /// Simulates an arbitrary GEMM.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace-generation and CPU errors.
+    pub fn run_gemm(&self, shape: GemmShape) -> Result<SimReport, SimError> {
+        let name = format!("GEMM-{}x{}x{}", shape.m, shape.k, shape.n);
+        let program = self.generator.gemm(shape, &name)?;
+        let total = self.generator.matmul_count(shape)?;
+        self.run_program(&program, total as u64, &name)
+    }
+
+    /// Simulates one DNN layer (convolutions are lowered via im2col).
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace-generation and CPU errors.
+    pub fn run_layer(&self, layer: &LayerSpec) -> Result<SimReport, SimError> {
+        let shape = layer.gemm_shape();
+        let program = self.generator.gemm(shape, layer.name())?;
+        let total = self.generator.matmul_count(shape)?;
+        self.run_program(&program, total as u64, layer.name())
+    }
+
+    /// Runs an already-generated program, extrapolating to `total_matmuls`
+    /// when the program is a truncated trace of a larger workload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CPU-model errors.
+    pub fn run_program(
+        &self,
+        program: &Program,
+        total_matmuls: u64,
+        workload: &str,
+    ) -> Result<SimReport, SimError> {
+        let engine = MatrixEngine::new(*self.design.systolic());
+        let mut core = CpuCore::new(*self.design.cpu(), engine);
+        let cpu_stats = core.run(program)?;
+
+        let simulated_matmuls = cpu_stats.retired_matmuls;
+        let simulated_cycles = cpu_stats.cycles;
+        let core_cycles = if simulated_matmuls > 0 && total_matmuls > simulated_matmuls {
+            // Extrapolate at the observed steady-state throughput.
+            let per_mm = simulated_cycles as f64 / simulated_matmuls as f64;
+            (per_mm * total_matmuls as f64).round() as u64
+        } else {
+            simulated_cycles
+        };
+
+        let activity = EngineActivitySummary::from_engine_stats(&cpu_stats.engine);
+        let power = PowerReport::new(self.design.systolic(), &activity, simulated_cycles);
+
+        Ok(SimReport {
+            design: self.design.name().to_string(),
+            workload: workload.to_string(),
+            core_cycles,
+            simulated_core_cycles: simulated_cycles,
+            simulated_matmuls,
+            total_matmuls: total_matmuls.max(simulated_matmuls),
+            runtime_seconds: self.design.cpu().cycles_to_seconds(core_cycles),
+            cpu: cpu_stats,
+            power,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rasa_workloads::WorkloadSuite;
+
+    #[test]
+    fn small_gemm_runs_exactly() {
+        let sim = Simulator::new(DesignPoint::baseline()).unwrap();
+        let report = sim.run_gemm(GemmShape::new(64, 64, 64)).unwrap();
+        assert_eq!(report.total_matmuls, 32);
+        assert_eq!(report.simulated_matmuls, 32);
+        assert!(!report.is_extrapolated());
+        // 32 serialized matmuls at 380 core cycles each dominate the run.
+        assert!(report.core_cycles > 32 * 380);
+        assert!(report.runtime_seconds > 0.0);
+    }
+
+    #[test]
+    fn large_layer_is_extrapolated() {
+        let sim = Simulator::new(DesignPoint::rasa_dmdb_wls())
+            .unwrap()
+            .with_matmul_cap(Some(512))
+            .unwrap();
+        let suite = WorkloadSuite::mlperf();
+        let layer = suite.layer("DLRM-1").unwrap();
+        let report = sim.run_layer(layer).unwrap();
+        assert!(report.is_extrapolated());
+        assert_eq!(report.total_matmuls, (512 / 16 * 1024 / 32 * 1024 / 16) as u64);
+        assert!(report.core_cycles > report.simulated_core_cycles);
+        assert_eq!(report.workload, "DLRM-1");
+    }
+
+    #[test]
+    fn designs_preserve_the_expected_ordering_on_a_layer() {
+        let suite = WorkloadSuite::mlperf();
+        let layer = suite.layer("BERT-1").unwrap();
+        let mut cycles = Vec::new();
+        for design in [
+            DesignPoint::baseline(),
+            DesignPoint::rasa_pipe(),
+            DesignPoint::rasa_wlbp(),
+            DesignPoint::rasa_dm_wlbp(),
+            DesignPoint::rasa_db_wls(),
+            DesignPoint::rasa_dmdb_wls(),
+        ] {
+            let sim = Simulator::new(design)
+                .unwrap()
+                .with_matmul_cap(Some(768))
+                .unwrap();
+            cycles.push(sim.run_layer(layer).unwrap().core_cycles);
+        }
+        for pair in cycles.windows(2) {
+            assert!(pair[0] >= pair[1], "expected improvement: {cycles:?}");
+        }
+        // End-to-end speedup of the best design is large.
+        assert!(cycles[0] as f64 / *cycles.last().unwrap() as f64 > 2.5);
+    }
+
+    #[test]
+    fn cap_can_be_removed() {
+        let sim = Simulator::new(DesignPoint::rasa_wlbp())
+            .unwrap()
+            .with_matmul_cap(None)
+            .unwrap();
+        assert_eq!(sim.matmul_cap(), None);
+        let report = sim.run_gemm(GemmShape::new(128, 128, 128)).unwrap();
+        assert!(!report.is_extrapolated());
+        assert_eq!(report.simulated_matmuls, 8 * 4 * 8);
+    }
+
+    #[test]
+    fn zero_cap_is_rejected() {
+        let sim = Simulator::new(DesignPoint::baseline()).unwrap();
+        assert!(sim.with_matmul_cap(Some(0)).is_err());
+    }
+
+    #[test]
+    fn empty_gemm_is_rejected() {
+        let sim = Simulator::new(DesignPoint::baseline()).unwrap();
+        assert!(sim.run_gemm(GemmShape::new(0, 1, 1)).is_err());
+    }
+}

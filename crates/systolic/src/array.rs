@@ -1,0 +1,639 @@
+use crate::{Pe, SystolicConfig, SystolicError};
+use rasa_numeric::{Bf16, Matrix};
+
+/// Per-cycle activity record of a functional-array execution.
+///
+/// The record lists, for every engine cycle of the operation (including the
+/// Weight Load cycles, which perform no MACs), how many PEs performed useful
+/// work. This is exactly the quantity the paper's Fig. 1 walkthrough counts
+/// (8 active PE-cycles out of 28 for the 2×2 toy example) and the basis of
+/// the Fig. 2 utilization curves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayActivity {
+    per_cycle_active_pes: Vec<usize>,
+    num_pes: usize,
+    total_macs: u64,
+}
+
+impl ArrayActivity {
+    pub(crate) fn new(per_cycle_active_pes: Vec<usize>, num_pes: usize, total_macs: u64) -> Self {
+        ArrayActivity {
+            per_cycle_active_pes,
+            num_pes,
+            total_macs,
+        }
+    }
+
+    /// Total number of cycles recorded.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.per_cycle_active_pes.len() as u64
+    }
+
+    /// Active PE count for every cycle, in order.
+    #[must_use]
+    pub fn per_cycle(&self) -> &[usize] {
+        &self.per_cycle_active_pes
+    }
+
+    /// Sum of active PEs across all cycles.
+    #[must_use]
+    pub fn total_active_pe_cycles(&self) -> u64 {
+        self.per_cycle_active_pes.iter().map(|&x| x as u64).sum()
+    }
+
+    /// Total multiply-accumulate operations performed.
+    #[must_use]
+    pub const fn total_macs(&self) -> u64 {
+        self.total_macs
+    }
+
+    /// Number of PEs in the array.
+    #[must_use]
+    pub const fn num_pes(&self) -> usize {
+        self.num_pes
+    }
+
+    /// Average PE utilization: active PE-cycles divided by
+    /// `cycles × num_pes`.
+    #[must_use]
+    pub fn average_utilization(&self) -> f64 {
+        if self.per_cycle_active_pes.is_empty() || self.num_pes == 0 {
+            return 0.0;
+        }
+        self.total_active_pe_cycles() as f64 / (self.cycles() as f64 * self.num_pes as f64)
+    }
+
+    /// Concatenates another activity record after this one (e.g. Weight Load
+    /// followed by the feed/drain phases).
+    #[must_use]
+    pub fn then(mut self, other: &ArrayActivity) -> ArrayActivity {
+        self.per_cycle_active_pes
+            .extend_from_slice(&other.per_cycle_active_pes);
+        self.total_macs += other.total_macs;
+        self
+    }
+}
+
+/// A register-level functional model of the weight-stationary systolic
+/// array.
+///
+/// The array owns a grid of [`Pe`]s and streams operands through them with
+/// the skewed wavefronts described in §IV-A: weights enter from the north a
+/// row per cycle (bottom row first), A operands enter from the west skewed
+/// by row, C accumulator values enter from the north skewed by column,
+/// partial sums flow south and the finished outputs are collected at the
+/// bottom of the occupied rows.
+///
+/// The functional model executes one `rasa_mm` at a time; the inter-
+/// instruction overlap of the RASA-Control schemes is a *timing* property
+/// handled by [`crate::MatrixEngine`]. Its role is to prove the dataflow
+/// correct (bit-exact against [`rasa_numeric::gemm_bf16_fp32`]) for every PE
+/// variant and to produce the per-cycle utilization data of Fig. 1 / Fig. 2.
+///
+/// ```
+/// use rasa_systolic::{FunctionalArray, SystolicConfig, PeVariant, ControlScheme};
+/// use rasa_numeric::{Matrix, Bf16};
+///
+/// let cfg = SystolicConfig::new(2, 2, PeVariant::Baseline, ControlScheme::Base, 4)?;
+/// let mut array = FunctionalArray::new(cfg);
+/// let a = Matrix::from_fn(2, 2, |i, j| Bf16::from_f32((i * 2 + j) as f32));
+/// let b = Matrix::from_fn(2, 2, |i, j| Bf16::from_f32((i * 2 + j + 1) as f32));
+/// let c = Matrix::zeros(2, 2);
+/// let (out, activity) = array.matmul(&a, &b, &c)?;
+/// assert_eq!(out[(0, 0)], 3.0); // 0*1 + 1*3
+/// // Fig. 1: 8 active PE-cycles over 7 cycles on 4 PEs = 28.6 %.
+/// assert_eq!(activity.cycles(), 7);
+/// assert_eq!(activity.total_active_pe_cycles(), 8);
+/// # Ok::<(), rasa_systolic::SystolicError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FunctionalArray {
+    config: SystolicConfig,
+    pes: Vec<Pe>,
+    loaded_tk: usize,
+    loaded_tn: usize,
+    weights_loaded: bool,
+    shadow_tk: usize,
+    shadow_tn: usize,
+    shadow_loaded: bool,
+}
+
+impl FunctionalArray {
+    /// Creates an array with no weights loaded.
+    #[must_use]
+    pub fn new(config: SystolicConfig) -> Self {
+        let pes = (0..config.num_pes()).map(|_| Pe::new(config.pe())).collect();
+        FunctionalArray {
+            config,
+            pes,
+            loaded_tk: 0,
+            loaded_tn: 0,
+            weights_loaded: false,
+            shadow_tk: 0,
+            shadow_tn: 0,
+            shadow_loaded: false,
+        }
+    }
+
+    /// The array configuration.
+    #[must_use]
+    pub const fn config(&self) -> &SystolicConfig {
+        &self.config
+    }
+
+    fn pe_index(&self, row: usize, col: usize) -> usize {
+        row * self.config.cols() + col
+    }
+
+    /// Immutable access to the PE at `(row, col)` for inspection in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the coordinates exceed the array dimensions.
+    #[must_use]
+    pub fn pe(&self, row: usize, col: usize) -> &Pe {
+        assert!(row < self.config.rows() && col < self.config.cols());
+        &self.pes[row * self.config.cols() + col]
+    }
+
+    fn validate_weight_operand(&self, b: &Matrix<Bf16>) -> Result<(usize, usize), SystolicError> {
+        let tk = b.rows();
+        let tn = b.cols();
+        if tk == 0 || tn == 0 || tk > self.config.max_tk() || tn > self.config.max_tn() {
+            return Err(SystolicError::TileTooLarge {
+                tm: 0,
+                tk,
+                tn,
+                max_tk: self.config.max_tk(),
+                max_tn: self.config.max_tn(),
+            });
+        }
+        Ok((tk, tn))
+    }
+
+    /// The per-PE weight lanes for physical row `row` derived from the B
+    /// operand (lane `j` holds logical K index `row·mpp + j`).
+    fn weight_row(&self, b: &Matrix<Bf16>, row: usize, tn: usize) -> Vec<[f32; 2]> {
+        let mpp = self.config.pe().multipliers_per_pe();
+        (0..tn)
+            .map(|c| {
+                let mut lanes = [0.0f32; 2];
+                for (j, lane) in lanes.iter_mut().enumerate().take(mpp) {
+                    let k = row * mpp + j;
+                    *lane = b.get(k, c).map(Bf16::to_f32).unwrap_or(0.0);
+                }
+                lanes
+            })
+            .collect()
+    }
+
+    /// Loads the stationary weight tile into the active weight plane by
+    /// shifting it down from the north edge one physical row per cycle
+    /// (bottom row inserted first), returning the number of Weight Load
+    /// cycles consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystolicError::TileTooLarge`] when the operand exceeds the
+    /// array capacity.
+    pub fn load_weights(&mut self, b: &Matrix<Bf16>) -> Result<u64, SystolicError> {
+        let (tk, tn) = self.validate_weight_operand(b)?;
+        let rows = crate::timing::occupied_rows(&self.config, tk) as usize;
+        // Shift-register model of the weight-load chain: one stage per
+        // occupied physical row, new rows injected at the top, existing
+        // contents moving south each cycle.
+        let mut pipe: Vec<Option<Vec<[f32; 2]>>> = vec![None; rows];
+        for cycle in 0..rows {
+            for r in (1..rows).rev() {
+                pipe[r] = pipe[r - 1].take();
+            }
+            // Bottom-most remaining row enters first so that after `rows`
+            // shifts every row sits at its destination.
+            pipe[0] = Some(self.weight_row(b, rows - 1 - cycle, tn));
+        }
+        for (r, stage) in pipe.into_iter().enumerate() {
+            let row_weights = stage.expect("every stage is filled after rows cycles");
+            for (c, lanes) in row_weights.into_iter().enumerate() {
+                let idx = self.pe_index(r, c);
+                self.pes[idx].set_weights(lanes);
+            }
+        }
+        self.loaded_tk = tk;
+        self.loaded_tn = tn;
+        self.weights_loaded = true;
+        Ok(rows as u64)
+    }
+
+    /// Prefetches a weight tile into the shadow buffers over the dedicated
+    /// links of the double-buffered PE variants, returning the cycles the
+    /// prefetch channel is busy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystolicError::UnsupportedCombination`] when the PE variant
+    /// has no shadow buffer and [`SystolicError::TileTooLarge`] when the
+    /// operand exceeds the array capacity.
+    pub fn load_shadow_weights(&mut self, b: &Matrix<Bf16>) -> Result<u64, SystolicError> {
+        if !self.config.pe().has_double_buffering() {
+            return Err(SystolicError::UnsupportedCombination {
+                scheme: "WLS",
+                variant: self.config.pe().label(),
+                reason: "shadow weight load requires double-buffered PEs".to_string(),
+            });
+        }
+        let (tk, tn) = self.validate_weight_operand(b)?;
+        let rows = crate::timing::occupied_rows(&self.config, tk) as usize;
+        for r in 0..rows {
+            let row_weights = self.weight_row(b, r, tn);
+            for (c, lanes) in row_weights.into_iter().enumerate() {
+                let idx = self.pe_index(r, c);
+                self.pes[idx].set_shadow(lanes)?;
+            }
+        }
+        self.shadow_tk = tk;
+        self.shadow_tn = tn;
+        self.shadow_loaded = true;
+        Ok(rows as u64)
+    }
+
+    /// Swaps the prefetched shadow weights into the active plane (a
+    /// single-cycle control action performed at the Feed First boundary).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystolicError::InvalidConfig`] when no shadow weights have
+    /// been prefetched.
+    pub fn swap_shadow(&mut self) -> Result<(), SystolicError> {
+        if !self.shadow_loaded {
+            return Err(SystolicError::InvalidConfig {
+                reason: "shadow swap requested before any shadow prefetch".to_string(),
+            });
+        }
+        let rows = crate::timing::occupied_rows(&self.config, self.shadow_tk) as usize;
+        for r in 0..rows {
+            for c in 0..self.shadow_tn {
+                let idx = self.pe_index(r, c);
+                self.pes[idx].swap_shadow()?;
+            }
+        }
+        self.loaded_tk = self.shadow_tk;
+        self.loaded_tn = self.shadow_tn;
+        self.weights_loaded = true;
+        self.shadow_loaded = false;
+        Ok(())
+    }
+
+    /// Streams the A operand and the C accumulator tile through the array
+    /// using the currently loaded weights and collects the updated
+    /// accumulator tile (`c_out = c_in + a × b`).
+    ///
+    /// The returned [`ArrayActivity`] covers the Feed First / Feed Second /
+    /// Drain cycles only; [`FunctionalArray::matmul`] prepends the Weight
+    /// Load cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystolicError::InvalidConfig`] when no weights are loaded
+    /// and [`SystolicError::OperandShapeMismatch`] when the operand shapes
+    /// disagree with the loaded weight tile.
+    pub fn execute(
+        &mut self,
+        a: &Matrix<Bf16>,
+        c_in: &Matrix<f32>,
+    ) -> Result<(Matrix<f32>, ArrayActivity), SystolicError> {
+        if !self.weights_loaded {
+            return Err(SystolicError::InvalidConfig {
+                reason: "execute called before any weight load".to_string(),
+            });
+        }
+        let tm = a.rows();
+        if a.cols() != self.loaded_tk || c_in.rows() != tm || c_in.cols() != self.loaded_tn {
+            return Err(SystolicError::OperandShapeMismatch {
+                detail: format!(
+                    "a is {}x{}, c is {}x{}, loaded weights are {}x{}",
+                    a.rows(),
+                    a.cols(),
+                    c_in.rows(),
+                    c_in.cols(),
+                    self.loaded_tk,
+                    self.loaded_tn
+                ),
+            });
+        }
+        if tm == 0 {
+            return Err(SystolicError::OperandShapeMismatch {
+                detail: "a has zero rows".to_string(),
+            });
+        }
+
+        let mpp = self.config.pe().multipliers_per_pe();
+        let rows = crate::timing::occupied_rows(&self.config, self.loaded_tk) as usize;
+        let cols = self.loaded_tn;
+        let merge = usize::from(self.config.pe().needs_merge_adder_row());
+        // Feed First + Feed Second + Drain duration from the timing model.
+        let total_cycles = tm + (rows - 1) + cols + merge;
+
+        let mut out = c_in.clone();
+        let mut per_cycle = Vec::with_capacity(total_cycles);
+        let mut total_macs = 0u64;
+
+        for t in 0..total_cycles {
+            // Gather every PE's inputs from the neighbours' registered state
+            // of the previous cycle before any PE is updated.
+            let mut inputs = Vec::with_capacity(rows * cols);
+            for r in 0..rows {
+                for c in 0..cols {
+                    let a_in = if c == 0 {
+                        // West edge: row r receives A row m = t − r, lanes
+                        // covering K indices r·mpp .. r·mpp+mpp.
+                        let m = t as isize - r as isize;
+                        if m >= 0 && (m as usize) < tm {
+                            let m = m as usize;
+                            let mut lanes = [0.0f32; 2];
+                            for (j, lane) in lanes.iter_mut().enumerate().take(mpp) {
+                                let k = r * mpp + j;
+                                *lane = a.get(m, k).map(Bf16::to_f32).unwrap_or(0.0);
+                            }
+                            (lanes, true)
+                        } else {
+                            ([0.0; 2], false)
+                        }
+                    } else {
+                        let west = self.pes[self.pe_index(r, c - 1)].state();
+                        (west.a_out, west.a_valid)
+                    };
+                    let psum_in = if r == 0 {
+                        // North edge: column c receives the C accumulator
+                        // value for row m = t − c on lane 0.
+                        let m = t as isize - c as isize;
+                        if m >= 0 && (m as usize) < tm {
+                            ([c_in[(m as usize, c)], 0.0], true)
+                        } else {
+                            ([0.0; 2], false)
+                        }
+                    } else {
+                        let north = self.pes[self.pe_index(r - 1, c)].state();
+                        (north.psum_out, north.psum_valid)
+                    };
+                    inputs.push((a_in, psum_in));
+                }
+            }
+
+            let mut active = 0usize;
+            for r in 0..rows {
+                for c in 0..cols {
+                    let idx = self.pe_index(r, c);
+                    let (a_in, psum_in) = inputs[r * cols + c];
+                    let macs = self.pes[idx].step(a_in, psum_in);
+                    if macs > 0 {
+                        active += 1;
+                        total_macs += macs as u64;
+                    }
+                }
+            }
+            per_cycle.push(active);
+
+            // Collect finished outputs at the bottom of the occupied rows:
+            // output (m, c) leaves PE(rows−1, c) at the end of cycle
+            // m + c + rows − 1 (one cycle later through the merge-adder row
+            // for the double-multiplier variants, which only changes when
+            // the value is architecturally visible, not its value).
+            for c in 0..cols {
+                let m = t as isize - c as isize - (rows as isize - 1);
+                if m >= 0 && (m as usize) < tm {
+                    let state = self.pes[self.pe_index(rows - 1, c)].state();
+                    if state.psum_valid {
+                        out[(m as usize, c)] = state.psum_out[0] + state.psum_out[1];
+                    }
+                }
+            }
+        }
+
+        // Clear pipeline registers so back-to-back functional calls do not
+        // leak stale wavefronts (weights stay resident, as in hardware).
+        for pe in &mut self.pes {
+            pe.clear_pipeline();
+        }
+
+        Ok((
+            out,
+            ArrayActivity::new(per_cycle, self.config.num_pes(), total_macs),
+        ))
+    }
+
+    /// Convenience wrapper: loads `b` as the stationary weights, executes
+    /// the feed/drain phases and returns the updated accumulator together
+    /// with an activity record covering the *whole* operation (Weight Load
+    /// cycles included, with zero active PEs — exactly the accounting of
+    /// Fig. 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`FunctionalArray::load_weights`] and
+    /// [`FunctionalArray::execute`].
+    pub fn matmul(
+        &mut self,
+        a: &Matrix<Bf16>,
+        b: &Matrix<Bf16>,
+        c_in: &Matrix<f32>,
+    ) -> Result<(Matrix<f32>, ArrayActivity), SystolicError> {
+        let wl_cycles = self.load_weights(b)?;
+        let (out, feed_activity) = self.execute(a, c_in)?;
+        let wl_activity =
+            ArrayActivity::new(vec![0; wl_cycles as usize], self.config.num_pes(), 0);
+        Ok((out, wl_activity.then(&feed_activity)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ControlScheme, PeVariant};
+    use rasa_numeric::{gemm_bf16_fp32, max_abs_diff};
+
+    fn bf16_matrix(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f32) -> Matrix<Bf16> {
+        Matrix::from_fn(rows, cols, |i, j| Bf16::from_f32(f(i, j)))
+    }
+
+    fn reference(a: &Matrix<Bf16>, b: &Matrix<Bf16>, c: &Matrix<f32>) -> Matrix<f32> {
+        let mut out = c.clone();
+        gemm_bf16_fp32(a, b, &mut out).unwrap();
+        out
+    }
+
+    fn paper_config(pe: PeVariant) -> SystolicConfig {
+        SystolicConfig::paper(pe, ControlScheme::Base).unwrap()
+    }
+
+    #[test]
+    fn toy_2x2_matches_fig1() {
+        let cfg = SystolicConfig::new(2, 2, PeVariant::Baseline, ControlScheme::Base, 4).unwrap();
+        let mut array = FunctionalArray::new(cfg);
+        let a = bf16_matrix(2, 2, |i, j| (i * 2 + j) as f32 + 1.0);
+        let b = bf16_matrix(2, 2, |i, j| (i * 2 + j) as f32 + 5.0);
+        let c = Matrix::zeros(2, 2);
+        let (out, activity) = array.matmul(&a, &b, &c).unwrap();
+        assert_eq!(max_abs_diff(&out, &reference(&a, &b, &c)), 0.0);
+        // 2·TK + TM + TN − 1 = 7 cycles, 8 active PE-cycles, 28.6 % average.
+        assert_eq!(activity.cycles(), 7);
+        assert_eq!(activity.total_active_pe_cycles(), 8);
+        assert_eq!(activity.total_macs(), 8);
+        assert!((activity.average_utilization() - 8.0 / 28.0).abs() < 1e-9);
+        // Per-cycle profile: WL, WL, then the diagonal wavefront.
+        assert_eq!(activity.per_cycle(), &[0, 0, 1, 3, 3, 1, 0]);
+    }
+
+    #[test]
+    fn full_tile_matches_reference_for_all_variants() {
+        for pe in PeVariant::all() {
+            let cfg = paper_config(pe);
+            let mut array = FunctionalArray::new(cfg);
+            let a = bf16_matrix(16, 32, |i, j| ((i * 31 + j * 7) % 11) as f32 - 5.0);
+            let b = bf16_matrix(32, 16, |i, j| ((i * 13 + j * 3) % 9) as f32 - 4.0);
+            let c = Matrix::from_fn(16, 16, |i, j| (i + j) as f32);
+            let (out, activity) = array.matmul(&a, &b, &c).unwrap();
+            assert_eq!(
+                max_abs_diff(&out, &reference(&a, &b, &c)),
+                0.0,
+                "variant {pe}"
+            );
+            // Total MACs are independent of the PE variant.
+            assert_eq!(activity.total_macs(), 16 * 32 * 16, "variant {pe}");
+            // The recorded cycle count equals the analytic Eq. 1 latency.
+            let expected = crate::base_latency(&cfg, crate::TileDims::new(16, 32, 16));
+            assert_eq!(activity.cycles(), expected, "variant {pe}");
+        }
+    }
+
+    #[test]
+    fn partial_tiles_match_reference() {
+        for pe in [PeVariant::Baseline, PeVariant::Dmdb] {
+            let cfg = paper_config(pe);
+            let mut array = FunctionalArray::new(cfg);
+            let a = bf16_matrix(5, 17, |i, j| ((i + 2 * j) % 7) as f32 - 3.0);
+            let b = bf16_matrix(17, 9, |i, j| ((3 * i + j) % 5) as f32 - 2.0);
+            let c = Matrix::from_fn(5, 9, |i, j| (i * j) as f32 * 0.5);
+            let (out, _) = array.matmul(&a, &b, &c).unwrap();
+            assert_eq!(max_abs_diff(&out, &reference(&a, &b, &c)), 0.0, "variant {pe}");
+        }
+    }
+
+    #[test]
+    fn accumulation_across_k_tiles() {
+        // Split a K=64 GEMM into two K=32 rasa_mm calls accumulating into C.
+        let cfg = paper_config(PeVariant::Baseline);
+        let mut array = FunctionalArray::new(cfg);
+        let a_full = bf16_matrix(16, 64, |i, j| ((i * 5 + j) % 13) as f32 - 6.0);
+        let b_full = bf16_matrix(64, 16, |i, j| ((i + j * 11) % 7) as f32 - 3.0);
+        let golden = reference(&a_full, &b_full, &Matrix::zeros(16, 16));
+
+        let a0 = Matrix::from_fn(16, 32, |i, j| a_full[(i, j)]);
+        let a1 = Matrix::from_fn(16, 32, |i, j| a_full[(i, j + 32)]);
+        let b0 = Matrix::from_fn(32, 16, |i, j| b_full[(i, j)]);
+        let b1 = Matrix::from_fn(32, 16, |i, j| b_full[(i + 32, j)]);
+        let (c_mid, _) = array.matmul(&a0, &b0, &Matrix::zeros(16, 16)).unwrap();
+        let (c_out, _) = array.matmul(&a1, &b1, &c_mid).unwrap();
+        assert_eq!(max_abs_diff(&c_out, &golden), 0.0);
+    }
+
+    #[test]
+    fn weight_reuse_without_reload() {
+        // Two A tiles against the same stationary B (the WLBP scenario).
+        let cfg = paper_config(PeVariant::Baseline);
+        let mut array = FunctionalArray::new(cfg);
+        let b = bf16_matrix(32, 16, |i, j| ((i + j) % 5) as f32);
+        let a0 = bf16_matrix(16, 32, |i, j| ((i * j) % 3) as f32);
+        let a1 = bf16_matrix(16, 32, |i, j| ((i + 2 * j) % 4) as f32);
+        array.load_weights(&b).unwrap();
+        let (c0, _) = array.execute(&a0, &Matrix::zeros(16, 16)).unwrap();
+        let (c1, _) = array.execute(&a1, &Matrix::zeros(16, 16)).unwrap();
+        assert_eq!(max_abs_diff(&c0, &reference(&a0, &b, &Matrix::zeros(16, 16))), 0.0);
+        assert_eq!(max_abs_diff(&c1, &reference(&a1, &b, &Matrix::zeros(16, 16))), 0.0);
+    }
+
+    #[test]
+    fn shadow_prefetch_and_swap() {
+        let cfg = SystolicConfig::paper(PeVariant::Db, ControlScheme::Wls).unwrap();
+        let mut array = FunctionalArray::new(cfg);
+        let b0 = bf16_matrix(32, 16, |i, j| ((i + j) % 5) as f32);
+        let b1 = bf16_matrix(32, 16, |i, j| ((i * 2 + j) % 7) as f32);
+        let a = bf16_matrix(16, 32, |i, j| ((i + j) % 3) as f32);
+        array.load_weights(&b0).unwrap();
+        array.load_shadow_weights(&b1).unwrap();
+        let (c0, _) = array.execute(&a, &Matrix::zeros(16, 16)).unwrap();
+        assert_eq!(max_abs_diff(&c0, &reference(&a, &b0, &Matrix::zeros(16, 16))), 0.0);
+        array.swap_shadow().unwrap();
+        let (c1, _) = array.execute(&a, &Matrix::zeros(16, 16)).unwrap();
+        assert_eq!(max_abs_diff(&c1, &reference(&a, &b1, &Matrix::zeros(16, 16))), 0.0);
+    }
+
+    #[test]
+    fn shadow_requires_double_buffering() {
+        let mut array = FunctionalArray::new(paper_config(PeVariant::Baseline));
+        let b = bf16_matrix(32, 16, |_, _| 1.0);
+        assert!(array.load_shadow_weights(&b).is_err());
+        assert!(array.swap_shadow().is_err());
+    }
+
+    #[test]
+    fn execute_before_load_is_rejected() {
+        let mut array = FunctionalArray::new(paper_config(PeVariant::Baseline));
+        let a = bf16_matrix(16, 32, |_, _| 1.0);
+        let c = Matrix::zeros(16, 16);
+        assert!(array.execute(&a, &c).is_err());
+    }
+
+    #[test]
+    fn oversized_operands_rejected() {
+        let mut array = FunctionalArray::new(paper_config(PeVariant::Baseline));
+        let b_too_deep = bf16_matrix(33, 16, |_, _| 1.0);
+        assert!(array.load_weights(&b_too_deep).is_err());
+        let b_too_wide = bf16_matrix(32, 17, |_, _| 1.0);
+        assert!(array.load_weights(&b_too_wide).is_err());
+    }
+
+    #[test]
+    fn mismatched_execute_operands_rejected() {
+        let mut array = FunctionalArray::new(paper_config(PeVariant::Baseline));
+        let b = bf16_matrix(32, 16, |_, _| 1.0);
+        array.load_weights(&b).unwrap();
+        let a_wrong = bf16_matrix(16, 16, |_, _| 1.0);
+        assert!(array.execute(&a_wrong, &Matrix::zeros(16, 16)).is_err());
+        let a = bf16_matrix(16, 32, |_, _| 1.0);
+        assert!(array.execute(&a, &Matrix::zeros(16, 8)).is_err());
+    }
+
+    #[test]
+    fn weight_load_cycle_counts() {
+        let mut base = FunctionalArray::new(paper_config(PeVariant::Baseline));
+        let b = bf16_matrix(32, 16, |_, _| 1.0);
+        assert_eq!(base.load_weights(&b).unwrap(), 32);
+        let mut dm = FunctionalArray::new(paper_config(PeVariant::Dm));
+        assert_eq!(dm.load_weights(&b).unwrap(), 16);
+    }
+
+    #[test]
+    fn tall_streaming_tile_matches_reference() {
+        // TM larger than the register file's 16 rows is legal for the
+        // functional model (it is simply a longer stream).
+        let cfg = paper_config(PeVariant::Dm);
+        let mut array = FunctionalArray::new(cfg);
+        let a = bf16_matrix(40, 32, |i, j| ((i + j) % 6) as f32 - 3.0);
+        let b = bf16_matrix(32, 16, |i, j| ((i * j) % 4) as f32 - 1.0);
+        let c = Matrix::zeros(40, 16);
+        let (out, _) = array.matmul(&a, &b, &c).unwrap();
+        assert_eq!(max_abs_diff(&out, &reference(&a, &b, &c)), 0.0);
+    }
+
+    #[test]
+    fn pe_inspection() {
+        let cfg = SystolicConfig::new(2, 2, PeVariant::Baseline, ControlScheme::Base, 4).unwrap();
+        let mut array = FunctionalArray::new(cfg);
+        let b = bf16_matrix(2, 2, |i, j| (i * 2 + j) as f32);
+        array.load_weights(&b).unwrap();
+        // PE(r, c) lane 0 holds B[r][c] after the load completes.
+        assert_eq!(array.pe(0, 1).weights()[0], 1.0);
+        assert_eq!(array.pe(1, 0).weights()[0], 2.0);
+    }
+}

@@ -1,0 +1,106 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the systolic-array engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SystolicError {
+    /// The array configuration was internally inconsistent.
+    InvalidConfig {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A control scheme was combined with a PE variant that cannot support
+    /// it (e.g. Weight Load Skip without double buffering).
+    UnsupportedCombination {
+        /// The control scheme requested.
+        scheme: &'static str,
+        /// The PE variant requested.
+        variant: &'static str,
+        /// Why the combination is impossible.
+        reason: String,
+    },
+    /// A tile did not fit on the configured array.
+    TileTooLarge {
+        /// Requested tile rows (M).
+        tm: usize,
+        /// Requested tile depth (K).
+        tk: usize,
+        /// Requested tile columns (N).
+        tn: usize,
+        /// Maximum K supported by the array.
+        max_tk: usize,
+        /// Maximum N supported by the array.
+        max_tn: usize,
+    },
+    /// Operand matrices passed to the functional array had the wrong shape.
+    OperandShapeMismatch {
+        /// Human-readable description of the shapes involved.
+        detail: String,
+    },
+    /// A request was submitted with a ready time earlier than an already
+    /// retired request, violating the in-order submission contract.
+    OutOfOrderSubmission {
+        /// Sequence number of the offending request.
+        sequence: u64,
+    },
+}
+
+impl fmt::Display for SystolicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystolicError::InvalidConfig { reason } => {
+                write!(f, "invalid systolic array configuration: {reason}")
+            }
+            SystolicError::UnsupportedCombination {
+                scheme,
+                variant,
+                reason,
+            } => write!(
+                f,
+                "control scheme {scheme} cannot be used with {variant} PEs: {reason}"
+            ),
+            SystolicError::TileTooLarge {
+                tm,
+                tk,
+                tn,
+                max_tk,
+                max_tn,
+            } => write!(
+                f,
+                "tile {tm}x{tk}x{tn} exceeds array capacity (K<={max_tk}, N<={max_tn})"
+            ),
+            SystolicError::OperandShapeMismatch { detail } => {
+                write!(f, "operand shape mismatch: {detail}")
+            }
+            SystolicError::OutOfOrderSubmission { sequence } => {
+                write!(f, "request {sequence} submitted out of order")
+            }
+        }
+    }
+}
+
+impl Error for SystolicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SystolicError::TileTooLarge {
+            tm: 16,
+            tk: 64,
+            tn: 16,
+            max_tk: 32,
+            max_tn: 16,
+        };
+        assert!(e.to_string().contains("16x64x16"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<SystolicError>();
+    }
+}

@@ -1,0 +1,61 @@
+//! # rasa-systolic — the Register-Aware Systolic Array matrix engine
+//!
+//! This crate implements the paper's primary contribution: a weight-
+//! stationary (WS) systolic array used as a CPU matrix functional unit, with
+//! the **RASA-Control** pipelining schemes and **RASA-Data** processing-
+//! element variants that combat fill/drain under-utilization when the tile
+//! size is limited by the CPU's tile registers.
+//!
+//! The crate has three cooperating layers:
+//!
+//! * **Functional model** ([`FunctionalArray`]) — a register-level,
+//!   cycle-stepped WS array that streams real BF16/FP32 data through PE
+//!   registers and is validated bit-for-bit against the reference GEMM in
+//!   `rasa-numeric` for every PE variant. It also reports per-cycle active
+//!   PE counts, which reproduce the utilization walkthrough of Fig. 1.
+//! * **Timing model** ([`stage_durations`], [`MatmulTiming`]) — closed-form
+//!   sub-stage durations (Weight Load / Feed First / Feed Second / Drain)
+//!   and the Eq. 1 latency, parameterised by the PE variant.
+//! * **Matrix engine scheduler** ([`MatrixEngine`]) — accepts `rasa_mm`
+//!   requests in program order, applies the control-scheme constraints
+//!   (BASE / PIPE / WLBP / WLS), tracks tile-register dirty bits for weight
+//!   load bypass, and returns per-instruction completion times in engine
+//!   cycles. The CPU model in `rasa-cpu` drives it through this interface.
+//!
+//! ## Example: latency of one `rasa_mm` on the paper's configuration
+//!
+//! ```
+//! use rasa_systolic::{SystolicConfig, PeVariant, ControlScheme, TileDims, stage_durations};
+//!
+//! let cfg = SystolicConfig::paper(PeVariant::Baseline, ControlScheme::Base)?;
+//! let tile = TileDims::full(&cfg);
+//! let d = stage_durations(&cfg, tile);
+//! // 2·TK + TM + TN − 1 = 95 cycles, the paper's L_baseline.
+//! assert_eq!(d.total(), 95);
+//! # Ok::<(), rasa_systolic::SystolicError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+mod array;
+mod config;
+mod engine;
+mod error;
+mod pe;
+mod stage;
+mod stats;
+mod timing;
+mod utilization;
+
+pub use array::{ArrayActivity, FunctionalArray};
+pub use config::{ControlScheme, PeVariant, SystolicConfig};
+pub use engine::{MatrixEngine, MmCompletion, MmRequest};
+pub use error::SystolicError;
+pub use pe::{Pe, PeState};
+pub use stage::{MatmulTiming, StageDurations, StageWindow, SubStage};
+pub use stats::EngineStats;
+pub use timing::{base_latency, stage_durations, steady_state_interval, TileDims};
+pub use utilization::{
+    average_utilization, fill_drain_inactive_cycles, pipelined_utilization, utilization_curve,
+    UtilizationPoint,
+};

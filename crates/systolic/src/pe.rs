@@ -1,0 +1,291 @@
+use crate::{PeVariant, SystolicError};
+
+/// The registered outputs of a PE that its east and south neighbours observe
+/// one cycle later.
+///
+/// Double-multiplier PEs forward a pair of A operands east and keep two
+/// partial-sum chains flowing south (merged by the adder row at the bottom
+/// of the array); single-multiplier PEs only use lane 0.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PeState {
+    /// A operand(s) forwarded to the east neighbour.
+    pub a_out: [f32; 2],
+    /// Whether `a_out` carries a live operand this cycle.
+    pub a_valid: bool,
+    /// Partial sum(s) forwarded to the south neighbour.
+    pub psum_out: [f32; 2],
+    /// Whether `psum_out` carries a live partial sum this cycle.
+    pub psum_valid: bool,
+}
+
+/// A single processing element of the weight-stationary array.
+///
+/// The PE mirrors the micro-architecture sketched in Fig. 4(c): a stationary
+/// weight buffer (two of them for the double-buffered variants), one or two
+/// BF16 multipliers and FP32 adders, and the pipeline registers that forward
+/// the A operand east and the partial sum south.
+///
+/// The functional array in [`crate::FunctionalArray`] owns a grid of `Pe`s
+/// and steps them cycle by cycle; the PE itself is deliberately unaware of
+/// its position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pe {
+    variant: PeVariant,
+    weights: [f32; 2],
+    weights_valid: bool,
+    shadow: [f32; 2],
+    shadow_valid: bool,
+    state: PeState,
+}
+
+impl Pe {
+    /// Creates an idle PE of the given variant.
+    #[must_use]
+    pub fn new(variant: PeVariant) -> Self {
+        Pe {
+            variant,
+            weights: [0.0; 2],
+            weights_valid: false,
+            shadow: [0.0; 2],
+            shadow_valid: false,
+            state: PeState::default(),
+        }
+    }
+
+    /// The PE variant.
+    #[must_use]
+    pub const fn variant(&self) -> PeVariant {
+        self.variant
+    }
+
+    /// The currently registered outputs (visible to neighbours next cycle).
+    #[must_use]
+    pub const fn state(&self) -> &PeState {
+        &self.state
+    }
+
+    /// The active (stationary) weights.
+    #[must_use]
+    pub const fn weights(&self) -> [f32; 2] {
+        self.weights
+    }
+
+    /// Whether active weights have been installed.
+    #[must_use]
+    pub const fn has_weights(&self) -> bool {
+        self.weights_valid
+    }
+
+    /// Whether the shadow buffer currently holds prefetched weights.
+    #[must_use]
+    pub const fn has_shadow(&self) -> bool {
+        self.shadow_valid
+    }
+
+    /// Installs active weights directly (used by the weight-load shift chain
+    /// when the wavefront reaches this PE's row).
+    pub fn set_weights(&mut self, weights: [f32; 2]) {
+        self.weights = weights;
+        self.weights_valid = true;
+    }
+
+    /// Stores weights into the shadow buffer (RASA-DB / RASA-DMDB only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystolicError::UnsupportedCombination`] when the variant has
+    /// no second weight buffer.
+    pub fn set_shadow(&mut self, weights: [f32; 2]) -> Result<(), SystolicError> {
+        if !self.variant.has_double_buffering() {
+            return Err(SystolicError::UnsupportedCombination {
+                scheme: "WLS",
+                variant: self.variant.label(),
+                reason: "this PE has a single weight buffer".to_string(),
+            });
+        }
+        self.shadow = weights;
+        self.shadow_valid = true;
+        Ok(())
+    }
+
+    /// Swaps the shadow buffer into the active weight plane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystolicError::InvalidConfig`] when no shadow weights have
+    /// been loaded, and [`SystolicError::UnsupportedCombination`] when the
+    /// variant has no second buffer.
+    pub fn swap_shadow(&mut self) -> Result<(), SystolicError> {
+        if !self.variant.has_double_buffering() {
+            return Err(SystolicError::UnsupportedCombination {
+                scheme: "WLS",
+                variant: self.variant.label(),
+                reason: "this PE has a single weight buffer".to_string(),
+            });
+        }
+        if !self.shadow_valid {
+            return Err(SystolicError::InvalidConfig {
+                reason: "shadow swap requested before any shadow weight load".to_string(),
+            });
+        }
+        self.weights = self.shadow;
+        self.weights_valid = true;
+        self.shadow_valid = false;
+        Ok(())
+    }
+
+    /// Clears the pipeline registers (forwarded A operand and partial sum)
+    /// while keeping the stationary and shadow weights resident, as happens
+    /// between back-to-back instructions on real hardware.
+    pub fn clear_pipeline(&mut self) {
+        self.state = PeState::default();
+    }
+
+    /// Clears all weight and pipeline state.
+    pub fn reset(&mut self) {
+        self.weights = [0.0; 2];
+        self.weights_valid = false;
+        self.shadow = [0.0; 2];
+        self.shadow_valid = false;
+        self.state = PeState::default();
+    }
+
+    /// Executes one cycle: consumes the A operand arriving from the west and
+    /// the partial sum arriving from the north, performs the multiply-
+    /// accumulate(s) and registers the forwarded values.
+    ///
+    /// Returns the number of multiply-accumulate operations performed this
+    /// cycle (0 when the A input was not valid), which the array uses for
+    /// the per-cycle utilization counts of Fig. 1 / Fig. 2.
+    pub fn step(&mut self, a_in: ([f32; 2], bool), psum_in: ([f32; 2], bool)) -> usize {
+        let (a, a_valid) = a_in;
+        let (psum, psum_valid) = psum_in;
+        if !a_valid {
+            // Nothing to compute; pass any incoming partial sum through so a
+            // draining wavefront is never blocked.
+            self.state = PeState {
+                a_out: [0.0; 2],
+                a_valid: false,
+                psum_out: psum,
+                psum_valid,
+            };
+            return 0;
+        }
+        let lanes = self.variant.multipliers_per_pe();
+        let base = if psum_valid { psum } else { [0.0; 2] };
+        let mut out = [0.0; 2];
+        for lane in 0..lanes {
+            out[lane] = base[lane] + a[lane] * self.weights[lane];
+        }
+        // A single-multiplier PE keeps the second chain untouched.
+        if lanes == 1 {
+            out[1] = base[1];
+        }
+        self.state = PeState {
+            a_out: a,
+            a_valid: true,
+            psum_out: out,
+            psum_valid: true,
+        };
+        lanes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_pe_single_lane_mac() {
+        let mut pe = Pe::new(PeVariant::Baseline);
+        pe.set_weights([3.0, 99.0]);
+        assert!(pe.has_weights());
+        let macs = pe.step(([2.0, 7.0], true), ([10.0, 5.0], true));
+        assert_eq!(macs, 1);
+        assert_eq!(pe.state().psum_out[0], 16.0);
+        // Lane 1 passes through untouched for single-multiplier PEs.
+        assert_eq!(pe.state().psum_out[1], 5.0);
+        assert_eq!(pe.state().a_out, [2.0, 7.0]);
+        assert!(pe.state().a_valid);
+    }
+
+    #[test]
+    fn dm_pe_two_lane_mac() {
+        let mut pe = Pe::new(PeVariant::Dm);
+        pe.set_weights([3.0, 4.0]);
+        let macs = pe.step(([2.0, 5.0], true), ([1.0, 1.0], true));
+        assert_eq!(macs, 2);
+        assert_eq!(pe.state().psum_out, [7.0, 21.0]);
+    }
+
+    #[test]
+    fn invalid_a_passes_psum_through() {
+        let mut pe = Pe::new(PeVariant::Baseline);
+        pe.set_weights([3.0, 0.0]);
+        let macs = pe.step(([0.0, 0.0], false), ([42.0, 7.0], true));
+        assert_eq!(macs, 0);
+        assert!(!pe.state().a_valid);
+        assert!(pe.state().psum_valid);
+        assert_eq!(pe.state().psum_out[0], 42.0);
+    }
+
+    #[test]
+    fn missing_psum_starts_from_zero() {
+        let mut pe = Pe::new(PeVariant::Baseline);
+        pe.set_weights([2.0, 0.0]);
+        pe.step(([3.0, 0.0], true), ([0.0, 0.0], false));
+        assert_eq!(pe.state().psum_out[0], 6.0);
+    }
+
+    #[test]
+    fn shadow_buffer_requires_db_variant() {
+        let mut pe = Pe::new(PeVariant::Baseline);
+        assert!(pe.set_shadow([1.0, 2.0]).is_err());
+        assert!(pe.swap_shadow().is_err());
+
+        let mut db = Pe::new(PeVariant::Db);
+        assert!(db.set_shadow([1.0, 2.0]).is_ok());
+        assert!(db.has_shadow());
+        db.swap_shadow().unwrap();
+        assert_eq!(db.weights(), [1.0, 2.0]);
+        assert!(!db.has_shadow());
+        // A second swap without a reload is rejected.
+        assert!(db.swap_shadow().is_err());
+    }
+
+    #[test]
+    fn dmdb_has_both_features() {
+        let mut pe = Pe::new(PeVariant::Dmdb);
+        pe.set_shadow([1.5, 2.5]).unwrap();
+        pe.swap_shadow().unwrap();
+        let macs = pe.step(([2.0, 2.0], true), ([0.0, 0.0], true));
+        assert_eq!(macs, 2);
+        assert_eq!(pe.state().psum_out, [3.0, 5.0]);
+    }
+
+    #[test]
+    fn clear_pipeline_keeps_weights() {
+        let mut pe = Pe::new(PeVariant::Db);
+        pe.set_weights([2.0, 0.0]);
+        pe.set_shadow([3.0, 0.0]).unwrap();
+        pe.step(([1.0, 0.0], true), ([0.0, 0.0], true));
+        assert!(pe.state().a_valid);
+        pe.clear_pipeline();
+        assert_eq!(pe.state(), &PeState::default());
+        assert!(pe.has_weights());
+        assert!(pe.has_shadow());
+        assert_eq!(pe.weights(), [2.0, 0.0]);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut pe = Pe::new(PeVariant::Db);
+        pe.set_weights([1.0, 1.0]);
+        pe.set_shadow([2.0, 2.0]).unwrap();
+        pe.step(([1.0, 1.0], true), ([0.0, 0.0], true));
+        pe.reset();
+        assert!(!pe.has_weights());
+        assert!(!pe.has_shadow());
+        assert_eq!(pe.state(), &PeState::default());
+    }
+}

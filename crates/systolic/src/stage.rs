@@ -1,0 +1,302 @@
+use std::fmt;
+
+/// The four execution sub-stages of a `rasa_mm` on the WS systolic array
+/// (§IV-B, Fig. 4(a)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SubStage {
+    /// Weight Load — the stationary B tile streams from the top edge down
+    /// to its rows.
+    WeightLoad,
+    /// Feed First — A and C elements for the *first* array row are fed from
+    /// the west/north edges.
+    FeedFirst,
+    /// Feed Second — the remaining (skewed) rows finish being fed; top-left
+    /// PEs progressively go idle.
+    FeedSecond,
+    /// Drain — remaining partial sums propagate south and the last outputs
+    /// are ejected.
+    Drain,
+}
+
+impl SubStage {
+    /// All sub-stages in execution order.
+    #[must_use]
+    pub const fn all() -> [SubStage; 4] {
+        [
+            SubStage::WeightLoad,
+            SubStage::FeedFirst,
+            SubStage::FeedSecond,
+            SubStage::Drain,
+        ]
+    }
+
+    /// The two-letter abbreviation used in the paper's pipeline diagrams.
+    #[must_use]
+    pub const fn abbrev(self) -> &'static str {
+        match self {
+            SubStage::WeightLoad => "WL",
+            SubStage::FeedFirst => "FF",
+            SubStage::FeedSecond => "FS",
+            SubStage::Drain => "DR",
+        }
+    }
+}
+
+impl fmt::Display for SubStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.abbrev())
+    }
+}
+
+/// A half-open interval `[start, end)` of engine cycles occupied by one
+/// sub-stage. A zero-length window (`start == end`) denotes a skipped stage
+/// (e.g. Weight Load under a successful bypass).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct StageWindow {
+    /// First cycle of the stage.
+    pub start: u64,
+    /// One past the last cycle of the stage.
+    pub end: u64,
+}
+
+impl StageWindow {
+    /// Creates a window from a start cycle and a duration.
+    #[must_use]
+    pub const fn new(start: u64, duration: u64) -> Self {
+        StageWindow {
+            start,
+            end: start + duration,
+        }
+    }
+
+    /// An empty (skipped) window anchored at `at`.
+    #[must_use]
+    pub const fn skipped(at: u64) -> Self {
+        StageWindow { start: at, end: at }
+    }
+
+    /// Duration in cycles.
+    #[must_use]
+    pub const fn duration(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the stage was skipped.
+    #[must_use]
+    pub const fn is_skipped(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether this window overlaps another (shares at least one cycle).
+    #[must_use]
+    pub const fn overlaps(&self, other: &StageWindow) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+impl fmt::Display for StageWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_skipped() {
+            write!(f, "[skipped@{}]", self.start)
+        } else {
+            write!(f, "[{}, {})", self.start, self.end)
+        }
+    }
+}
+
+/// Closed-form durations of the four sub-stages for one tile on a given
+/// array configuration (see [`crate::stage_durations`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StageDurations {
+    /// Weight Load cycles.
+    pub wl: u64,
+    /// Feed First cycles.
+    pub ff: u64,
+    /// Feed Second cycles.
+    pub fs: u64,
+    /// Drain cycles.
+    pub dr: u64,
+}
+
+impl StageDurations {
+    /// Total serialized latency (the Eq. 1 `L_tot` when no stages overlap).
+    #[must_use]
+    pub const fn total(&self) -> u64 {
+        self.wl + self.ff + self.fs + self.dr
+    }
+
+    /// Duration of a single sub-stage.
+    #[must_use]
+    pub const fn of(&self, stage: SubStage) -> u64 {
+        match stage {
+            SubStage::WeightLoad => self.wl,
+            SubStage::FeedFirst => self.ff,
+            SubStage::FeedSecond => self.fs,
+            SubStage::Drain => self.dr,
+        }
+    }
+}
+
+/// The resolved schedule of one `rasa_mm` instruction: a window per
+/// sub-stage plus bookkeeping about how the control scheme treated it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatmulTiming {
+    /// Sequence number of the instruction within the engine (issue order).
+    pub sequence: u64,
+    /// Weight Load window (skipped under a successful weight bypass).
+    pub wl: StageWindow,
+    /// Feed First window.
+    pub ff: StageWindow,
+    /// Feed Second window.
+    pub fs: StageWindow,
+    /// Drain window.
+    pub dr: StageWindow,
+    /// Whether Weight Load was skipped because the weight register was
+    /// reused with a clear dirty bit (RASA-WLBP / RASA-WLS).
+    pub weight_bypassed: bool,
+    /// Whether Weight Load was hidden behind the previous instruction via a
+    /// shadow-buffer prefetch (RASA-WLS with a weight change).
+    pub weight_prefetched: bool,
+}
+
+impl MatmulTiming {
+    /// The cycle at which the instruction's results are fully drained and
+    /// its destination tile register is architecturally complete.
+    #[must_use]
+    pub const fn complete_cycle(&self) -> u64 {
+        self.dr.end
+    }
+
+    /// The first cycle at which the instruction occupies any array resource.
+    #[must_use]
+    pub const fn start_cycle(&self) -> u64 {
+        if self.wl.is_skipped() {
+            self.ff.start
+        } else {
+            self.wl.start
+        }
+    }
+
+    /// End-to-end latency of this instruction (occupancy, not issue
+    /// interval).
+    #[must_use]
+    pub const fn latency(&self) -> u64 {
+        self.complete_cycle() - self.start_cycle()
+    }
+
+    /// Window of a given sub-stage.
+    #[must_use]
+    pub const fn window(&self, stage: SubStage) -> StageWindow {
+        match stage {
+            SubStage::WeightLoad => self.wl,
+            SubStage::FeedFirst => self.ff,
+            SubStage::FeedSecond => self.fs,
+            SubStage::Drain => self.dr,
+        }
+    }
+}
+
+impl fmt::Display for MatmulTiming {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mm#{}: WL{} FF{} FS{} DR{}{}",
+            self.sequence,
+            self.wl,
+            self.ff,
+            self.fs,
+            self.dr,
+            if self.weight_bypassed {
+                " (bypass)"
+            } else if self.weight_prefetched {
+                " (prefetch)"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substage_order_and_abbreviations() {
+        let all = SubStage::all();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[0].abbrev(), "WL");
+        assert_eq!(all[3].abbrev(), "DR");
+        assert!(SubStage::WeightLoad < SubStage::Drain);
+        assert_eq!(SubStage::FeedFirst.to_string(), "FF");
+    }
+
+    #[test]
+    fn window_arithmetic() {
+        let w = StageWindow::new(10, 5);
+        assert_eq!(w.duration(), 5);
+        assert!(!w.is_skipped());
+        let s = StageWindow::skipped(7);
+        assert!(s.is_skipped());
+        assert_eq!(s.duration(), 0);
+        assert_eq!(w.to_string(), "[10, 15)");
+        assert!(s.to_string().contains("skipped"));
+    }
+
+    #[test]
+    fn window_overlap() {
+        let a = StageWindow::new(0, 10);
+        let b = StageWindow::new(9, 5);
+        let c = StageWindow::new(10, 5);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(!c.overlaps(&a));
+    }
+
+    #[test]
+    fn durations_total_and_lookup() {
+        let d = StageDurations {
+            wl: 32,
+            ff: 16,
+            fs: 31,
+            dr: 16,
+        };
+        assert_eq!(d.total(), 95);
+        assert_eq!(d.of(SubStage::WeightLoad), 32);
+        assert_eq!(d.of(SubStage::Drain), 16);
+    }
+
+    #[test]
+    fn timing_accessors() {
+        let t = MatmulTiming {
+            sequence: 3,
+            wl: StageWindow::new(0, 32),
+            ff: StageWindow::new(32, 16),
+            fs: StageWindow::new(48, 31),
+            dr: StageWindow::new(79, 16),
+            weight_bypassed: false,
+            weight_prefetched: false,
+        };
+        assert_eq!(t.complete_cycle(), 95);
+        assert_eq!(t.start_cycle(), 0);
+        assert_eq!(t.latency(), 95);
+        assert_eq!(t.window(SubStage::FeedSecond).duration(), 31);
+        assert!(t.to_string().contains("mm#3"));
+    }
+
+    #[test]
+    fn bypassed_timing_starts_at_feed() {
+        let t = MatmulTiming {
+            sequence: 4,
+            wl: StageWindow::skipped(100),
+            ff: StageWindow::new(100, 16),
+            fs: StageWindow::new(116, 31),
+            dr: StageWindow::new(147, 16),
+            weight_bypassed: true,
+            weight_prefetched: false,
+        };
+        assert_eq!(t.start_cycle(), 100);
+        assert_eq!(t.latency(), 63);
+        assert!(t.to_string().contains("bypass"));
+    }
+}

@@ -1,0 +1,133 @@
+use std::fmt;
+
+/// Aggregate statistics collected by the [`crate::MatrixEngine`] over a run.
+///
+/// The counters distinguish *why* Weight Load latency was or was not paid on
+/// each `rasa_mm`, which is the mechanism behind the runtime differences of
+/// the RASA-Control schemes in Fig. 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Number of `rasa_mm` instructions executed.
+    pub matmuls: u64,
+    /// Instructions whose Weight Load was skipped because the weight
+    /// register was reused with a clear dirty bit (WLBP / WLS).
+    pub weight_bypasses: u64,
+    /// Instructions whose Weight Load was hidden behind a previous
+    /// instruction via the shadow-buffer prefetch (WLS only).
+    pub weight_prefetches: u64,
+    /// Instructions that paid the full, exposed Weight Load latency.
+    pub full_weight_loads: u64,
+    /// Total engine cycles spent in each instruction's occupancy, summed
+    /// over instructions (overlapping cycles are counted once per
+    /// instruction; this is an occupancy metric, not a wall-clock one).
+    pub occupancy_cycles: u64,
+    /// Engine cycle at which the last instruction completed (wall-clock
+    /// busy horizon).
+    pub last_completion_cycle: u64,
+    /// Total multiply-accumulate operations executed.
+    pub total_macs: u64,
+    /// Cycles an instruction's Feed First was delayed waiting for its
+    /// operands (input/accumulator registers not ready).
+    pub operand_stall_cycles: u64,
+    /// Cycles an instruction's Feed First was delayed by the array itself
+    /// (structural: previous instruction still occupying the stages it
+    /// needs).
+    pub structural_stall_cycles: u64,
+}
+
+impl EngineStats {
+    /// Fraction of `rasa_mm` instructions that skipped Weight Load via the
+    /// dirty-bit bypass.
+    #[must_use]
+    pub fn bypass_rate(&self) -> f64 {
+        if self.matmuls == 0 {
+            0.0
+        } else {
+            self.weight_bypasses as f64 / self.matmuls as f64
+        }
+    }
+
+    /// Average issue-to-issue interval in engine cycles (wall-clock horizon
+    /// divided by instruction count).
+    #[must_use]
+    pub fn average_interval(&self) -> f64 {
+        if self.matmuls == 0 {
+            0.0
+        } else {
+            self.last_completion_cycle as f64 / self.matmuls as f64
+        }
+    }
+
+    /// Effective MACs per engine cycle over the busy horizon.
+    #[must_use]
+    pub fn macs_per_cycle(&self) -> f64 {
+        if self.last_completion_cycle == 0 {
+            0.0
+        } else {
+            self.total_macs as f64 / self.last_completion_cycle as f64
+        }
+    }
+
+    /// Average PE utilization over the busy horizon given the array's peak
+    /// MAC throughput per cycle.
+    #[must_use]
+    pub fn utilization(&self, peak_macs_per_cycle: usize) -> f64 {
+        if peak_macs_per_cycle == 0 {
+            0.0
+        } else {
+            self.macs_per_cycle() / peak_macs_per_cycle as f64
+        }
+    }
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rasa_mm ({} bypassed, {} prefetched, {} full WL), horizon {} cycles, {:.2} MACs/cycle",
+            self.matmuls,
+            self.weight_bypasses,
+            self.weight_prefetches,
+            self.full_weight_loads,
+            self.last_completion_cycle,
+            self.macs_per_cycle()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_with_no_instructions_are_zero() {
+        let s = EngineStats::default();
+        assert_eq!(s.bypass_rate(), 0.0);
+        assert_eq!(s.average_interval(), 0.0);
+        assert_eq!(s.macs_per_cycle(), 0.0);
+        assert_eq!(s.utilization(512), 0.0);
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let s = EngineStats {
+            matmuls: 10,
+            weight_bypasses: 5,
+            weight_prefetches: 2,
+            full_weight_loads: 3,
+            occupancy_cycles: 950,
+            last_completion_cycle: 400,
+            total_macs: 10 * 8192,
+            operand_stall_cycles: 12,
+            structural_stall_cycles: 30,
+        };
+        assert!((s.bypass_rate() - 0.5).abs() < 1e-12);
+        assert!((s.average_interval() - 40.0).abs() < 1e-12);
+        assert!((s.macs_per_cycle() - 204.8).abs() < 1e-9);
+        assert!(s.utilization(512) > 0.39 && s.utilization(512) < 0.41);
+        assert_eq!(s.utilization(0), 0.0);
+        let text = s.to_string();
+        assert!(text.contains("10 rasa_mm"));
+        assert!(text.contains("5 bypassed"));
+    }
+}

@@ -1,0 +1,284 @@
+use crate::{ControlScheme, StageDurations, SystolicConfig, SystolicError};
+use std::fmt;
+
+/// The logical dimensions of one `rasa_mm` tile: a TM×TK input tile, a
+/// TK×TN weight tile and a TM×TN accumulator tile.
+///
+/// Edge tiles of a larger GEMM may be smaller than the register capacity;
+/// the timing model charges them their actual extents (a clipped tile fills
+/// and drains faster).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileDims {
+    /// Rows of the A/C tiles (M extent).
+    pub tm: usize,
+    /// Reduction extent (K).
+    pub tk: usize,
+    /// Columns of the C tile (N extent).
+    pub tn: usize,
+}
+
+impl TileDims {
+    /// Creates tile dimensions.
+    #[must_use]
+    pub const fn new(tm: usize, tk: usize, tn: usize) -> Self {
+        TileDims { tm, tk, tn }
+    }
+
+    /// The largest tile the given array configuration accepts: TM equal to
+    /// the tile-register row count (16 for the AMX-like ISA) and TK/TN at
+    /// the array capacity.
+    #[must_use]
+    pub const fn full(config: &SystolicConfig) -> Self {
+        TileDims {
+            tm: 16,
+            tk: config.max_tk(),
+            tn: config.max_tn(),
+        }
+    }
+
+    /// Number of multiply-accumulate operations in the tile.
+    #[must_use]
+    pub const fn macs(&self) -> usize {
+        self.tm * self.tk * self.tn
+    }
+
+    /// Validates the tile against an array configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystolicError::TileTooLarge`] when the K or N extent
+    /// exceeds the array, and [`SystolicError::InvalidConfig`] for an empty
+    /// tile.
+    pub fn validate(&self, config: &SystolicConfig) -> Result<(), SystolicError> {
+        if self.tm == 0 || self.tk == 0 || self.tn == 0 {
+            return Err(SystolicError::InvalidConfig {
+                reason: format!("tile dimensions must be non-zero, got {self}"),
+            });
+        }
+        if self.tk > config.max_tk() || self.tn > config.max_tn() {
+            return Err(SystolicError::TileTooLarge {
+                tm: self.tm,
+                tk: self.tk,
+                tn: self.tn,
+                max_tk: config.max_tk(),
+                max_tn: config.max_tn(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TileDims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.tm, self.tk, self.tn)
+    }
+}
+
+/// Number of physical PE rows a tile of depth `tk` occupies on the array
+/// (double-multiplier PEs fold two K positions per row).
+#[must_use]
+pub(crate) fn occupied_rows(config: &SystolicConfig, tk: usize) -> u64 {
+    tk.div_ceil(config.pe().multipliers_per_pe()) as u64
+}
+
+/// Closed-form sub-stage durations (§IV-B) for `tile` on `config`:
+///
+/// * Weight Load — one cycle per occupied physical row (`R`);
+/// * Feed First — `TM` cycles (one A/C row pair per cycle into array row 0);
+/// * Feed Second — `R − 1` cycles to finish the skewed feed of the
+///   remaining rows;
+/// * Drain — `TN` cycles to eject the outputs, plus one extra cycle when the
+///   double-multiplier merge-adder row is present.
+///
+/// The serialized total equals Eq. 1 of the paper,
+/// `L_tot = 2·TK + TM + TN − 1` for the baseline PE at full tile size
+/// (95 cycles on the evaluated 32×16 array).
+#[must_use]
+pub fn stage_durations(config: &SystolicConfig, tile: TileDims) -> StageDurations {
+    let rows = occupied_rows(config, tile.tk).max(1);
+    let merge = u64::from(config.pe().needs_merge_adder_row());
+    StageDurations {
+        wl: rows,
+        ff: tile.tm as u64,
+        fs: rows - 1,
+        dr: tile.tn as u64 + merge,
+    }
+}
+
+/// The Eq. 1 serialized latency of a single `rasa_mm` on `config` — the
+/// issue-to-issue interval of the BASE design.
+#[must_use]
+pub fn base_latency(config: &SystolicConfig, tile: TileDims) -> u64 {
+    stage_durations(config, tile).total()
+}
+
+/// The steady-state issue interval (cycles per `rasa_mm`) for back-to-back
+/// instructions under a control scheme, assuming operands are always ready.
+///
+/// `weight_reused` indicates whether consecutive instructions name the same
+/// (clean) weight register; it only matters for the bypass-capable schemes.
+///
+/// This closed form is what the batch-size asymptote of Fig. 7 follows: a
+/// perfectly pipelined RASA-DMDB-WLS issues one `rasa_mm` every TM = 16
+/// cycles against the 95-cycle baseline, i.e. a normalized runtime of
+/// 16 / 95 ≈ 0.168.
+#[must_use]
+pub fn steady_state_interval(
+    config: &SystolicConfig,
+    tile: TileDims,
+    weight_reused: bool,
+) -> u64 {
+    let d = stage_durations(config, tile);
+    match config.control() {
+        ControlScheme::Base => d.total(),
+        ControlScheme::Pipe => d.wl + d.ff + d.fs,
+        ControlScheme::Wlbp => {
+            if weight_reused {
+                d.ff
+            } else {
+                d.wl + d.ff + d.fs
+            }
+        }
+        ControlScheme::Wls => {
+            if weight_reused {
+                d.ff
+            } else {
+                // The shadow-buffer prefetch hides WL behind the previous
+                // instruction's compute, but the single weight-load channel
+                // still limits throughput to one load per WL duration.
+                d.ff.max(d.wl)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PeVariant;
+
+    fn cfg(pe: PeVariant, control: ControlScheme) -> SystolicConfig {
+        SystolicConfig::paper(pe, control).unwrap()
+    }
+
+    #[test]
+    fn baseline_full_tile_is_95_cycles() {
+        let c = cfg(PeVariant::Baseline, ControlScheme::Base);
+        let d = stage_durations(&c, TileDims::full(&c));
+        assert_eq!(d.wl, 32);
+        assert_eq!(d.ff, 16);
+        assert_eq!(d.fs, 31);
+        assert_eq!(d.dr, 16);
+        assert_eq!(d.total(), 95);
+        assert_eq!(base_latency(&c, TileDims::full(&c)), 95);
+    }
+
+    #[test]
+    fn equation_one_matches_for_arbitrary_tiles() {
+        // L_tot = 2·TK + TM + TN − 1 for single-multiplier PEs.
+        let c = cfg(PeVariant::Baseline, ControlScheme::Base);
+        for (tm, tk, tn) in [(2, 2, 2), (16, 32, 16), (8, 20, 10), (1, 1, 1)] {
+            let tile = TileDims::new(tm, tk, tn);
+            assert_eq!(
+                base_latency(&c, tile),
+                (2 * tk + tm + tn - 1) as u64,
+                "tile {tile}"
+            );
+        }
+    }
+
+    #[test]
+    fn toy_2x2_example_latency() {
+        // Fig. 1: a 2×2 array with TM=TN=TK=2 has a 7-cycle total latency
+        // (2·2 + 2 + 2 − 1).
+        let c = SystolicConfig::new(2, 2, PeVariant::Baseline, ControlScheme::Base, 4).unwrap();
+        assert_eq!(base_latency(&c, TileDims::new(2, 2, 2)), 7);
+    }
+
+    #[test]
+    fn dm_halves_fill_and_drain() {
+        let c = cfg(PeVariant::Dm, ControlScheme::Base);
+        let d = stage_durations(&c, TileDims::full(&c));
+        // 16 physical rows hold the 32-deep weight tile.
+        assert_eq!(d.wl, 16);
+        assert_eq!(d.fs, 15);
+        // The merge-adder row adds one drain cycle.
+        assert_eq!(d.dr, 17);
+        assert_eq!(d.total(), 64);
+    }
+
+    #[test]
+    fn dm_odd_depth_rounds_rows_up() {
+        let c = cfg(PeVariant::Dmdb, ControlScheme::Wls);
+        let d = stage_durations(&c, TileDims::new(16, 31, 16));
+        assert_eq!(d.wl, 16);
+    }
+
+    #[test]
+    fn partial_tiles_are_cheaper() {
+        let c = cfg(PeVariant::Baseline, ControlScheme::Base);
+        let full = base_latency(&c, TileDims::full(&c));
+        let partial = base_latency(&c, TileDims::new(4, 32, 16));
+        assert!(partial < full);
+        assert_eq!(full - partial, 12);
+    }
+
+    #[test]
+    fn tile_validation() {
+        let c = cfg(PeVariant::Baseline, ControlScheme::Base);
+        assert!(TileDims::new(16, 32, 16).validate(&c).is_ok());
+        assert!(TileDims::new(16, 33, 16).validate(&c).is_err());
+        assert!(TileDims::new(16, 32, 17).validate(&c).is_err());
+        assert!(TileDims::new(0, 32, 16).validate(&c).is_err());
+        // Large TM is allowed (it is a streaming dimension).
+        assert!(TileDims::new(64, 32, 16).validate(&c).is_ok());
+        // The DM array still accepts TK=32 because each PE folds two rows.
+        let dm = cfg(PeVariant::Dm, ControlScheme::Base);
+        assert!(TileDims::new(16, 32, 16).validate(&dm).is_ok());
+    }
+
+    #[test]
+    fn steady_state_intervals_match_schemes() {
+        let tile = TileDims::new(16, 32, 16);
+        let base = cfg(PeVariant::Baseline, ControlScheme::Base);
+        assert_eq!(steady_state_interval(&base, tile, false), 95);
+
+        let pipe = cfg(PeVariant::Baseline, ControlScheme::Pipe);
+        assert_eq!(steady_state_interval(&pipe, tile, false), 79);
+        assert_eq!(steady_state_interval(&pipe, tile, true), 79);
+
+        let wlbp = cfg(PeVariant::Baseline, ControlScheme::Wlbp);
+        assert_eq!(steady_state_interval(&wlbp, tile, true), 16);
+        assert_eq!(steady_state_interval(&wlbp, tile, false), 79);
+
+        let wls = cfg(PeVariant::Db, ControlScheme::Wls);
+        assert_eq!(steady_state_interval(&wls, tile, true), 16);
+        assert_eq!(steady_state_interval(&wls, tile, false), 32);
+
+        let dmdb = cfg(PeVariant::Dmdb, ControlScheme::Wls);
+        assert_eq!(steady_state_interval(&dmdb, tile, true), 16);
+        assert_eq!(steady_state_interval(&dmdb, tile, false), 16);
+    }
+
+    #[test]
+    fn interval_never_exceeds_base_latency() {
+        let tile = TileDims::new(16, 32, 16);
+        for pe in PeVariant::all() {
+            for scheme in ControlScheme::all() {
+                let Ok(c) = SystolicConfig::paper(pe, scheme) else {
+                    continue;
+                };
+                for reuse in [false, true] {
+                    assert!(steady_state_interval(&c, tile, reuse) <= base_latency(&c, tile));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tile_display_and_macs() {
+        let t = TileDims::new(16, 32, 16);
+        assert_eq!(t.to_string(), "16x32x16");
+        assert_eq!(t.macs(), 8192);
+    }
+}

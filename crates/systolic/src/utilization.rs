@@ -1,0 +1,173 @@
+//! Closed-form PE-utilization analysis (Eq. 1 / Eq. 2, Fig. 1 and Fig. 2 of
+//! the paper).
+
+use crate::{SystolicConfig, TileDims};
+
+/// One point of a utilization curve: a TM value and the resulting average
+/// PE utilization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilizationPoint {
+    /// The streaming tile dimension TM.
+    pub tm: usize,
+    /// Average PE utilization in `[0, 1]`.
+    pub utilization: f64,
+}
+
+/// The number of cycles each MAC unit is inactive during one serialized
+/// `rasa_mm` — Eq. 2 of the paper: `T_inactive = L_tot − TM`.
+#[must_use]
+pub fn fill_drain_inactive_cycles(config: &SystolicConfig, tile: TileDims) -> u64 {
+    crate::base_latency(config, tile).saturating_sub(tile.tm as u64)
+}
+
+/// Average PE utilization of a single serialized `rasa_mm` mapped on a fully
+/// occupied array: each PE computes for TM cycles out of the Eq. 1 total
+/// latency, so the average is `TM / L_tot` (28.6 % for the Fig. 1 toy
+/// example, and the quantity plotted against TM in Fig. 2).
+#[must_use]
+pub fn average_utilization(config: &SystolicConfig, tile: TileDims) -> f64 {
+    let total = crate::base_latency(config, tile);
+    if total == 0 {
+        return 0.0;
+    }
+    // Account for a tile that does not fill the array (mapping inefficiency):
+    // only tk×tn of the array's max_tk×max_tn positions hold useful work.
+    let mapping = (tile.tk.min(config.max_tk()) * tile.tn.min(config.max_tn())) as f64
+        / (config.max_tk() * config.max_tn()) as f64;
+    mapping * tile.tm as f64 / total as f64
+}
+
+/// Steady-state PE utilization when `rasa_mm` instructions are pipelined
+/// back-to-back under a control scheme: `TM / interval`, capped at 1.
+///
+/// `weight_reuse_fraction` is the fraction of instructions whose weight
+/// register is reused with a clear dirty bit (0.5 for the 2×2 register
+/// blocking of Algorithm 1).
+#[must_use]
+pub fn pipelined_utilization(
+    config: &SystolicConfig,
+    tile: TileDims,
+    weight_reuse_fraction: f64,
+) -> f64 {
+    let reuse = weight_reuse_fraction.clamp(0.0, 1.0);
+    let i_reuse = crate::steady_state_interval(config, tile, true) as f64;
+    let i_fresh = crate::steady_state_interval(config, tile, false) as f64;
+    let interval = reuse * i_reuse + (1.0 - reuse) * i_fresh;
+    if interval <= 0.0 {
+        return 0.0;
+    }
+    (tile.tm as f64 / interval).min(1.0)
+}
+
+/// The Fig. 2 sweep: average utilization of one serialized instruction as a
+/// function of TM, for a square array of dimension `array_dim`
+/// (TK = TN = `array_dim`). `tm_values` supplies the X axis.
+#[must_use]
+pub fn utilization_curve(array_dim: usize, tm_values: &[usize]) -> Vec<UtilizationPoint> {
+    tm_values
+        .iter()
+        .map(|&tm| {
+            let total = (2 * array_dim + tm + array_dim - 1) as f64;
+            UtilizationPoint {
+                tm,
+                utilization: tm as f64 / total,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ControlScheme, PeVariant};
+
+    fn baseline() -> SystolicConfig {
+        SystolicConfig::paper(PeVariant::Baseline, ControlScheme::Base).unwrap()
+    }
+
+    #[test]
+    fn equation_two_inactive_cycles() {
+        let cfg = baseline();
+        let tile = TileDims::new(16, 32, 16);
+        // L_tot − TM = 95 − 16 = 79.
+        assert_eq!(fill_drain_inactive_cycles(&cfg, tile), 79);
+    }
+
+    #[test]
+    fn fig1_toy_example_utilization() {
+        let cfg =
+            SystolicConfig::new(2, 2, PeVariant::Baseline, ControlScheme::Base, 4).unwrap();
+        let u = average_utilization(&cfg, TileDims::new(2, 2, 2));
+        assert!((u - 2.0 / 7.0).abs() < 1e-9, "expected 28.6 %, got {u}");
+    }
+
+    #[test]
+    fn paper_tile_utilization_is_low() {
+        // The motivating observation: a full register tile only reaches
+        // 16/95 ≈ 16.8 % utilization on the serialized baseline.
+        let u = average_utilization(&baseline(), TileDims::new(16, 32, 16));
+        assert!((u - 16.0 / 95.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mapping_inefficiency_reduces_utilization() {
+        let cfg = baseline();
+        let full = average_utilization(&cfg, TileDims::new(16, 32, 16));
+        let half_mapped = average_utilization(&cfg, TileDims::new(16, 16, 16));
+        assert!(half_mapped < full);
+    }
+
+    #[test]
+    fn utilization_grows_with_tm_and_approaches_one() {
+        let curve = utilization_curve(16, &[4, 16, 64, 256, 1024, 16384]);
+        assert_eq!(curve.len(), 6);
+        for pair in curve.windows(2) {
+            assert!(pair[0].utilization < pair[1].utilization);
+        }
+        assert!(curve.last().unwrap().utilization > 0.99);
+        assert!(curve[0].utilization < 0.1);
+    }
+
+    #[test]
+    fn larger_arrays_need_larger_tm() {
+        // Fig. 2: at the same TM, a larger array is less utilized.
+        let small = utilization_curve(8, &[64])[0].utilization;
+        let large = utilization_curve(128, &[64])[0].utilization;
+        assert!(small > large);
+    }
+
+    #[test]
+    fn pipelined_utilization_ordering() {
+        let tile = TileDims::new(16, 32, 16);
+        let base = pipelined_utilization(&baseline(), tile, 0.5);
+        let pipe = pipelined_utilization(
+            &SystolicConfig::paper(PeVariant::Baseline, ControlScheme::Pipe).unwrap(),
+            tile,
+            0.5,
+        );
+        let wlbp = pipelined_utilization(
+            &SystolicConfig::paper(PeVariant::Baseline, ControlScheme::Wlbp).unwrap(),
+            tile,
+            0.5,
+        );
+        let wls = pipelined_utilization(
+            &SystolicConfig::paper(PeVariant::Dmdb, ControlScheme::Wls).unwrap(),
+            tile,
+            0.5,
+        );
+        assert!(base < pipe);
+        assert!(pipe < wlbp);
+        assert!(wlbp < wls);
+        assert!(wls <= 1.0);
+    }
+
+    #[test]
+    fn reuse_fraction_is_clamped() {
+        let tile = TileDims::new(16, 32, 16);
+        let cfg = SystolicConfig::paper(PeVariant::Baseline, ControlScheme::Wlbp).unwrap();
+        let lo = pipelined_utilization(&cfg, tile, -3.0);
+        let hi = pipelined_utilization(&cfg, tile, 7.0);
+        assert!((lo - 16.0 / 79.0).abs() < 1e-9);
+        assert!((hi - 1.0).abs() < 1e-9);
+    }
+}

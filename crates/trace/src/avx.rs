@@ -1,0 +1,184 @@
+//! AVX-512-style SIMD baseline kernel emitter.
+//!
+//! The paper's methodology collects both AMX and AVX LIBXSMM kernels; the
+//! matrix-engine evaluation only compares systolic designs, but the SIMD
+//! kernel is the natural "what if we had no matrix engine" reference point.
+//! This module emits a vector-FMA GEMM micro-kernel so the CPU model can run
+//! that reference:
+//!
+//! * 512-bit vectors of 16 FP32 lanes;
+//! * a 4-row × 4-vector register block (16 accumulator registers), the
+//!   classic AVX-512 SGEMM blocking that fits the 32 architectural vector
+//!   registers with room for operand staging;
+//! * per K step: one vector load per B column block, one scalar broadcast
+//!   load per A row, and a 4×4 grid of FMAs.
+//!
+//! **Modelling simplification** (documented, see DESIGN.md): the ISA models
+//! vector operand loads as [`rasa_isa::Instruction::ScalarLoad`] micro-ops
+//! (they occupy load-port slots with the idealized L1 latency); the
+//! dependence that actually paces the kernel — the accumulator chain through
+//! the FMA destination registers — is carried precisely by
+//! [`rasa_isa::Instruction::VectorFma`].
+
+use crate::{TraceError, TraceGenerator};
+use rasa_isa::{GprReg, Program, ProgramBuilder};
+use rasa_numeric::GemmShape;
+
+/// FP32 lanes per 512-bit vector.
+const LANES: usize = 16;
+/// Accumulator rows per register block.
+const BLOCK_ROWS: usize = 4;
+/// Accumulator vector columns per register block (each 16 lanes wide).
+const BLOCK_COLS: usize = 4;
+
+impl TraceGenerator {
+    /// Emits an AVX-512-style SIMD GEMM trace for `shape` (FP32 FMAs, no
+    /// matrix engine involvement). The cap configured for the kernel applies
+    /// to FMA instructions here, scaled so that one `rasa_mm`'s worth of
+    /// work corresponds to `TM·TK·TN / 16` FMAs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Shape`] for an empty GEMM.
+    pub fn gemm_avx(&self, shape: GemmShape, name: &str) -> Result<Program, TraceError> {
+        if shape.is_empty() {
+            return Err(TraceError::Shape(rasa_numeric::NumericError::InvalidTiling {
+                reason: format!("cannot generate an avx kernel for an empty GEMM ({shape})"),
+            }));
+        }
+        let mut b = ProgramBuilder::new(*self.isa());
+        b.set_name(name);
+
+        // Iteration space in register blocks.
+        let row_blocks = shape.m.div_ceil(BLOCK_ROWS);
+        let col_blocks = shape.n.div_ceil(BLOCK_COLS * LANES);
+        let k_steps = shape.k;
+
+        // The FMA cap equivalent to the configured rasa_mm cap.
+        let fma_cap = self
+            .kernel()
+            .max_matmuls
+            .map_or(usize::MAX, |mm| mm.saturating_mul(16 * 32 * 16 / LANES));
+
+        let a_ptr = GprReg::new(1).expect("valid gpr");
+        let b_ptr = GprReg::new(2).expect("valid gpr");
+        let k_counter = GprReg::new(3).expect("valid gpr");
+
+        // Vector register allocation: accumulators 0..16, B operands 16..20,
+        // A broadcasts 20..24.
+        let acc = |r: usize, c: usize| (r * BLOCK_COLS + c) as u8;
+        let b_reg = |c: usize| (16 + c) as u8;
+        let a_reg = |r: usize| (20 + r) as u8;
+
+        let mut fmas = 0usize;
+        'outer: for _cb in 0..col_blocks {
+            for _rb in 0..row_blocks {
+                for k in 0..k_steps {
+                    // B vector loads for the four column vectors.
+                    for c in 0..BLOCK_COLS {
+                        b.push(rasa_isa::Instruction::ScalarLoad {
+                            dst: b_ptr,
+                            base: Some(b_ptr),
+                        });
+                        // The loaded value lands in the B vector register;
+                        // model the rename through a zero-latency FMA-free
+                        // move is unnecessary — the accumulator chain is the
+                        // pacing dependence.
+                        let _ = c;
+                    }
+                    for r in 0..BLOCK_ROWS {
+                        // Broadcast load of A[r][k].
+                        b.push(rasa_isa::Instruction::ScalarLoad {
+                            dst: a_ptr,
+                            base: Some(a_ptr),
+                        });
+                        for c in 0..BLOCK_COLS {
+                            b.vector_fma(acc(r, c), a_reg(r), b_reg(c));
+                            fmas += 1;
+                        }
+                    }
+                    if self.kernel().emit_scalar_overhead {
+                        b.scalar_alu(k_counter, &[k_counter]);
+                        b.branch(k + 1 != k_steps);
+                    }
+                    if fmas >= fma_cap {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+
+        Ok(b.finish()?)
+    }
+
+    /// The number of vector FMA instructions a full (uncapped) AVX trace of
+    /// `shape` contains.
+    #[must_use]
+    pub fn fma_count(&self, shape: GemmShape) -> usize {
+        let row_blocks = shape.m.div_ceil(BLOCK_ROWS);
+        let col_blocks = shape.n.div_ceil(BLOCK_COLS * LANES);
+        row_blocks * col_blocks * shape.k * BLOCK_ROWS * BLOCK_COLS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GemmKernelConfig;
+
+    #[test]
+    fn avx_trace_has_the_expected_fma_count() {
+        let g = TraceGenerator::amx_like()
+            .with_kernel(GemmKernelConfig::amx_like().without_scalar_overhead())
+            .unwrap();
+        // 64 rows → 16 row blocks; 64 cols → 1 col block; K = 64.
+        let shape = GemmShape::new(64, 64, 64);
+        let p = g.gemm_avx(shape, "avx").unwrap();
+        assert_eq!(p.stats().vector_ops, g.fma_count(shape));
+        assert_eq!(p.stats().vector_ops, 16 * 64 * 16);
+        assert_eq!(p.count_matmuls(), 0);
+        assert!(p.stats().scalar_ops > 0); // operand loads
+    }
+
+    #[test]
+    fn avx_trace_covers_all_lanes_of_the_gemm() {
+        let g = TraceGenerator::amx_like();
+        let shape = GemmShape::new(32, 32, 128);
+        // Each FMA performs 16 MACs; the kernel covers at least the GEMM's
+        // MAC count (edge blocks round up).
+        assert!(g.fma_count(shape) * LANES >= shape.macs());
+    }
+
+    #[test]
+    fn cap_truncates_avx_traces_too() {
+        let g = TraceGenerator::amx_like()
+            .with_kernel(GemmKernelConfig::amx_like().with_max_matmuls(2))
+            .unwrap();
+        let shape = GemmShape::new(512, 512, 512);
+        let p = g.gemm_avx(shape, "avx-capped").unwrap();
+        // 2 rasa_mm of work = 2·8192/16 = 1024 FMAs, rounded up to the next
+        // K step boundary (16 FMAs per step).
+        assert!(p.stats().vector_ops >= 1024);
+        assert!(p.stats().vector_ops < 1200);
+    }
+
+    #[test]
+    fn empty_shape_rejected() {
+        let g = TraceGenerator::amx_like();
+        assert!(g.gemm_avx(GemmShape::new(0, 4, 4), "bad").is_err());
+    }
+
+    #[test]
+    fn scalar_overhead_toggle_applies() {
+        let with = TraceGenerator::amx_like()
+            .gemm_avx(GemmShape::new(8, 8, 32), "with")
+            .unwrap();
+        assert!(with.stats().branches > 0);
+        let without = TraceGenerator::amx_like()
+            .with_kernel(GemmKernelConfig::amx_like().without_scalar_overhead())
+            .unwrap()
+            .gemm_avx(GemmShape::new(8, 8, 32), "without")
+            .unwrap();
+        assert_eq!(without.stats().branches, 0);
+    }
+}

@@ -1,0 +1,195 @@
+use rasa_numeric::{ConvShape, GemmShape};
+use std::fmt;
+
+/// The kind of DNN layer, carrying its native dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// A 2-D convolution layer (lowered to GEMM via im2col).
+    Conv(ConvShape),
+    /// A fully-connected layer processing a batch of inputs.
+    Fc {
+        /// Batch size (N in the paper's FC notation).
+        batch: usize,
+        /// Input neurons (NIN).
+        input_neurons: usize,
+        /// Output neurons (NON).
+        output_neurons: usize,
+    },
+}
+
+/// A named DNN layer from the evaluation workloads.
+///
+/// ```
+/// use rasa_workloads::LayerSpec;
+/// let fc = LayerSpec::fc("DLRM-1", 512, 1024, 1024);
+/// assert_eq!(fc.gemm_shape().m, 512);
+/// assert_eq!(fc.with_batch(8).gemm_shape().m, 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LayerSpec {
+    name: String,
+    kind: LayerKind,
+}
+
+impl LayerSpec {
+    /// Creates a convolution layer.
+    #[must_use]
+    pub fn conv(name: impl Into<String>, shape: ConvShape) -> Self {
+        LayerSpec {
+            name: name.into(),
+            kind: LayerKind::Conv(shape),
+        }
+    }
+
+    /// Creates a fully-connected layer.
+    #[must_use]
+    pub fn fc(
+        name: impl Into<String>,
+        batch: usize,
+        input_neurons: usize,
+        output_neurons: usize,
+    ) -> Self {
+        LayerSpec {
+            name: name.into(),
+            kind: LayerKind::Fc {
+                batch,
+                input_neurons,
+                output_neurons,
+            },
+        }
+    }
+
+    /// The layer's Table I name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layer kind and native dimensions.
+    #[must_use]
+    pub const fn kind(&self) -> &LayerKind {
+        &self.kind
+    }
+
+    /// The GEMM the layer lowers to: im2col dimensions for convolutions,
+    /// `M = batch, K = NIN, N = NON` for fully-connected layers.
+    #[must_use]
+    pub fn gemm_shape(&self) -> GemmShape {
+        match &self.kind {
+            LayerKind::Conv(c) => c.to_gemm(),
+            LayerKind::Fc {
+                batch,
+                input_neurons,
+                output_neurons,
+            } => GemmShape::new(*batch, *input_neurons, *output_neurons),
+        }
+    }
+
+    /// Returns a copy of the layer with a different batch size (used by the
+    /// Fig. 7 batch-size sensitivity sweep). For convolutions this replaces
+    /// the batch dimension `N`; for FC layers it replaces `batch`.
+    #[must_use]
+    pub fn with_batch(&self, batch: usize) -> LayerSpec {
+        let kind = match self.kind {
+            LayerKind::Conv(mut c) => {
+                c.n = batch;
+                LayerKind::Conv(c)
+            }
+            LayerKind::Fc {
+                input_neurons,
+                output_neurons,
+                ..
+            } => LayerKind::Fc {
+                batch,
+                input_neurons,
+                output_neurons,
+            },
+        };
+        LayerSpec {
+            name: format!("{}@b{batch}", self.base_name()),
+            kind,
+        }
+    }
+
+    /// The layer's batch size.
+    #[must_use]
+    pub const fn batch(&self) -> usize {
+        match &self.kind {
+            LayerKind::Conv(c) => c.n,
+            LayerKind::Fc { batch, .. } => *batch,
+        }
+    }
+
+    /// The workload family (`"ResNet50"`, `"DLRM"`, `"BERT"`, …) derived
+    /// from the layer name.
+    #[must_use]
+    pub fn family(&self) -> &str {
+        self.name.split('-').next().unwrap_or(&self.name)
+    }
+
+    fn base_name(&self) -> &str {
+        self.name.split('@').next().unwrap_or(&self.name)
+    }
+}
+
+impl fmt::Display for LayerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            LayerKind::Conv(c) => write!(f, "{} (conv {c} -> {})", self.name, c.to_gemm()),
+            LayerKind::Fc {
+                batch,
+                input_neurons,
+                output_neurons,
+            } => write!(
+                f,
+                "{} (fc N={batch} NIN={input_neurons} NON={output_neurons})",
+                self.name
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fc_layer_gemm_mapping() {
+        let l = LayerSpec::fc("BERT-2", 256, 3072, 768);
+        assert_eq!(l.gemm_shape(), GemmShape::new(256, 3072, 768));
+        assert_eq!(l.batch(), 256);
+        assert_eq!(l.family(), "BERT");
+        assert!(l.to_string().contains("NIN=3072"));
+    }
+
+    #[test]
+    fn conv_layer_gemm_mapping() {
+        let conv = ConvShape::new(32, 64, 56, 56, 64, 3, 3, 1, 1);
+        let l = LayerSpec::conv("ResNet50-2", conv);
+        assert_eq!(l.gemm_shape(), GemmShape::new(32 * 56 * 56, 64 * 9, 64));
+        assert_eq!(l.batch(), 32);
+        assert_eq!(l.family(), "ResNet50");
+    }
+
+    #[test]
+    fn with_batch_rescales_m() {
+        let l = LayerSpec::fc("DLRM-1", 512, 1024, 1024);
+        let small = l.with_batch(4);
+        assert_eq!(small.gemm_shape().m, 4);
+        assert_eq!(small.gemm_shape().k, 1024);
+        assert_eq!(small.name(), "DLRM-1@b4");
+        // Re-batching an already re-batched layer keeps a clean name.
+        assert_eq!(small.with_batch(8).name(), "DLRM-1@b8");
+
+        let conv = LayerSpec::conv("ResNet50-1", ConvShape::new(32, 64, 56, 56, 64, 1, 1, 1, 0));
+        let conv2 = conv.with_batch(64);
+        assert_eq!(conv2.gemm_shape().m, 64 * 56 * 56);
+        assert_eq!(conv2.batch(), 64);
+    }
+
+    #[test]
+    fn kind_accessor() {
+        let l = LayerSpec::fc("DLRM-2", 512, 1024, 64);
+        assert!(matches!(l.kind(), LayerKind::Fc { .. }));
+    }
+}

@@ -1,0 +1,106 @@
+//! # rasa-workloads — MLPerf-derived workloads of the RASA evaluation
+//!
+//! The paper evaluates nine layers drawn from three MLPerf workloads
+//! (Table I): three ResNet50 convolution layers, three DLRM fully-connected
+//! layers and three BERT fully-connected layers, all run for inference.
+//! This crate encodes those layer dimensions, converts them to the GEMMs the
+//! matrix engine actually executes, and provides the batch-size sweeps used
+//! by the Fig. 7 sensitivity study.
+//!
+//! ```
+//! use rasa_workloads::{WorkloadSuite, LayerSpec};
+//!
+//! let suite = WorkloadSuite::mlperf();
+//! assert_eq!(suite.layers().len(), 9);
+//! let dlrm1 = suite.layer("DLRM-1").expect("Table I layer");
+//! assert_eq!(dlrm1.gemm_shape().k, 1024);
+//! ```
+
+#![deny(missing_docs)]
+
+mod layer;
+mod mlperf;
+mod sweep;
+
+pub use layer::{LayerKind, LayerSpec};
+pub use mlperf::{bert_layers, dlrm_layers, resnet50_layers, table1_layers, MlperfWorkload};
+pub use sweep::{batch_sweep, fig7_batch_sizes};
+
+/// The full workload suite used in the paper's evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadSuite {
+    layers: Vec<LayerSpec>,
+}
+
+impl WorkloadSuite {
+    /// The nine Table I layers.
+    #[must_use]
+    pub fn mlperf() -> Self {
+        WorkloadSuite {
+            layers: table1_layers(),
+        }
+    }
+
+    /// Builds a suite from an explicit layer list.
+    #[must_use]
+    pub fn from_layers(layers: Vec<LayerSpec>) -> Self {
+        WorkloadSuite { layers }
+    }
+
+    /// All layers in evaluation order.
+    #[must_use]
+    pub fn layers(&self) -> &[LayerSpec] {
+        &self.layers
+    }
+
+    /// Looks a layer up by its Table I name (e.g. `"BERT-2"`).
+    #[must_use]
+    pub fn layer(&self, name: &str) -> Option<&LayerSpec> {
+        self.layers.iter().find(|l| l.name() == name)
+    }
+
+    /// Total multiply-accumulate count across the suite.
+    #[must_use]
+    pub fn total_macs(&self) -> usize {
+        self.layers.iter().map(|l| l.gemm_shape().macs()).sum()
+    }
+}
+
+impl Default for WorkloadSuite {
+    fn default() -> Self {
+        WorkloadSuite::mlperf()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_contains_all_table1_layers() {
+        let suite = WorkloadSuite::mlperf();
+        assert_eq!(suite.layers().len(), 9);
+        for name in [
+            "ResNet50-1",
+            "ResNet50-2",
+            "ResNet50-3",
+            "DLRM-1",
+            "DLRM-2",
+            "DLRM-3",
+            "BERT-1",
+            "BERT-2",
+            "BERT-3",
+        ] {
+            assert!(suite.layer(name).is_some(), "missing {name}");
+        }
+        assert!(suite.layer("VGG-1").is_none());
+        assert!(suite.total_macs() > 0);
+    }
+
+    #[test]
+    fn custom_suite() {
+        let suite = WorkloadSuite::from_layers(dlrm_layers());
+        assert_eq!(suite.layers().len(), 3);
+        assert_eq!(WorkloadSuite::default(), WorkloadSuite::mlperf());
+    }
+}

@@ -1,0 +1,155 @@
+//! The MLPerf-derived layer definitions of Table I.
+
+use crate::LayerSpec;
+use rasa_numeric::ConvShape;
+
+/// A named group of layers belonging to one MLPerf model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MlperfWorkload {
+    /// Model name (`"ResNet50"`, `"DLRM"` or `"BERT"`).
+    pub name: &'static str,
+    /// The task the model represents in MLPerf (as described in §V).
+    pub task: &'static str,
+    /// The three evaluated layers of the model.
+    pub layers: Vec<LayerSpec>,
+}
+
+/// The three ResNet50 convolution layers of Table I.
+///
+/// The 1×1 convolutions use no padding; the 3×3 convolution uses unit
+/// padding so the spatial dimensions are preserved (the standard ResNet50
+/// configuration, and the one that makes the paper's example lowering of
+/// ResNet50's first evaluated layer come out to M = N·X·Y).
+#[must_use]
+pub fn resnet50_layers() -> Vec<LayerSpec> {
+    vec![
+        LayerSpec::conv(
+            "ResNet50-1",
+            ConvShape::new(32, 64, 56, 56, 64, 1, 1, 1, 0),
+        ),
+        LayerSpec::conv(
+            "ResNet50-2",
+            ConvShape::new(32, 64, 56, 56, 64, 3, 3, 1, 1),
+        ),
+        LayerSpec::conv(
+            "ResNet50-3",
+            ConvShape::new(32, 1024, 14, 14, 512, 1, 1, 1, 0),
+        ),
+    ]
+}
+
+/// The three DLRM fully-connected layers of Table I.
+#[must_use]
+pub fn dlrm_layers() -> Vec<LayerSpec> {
+    vec![
+        LayerSpec::fc("DLRM-1", 512, 1024, 1024),
+        LayerSpec::fc("DLRM-2", 512, 1024, 64),
+        LayerSpec::fc("DLRM-3", 512, 2048, 2048),
+    ]
+}
+
+/// The three BERT fully-connected layers of Table I.
+#[must_use]
+pub fn bert_layers() -> Vec<LayerSpec> {
+    vec![
+        LayerSpec::fc("BERT-1", 256, 768, 768),
+        LayerSpec::fc("BERT-2", 256, 3072, 768),
+        LayerSpec::fc("BERT-3", 256, 768, 3072),
+    ]
+}
+
+/// All nine Table I layers in evaluation order.
+#[must_use]
+pub fn table1_layers() -> Vec<LayerSpec> {
+    let mut layers = resnet50_layers();
+    layers.extend(dlrm_layers());
+    layers.extend(bert_layers());
+    layers
+}
+
+impl MlperfWorkload {
+    /// The three MLPerf workloads of the evaluation.
+    #[must_use]
+    pub fn all() -> Vec<MlperfWorkload> {
+        vec![
+            MlperfWorkload {
+                name: "ResNet50",
+                task: "computer vision",
+                layers: resnet50_layers(),
+            },
+            MlperfWorkload {
+                name: "DLRM",
+                task: "recommendation",
+                layers: dlrm_layers(),
+            },
+            MlperfWorkload {
+                name: "BERT",
+                task: "natural language processing",
+                layers: bert_layers(),
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rasa_numeric::GemmShape;
+
+    #[test]
+    fn table1_dimensions_match_the_paper() {
+        let layers = table1_layers();
+        assert_eq!(layers.len(), 9);
+        // Spot-check the lowered GEMM dimensions.
+        assert_eq!(
+            layers[0].gemm_shape(),
+            GemmShape::new(32 * 56 * 56, 64, 64),
+            "ResNet50-1"
+        );
+        assert_eq!(
+            layers[1].gemm_shape(),
+            GemmShape::new(32 * 56 * 56, 576, 64),
+            "ResNet50-2"
+        );
+        assert_eq!(
+            layers[2].gemm_shape(),
+            GemmShape::new(32 * 14 * 14, 1024, 512),
+            "ResNet50-3"
+        );
+        assert_eq!(layers[3].gemm_shape(), GemmShape::new(512, 1024, 1024));
+        assert_eq!(layers[4].gemm_shape(), GemmShape::new(512, 1024, 64));
+        assert_eq!(layers[5].gemm_shape(), GemmShape::new(512, 2048, 2048));
+        assert_eq!(layers[6].gemm_shape(), GemmShape::new(256, 768, 768));
+        assert_eq!(layers[7].gemm_shape(), GemmShape::new(256, 3072, 768));
+        assert_eq!(layers[8].gemm_shape(), GemmShape::new(256, 768, 3072));
+    }
+
+    #[test]
+    fn workload_grouping() {
+        let all = MlperfWorkload::all();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].name, "ResNet50");
+        assert_eq!(all[1].task, "recommendation");
+        assert!(all.iter().all(|w| w.layers.len() == 3));
+    }
+
+    #[test]
+    fn every_conv_layer_validates() {
+        for layer in resnet50_layers() {
+            if let crate::LayerKind::Conv(c) = layer.kind() {
+                assert!(c.validate().is_ok(), "{layer}");
+            } else {
+                panic!("resnet layers must be convolutions");
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let layers = table1_layers();
+        let mut names: Vec<_> = layers.iter().map(LayerSpec::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+    }
+}

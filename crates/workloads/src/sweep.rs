@@ -1,0 +1,52 @@
+//! Batch-size sweeps for the Fig. 7 sensitivity study.
+
+use crate::LayerSpec;
+
+/// The batch sizes evaluated in Fig. 7: powers of two from 1 to 1024.
+#[must_use]
+pub fn fig7_batch_sizes() -> Vec<usize> {
+    (0..=10).map(|p| 1usize << p).collect()
+}
+
+/// Produces one re-batched copy of `layer` per entry of `batch_sizes`.
+///
+/// ```
+/// use rasa_workloads::{batch_sweep, LayerSpec};
+/// let layer = LayerSpec::fc("DLRM-1", 512, 1024, 1024);
+/// let sweep = batch_sweep(&layer, &[1, 16, 256]);
+/// assert_eq!(sweep.len(), 3);
+/// assert_eq!(sweep[1].gemm_shape().m, 16);
+/// ```
+#[must_use]
+pub fn batch_sweep(layer: &LayerSpec, batch_sizes: &[usize]) -> Vec<LayerSpec> {
+    batch_sizes.iter().map(|&b| layer.with_batch(b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_sizes_are_powers_of_two_up_to_1024() {
+        let sizes = fig7_batch_sizes();
+        assert_eq!(sizes.first(), Some(&1));
+        assert_eq!(sizes.last(), Some(&1024));
+        assert_eq!(sizes.len(), 11);
+        for pair in sizes.windows(2) {
+            assert_eq!(pair[1], pair[0] * 2);
+        }
+    }
+
+    #[test]
+    fn sweep_preserves_everything_but_batch() {
+        let layer = LayerSpec::fc("BERT-1", 256, 768, 768);
+        let sweep = batch_sweep(&layer, &fig7_batch_sizes());
+        assert_eq!(sweep.len(), 11);
+        for (size, l) in fig7_batch_sizes().into_iter().zip(&sweep) {
+            assert_eq!(l.gemm_shape().m, size);
+            assert_eq!(l.gemm_shape().k, 768);
+            assert_eq!(l.gemm_shape().n, 768);
+            assert_eq!(l.family(), "BERT");
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Design-space exploration: every PE variant × control scheme combination.
+//!
+//! The paper evaluates eight named design points; this example sweeps the
+//! full (valid) cross product on one BERT layer and reports runtime, area,
+//! performance per area and energy efficiency — the kind of exploration the
+//! public API is meant to support beyond the paper's own figures.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use rasa::power::EngineActivitySummary;
+use rasa::prelude::*;
+use rasa::systolic::{ControlScheme, PeVariant};
+use rasa::workloads::bert_layers;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let layer = &bert_layers()[0];
+    println!("design space on {layer}:");
+    println!(
+        "{:>18} {:>12} {:>10} {:>10} {:>10} {:>12}",
+        "design", "cycles", "norm", "area mm2", "PPA", "energy eff"
+    );
+
+    // Baseline first so everything can be normalized against it.
+    let baseline_sim = Simulator::new(DesignPoint::baseline())?.with_matmul_cap(Some(1536))?;
+    let baseline = baseline_sim.run_layer(layer)?;
+
+    let area_model = AreaModel::new();
+    let energy_model = EnergyModel::new();
+    let baseline_area = baseline.power.area.total();
+    let baseline_energy = baseline.power.energy.total();
+
+    for pe in PeVariant::all() {
+        for scheme in ControlScheme::all() {
+            let Ok(systolic) = SystolicConfig::paper(pe, scheme) else {
+                // WLS without double buffering is not constructible.
+                continue;
+            };
+            let design = DesignPoint::new(systolic.label(), systolic, CpuConfig::skylake_like());
+            let sim = Simulator::new(design)?.with_matmul_cap(Some(1536))?;
+            let report = sim.run_layer(layer)?;
+
+            let normalized = report.normalized_runtime_vs(&baseline);
+            let area = area_model.array_area_mm2(&systolic);
+            let ppa = (1.0 / normalized) / (area / baseline_area);
+            let activity = EngineActivitySummary::from_engine_stats(&report.cpu.engine);
+            let energy = energy_model.energy(&systolic, &activity).total();
+            let energy_eff = if energy > 0.0 {
+                baseline_energy / energy
+            } else {
+                0.0
+            };
+
+            println!(
+                "{:>18} {:>12} {:>10.3} {:>10.3} {:>10.2} {:>11.2}x",
+                systolic.label(),
+                report.core_cycles,
+                normalized,
+                area,
+                ppa,
+                energy_eff
+            );
+        }
+    }
+
+    println!();
+    println!("(norm = runtime normalized to BASELINE; PPA and energy efficiency are");
+    println!(" relative to BASELINE; WLS rows only exist for double-buffered PEs)");
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Recommendation / NLP fully-connected layers and the batch-size study.
+//!
+//! Simulates the DLRM and BERT FC layers of Table I on RASA-DMDB-WLS, then
+//! sweeps the batch size of one DLRM layer to show the Fig. 7 behaviour:
+//! batches below the 16-row tile granularity all cost the same, and large
+//! batches approach the 16/95 ≈ 0.168 perfect-pipelining asymptote.
+//!
+//! Run with: `cargo run --release --example mlp_recommender`
+
+use rasa::prelude::*;
+use rasa::workloads::{batch_sweep, bert_layers, dlrm_layers};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let baseline_sim = Simulator::new(DesignPoint::baseline())?.with_matmul_cap(Some(2048))?;
+    let rasa_sim = Simulator::new(DesignPoint::rasa_dmdb_wls())?.with_matmul_cap(Some(2048))?;
+
+    println!("DLRM / BERT fully-connected layers, RASA-DMDB-WLS vs baseline:");
+    let mut layers = dlrm_layers();
+    layers.extend(bert_layers());
+    for layer in &layers {
+        let base = baseline_sim.run_layer(layer)?;
+        let rasa = rasa_sim.run_layer(layer)?;
+        println!(
+            "  {:<8} {:>11} -> {:>11} core cycles  (normalized {:.3}, bypass rate {:.0}%)",
+            layer.name(),
+            base.core_cycles,
+            rasa.core_cycles,
+            rasa.normalized_runtime_vs(&base),
+            rasa.cpu.engine.bypass_rate() * 100.0
+        );
+    }
+
+    println!();
+    println!("Batch-size sensitivity of DLRM-1 (Fig. 7 behaviour):");
+    let dlrm1 = &dlrm_layers()[0];
+    let batches = [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512];
+    println!("  {:>8} {:>12} {:>12}", "batch", "normalized", "asymptote");
+    for swept in batch_sweep(dlrm1, &batches) {
+        let base = baseline_sim.run_layer(&swept)?;
+        let rasa = rasa_sim.run_layer(&swept)?;
+        println!(
+            "  {:>8} {:>12.3} {:>12.3}",
+            swept.batch(),
+            rasa.normalized_runtime_vs(&base),
+            16.0 / 95.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Quickstart: compute a small GEMM on the functional systolic array, check
+//! it against the reference, then compare the baseline and RASA-DMDB-WLS
+//! timing for the same kernel.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rasa::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---------------------------------------------------------------
+    // 1. Functional: one rasa_mm tile computed by the cycle-stepped
+    //    weight-stationary array, validated against the reference GEMM.
+    // ---------------------------------------------------------------
+    let mut rng = StdRng::seed_from_u64(7);
+    let a32 = rasa::numeric::random_matrix(16, 32, &mut rng);
+    let b32 = rasa::numeric::random_matrix(32, 16, &mut rng);
+    let a = a32.map(Bf16::from_f32);
+    let b = b32.map(Bf16::from_f32);
+    let c = Matrix::zeros(16, 16);
+
+    let mut golden = c.clone();
+    gemm_bf16_fp32(&a, &b, &mut golden)?;
+
+    let config = SystolicConfig::paper_baseline();
+    let mut array = FunctionalArray::new(config);
+    let (out, activity) = array.matmul(&a, &b, &c)?;
+    let max_err = rasa::numeric::max_abs_diff(&golden, &out);
+    println!("functional systolic array vs reference GEMM: max |diff| = {max_err:e}");
+    println!(
+        "one rasa_mm occupies the array for {} cycles at {:.1}% average PE utilization",
+        activity.cycles(),
+        activity.average_utilization() * 100.0
+    );
+
+    // ---------------------------------------------------------------
+    // 2. Timing: the same kernel shape as a full workload, simulated on
+    //    the baseline design and on RASA-DMDB-WLS.
+    // ---------------------------------------------------------------
+    let gemm = GemmShape::new(512, 512, 512);
+    let baseline = Simulator::new(DesignPoint::baseline())?.run_gemm(gemm)?;
+    let rasa_design = Simulator::new(DesignPoint::rasa_dmdb_wls())?.run_gemm(gemm)?;
+
+    println!();
+    println!("GEMM {gemm} on the paper's CPU + matrix-engine configuration:");
+    println!(
+        "  {:<16} {:>14} core cycles",
+        baseline.design, baseline.core_cycles
+    );
+    println!(
+        "  {:<16} {:>14} core cycles  ({:.1}% runtime reduction)",
+        rasa_design.design,
+        rasa_design.core_cycles,
+        (1.0 - rasa_design.normalized_runtime_vs(&baseline)) * 100.0
+    );
+    println!(
+        "  weight-load bypass rate on the RASA design: {:.1}%",
+        rasa_design.cpu.engine.bypass_rate() * 100.0
+    );
+    Ok(())
+}

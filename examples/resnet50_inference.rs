@@ -1,0 +1,45 @@
+//! ResNet50 inference layers on every evaluated design.
+//!
+//! The three ResNet50 convolution layers of Table I are lowered to GEMMs via
+//! im2col and simulated on the baseline and all seven RASA designs,
+//! reproducing one workload group of Fig. 5.
+//!
+//! Run with: `cargo run --release --example resnet50_inference`
+
+use rasa::prelude::*;
+use rasa::workloads::resnet50_layers;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let designs = DesignPoint::paper_designs();
+    let layers = resnet50_layers();
+
+    println!("ResNet50 layers (Table I) lowered to GEMMs:");
+    for layer in &layers {
+        println!("  {layer}");
+    }
+    println!();
+
+    print!("{:>12}", "layer");
+    for design in &designs {
+        print!("{:>16}", design.name());
+    }
+    println!();
+
+    for layer in &layers {
+        let mut reports = Vec::new();
+        for design in &designs {
+            let simulator = Simulator::new(design.clone())?.with_matmul_cap(Some(2048))?;
+            reports.push(simulator.run_layer(layer)?);
+        }
+        let baseline = reports[0].clone();
+        print!("{:>12}", layer.name());
+        for report in &reports {
+            print!("{:>16.3}", report.normalized_runtime_vs(&baseline));
+        }
+        println!();
+    }
+
+    println!();
+    println!("(values are runtime normalized to the baseline; lower is better)");
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! SIMD baseline vs the RASA matrix engine.
+//!
+//! The paper motivates matrix engines by the gap between what a CPU's SIMD
+//! units can deliver for GEMM and what a (well-utilized) systolic array can.
+//! This example runs the same GEMM through an AVX-512-style vector-FMA
+//! kernel (no matrix engine) and through the baseline and RASA-DMDB-WLS
+//! matrix-engine designs, comparing core cycles.
+//!
+//! Run with: `cargo run --release --example simd_vs_matrix`
+
+use rasa::prelude::*;
+use rasa::trace::GemmKernelConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let shape = GemmShape::new(256, 512, 256);
+    let cap = 4096usize;
+
+    // SIMD baseline: generate the AVX trace and run it on the same core
+    // (the matrix engine sits idle).
+    let generator = TraceGenerator::amx_like()
+        .with_kernel(GemmKernelConfig::amx_like().with_max_matmuls(cap))?;
+    let avx_program = generator.gemm_avx(shape, "avx-sgemm")?;
+    let simd_sim = Simulator::new(DesignPoint::baseline())?;
+    // Extrapolate the SIMD run over the full FMA count the workload needs.
+    let total_fma_work = generator.fma_count(shape) as u64;
+    let emitted_fma = avx_program.stats().vector_ops as u64;
+    let simd = simd_sim.run_program(&avx_program, 0, "avx-sgemm")?;
+    let simd_cycles =
+        (simd.simulated_core_cycles as f64 * total_fma_work as f64 / emitted_fma as f64) as u64;
+
+    // Matrix-engine designs.
+    let baseline = Simulator::new(DesignPoint::baseline())?
+        .with_matmul_cap(Some(cap))?
+        .run_gemm(shape)?;
+    let rasa = Simulator::new(DesignPoint::rasa_dmdb_wls())?
+        .with_matmul_cap(Some(cap))?
+        .run_gemm(shape)?;
+
+    println!("GEMM {shape} on the paper's 4-wide 2 GHz core:");
+    println!(
+        "  {:<26} {:>14} core cycles   1.00x",
+        "AVX-512 SIMD (2 FMA ports)", simd_cycles
+    );
+    println!(
+        "  {:<26} {:>14} core cycles   {:.2}x",
+        "systolic BASELINE",
+        baseline.core_cycles,
+        simd_cycles as f64 / baseline.core_cycles as f64
+    );
+    println!(
+        "  {:<26} {:>14} core cycles   {:.2}x",
+        "RASA-DMDB-WLS",
+        rasa.core_cycles,
+        simd_cycles as f64 / rasa.core_cycles as f64
+    );
+    println!();
+    println!("Even the serialized baseline array beats the SIMD units, and the");
+    println!("register-aware pipelining recovers the utilization the baseline leaves");
+    println!("on the table — the end-to-end motivation for RASA.");
+    Ok(())
+}

@@ -1,0 +1,109 @@
+//! Cross-crate property tests: invariants that must hold for arbitrary
+//! workload shapes and design points.
+
+use proptest::prelude::*;
+use rasa::prelude::*;
+use rasa::systolic::{base_latency, steady_state_interval, ControlScheme, PeVariant, TileDims};
+use rasa::trace::GemmKernelConfig;
+
+fn arb_design() -> impl Strategy<Value = DesignPoint> {
+    prop_oneof![
+        Just(DesignPoint::baseline()),
+        Just(DesignPoint::rasa_pipe()),
+        Just(DesignPoint::rasa_wlbp()),
+        Just(DesignPoint::rasa_dm_pipe()),
+        Just(DesignPoint::rasa_dm_wlbp()),
+        Just(DesignPoint::rasa_db_wls()),
+        Just(DesignPoint::rasa_dmdb_wlbp()),
+        Just(DesignPoint::rasa_dmdb_wls()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The trace generator always emits exactly one rasa_mm per register
+    /// tile, whatever the GEMM shape, and the emitted program is valid.
+    #[test]
+    fn trace_matmul_count_matches_tiling(
+        m in 1usize..200,
+        k in 1usize..200,
+        n in 1usize..200,
+    ) {
+        let generator = TraceGenerator::amx_like()
+            .with_kernel(GemmKernelConfig::amx_like().without_scalar_overhead())
+            .unwrap();
+        let shape = GemmShape::new(m, k, n);
+        let program = generator.gemm(shape, "prop").unwrap();
+        let tiles = m.div_ceil(16) * k.div_ceil(32) * n.div_ceil(16);
+        prop_assert_eq!(program.count_matmuls(), tiles);
+        // Every accumulator tile is loaded and stored exactly once.
+        let c_tiles = m.div_ceil(16) * n.div_ceil(16);
+        prop_assert_eq!(program.stats().tile_stores, c_tiles);
+    }
+
+    /// Every RASA design completes any small workload at least as fast as
+    /// the serialized baseline, and never loses instructions.
+    #[test]
+    fn designs_never_lose_instructions_and_never_slow_down(
+        design in arb_design(),
+        m in 1usize..6,
+        k in 1usize..6,
+        n in 1usize..6,
+    ) {
+        let shape = GemmShape::new(m * 16, k * 32, n * 16);
+        let baseline = Simulator::new(DesignPoint::baseline()).unwrap()
+            .run_gemm(shape).unwrap();
+        let report = Simulator::new(design).unwrap().run_gemm(shape).unwrap();
+        prop_assert_eq!(report.total_matmuls, (m * k * n) as u64);
+        prop_assert_eq!(report.simulated_matmuls, (m * k * n) as u64);
+        prop_assert!(report.core_cycles <= baseline.core_cycles);
+        prop_assert!(report.core_cycles > 0);
+    }
+
+    /// The closed-form steady-state interval never exceeds the serialized
+    /// latency and never drops below the Feed First duration, for any tile
+    /// shape and design.
+    #[test]
+    fn steady_state_interval_is_bounded(
+        tm in 1usize..16,
+        tk in 1usize..32,
+        tn in 1usize..16,
+        reuse in any::<bool>(),
+    ) {
+        for pe in PeVariant::all() {
+            for scheme in ControlScheme::all() {
+                let Ok(cfg) = SystolicConfig::paper(pe, scheme) else { continue };
+                let tile = TileDims::new(tm, tk, tn);
+                let interval = steady_state_interval(&cfg, tile, reuse);
+                prop_assert!(interval <= base_latency(&cfg, tile));
+                prop_assert!(interval >= tm as u64);
+            }
+        }
+    }
+
+    /// Functional correctness of the systolic array holds for random
+    /// operand values on every PE variant (random shapes are covered by the
+    /// crate-level tests; here the emphasis is on data).
+    #[test]
+    fn functional_array_matches_reference_on_random_data(seed in 0u64..500) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Matrix::from_fn(7, 19, |_, _| Bf16::from_f32(rng.gen_range(-2.0f32..2.0)));
+        let b = Matrix::from_fn(19, 11, |_, _| Bf16::from_f32(rng.gen_range(-2.0f32..2.0)));
+        let c = Matrix::from_fn(7, 11, |_, _| rng.gen_range(-2.0f32..2.0));
+        let mut golden = c.clone();
+        gemm_bf16_fp32(&a, &b, &mut golden).unwrap();
+
+        for pe in PeVariant::all() {
+            let scheme = if pe.has_double_buffering() { ControlScheme::Wls } else { ControlScheme::Base };
+            let cfg = SystolicConfig::paper(pe, scheme).unwrap();
+            let mut array = FunctionalArray::new(cfg);
+            let (out, _) = array.matmul(&a, &b, &c).unwrap();
+            // The double-multiplier variants accumulate the even and odd K
+            // positions in separate chains before merging, so the result can
+            // differ from the reference by floating-point associativity.
+            prop_assert!(rasa::numeric::max_abs_diff(&golden, &out) < 1e-4);
+        }
+    }
+}
