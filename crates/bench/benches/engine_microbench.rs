@@ -22,8 +22,7 @@ fn bench_engine_scheduler(c: &mut Criterion) {
             &(pe, scheme),
             |b, &(pe, scheme)| {
                 b.iter(|| {
-                    let mut engine =
-                        MatrixEngine::new(SystolicConfig::paper(pe, scheme).unwrap());
+                    let mut engine = MatrixEngine::new(SystolicConfig::paper(pe, scheme).unwrap());
                     let regs = [TileReg::new(4).unwrap(), TileReg::new(5).unwrap()];
                     for i in 0..1000u64 {
                         let reg = regs[(i as usize / 2) % 2];

@@ -1,12 +1,17 @@
 //! Regenerates Fig. 1: the 2×2 weight-stationary walkthrough.
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let suite = rasa_bench::BinOptions::from_env().suite();
+    let suite = rasa_bench::BinOptions::from_env().suite()?;
     let result = suite.fig1_toy()?;
     println!("{result}");
     println!(
         "{}",
-        rasa_bench::compare_line("avg utilization", result.average_utilization, 8.0 / 28.0, "")
+        rasa_bench::compare_line(
+            "avg utilization",
+            result.average_utilization,
+            8.0 / 28.0,
+            ""
+        )
     );
     Ok(())
 }

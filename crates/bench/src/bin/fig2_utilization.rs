@@ -1,7 +1,8 @@
 //! Regenerates Fig. 2: PE utilization vs TM for several array sizes.
 
-fn main() {
-    let suite = rasa_bench::BinOptions::from_env().suite();
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let suite = rasa_bench::BinOptions::from_env().suite()?;
     let result = suite.fig2_utilization();
     println!("{result}");
+    Ok(())
 }

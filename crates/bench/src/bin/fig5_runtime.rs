@@ -6,7 +6,7 @@ use rasa_workloads::WorkloadSuite;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let options = rasa_bench::BinOptions::from_env();
-    let suite = options.suite();
+    let suite = options.suite()?;
 
     println!("Table I — layer dimensions (lowered GEMMs)");
     for layer in WorkloadSuite::mlperf().layers() {
@@ -14,8 +14,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!();
 
+    let start = std::time::Instant::now();
     let fig5 = suite.fig5_runtime()?;
+    let elapsed = start.elapsed();
     println!("{fig5}");
+    let stats = suite.runner().cache_stats();
+    println!(
+        "({} cells in {:.2} s, {})",
+        stats.misses,
+        elapsed.as_secs_f64(),
+        if suite.runner().is_parallel() {
+            "parallel"
+        } else {
+            "serial"
+        }
+    );
 
     println!("Average runtime reduction, measured vs paper:");
     for (design, paper) in rasa_bench::PAPER_FIG5_REDUCTIONS {
@@ -25,10 +38,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!();
-    println!("CSV ({} rasa_mm cap per run):", match options.matmul_cap {
-        Some(c) => c.to_string(),
-        None => "no".to_string(),
-    });
+    println!(
+        "CSV ({} rasa_mm cap per run):",
+        match options.matmul_cap {
+            Some(c) => c.to_string(),
+            None => "no".to_string(),
+        }
+    );
     println!("{}", rasa_sim::SimSummary::csv_header());
     for run in &fig5.runs {
         for report in &run.reports {

@@ -1,8 +1,10 @@
 //! Regenerates Fig. 7: batch-size sensitivity of RASA-DMDB-WLS.
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let suite = rasa_bench::BinOptions::from_env().suite();
+    let suite = rasa_bench::BinOptions::from_env().suite()?;
+    let start = std::time::Instant::now();
     let result = suite.fig7_batch()?;
+    let elapsed = start.elapsed();
     println!("{result}");
     println!(
         "{}",
@@ -12,6 +14,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             rasa_bench::PAPER_FIG7_ASYMPTOTE,
             ""
         )
+    );
+    let stats = suite.runner().cache_stats();
+    println!(
+        "({} cells in {:.2} s, {})",
+        stats.misses,
+        elapsed.as_secs_f64(),
+        if suite.runner().is_parallel() {
+            "parallel"
+        } else {
+            "serial"
+        }
     );
     Ok(())
 }

@@ -1,21 +1,100 @@
-//! Runs every experiment in sequence (the full EXPERIMENTS.md regeneration).
+//! Runs the full paper evaluation (the EXPERIMENTS.md regeneration) as one
+//! cached parallel sweep through the shared `ExperimentRunner`, then
+//! cross-checks the results against a fresh serial run and reports the
+//! wall-clock speedup. Pass `--no-serial-check` to skip the cross-check,
+//! `--serial` to run everything single-threaded in the first place.
+
+use rasa_sim::ExperimentSuite;
+use std::time::{Duration, Instant};
+
+struct EvaluationResults {
+    fig1: rasa_sim::Fig1Result,
+    fig2: rasa_sim::Fig2Result,
+    fig5: rasa_sim::Fig5Result,
+    fig6: rasa_sim::Fig6Result,
+    area_energy: rasa_sim::AreaEnergyResult,
+    fig7: rasa_sim::Fig7Result,
+}
+
+fn run_evaluation(suite: &ExperimentSuite) -> Result<EvaluationResults, rasa_sim::SimError> {
+    let fig5 = suite.fig5_runtime()?;
+    Ok(EvaluationResults {
+        fig1: suite.fig1_toy()?,
+        fig2: suite.fig2_utilization(),
+        fig6: suite.fig6_from(&fig5),
+        area_energy: suite.area_energy_from(&fig5),
+        fig7: suite.fig7_batch()?,
+        fig5,
+    })
+}
+
+fn seconds(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let options = rasa_bench::BinOptions::from_env();
-    let suite = options.suite();
+    let suite = options.suite()?;
+
+    let start = Instant::now();
+    let results = run_evaluation(&suite)?;
+    let elapsed = start.elapsed();
 
     println!("== Fig. 1 ==");
-    println!("{}", suite.fig1_toy()?);
+    println!("{}", results.fig1);
     println!("== Fig. 2 ==");
-    println!("{}", suite.fig2_utilization());
+    println!("{}", results.fig2);
     println!("== Fig. 5 ==");
-    let fig5 = suite.fig5_runtime()?;
-    println!("{fig5}");
+    println!("{}", results.fig5);
     println!("== Fig. 6 ==");
-    println!("{}", suite.fig6_from(&fig5));
+    println!("{}", results.fig6);
     println!("== Area / energy ==");
-    println!("{}", suite.area_energy_from(&fig5));
+    println!("{}", results.area_energy);
     println!("== Fig. 7 ==");
-    println!("{}", suite.fig7_batch()?);
+    println!("{}", results.fig7);
+
+    let stats = suite.runner().cache_stats();
+    let mode = if suite.runner().is_parallel() {
+        format!("parallel on {} threads", rayon::current_num_threads())
+    } else {
+        "serial".to_string()
+    };
+    println!("== Execution ==");
+    println!(
+        "full evaluation in {:.2} s ({mode}); {} cells simulated, {} served from cache ({:.0}% hit rate)",
+        seconds(elapsed),
+        stats.misses,
+        stats.hits,
+        stats.hit_rate() * 100.0
+    );
+
+    if options.skip_serial_check || !suite.runner().is_parallel() {
+        return Ok(());
+    }
+
+    // Fresh serial suite (empty cache): same matrix, one thread. The
+    // simulation is deterministic, so the results must be bit-identical.
+    let serial_suite = ExperimentSuite::builder()
+        .with_matmul_cap(options.matmul_cap)
+        .with_fig7_max_batch(options.fig7_max_batch)
+        .serial()
+        .build()?;
+    let serial_start = Instant::now();
+    let serial_results = run_evaluation(&serial_suite)?;
+    let serial_elapsed = serial_start.elapsed();
+
+    assert_eq!(results.fig5, serial_results.fig5, "fig5 parallel != serial");
+    assert_eq!(results.fig6, serial_results.fig6, "fig6 parallel != serial");
+    assert_eq!(results.fig7, serial_results.fig7, "fig7 parallel != serial");
+    assert_eq!(
+        results.area_energy, serial_results.area_energy,
+        "area/energy parallel != serial"
+    );
+
+    println!(
+        "serial cross-check in {:.2} s: results identical; parallel speedup {:.2}x",
+        seconds(serial_elapsed),
+        seconds(serial_elapsed) / seconds(elapsed).max(1e-9)
+    );
     Ok(())
 }

@@ -53,6 +53,11 @@ pub struct BinOptions {
     pub matmul_cap: Option<usize>,
     /// Largest batch size for the Fig. 7 sweep.
     pub fig7_max_batch: usize,
+    /// Run the experiment matrix on all cores (default) or serially.
+    pub parallel: bool,
+    /// For `run_all`: skip the serial re-run that cross-checks the parallel
+    /// results and measures the speedup.
+    pub skip_serial_check: bool,
 }
 
 impl Default for BinOptions {
@@ -60,14 +65,18 @@ impl Default for BinOptions {
         BinOptions {
             matmul_cap: Some(4096),
             fig7_max_batch: 1024,
+            parallel: true,
+            skip_serial_check: false,
         }
     }
 }
 
 impl BinOptions {
-    /// Parses the binaries' tiny CLI: `--cap N`, `--full` (no cap) and
-    /// `--max-batch N`. Unknown arguments are ignored so the binaries can be
-    /// run under criterion or other wrappers.
+    /// Parses the binaries' tiny CLI: `--cap N`, `--full` (no cap),
+    /// `--max-batch N`, `--serial` (single-threaded execution) and
+    /// `--no-serial-check` (skip `run_all`'s serial cross-check). Unknown
+    /// arguments are ignored so the binaries can be run under criterion or
+    /// other wrappers.
     #[must_use]
     pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
         let mut options = BinOptions::default();
@@ -85,6 +94,8 @@ impl BinOptions {
                         options.fig7_max_batch = value;
                     }
                 }
+                "--serial" => options.parallel = false,
+                "--no-serial-check" => options.skip_serial_check = true,
                 _ => {}
             }
         }
@@ -98,11 +109,18 @@ impl BinOptions {
     }
 
     /// Builds the experiment suite these options describe.
-    #[must_use]
-    pub fn suite(&self) -> ExperimentSuite {
-        ExperimentSuite::new()
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rasa_sim::SimError::InvalidExperiment`] for unusable
+    /// options (e.g. `--cap 0`), so the binaries report a clean error
+    /// instead of panicking.
+    pub fn suite(&self) -> Result<ExperimentSuite, rasa_sim::SimError> {
+        ExperimentSuite::builder()
             .with_matmul_cap(self.matmul_cap)
             .with_fig7_max_batch(self.fig7_max_batch)
+            .with_parallel(self.parallel)
+            .build()
     }
 }
 
@@ -128,6 +146,8 @@ mod tests {
         let o = BinOptions::default();
         assert_eq!(o.matmul_cap, Some(4096));
         assert_eq!(o.fig7_max_batch, 1024);
+        assert!(o.parallel);
+        assert!(!o.skip_serial_check);
     }
 
     #[test]
@@ -148,20 +168,34 @@ mod tests {
     }
 
     #[test]
+    fn parse_execution_flags() {
+        let o = BinOptions::parse(["--serial".to_string()]);
+        assert!(!o.parallel);
+        let o = BinOptions::parse(["--no-serial-check".to_string()]);
+        assert!(o.skip_serial_check);
+        assert!(o.parallel);
+    }
+
+    #[test]
     fn suite_reflects_options() {
         let o = BinOptions {
             matmul_cap: Some(64),
             fig7_max_batch: 32,
+            parallel: false,
+            skip_serial_check: false,
         };
-        let s = o.suite();
+        let s = o.suite().unwrap();
         assert_eq!(s.matmul_cap(), Some(64));
         assert_eq!(s.fig7_max_batch(), 32);
+        assert!(!s.runner().is_parallel());
     }
 
     #[test]
     fn paper_constants_are_sane() {
         assert_eq!(PAPER_FIG5_REDUCTIONS.len(), 5);
-        assert!(PAPER_FIG5_REDUCTIONS.iter().all(|(_, r)| *r > 0.0 && *r < 1.0));
+        assert!(PAPER_FIG5_REDUCTIONS
+            .iter()
+            .all(|(_, r)| *r > 0.0 && *r < 1.0));
         assert!(PAPER_ENERGY_EFFICIENCY.iter().all(|(_, e)| *e > 1.0));
         assert!((PAPER_FIG7_ASYMPTOTE - 0.168).abs() < 1e-3);
     }

@@ -183,12 +183,13 @@ impl CpuCore {
                         }
                         let engine_ready = cycle.div_ceil(clock_ratio);
                         let request = MmRequest::ready_at(*weight, *tile, engine_ready);
-                        let completion = self.engine.submit(request).map_err(|source| {
-                            CpuError::Engine {
-                                instruction_index: (seq) as usize,
-                                source,
-                            }
-                        })?;
+                        let completion =
+                            self.engine
+                                .submit(request)
+                                .map_err(|source| CpuError::Engine {
+                                    instruction_index: (seq) as usize,
+                                    source,
+                                })?;
                         let idx = (seq - rob_base) as usize;
                         rob[idx].issued = true;
                         rob[idx].complete_cycle = completion.complete_cycle * clock_ratio;

@@ -32,7 +32,12 @@ fn microkernel(k_steps: usize) -> Program {
     b.finish().unwrap()
 }
 
-fn run(cpu: CpuConfig, pe: PeVariant, scheme: ControlScheme, program: &Program) -> rasa_cpu::CpuStats {
+fn run(
+    cpu: CpuConfig,
+    pe: PeVariant,
+    scheme: ControlScheme,
+    program: &Program,
+) -> rasa_cpu::CpuStats {
     let engine = MatrixEngine::new(SystolicConfig::paper(pe, scheme).unwrap());
     let mut core = CpuCore::new(cpu, engine);
     core.run(program).unwrap()
@@ -118,9 +123,24 @@ fn slower_tile_loads_slow_the_serialized_design_less_than_the_pipelined_one() {
     let mut slow_loads = CpuConfig::skylake_like();
     slow_loads.tile_load_latency = 96;
 
-    let base_fast = run(CpuConfig::skylake_like(), PeVariant::Baseline, ControlScheme::Base, &program);
-    let base_slow = run(slow_loads, PeVariant::Baseline, ControlScheme::Base, &program);
-    let rasa_fast = run(CpuConfig::skylake_like(), PeVariant::Dmdb, ControlScheme::Wls, &program);
+    let base_fast = run(
+        CpuConfig::skylake_like(),
+        PeVariant::Baseline,
+        ControlScheme::Base,
+        &program,
+    );
+    let base_slow = run(
+        slow_loads,
+        PeVariant::Baseline,
+        ControlScheme::Base,
+        &program,
+    );
+    let rasa_fast = run(
+        CpuConfig::skylake_like(),
+        PeVariant::Dmdb,
+        ControlScheme::Wls,
+        &program,
+    );
     let rasa_slow = run(slow_loads, PeVariant::Dmdb, ControlScheme::Wls, &program);
 
     let base_penalty = base_slow.cycles as f64 / base_fast.cycles as f64;

@@ -108,7 +108,8 @@ impl IsaConfig {
     /// TN — maximum columns of a C tile.
     #[must_use]
     pub const fn tn(&self) -> usize {
-        self.output_dtype.elements_per_row(self.geometry.row_bytes())
+        self.output_dtype
+            .elements_per_row(self.geometry.row_bytes())
     }
 
     /// Maximum shape of an A tile (TM × TK, input type).

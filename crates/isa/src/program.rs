@@ -167,8 +167,7 @@ impl Program {
         if self.isa != other.isa {
             return Err(IsaError::InvalidProgram {
                 index: 0,
-                reason: "cannot concatenate programs with different isa configurations"
-                    .to_string(),
+                reason: "cannot concatenate programs with different isa configurations".to_string(),
             });
         }
         self.instructions.extend_from_slice(&other.instructions);
@@ -314,11 +313,7 @@ impl ProgramBuilder {
         let mut written = self.live_in;
         let mut stats = ProgramStats::default();
         for (index, inst) in self.instructions.iter().enumerate() {
-            for r in inst
-                .tile_reads()
-                .iter()
-                .chain(inst.tile_writes().iter())
-            {
+            for r in inst.tile_reads().iter().chain(inst.tile_writes().iter()) {
                 if r.index() >= self.isa.num_tile_regs() {
                     return Err(IsaError::InvalidProgram {
                         index,

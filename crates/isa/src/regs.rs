@@ -161,9 +161,10 @@ impl<T: Copy> RegSet<T> {
 
     /// Iterates over the operands in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
-        self.items.iter().take(self.len as usize).map(|x| {
-            x.expect("populated entries below len are always Some")
-        })
+        self.items
+            .iter()
+            .take(self.len as usize)
+            .map(|x| x.expect("populated entries below len are always Some"))
     }
 }
 
@@ -185,10 +186,7 @@ mod tests {
     fn tile_reg_bounds() {
         assert!(TileReg::new(0).is_ok());
         assert!(TileReg::new(7).is_ok());
-        assert_eq!(
-            TileReg::new(8),
-            Err(IsaError::InvalidTileReg { index: 8 })
-        );
+        assert_eq!(TileReg::new(8), Err(IsaError::InvalidTileReg { index: 8 }));
     }
 
     #[test]

@@ -289,7 +289,9 @@ mod tests {
     #[test]
     fn shape_check() {
         let g = TileGeometry::amx();
-        assert!(g.check_shape(TileShape::new(16, 32), DataType::Bf16).is_ok());
+        assert!(g
+            .check_shape(TileShape::new(16, 32), DataType::Bf16)
+            .is_ok());
         assert!(g.check_shape(TileShape::new(8, 8), DataType::Fp32).is_ok());
         let err = g
             .check_shape(TileShape::new(17, 32), DataType::Bf16)

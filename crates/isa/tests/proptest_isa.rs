@@ -13,20 +13,23 @@ fn arb_tile_reg() -> impl Strategy<Value = TileReg> {
 /// A random but *valid* instruction stream: every tile register is loaded
 /// before it is used, mimicking what a real kernel generator produces.
 fn arb_valid_program(max_groups: usize) -> impl Strategy<Value = Program> {
-    proptest::collection::vec((arb_tile_reg(), arb_tile_reg(), arb_tile_reg()), 1..max_groups)
-        .prop_map(|groups| {
-            let isa = IsaConfig::amx_like();
-            let mut b = ProgramBuilder::new(isa);
-            for (i, (acc, a, w)) in groups.into_iter().enumerate() {
-                let base = 0x1000 * (i as u64 + 1);
-                b.tile_load(acc, MemRef::tile(base, 64));
-                b.tile_load(a, MemRef::tile(base + 0x400, 64));
-                b.tile_load(w, MemRef::tile(base + 0x800, 64));
-                b.matmul(acc, a, w);
-                b.tile_store(MemRef::tile(base, 64), acc);
-            }
-            b.finish().expect("loads precede all uses")
-        })
+    proptest::collection::vec(
+        (arb_tile_reg(), arb_tile_reg(), arb_tile_reg()),
+        1..max_groups,
+    )
+    .prop_map(|groups| {
+        let isa = IsaConfig::amx_like();
+        let mut b = ProgramBuilder::new(isa);
+        for (i, (acc, a, w)) in groups.into_iter().enumerate() {
+            let base = 0x1000 * (i as u64 + 1);
+            b.tile_load(acc, MemRef::tile(base, 64));
+            b.tile_load(a, MemRef::tile(base + 0x400, 64));
+            b.tile_load(w, MemRef::tile(base + 0x800, 64));
+            b.matmul(acc, a, w);
+            b.tile_store(MemRef::tile(base, 64), acc);
+        }
+        b.finish().expect("loads precede all uses")
+    })
 }
 
 proptest! {

@@ -148,7 +148,9 @@ mod tests {
 
     #[test]
     fn exact_values_round_trip() {
-        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, -3.5, 256.0, 65536.0, -0.0078125] {
+        for v in [
+            0.0f32, 1.0, -1.0, 0.5, 2.0, -3.5, 256.0, 65536.0, -0.0078125,
+        ] {
             let b = Bf16::from_f32(v);
             assert_eq!(b.to_f32(), v, "value {v} should be exactly representable");
         }
@@ -180,7 +182,10 @@ mod tests {
         let mut v = 1.0e-3f32;
         while v < 1.0e3 {
             let r = Bf16::from_f32(v).to_f32();
-            assert!(((r - v) / v).abs() <= f32::powi(2.0, -8) * 1.001, "v={v} r={r}");
+            assert!(
+                ((r - v) / v).abs() <= f32::powi(2.0, -8) * 1.001,
+                "v={v} r={r}"
+            );
             v *= 1.37;
         }
     }
@@ -189,7 +194,10 @@ mod tests {
     fn nan_and_infinity_preserved() {
         assert!(Bf16::from_f32(f32::NAN).is_nan());
         assert_eq!(Bf16::from_f32(f32::INFINITY).to_f32(), f32::INFINITY);
-        assert_eq!(Bf16::from_f32(f32::NEG_INFINITY).to_f32(), f32::NEG_INFINITY);
+        assert_eq!(
+            Bf16::from_f32(f32::NEG_INFINITY).to_f32(),
+            f32::NEG_INFINITY
+        );
         assert!(!Bf16::from_f32(f32::NAN).is_finite());
         assert!(Bf16::ONE.is_finite());
     }

@@ -51,7 +51,11 @@ impl GemmShape {
     /// rounding each dimension up.
     #[must_use]
     pub const fn tile_counts(&self, tm: usize, tk: usize, tn: usize) -> (usize, usize, usize) {
-        (self.m.div_ceil(tm), self.k.div_ceil(tk), self.n.div_ceil(tn))
+        (
+            self.m.div_ceil(tm),
+            self.k.div_ceil(tk),
+            self.n.div_ceil(tn),
+        )
     }
 }
 

@@ -251,17 +251,15 @@ mod tests {
                         for c in 0..shape.c {
                             for r in 0..shape.r {
                                 for s in 0..shape.s {
-                                    let iy =
-                                        (oy * shape.stride + r) as isize - shape.pad as isize;
-                                    let ix =
-                                        (ox * shape.stride + s) as isize - shape.pad as isize;
+                                    let iy = (oy * shape.stride + r) as isize - shape.pad as isize;
+                                    let ix = (ox * shape.stride + s) as isize - shape.pad as isize;
                                     if iy >= 0
                                         && ix >= 0
                                         && (iy as usize) < shape.y
                                         && (ix as usize) < shape.x
                                     {
-                                        let in_idx = (c * shape.y + iy as usize) * shape.x
-                                            + ix as usize;
+                                        let in_idx =
+                                            (c * shape.y + iy as usize) * shape.x + ix as usize;
                                         let f_idx = (c * shape.r + r) * shape.s + s;
                                         acc += input[(n, in_idx)] * filters[(kf, f_idx)];
                                     }
@@ -299,9 +297,15 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_shapes() {
-        assert!(ConvShape::new(0, 3, 8, 8, 4, 3, 3, 1, 1).validate().is_err());
-        assert!(ConvShape::new(1, 3, 8, 8, 4, 3, 3, 0, 1).validate().is_err());
-        assert!(ConvShape::new(1, 3, 2, 2, 4, 5, 5, 1, 0).validate().is_err());
+        assert!(ConvShape::new(0, 3, 8, 8, 4, 3, 3, 1, 1)
+            .validate()
+            .is_err());
+        assert!(ConvShape::new(1, 3, 8, 8, 4, 3, 3, 0, 1)
+            .validate()
+            .is_err());
+        assert!(ConvShape::new(1, 3, 2, 2, 4, 5, 5, 1, 0)
+            .validate()
+            .is_err());
         assert!(ConvShape::new(1, 3, 8, 8, 4, 3, 3, 1, 1).validate().is_ok());
     }
 

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use rasa_numeric::{
-    gemm_bf16_fp32, gemm_f32, im2col, lower_conv_to_gemm, max_abs_diff, Bf16, ConvShape,
-    GemmShape, Matrix, TileGrid, TilingConfig,
+    gemm_bf16_fp32, gemm_f32, im2col, lower_conv_to_gemm, max_abs_diff, Bf16, ConvShape, GemmShape,
+    Matrix, TileGrid, TilingConfig,
 };
 
 fn arb_small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<f32>> {

@@ -108,11 +108,7 @@ impl EnergyModel {
 
     /// Average power over the run in watts.
     #[must_use]
-    pub fn average_power(
-        &self,
-        config: &SystolicConfig,
-        activity: &EngineActivitySummary,
-    ) -> f64 {
+    pub fn average_power(&self, config: &SystolicConfig, activity: &EngineActivitySummary) -> f64 {
         let runtime_s = activity.busy_engine_cycles as f64 / constants::ENGINE_CLOCK_HZ;
         if runtime_s <= 0.0 {
             return 0.0;
@@ -191,7 +187,10 @@ mod tests {
         let dmdb = SystolicConfig::paper(PeVariant::Dmdb, ControlScheme::Wls).unwrap();
         let dmdb_act = activity(10_000, 20, 2);
         let eff_dmdb = model.efficiency_vs(&dmdb, &dmdb_act, &baseline, &base_act);
-        assert!(eff_dmdb > 3.8 && eff_dmdb < 5.8, "dmdb-wls efficiency {eff_dmdb}");
+        assert!(
+            eff_dmdb > 3.8 && eff_dmdb < 5.8,
+            "dmdb-wls efficiency {eff_dmdb}"
+        );
 
         // Ordering: both WLS designs beat DM-WLBP.
         assert!(eff_db > eff_dm && eff_dmdb > eff_dm);
@@ -205,7 +204,10 @@ mod tests {
         let p = model.average_power(&base, &act);
         // Sub-watt block.
         assert!(p > 0.1 && p < 5.0, "power {p}");
-        assert_eq!(model.average_power(&base, &EngineActivitySummary::default()), 0.0);
+        assert_eq!(
+            model.average_power(&base, &EngineActivitySummary::default()),
+            0.0
+        );
     }
 
     #[test]

@@ -28,8 +28,8 @@ impl DesignPoint {
     }
 
     fn paper(pe: PeVariant, scheme: ControlScheme) -> Self {
-        let systolic = SystolicConfig::paper(pe, scheme)
-            .expect("paper design combinations are always valid");
+        let systolic =
+            SystolicConfig::paper(pe, scheme).expect("paper design combinations are always valid");
         DesignPoint {
             name: systolic.label(),
             systolic,

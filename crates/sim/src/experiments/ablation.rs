@@ -11,8 +11,7 @@
 //!   the matrix engine (not the out-of-order window) is the bottleneck for
 //!   every paper-sized configuration.
 
-use super::ExperimentSuite;
-use crate::{DesignPoint, SimError, Simulator};
+use crate::{DesignPoint, ExperimentRunner, ExperimentSpec, SimError, SimJob};
 use rasa_cpu::CpuConfig;
 use rasa_systolic::{ControlScheme, PeVariant, SystolicConfig};
 use rasa_trace::{GemmKernelConfig, MatmulOrder};
@@ -80,81 +79,107 @@ fn blocking_designs() -> Vec<DesignPoint> {
     ]
 }
 
-pub(super) fn run_blocking(suite: &ExperimentSuite) -> Result<BlockingAblationResult, SimError> {
+pub(super) fn run_blocking(runner: &ExperimentRunner) -> Result<BlockingAblationResult, SimError> {
     let layers = ablation_layers();
+    let orders = [MatmulOrder::WeightPaired, MatmulOrder::Interleaved];
+
+    // One declarative spec per emission order: the baseline leads the
+    // design list so each run group normalizes against the same-order
+    // baseline.
     let mut rows = Vec::new();
-    for order in [MatmulOrder::WeightPaired, MatmulOrder::Interleaved] {
+    for order in orders {
         let mut kernel = GemmKernelConfig::amx_like().with_matmul_order(order);
-        kernel.max_matmuls = suite.matmul_cap();
+        kernel.max_matmuls = runner.matmul_cap();
+        let mut designs = vec![DesignPoint::baseline()];
+        designs.extend(blocking_designs());
+        let spec = ExperimentSpec {
+            name: "ablation-blocking",
+            workloads: layers.clone(),
+            designs,
+            kernel: Some(kernel),
+        };
+        let runs = runner.run_spec(&spec)?;
 
-        // Baseline runtime under the same kernel order.
-        let mut baseline_cycles = Vec::new();
-        for layer in &layers {
-            let report = Simulator::new(DesignPoint::baseline())?
-                .with_kernel(kernel)?
-                .run_layer(layer)?;
-            baseline_cycles.push(report.core_cycles as f64);
-        }
-
-        for design in blocking_designs() {
-            let mut normalized = Vec::new();
-            let mut bypass = Vec::new();
-            for (layer, base) in layers.iter().zip(&baseline_cycles) {
-                let report = Simulator::new(design.clone())?
-                    .with_kernel(kernel)?
-                    .run_layer(layer)?;
-                normalized.push(report.core_cycles as f64 / base);
-                bypass.push(report.cpu.engine.bypass_rate());
+        for (design_idx, design) in spec.designs.iter().enumerate().skip(1) {
+            let (mut norm_sum, mut bypass_sum) = (0.0, 0.0);
+            for run in &runs {
+                let baseline = &run.reports[0];
+                let report = &run.reports[design_idx];
+                norm_sum += report.normalized_runtime_vs(baseline);
+                bypass_sum += report.cpu.engine.bypass_rate();
             }
-            let avg_norm = normalized.iter().sum::<f64>() / normalized.len() as f64;
-            let avg_bypass = bypass.iter().sum::<f64>() / bypass.len() as f64;
             rows.push(BlockingAblationRow {
                 order,
                 design: design.name().to_string(),
-                reduction: 1.0 - avg_norm,
-                bypass_rate: avg_bypass,
+                reduction: 1.0 - norm_sum / runs.len() as f64,
+                bypass_rate: bypass_sum / runs.len() as f64,
             });
         }
     }
     Ok(BlockingAblationResult { rows })
 }
 
-pub(super) fn run_cpu(suite: &ExperimentSuite) -> Result<CpuAblationResult, SimError> {
-    let layers = ablation_layers();
-    let mut rows = Vec::new();
-    for rob_size in [32usize, 64, 97, 192] {
-        for clock_ratio in [2u32, 4, 8] {
-            let mut cpu = CpuConfig::skylake_like();
-            cpu.rob_size = rob_size;
-            let baseline_systolic = SystolicConfig::new(
-                32,
-                16,
-                PeVariant::Baseline,
-                ControlScheme::Base,
-                clock_ratio,
-            )?;
-            let rasa_systolic =
-                SystolicConfig::new(16, 16, PeVariant::Dmdb, ControlScheme::Wls, clock_ratio)?;
-            let baseline = DesignPoint::new("BASELINE", baseline_systolic, cpu);
-            let rasa = DesignPoint::new("RASA-DMDB-WLS", rasa_systolic, cpu);
+/// The (ROB size, clock ratio) grid of the host-CPU ablation.
+const CPU_ABLATION_ROBS: [usize; 4] = [32, 64, 97, 192];
+const CPU_ABLATION_RATIOS: [u32; 3] = [2, 4, 8];
 
-            let mut normalized = Vec::new();
-            for layer in &layers {
-                let base = Simulator::new(baseline.clone())?
-                    .with_matmul_cap(suite.matmul_cap())?
-                    .run_layer(layer)?;
-                let fast = Simulator::new(rasa.clone())?
-                    .with_matmul_cap(suite.matmul_cap())?
-                    .run_layer(layer)?;
-                normalized.push(fast.core_cycles as f64 / base.core_cycles as f64);
+/// The {baseline, RASA-DMDB-WLS} pair for one host configuration.
+fn cpu_ablation_designs(rob_size: usize, clock_ratio: u32) -> Result<[DesignPoint; 2], SimError> {
+    let mut cpu = CpuConfig::skylake_like();
+    cpu.rob_size = rob_size;
+    let baseline_systolic = SystolicConfig::new(
+        32,
+        16,
+        PeVariant::Baseline,
+        ControlScheme::Base,
+        clock_ratio,
+    )?;
+    let rasa_systolic =
+        SystolicConfig::new(16, 16, PeVariant::Dmdb, ControlScheme::Wls, clock_ratio)?;
+    Ok([
+        DesignPoint::new("BASELINE", baseline_systolic, cpu),
+        DesignPoint::new("RASA-DMDB-WLS", rasa_systolic, cpu),
+    ])
+}
+
+pub(super) fn run_cpu(runner: &ExperimentRunner) -> Result<CpuAblationResult, SimError> {
+    let layers = ablation_layers();
+
+    // Declare the full (host config × design × layer) job list up front so
+    // the runner executes the whole ablation as one parallel batch.
+    let mut jobs = Vec::new();
+    for rob_size in CPU_ABLATION_ROBS {
+        for clock_ratio in CPU_ABLATION_RATIOS {
+            for design in cpu_ablation_designs(rob_size, clock_ratio)? {
+                jobs.extend(
+                    layers
+                        .iter()
+                        .map(|layer| SimJob::new(design.clone(), layer.clone())),
+                );
             }
-            let avg = normalized.iter().sum::<f64>() / normalized.len() as f64;
-            rows.push(CpuAblationRow {
-                rob_size,
-                clock_ratio,
-                reduction: 1.0 - avg,
-            });
         }
+    }
+    let reports = runner.run_jobs(&jobs)?;
+
+    // Post-process per host configuration: jobs were laid out as
+    // [baseline × layers, rasa × layers] per (rob, ratio) pair.
+    let per_config = 2 * layers.len();
+    let mut rows = Vec::new();
+    for (config_idx, chunk) in reports.chunks(per_config).enumerate() {
+        let rob_size = CPU_ABLATION_ROBS[config_idx / CPU_ABLATION_RATIOS.len()];
+        let clock_ratio = CPU_ABLATION_RATIOS[config_idx % CPU_ABLATION_RATIOS.len()];
+        let (base_reports, rasa_reports) = chunk.split_at(layers.len());
+        let avg = base_reports
+            .iter()
+            .zip(rasa_reports)
+            .map(|(base, fast)| fast.normalized_runtime_vs(base))
+            .sum::<f64>()
+            / layers.len() as f64;
+        rows.push(CpuAblationRow {
+            rob_size,
+            clock_ratio,
+            reduction: 1.0 - avg,
+        });
     }
     Ok(CpuAblationResult { rows })
 }
@@ -227,22 +252,17 @@ impl fmt::Display for CpuAblationResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ExperimentSuite;
 
     #[test]
     fn blocking_ablation_shows_wlbp_sensitivity_and_wls_robustness() {
         let suite = ExperimentSuite::new().with_matmul_cap(Some(192));
-        let result = run_blocking(&suite).unwrap();
+        let result = run_blocking(suite.runner()).unwrap();
         assert_eq!(result.rows.len(), 8);
 
-        let wlbp_paired = result
-            .row(MatmulOrder::WeightPaired, "RASA-WLBP")
-            .unwrap();
-        let wlbp_interleaved = result
-            .row(MatmulOrder::Interleaved, "RASA-WLBP")
-            .unwrap();
-        let pipe_interleaved = result
-            .row(MatmulOrder::Interleaved, "RASA-PIPE")
-            .unwrap();
+        let wlbp_paired = result.row(MatmulOrder::WeightPaired, "RASA-WLBP").unwrap();
+        let wlbp_interleaved = result.row(MatmulOrder::Interleaved, "RASA-WLBP").unwrap();
+        let pipe_interleaved = result.row(MatmulOrder::Interleaved, "RASA-PIPE").unwrap();
         // WLBP loses most of its advantage without consecutive reuse…
         assert!(wlbp_paired.reduction > wlbp_interleaved.reduction + 0.15);
         assert!(wlbp_paired.bypass_rate > 0.4);
@@ -267,7 +287,7 @@ mod tests {
     #[test]
     fn cpu_ablation_is_insensitive_to_rob_size_at_paper_scale() {
         let suite = ExperimentSuite::new().with_matmul_cap(Some(160));
-        let result = run_cpu(&suite).unwrap();
+        let result = run_cpu(suite.runner()).unwrap();
         assert_eq!(result.rows.len(), 12);
         // At the paper's clock ratio the reduction barely moves with ROB
         // size: the engine, not the window, is the bottleneck.

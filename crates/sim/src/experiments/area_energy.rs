@@ -137,7 +137,10 @@ mod tests {
 
         assert!(db.energy_efficiency > 2.5, "{db:?}");
         assert!(dm.energy_efficiency > 1.5, "{dm:?}");
-        assert!(dmdb.energy_efficiency >= db.energy_efficiency * 0.9, "{dmdb:?}");
+        assert!(
+            dmdb.energy_efficiency >= db.energy_efficiency * 0.9,
+            "{dmdb:?}"
+        );
         assert!(db.energy_efficiency > dm.energy_efficiency);
         assert!(dmdb.energy_efficiency < 8.0);
 

@@ -1,8 +1,12 @@
 //! Fig. 5: runtime of every RASA design on the Table I layers, normalized
 //! to the baseline.
+//!
+//! The module is a declarative spec against the shared
+//! [`ExperimentRunner`]: the nine Table I layers × the eight paper designs,
+//! default kernel. All iteration, parallelism and caching live in the
+//! runner.
 
-use super::ExperimentSuite;
-use crate::{DesignPoint, SimError, SimReport, Simulator, WorkloadRun};
+use crate::{DesignPoint, ExperimentRunner, ExperimentSpec, SimError, WorkloadRun};
 use rasa_workloads::WorkloadSuite;
 use std::fmt;
 
@@ -29,34 +33,27 @@ pub struct Fig5Result {
     pub runs: Vec<WorkloadRun>,
 }
 
-pub(super) fn run(suite: &ExperimentSuite) -> Result<Fig5Result, SimError> {
-    let designs = DesignPoint::paper_designs();
-    let design_names: Vec<String> = designs.iter().map(|d| d.name().to_string()).collect();
-    let workloads = WorkloadSuite::mlperf();
-
-    let mut rows = Vec::new();
-    let mut runs = Vec::new();
-    for layer in workloads.layers() {
-        let mut reports: Vec<SimReport> = Vec::new();
-        for design in &designs {
-            let sim = Simulator::new(design.clone())?.with_matmul_cap(suite.matmul_cap())?;
-            reports.push(sim.run_layer(layer)?);
-        }
-        let baseline = reports[0].clone();
-        let normalized = reports
-            .iter()
-            .map(|r| (r.design.clone(), r.normalized_runtime_vs(&baseline)))
-            .collect();
-        rows.push(Fig5Row {
-            workload: layer.name().to_string(),
-            normalized,
-        });
-        runs.push(WorkloadRun {
-            workload: layer.name().to_string(),
-            reports,
-        });
+/// The declarative Fig. 5 matrix: Table I layers × the eight paper designs.
+pub(super) fn spec() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "fig5",
+        workloads: WorkloadSuite::mlperf().layers().to_vec(),
+        designs: DesignPoint::paper_designs(),
+        kernel: None,
     }
+}
 
+pub(super) fn run(runner: &ExperimentRunner) -> Result<Fig5Result, SimError> {
+    let spec = spec();
+    let design_names: Vec<String> = spec.designs.iter().map(|d| d.name().to_string()).collect();
+    let runs = runner.run_spec(&spec)?;
+    let rows = runs
+        .iter()
+        .map(|run| Fig5Row {
+            workload: run.workload.clone(),
+            normalized: run.normalized_runtimes(),
+        })
+        .collect();
     Ok(Fig5Result {
         designs: design_names,
         rows,
@@ -123,7 +120,11 @@ impl fmt::Display for Fig5Result {
         }
         write!(f, "{:>12}", "average")?;
         for d in &self.designs {
-            write!(f, "{:>16.3}", self.average_normalized(d).unwrap_or(f64::NAN))?;
+            write!(
+                f,
+                "{:>16.3}",
+                self.average_normalized(d).unwrap_or(f64::NAN)
+            )?;
         }
         writeln!(f)?;
         write!(f, "{:>12}", "reduction")?;
@@ -141,6 +142,7 @@ impl fmt::Display for Fig5Result {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ExperimentSuite;
 
     /// A reduced-cap Fig. 5 run used by the unit tests (the full-cap run is
     /// exercised by the benchmark harness).
@@ -207,7 +209,11 @@ mod tests {
                     .unwrap()
             };
             assert!(get("RASA-PIPE") <= 1.0);
-            assert!(get("RASA-WLBP") <= get("RASA-PIPE") + 1e-9, "{}", row.workload);
+            assert!(
+                get("RASA-WLBP") <= get("RASA-PIPE") + 1e-9,
+                "{}",
+                row.workload
+            );
             assert!(
                 get("RASA-DMDB-WLS") <= get("RASA-WLBP") + 1e-9,
                 "{}",

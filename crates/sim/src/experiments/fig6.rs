@@ -39,7 +39,11 @@ pub(super) fn from_fig5(fig5: &Fig5Result) -> Fig6Result {
         .iter()
         .filter_map(|&design| {
             let normalized = fig5.average_normalized(design)?;
-            let speedup = if normalized > 0.0 { 1.0 / normalized } else { 0.0 };
+            let speedup = if normalized > 0.0 {
+                1.0 / normalized
+            } else {
+                0.0
+            };
             // Recover the systolic configuration from the design name via
             // the runs recorded in the Fig. 5 result.
             let area = fig5

@@ -1,8 +1,12 @@
 //! Fig. 7: batch-size sensitivity of RASA-DMDB-WLS.
+//!
+//! Declarative spec against the shared [`ExperimentRunner`]: the re-batched
+//! FC layers (via [`BatchMatrix`]) × {baseline, RASA-DMDB-WLS}. The
+//! runner's memoization means the baseline cells are shared with any other
+//! experiment that already simulated them.
 
-use super::ExperimentSuite;
-use crate::{DesignPoint, SimError, Simulator};
-use rasa_workloads::{batch_sweep, fig7_batch_sizes, LayerSpec, WorkloadSuite};
+use crate::{DesignPoint, ExperimentRunner, ExperimentSpec, SimError};
+use rasa_workloads::{fig7_batch_sizes, BatchMatrix, LayerSpec, WorkloadSuite};
 use std::fmt;
 
 /// One point of the Fig. 7 sweep: a layer at a batch size, with the runtime
@@ -30,10 +34,12 @@ pub struct Fig7Result {
     pub asymptote: f64,
 }
 
-pub(super) fn run(suite: &ExperimentSuite) -> Result<Fig7Result, SimError> {
+/// The declarative Fig. 7 matrix: every Table I FC layer at every batch
+/// size up to `max_batch`, against {baseline, RASA-DMDB-WLS}.
+pub(super) fn spec(max_batch: usize) -> Result<(ExperimentSpec, Vec<usize>), SimError> {
     let batch_sizes: Vec<usize> = fig7_batch_sizes()
         .into_iter()
-        .filter(|&b| b <= suite.fig7_max_batch())
+        .filter(|&b| b <= max_batch)
         .collect();
     if batch_sizes.is_empty() {
         return Err(SimError::InvalidExperiment {
@@ -51,22 +57,27 @@ pub(super) fn run(suite: &ExperimentSuite) -> Result<Fig7Result, SimError> {
         .cloned()
         .collect();
 
-    let mut rows = Vec::new();
-    for layer in &fc_layers {
-        for swept in batch_sweep(layer, &batch_sizes) {
-            let baseline = Simulator::new(DesignPoint::baseline())?
-                .with_matmul_cap(suite.matmul_cap())?
-                .run_layer(&swept)?;
-            let rasa = Simulator::new(DesignPoint::rasa_dmdb_wls())?
-                .with_matmul_cap(suite.matmul_cap())?
-                .run_layer(&swept)?;
-            rows.push(Fig7Row {
-                layer: layer.name().to_string(),
-                batch: swept.batch(),
-                normalized_runtime: rasa.normalized_runtime_vs(&baseline),
-            });
-        }
-    }
+    let spec = ExperimentSpec {
+        name: "fig7",
+        workloads: BatchMatrix::new(&fc_layers, &batch_sizes).collect(),
+        designs: vec![DesignPoint::baseline(), DesignPoint::rasa_dmdb_wls()],
+        kernel: None,
+    };
+    Ok((spec, batch_sizes))
+}
+
+pub(super) fn run(runner: &ExperimentRunner, max_batch: usize) -> Result<Fig7Result, SimError> {
+    let (spec, batch_sizes) = spec(max_batch)?;
+    let runs = runner.run_spec(&spec)?;
+    let rows = runs
+        .iter()
+        .zip(&spec.workloads)
+        .map(|(run, swept)| Fig7Row {
+            layer: swept.base_name().to_string(),
+            batch: swept.batch(),
+            normalized_runtime: run.reports[1].normalized_runtime_vs(&run.reports[0]),
+        })
+        .collect();
 
     Ok(Fig7Result {
         batch_sizes,
@@ -130,6 +141,7 @@ impl fmt::Display for Fig7Result {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ExperimentSuite;
 
     #[test]
     fn batch_sweep_flattens_below_16_and_approaches_the_asymptote() {

@@ -1,10 +1,15 @@
 //! Experiment runners that regenerate every figure and table of the paper's
 //! evaluation (§V).
 //!
-//! Each experiment returns a plain-data result struct with a `Display`
-//! implementation that prints a paper-style table, so the `rasa-bench`
-//! binaries can simply run and print them, and tests can assert on the
-//! numbers.
+//! Each experiment module is a thin declarative layer over the shared
+//! [`ExperimentRunner`](crate::ExperimentRunner): it contributes an
+//! [`ExperimentSpec`](crate::ExperimentSpec) (which workloads × designs to
+//! simulate, under which kernel) plus post-processing of the resulting
+//! [`WorkloadRun`](crate::WorkloadRun)s into a plain-data result struct with
+//! a `Display` implementation that prints a paper-style table. The runner
+//! owns iteration, parallelism and per-cell memoization, so results shared
+//! between figures (Fig. 5 feeds Fig. 6 and the area/energy table; Fig. 7
+//! re-uses baseline cells across batch sizes) are simulated exactly once.
 
 mod ablation;
 mod area_energy;
@@ -24,57 +29,84 @@ pub use fig5::{Fig5Result, Fig5Row};
 pub use fig6::{Fig6Result, Fig6Row};
 pub use fig7::{Fig7Result, Fig7Row};
 
-use crate::SimError;
+use crate::{ExperimentRunner, SimError};
+use std::sync::Arc;
 
-/// Configuration shared by all experiment runners.
+/// Facade over the full paper evaluation: one method per figure/table, all
+/// executing through one shared, memoizing [`ExperimentRunner`].
 ///
 /// `matmul_cap` bounds the number of `rasa_mm` instructions simulated per
 /// workload/design pair; the full-workload runtime is extrapolated from the
 /// simulated steady state (see [`crate::SimReport`]). The default of 4096
 /// reproduces stable normalized runtimes in seconds of wall-clock time; the
-/// experiment binaries expose a flag to raise it (or remove it entirely) for
-/// full-fidelity runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// experiment binaries expose a flag to raise it (or remove it entirely)
+/// for full-fidelity runs.
+///
+/// Cloning the suite shares the underlying runner (and its cell cache);
+/// reconfiguring via the `with_*` methods builds a fresh runner.
+#[derive(Debug, Clone)]
 pub struct ExperimentSuite {
-    matmul_cap: Option<usize>,
     fig7_max_batch: usize,
+    runner: Arc<ExperimentRunner>,
 }
 
 impl ExperimentSuite {
-    /// Creates the suite with the default per-run matmul cap.
+    /// Creates the suite with the default per-run matmul cap, executing in
+    /// parallel.
     #[must_use]
     pub fn new() -> Self {
-        ExperimentSuite {
-            matmul_cap: Some(crate::simulator::DEFAULT_MATMUL_CAP),
-            fig7_max_batch: 1024,
-        }
+        ExperimentSuite::builder()
+            .build()
+            .expect("default suite configuration is valid")
     }
 
-    /// Overrides the per-run matmul cap (`None` simulates every tile).
+    /// Starts building a suite (kubecl-style typed config builder).
     #[must_use]
-    pub const fn with_matmul_cap(mut self, cap: Option<usize>) -> Self {
-        self.matmul_cap = cap;
-        self
+    pub fn builder() -> ExperimentSuiteBuilder {
+        ExperimentSuiteBuilder::default()
+    }
+
+    /// Overrides the per-run matmul cap (`None` simulates every tile),
+    /// building a fresh runner (and cache).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a cap of `Some(0)`; use
+    /// [`ExperimentSuite::builder`] for fallible configuration.
+    #[must_use]
+    pub fn with_matmul_cap(self, cap: Option<usize>) -> Self {
+        ExperimentSuite::builder()
+            .with_matmul_cap(cap)
+            .with_fig7_max_batch(self.fig7_max_batch)
+            .with_parallel(self.runner.is_parallel())
+            .build()
+            .expect("matmul cap must be at least 1 (or None for uncapped)")
     }
 
     /// Restricts the Fig. 7 sweep to batch sizes up to `max_batch`
     /// (inclusive); the paper sweeps up to 1024.
     #[must_use]
-    pub const fn with_fig7_max_batch(mut self, max_batch: usize) -> Self {
+    pub fn with_fig7_max_batch(mut self, max_batch: usize) -> Self {
         self.fig7_max_batch = max_batch;
         self
     }
 
     /// The configured matmul cap.
     #[must_use]
-    pub const fn matmul_cap(&self) -> Option<usize> {
-        self.matmul_cap
+    pub fn matmul_cap(&self) -> Option<usize> {
+        self.runner.matmul_cap()
     }
 
     /// The configured Fig. 7 batch ceiling.
     #[must_use]
     pub const fn fig7_max_batch(&self) -> usize {
         self.fig7_max_batch
+    }
+
+    /// The shared execution pipeline behind every experiment.
+    #[must_use]
+    pub fn runner(&self) -> &ExperimentRunner {
+        &self.runner
     }
 
     /// Fig. 1: the 2×2 weight-stationary walkthrough (per-cycle utilization,
@@ -101,11 +133,13 @@ impl ExperimentSuite {
     ///
     /// Propagates simulation errors.
     pub fn fig5_runtime(&self) -> Result<Fig5Result, SimError> {
-        fig5::run(self)
+        fig5::run(self.runner())
     }
 
     /// Fig. 6: performance-per-area of the three RASA-Data designs (each
-    /// with its best control scheme), derived from a Fig. 5 run.
+    /// with its best control scheme), derived from a Fig. 5 run (cached by
+    /// the shared runner, so deriving after a Fig. 5 call costs nothing
+    /// extra).
     ///
     /// # Errors
     ///
@@ -115,8 +149,7 @@ impl ExperimentSuite {
         Ok(fig6::from_fig5(&fig5))
     }
 
-    /// Fig. 6 derived from an existing Fig. 5 result (avoids re-running the
-    /// simulations).
+    /// Fig. 6 derived from an existing Fig. 5 result.
     #[must_use]
     pub fn fig6_from(&self, fig5: &Fig5Result) -> Fig6Result {
         fig6::from_fig5(fig5)
@@ -128,11 +161,11 @@ impl ExperimentSuite {
     ///
     /// Propagates simulation errors.
     pub fn fig7_batch(&self) -> Result<Fig7Result, SimError> {
-        fig7::run(self)
+        fig7::run(self.runner(), self.fig7_max_batch)
     }
 
     /// The §V area and energy-efficiency comparison of the RASA-Data
-    /// designs, derived from a Fig. 5 run.
+    /// designs, derived from a Fig. 5 run (cached by the shared runner).
     ///
     /// # Errors
     ///
@@ -155,7 +188,7 @@ impl ExperimentSuite {
     ///
     /// Propagates simulation errors.
     pub fn ablation_blocking(&self) -> Result<BlockingAblationResult, SimError> {
-        ablation::run_blocking(self)
+        ablation::run_blocking(self.runner())
     }
 
     /// Ablation: sensitivity of the best design's speedup to the host CPU's
@@ -165,13 +198,71 @@ impl ExperimentSuite {
     ///
     /// Propagates simulation errors.
     pub fn ablation_cpu(&self) -> Result<CpuAblationResult, SimError> {
-        ablation::run_cpu(self)
+        ablation::run_cpu(self.runner())
     }
 }
 
 impl Default for ExperimentSuite {
     fn default() -> Self {
         ExperimentSuite::new()
+    }
+}
+
+/// Builder for [`ExperimentSuite`], following the kubecl
+/// `TilingSchemeBuilder` idiom: optional typed fields, validated at
+/// [`build`](Self::build).
+#[derive(Debug, Default)]
+pub struct ExperimentSuiteBuilder {
+    matmul_cap: Option<Option<usize>>,
+    fig7_max_batch: Option<usize>,
+    parallel: Option<bool>,
+}
+
+impl ExperimentSuiteBuilder {
+    /// Caps the simulated `rasa_mm` instructions per workload/design pair
+    /// (`None` simulates every tile).
+    #[must_use]
+    pub fn with_matmul_cap(mut self, cap: Option<usize>) -> Self {
+        self.matmul_cap = Some(cap);
+        self
+    }
+
+    /// Restricts the Fig. 7 sweep to batch sizes up to `max_batch`.
+    #[must_use]
+    pub fn with_fig7_max_batch(mut self, max_batch: usize) -> Self {
+        self.fig7_max_batch = Some(max_batch);
+        self
+    }
+
+    /// Selects parallel (default) or serial execution.
+    #[must_use]
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = Some(parallel);
+        self
+    }
+
+    /// Forces strict serial execution.
+    #[must_use]
+    pub fn serial(self) -> Self {
+        self.with_parallel(false)
+    }
+
+    /// Validates the configuration and builds the suite (and its runner).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidExperiment`] for a zero matmul cap.
+    pub fn build(self) -> Result<ExperimentSuite, SimError> {
+        let parallel = self.parallel.unwrap_or(true);
+        let mut runner_builder = ExperimentRunner::builder().with_parallel(parallel);
+        if let Some(cap) = self.matmul_cap {
+            runner_builder = runner_builder.with_matmul_cap(cap);
+        }
+        let runner = runner_builder.build()?;
+        Ok(ExperimentSuite {
+            fig7_max_batch: self.fig7_max_batch.unwrap_or(1024),
+            runner: Arc::new(runner),
+        })
     }
 }
 
@@ -184,9 +275,45 @@ mod tests {
         let s = ExperimentSuite::new();
         assert_eq!(s.matmul_cap(), Some(4096));
         assert_eq!(s.fig7_max_batch(), 1024);
+        assert!(s.runner().is_parallel());
         let s = s.with_matmul_cap(Some(128)).with_fig7_max_batch(64);
         assert_eq!(s.matmul_cap(), Some(128));
         assert_eq!(s.fig7_max_batch(), 64);
-        assert_eq!(ExperimentSuite::default(), ExperimentSuite::new());
+        assert_eq!(s.runner().matmul_cap(), Some(128));
+        let d = ExperimentSuite::default();
+        assert_eq!(d.matmul_cap(), Some(4096));
+        assert_eq!(d.fig7_max_batch(), 1024);
+    }
+
+    #[test]
+    fn builder_covers_every_field() {
+        let s = ExperimentSuite::builder()
+            .with_matmul_cap(Some(96))
+            .with_fig7_max_batch(32)
+            .serial()
+            .build()
+            .unwrap();
+        assert_eq!(s.matmul_cap(), Some(96));
+        assert_eq!(s.fig7_max_batch(), 32);
+        assert!(!s.runner().is_parallel());
+        assert!(matches!(
+            ExperimentSuite::builder().with_matmul_cap(Some(0)).build(),
+            Err(SimError::InvalidExperiment { .. })
+        ));
+    }
+
+    #[test]
+    fn clones_share_the_runner_cache() {
+        let a = ExperimentSuite::builder()
+            .with_matmul_cap(Some(96))
+            .build()
+            .unwrap();
+        let b = a.clone();
+        a.fig1_toy().unwrap();
+        assert_eq!(
+            a.runner().cache_stats(),
+            b.runner().cache_stats(),
+            "clones observe the same cache"
+        );
     }
 }

@@ -35,14 +35,16 @@ mod designs;
 mod error;
 mod experiments;
 mod report;
+mod runner;
 mod simulator;
 
 pub use designs::DesignPoint;
 pub use error::SimError;
 pub use experiments::{
     AreaEnergyResult, AreaEnergyRow, BlockingAblationResult, BlockingAblationRow,
-    CpuAblationResult, CpuAblationRow, ExperimentSuite, Fig1Result, Fig2Result, Fig5Result,
-    Fig5Row, Fig6Result, Fig6Row, Fig7Result, Fig7Row,
+    CpuAblationResult, CpuAblationRow, ExperimentSuite, ExperimentSuiteBuilder, Fig1Result,
+    Fig2Result, Fig5Result, Fig5Row, Fig6Result, Fig6Row, Fig7Result, Fig7Row,
 };
 pub use report::{SimReport, SimSummary, WorkloadRun};
+pub use runner::{CacheStats, ExperimentRunner, ExperimentRunnerBuilder, ExperimentSpec, SimJob};
 pub use simulator::Simulator;

@@ -1,0 +1,574 @@
+//! The shared experiment execution pipeline.
+//!
+//! Every figure and table of the paper's evaluation boils down to the same
+//! operation: simulate a set of (workload, design) cells, possibly under a
+//! custom kernel configuration, and post-process the resulting
+//! [`SimReport`]s. The seed code hand-rolled that double loop in every
+//! experiment module, re-simulating identical cells across figures (Fig. 5,
+//! Fig. 6 and the area/energy table all need the same 9 × 8 grid, and the
+//! Fig. 7 batch sweep re-runs the baseline at every batch size).
+//!
+//! [`ExperimentRunner`] centralizes the execution:
+//!
+//! * **Parallelism** — independent cells run concurrently on all cores via
+//!   `rayon`-style parallel iterators; the simulation itself is
+//!   deterministic, so parallel results are bit-identical to serial ones.
+//! * **Memoization** — each cell result is cached under a key derived from
+//!   the complete (design, workload, kernel) configuration, so a cell is
+//!   simulated at most once per runner, however many experiments need it.
+//! * **Declarative specs** — an [`ExperimentSpec`] names a workload set, a
+//!   design set and an optional kernel override; the runner expands the
+//!   cross product and returns one [`WorkloadRun`] per workload. Experiment
+//!   modules reduce to spec + post-processing.
+//!
+//! Runners are built with the [`ExperimentRunnerBuilder`]
+//! (`ExperimentRunner::builder()`), mirroring the typed config-builder
+//! idiom of kubecl's `TilingScheme`.
+
+use crate::simulator::DEFAULT_MATMUL_CAP;
+use crate::{DesignPoint, SimError, SimReport, Simulator, WorkloadRun};
+use rasa_trace::GemmKernelConfig;
+use rasa_workloads::LayerSpec;
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One simulation cell: a workload on a design point, optionally under a
+/// non-default kernel configuration.
+#[derive(Debug, Clone)]
+pub struct SimJob {
+    /// The design point to simulate.
+    pub design: DesignPoint,
+    /// The workload to run.
+    pub workload: LayerSpec,
+    /// Kernel override; `None` uses the runner's default kernel with the
+    /// runner's matmul cap.
+    pub kernel: Option<GemmKernelConfig>,
+}
+
+impl SimJob {
+    /// A job for `workload` on `design` with the runner's default kernel.
+    #[must_use]
+    pub fn new(design: DesignPoint, workload: LayerSpec) -> Self {
+        SimJob {
+            design,
+            workload,
+            kernel: None,
+        }
+    }
+
+    /// Overrides the kernel configuration (emission order, tiling, cap).
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: GemmKernelConfig) -> Self {
+        self.kernel = Some(kernel);
+        self
+    }
+}
+
+/// A declarative experiment: the (workload × design) matrix to simulate and
+/// an optional kernel override shared by every cell.
+///
+/// Experiment modules build one of these and hand it to
+/// [`ExperimentRunner::run_spec`]; the runner owns iteration order,
+/// parallelism and caching, so the modules keep no loops of their own.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Human-readable experiment name (used in logs and error messages).
+    pub name: &'static str,
+    /// Workloads, in presentation order.
+    pub workloads: Vec<LayerSpec>,
+    /// Design points, in presentation order. The first design is the
+    /// normalization baseline by convention.
+    pub designs: Vec<DesignPoint>,
+    /// Kernel override applied to every cell (`None` = runner default).
+    pub kernel: Option<GemmKernelConfig>,
+}
+
+impl ExperimentSpec {
+    /// Expands the (workload × design) cross product, workload-major: all
+    /// designs of the first workload, then all designs of the second, …
+    #[must_use]
+    pub fn jobs(&self) -> Vec<SimJob> {
+        self.workloads
+            .iter()
+            .flat_map(|workload| {
+                self.designs.iter().map(|design| SimJob {
+                    design: design.clone(),
+                    workload: workload.clone(),
+                    kernel: self.kernel,
+                })
+            })
+            .collect()
+    }
+
+    /// The number of cells in the matrix.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.workloads.len() * self.designs.len()
+    }
+
+    /// Whether the matrix is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Cache effectiveness counters of an [`ExperimentRunner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Cells answered from the memoization cache.
+    pub hits: u64,
+    /// Cells that had to be simulated.
+    pub misses: u64,
+    /// Distinct cells currently cached.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when empty).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Parallel, memoizing executor for (workload × design) simulation
+/// matrices. See the [module docs](self) for the motivation.
+///
+/// The runner is `Sync`: one runner can be shared by concurrent experiment
+/// calls, and all of them share the cell cache. Two threads racing on the
+/// same uncached cell may both simulate it; the simulation is
+/// deterministic, so either result is valid and the duplicate work is
+/// bounded by one cell.
+#[derive(Debug)]
+pub struct ExperimentRunner {
+    matmul_cap: Option<usize>,
+    parallel: bool,
+    cache: Mutex<HashMap<String, Arc<SimReport>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ExperimentRunner {
+    /// A parallel runner with the default matmul cap.
+    #[must_use]
+    pub fn new() -> Self {
+        ExperimentRunner::builder()
+            .build()
+            .expect("default runner configuration is valid")
+    }
+
+    /// Starts building a runner (kubecl-style typed config builder).
+    #[must_use]
+    pub fn builder() -> ExperimentRunnerBuilder {
+        ExperimentRunnerBuilder::default()
+    }
+
+    /// The cap on simulated `rasa_mm` instructions per cell, if any.
+    #[must_use]
+    pub const fn matmul_cap(&self) -> Option<usize> {
+        self.matmul_cap
+    }
+
+    /// Whether cells run concurrently (`false` = strict serial execution).
+    #[must_use]
+    pub const fn is_parallel(&self) -> bool {
+        self.parallel
+    }
+
+    /// Cache effectiveness counters since construction (or the last
+    /// [`clear_cache`](Self::clear_cache)).
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.cache.lock().expect("cache lock").len(),
+        }
+    }
+
+    /// Drops every cached cell and resets the hit/miss counters.
+    pub fn clear_cache(&self) {
+        self.cache.lock().expect("cache lock").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// The kernel a job resolves to: its explicit override, or the default
+    /// kernel carrying the runner's matmul cap.
+    fn resolve_kernel(&self, job: &SimJob) -> GemmKernelConfig {
+        job.kernel.unwrap_or_else(|| {
+            let mut kernel = GemmKernelConfig::amx_like();
+            kernel.max_matmuls = self.matmul_cap;
+            kernel
+        })
+    }
+
+    /// Runs (or recalls) one cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors from the underlying [`Simulator`].
+    pub fn run_job(&self, job: &SimJob) -> Result<Arc<SimReport>, SimError> {
+        let kernel = self.resolve_kernel(job);
+        // Simulated cycle counts depend only on the design, the lowered
+        // GEMM shape and the kernel — not on the workload's display name —
+        // so the key is semantic: a re-batched `DLRM-1@b512` hits the cell
+        // `DLRM-1` already simulated at its native batch of 512. The
+        // derived Debug output covers every configuration field (floats
+        // print with round-trip precision), so the key is a complete
+        // identity of the cell.
+        let key = format!(
+            "{:?}|{:?}|{:?}",
+            job.design,
+            job.workload.gemm_shape(),
+            kernel
+        );
+        if let Some(report) = self.cache.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            // Same numbers, possibly a different label: restamp the
+            // workload name the caller asked for.
+            return Ok(if report.workload == job.workload.name() {
+                Arc::clone(report)
+            } else {
+                let mut relabelled = (**report).clone();
+                relabelled.workload = job.workload.name().to_string();
+                Arc::new(relabelled)
+            });
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let report = Arc::new(
+            Simulator::new(job.design.clone())?
+                .with_kernel(kernel)?
+                .run_layer(&job.workload)?,
+        );
+        self.cache
+            .lock()
+            .expect("cache lock")
+            .insert(key, Arc::clone(&report));
+        Ok(report)
+    }
+
+    /// Runs a batch of cells, in parallel when the runner is parallel, and
+    /// returns the reports in job order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first simulation error in job order.
+    pub fn run_jobs(&self, jobs: &[SimJob]) -> Result<Vec<Arc<SimReport>>, SimError> {
+        if self.parallel {
+            jobs.par_iter().map(|job| self.run_job(job)).collect()
+        } else {
+            jobs.iter().map(|job| self.run_job(job)).collect()
+        }
+    }
+
+    /// Runs the full (workload × design) matrix of a spec and groups the
+    /// reports into one [`WorkloadRun`] per workload (designs in spec
+    /// order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidExperiment`] for an empty matrix and
+    /// propagates simulation errors.
+    pub fn run_spec(&self, spec: &ExperimentSpec) -> Result<Vec<WorkloadRun>, SimError> {
+        if spec.is_empty() {
+            return Err(SimError::InvalidExperiment {
+                reason: format!(
+                    "experiment {} has an empty workload x design matrix",
+                    spec.name
+                ),
+            });
+        }
+        let reports = self.run_jobs(&spec.jobs())?;
+        Ok(reports
+            .chunks(spec.designs.len())
+            .zip(&spec.workloads)
+            .map(|(chunk, workload)| WorkloadRun {
+                workload: workload.name().to_string(),
+                reports: chunk.iter().map(|r| (**r).clone()).collect(),
+            })
+            .collect())
+    }
+
+    /// Convenience wrapper: runs `workloads × designs` with the default
+    /// kernel.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_spec`](Self::run_spec).
+    pub fn run_grid(
+        &self,
+        workloads: &[LayerSpec],
+        designs: &[DesignPoint],
+    ) -> Result<Vec<WorkloadRun>, SimError> {
+        self.run_spec(&ExperimentSpec {
+            name: "grid",
+            workloads: workloads.to_vec(),
+            designs: designs.to_vec(),
+            kernel: None,
+        })
+    }
+}
+
+impl Default for ExperimentRunner {
+    fn default() -> Self {
+        ExperimentRunner::new()
+    }
+}
+
+/// Builder for [`ExperimentRunner`], following the kubecl
+/// `TilingSchemeBuilder` idiom: optional typed fields, validated at
+/// [`build`](Self::build).
+#[derive(Debug, Default)]
+pub struct ExperimentRunnerBuilder {
+    matmul_cap: Option<Option<usize>>,
+    parallel: Option<bool>,
+}
+
+impl ExperimentRunnerBuilder {
+    /// Caps the simulated `rasa_mm` instructions per cell (`None` simulates
+    /// every tile).
+    #[must_use]
+    pub fn with_matmul_cap(mut self, cap: Option<usize>) -> Self {
+        self.matmul_cap = Some(cap);
+        self
+    }
+
+    /// Selects parallel (default) or serial execution.
+    #[must_use]
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = Some(parallel);
+        self
+    }
+
+    /// Forces strict serial execution (for determinism checks and
+    /// debugging).
+    #[must_use]
+    pub fn serial(self) -> Self {
+        self.with_parallel(false)
+    }
+
+    /// Validates the configuration and builds the runner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidExperiment`] for a zero matmul cap.
+    pub fn build(self) -> Result<ExperimentRunner, SimError> {
+        let matmul_cap = self.matmul_cap.unwrap_or(Some(DEFAULT_MATMUL_CAP));
+        if matmul_cap == Some(0) {
+            return Err(SimError::InvalidExperiment {
+                reason: "matmul cap must be at least 1 (or None for uncapped)".to_string(),
+            });
+        }
+        Ok(ExperimentRunner {
+            matmul_cap,
+            parallel: self.parallel.unwrap_or(true),
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rasa_workloads::WorkloadSuite;
+
+    fn small_grid() -> (Vec<LayerSpec>, Vec<DesignPoint>) {
+        let suite = WorkloadSuite::mlperf();
+        let workloads = vec![
+            suite.layer("DLRM-1").unwrap().clone(),
+            suite.layer("BERT-1").unwrap().clone(),
+        ];
+        let designs = vec![DesignPoint::baseline(), DesignPoint::rasa_dmdb_wls()];
+        (workloads, designs)
+    }
+
+    #[test]
+    fn builder_validates_and_defaults() {
+        let runner = ExperimentRunner::new();
+        assert_eq!(runner.matmul_cap(), Some(4096));
+        assert!(runner.is_parallel());
+        let serial = ExperimentRunner::builder()
+            .with_matmul_cap(Some(64))
+            .serial()
+            .build()
+            .unwrap();
+        assert_eq!(serial.matmul_cap(), Some(64));
+        assert!(!serial.is_parallel());
+        assert!(matches!(
+            ExperimentRunner::builder().with_matmul_cap(Some(0)).build(),
+            Err(SimError::InvalidExperiment { .. })
+        ));
+    }
+
+    #[test]
+    fn spec_expands_workload_major() {
+        let (workloads, designs) = small_grid();
+        let spec = ExperimentSpec {
+            name: "test",
+            workloads,
+            designs,
+            kernel: None,
+        };
+        let jobs = spec.jobs();
+        assert_eq!(jobs.len(), 4);
+        assert_eq!(spec.len(), 4);
+        assert!(!spec.is_empty());
+        assert_eq!(jobs[0].workload.name(), "DLRM-1");
+        assert_eq!(jobs[0].design.name(), "BASELINE");
+        assert_eq!(jobs[1].workload.name(), "DLRM-1");
+        assert_eq!(jobs[1].design.name(), "RASA-DMDB-WLS");
+        assert_eq!(jobs[2].workload.name(), "BERT-1");
+    }
+
+    #[test]
+    fn grid_results_group_by_workload_in_design_order() {
+        let (workloads, designs) = small_grid();
+        let runner = ExperimentRunner::builder()
+            .with_matmul_cap(Some(96))
+            .build()
+            .unwrap();
+        let runs = runner.run_grid(&workloads, &designs).unwrap();
+        assert_eq!(runs.len(), 2);
+        for (run, layer) in runs.iter().zip(&workloads) {
+            assert_eq!(run.workload, layer.name());
+            assert_eq!(run.reports.len(), 2);
+            assert_eq!(run.reports[0].design, "BASELINE");
+            assert_eq!(run.reports[1].design, "RASA-DMDB-WLS");
+            assert!(run.baseline().is_some());
+        }
+    }
+
+    #[test]
+    fn cache_memoizes_identical_cells() {
+        let (workloads, designs) = small_grid();
+        let runner = ExperimentRunner::builder()
+            .with_matmul_cap(Some(96))
+            .build()
+            .unwrap();
+        let first = runner.run_grid(&workloads, &designs).unwrap();
+        let stats = runner.cache_stats();
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.entries, 4);
+
+        let second = runner.run_grid(&workloads, &designs).unwrap();
+        let stats = runner.cache_stats();
+        assert_eq!(stats.misses, 4, "second run must be fully cached");
+        assert_eq!(stats.hits, 4);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(first, second);
+
+        runner.clear_cache();
+        let stats = runner.cache_stats();
+        assert_eq!(stats, CacheStats::default());
+    }
+
+    #[test]
+    fn cache_key_is_semantic_not_nominal() {
+        // A re-batched layer at its native batch lowers to the same GEMM,
+        // so it must hit the cached cell — relabelled with the new name.
+        let suite = WorkloadSuite::mlperf();
+        let layer = suite.layer("DLRM-1").unwrap().clone();
+        let rebatched = layer.with_batch(layer.batch());
+        assert_ne!(layer.name(), rebatched.name());
+        assert_eq!(layer.gemm_shape(), rebatched.gemm_shape());
+
+        let runner = ExperimentRunner::builder()
+            .with_matmul_cap(Some(96))
+            .build()
+            .unwrap();
+        let design = DesignPoint::baseline();
+        let original = runner.run_job(&SimJob::new(design.clone(), layer)).unwrap();
+        let relabelled = runner
+            .run_job(&SimJob::new(design, rebatched.clone()))
+            .unwrap();
+        let stats = runner.cache_stats();
+        assert_eq!((stats.misses, stats.hits), (1, 1));
+        assert_eq!(relabelled.workload, rebatched.name());
+        assert_eq!(relabelled.core_cycles, original.core_cycles);
+        assert_eq!(relabelled.cpu, original.cpu);
+    }
+
+    #[test]
+    fn parallel_and_serial_results_are_bit_identical() {
+        let (workloads, designs) = small_grid();
+        let parallel = ExperimentRunner::builder()
+            .with_matmul_cap(Some(96))
+            .build()
+            .unwrap();
+        let serial = ExperimentRunner::builder()
+            .with_matmul_cap(Some(96))
+            .serial()
+            .build()
+            .unwrap();
+        let p = parallel.run_grid(&workloads, &designs).unwrap();
+        let s = serial.run_grid(&workloads, &designs).unwrap();
+        assert_eq!(p, s);
+    }
+
+    #[test]
+    fn kernel_overrides_key_the_cache_separately() {
+        use rasa_trace::{GemmKernelConfig, MatmulOrder};
+        let suite = WorkloadSuite::mlperf();
+        let layer = suite.layer("DLRM-1").unwrap().clone();
+        let runner = ExperimentRunner::builder()
+            .with_matmul_cap(Some(96))
+            .build()
+            .unwrap();
+
+        let mut paired = GemmKernelConfig::amx_like().with_matmul_order(MatmulOrder::WeightPaired);
+        paired.max_matmuls = Some(96);
+        let mut interleaved =
+            GemmKernelConfig::amx_like().with_matmul_order(MatmulOrder::Interleaved);
+        interleaved.max_matmuls = Some(96);
+
+        let design = DesignPoint::rasa_wlbp();
+        let a = runner
+            .run_job(&SimJob::new(design.clone(), layer.clone()).with_kernel(paired))
+            .unwrap();
+        let b = runner
+            .run_job(&SimJob::new(design.clone(), layer.clone()).with_kernel(interleaved))
+            .unwrap();
+        assert_eq!(
+            runner.cache_stats().misses,
+            2,
+            "distinct kernels, distinct cells"
+        );
+        // WLBP benefits from paired weight reuse, so the orders must differ.
+        assert!(a.core_cycles < b.core_cycles);
+
+        // The default kernel at the runner cap resolves to the same cell as
+        // the explicit weight-paired kernel above (amx_like's default
+        // order), so both lookups are cache hits.
+        let mut default_kernel = GemmKernelConfig::amx_like();
+        default_kernel.max_matmuls = Some(96);
+        let c = runner
+            .run_job(&SimJob::new(design.clone(), layer.clone()))
+            .unwrap();
+        let d = runner
+            .run_job(&SimJob::new(design, layer).with_kernel(default_kernel))
+            .unwrap();
+        assert_eq!(runner.cache_stats().misses, 2);
+        assert_eq!(runner.cache_stats().hits, 2);
+        assert_eq!(c, a);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn empty_spec_is_rejected() {
+        let runner = ExperimentRunner::new();
+        let err = runner.run_grid(&[], &[DesignPoint::baseline()]);
+        assert!(matches!(err, Err(SimError::InvalidExperiment { .. })));
+    }
+}

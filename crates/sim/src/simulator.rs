@@ -179,7 +179,10 @@ mod tests {
         let layer = suite.layer("DLRM-1").unwrap();
         let report = sim.run_layer(layer).unwrap();
         assert!(report.is_extrapolated());
-        assert_eq!(report.total_matmuls, (512 / 16 * 1024 / 32 * 1024 / 16) as u64);
+        assert_eq!(
+            report.total_matmuls,
+            (512 / 16 * 1024 / 32 * 1024 / 16) as u64
+        );
         assert!(report.core_cycles > report.simulated_core_cycles);
         assert_eq!(report.workload, "DLRM-1");
     }

@@ -123,7 +123,9 @@ impl FunctionalArray {
     /// Creates an array with no weights loaded.
     #[must_use]
     pub fn new(config: SystolicConfig) -> Self {
-        let pes = (0..config.num_pes()).map(|_| Pe::new(config.pe())).collect();
+        let pes = (0..config.num_pes())
+            .map(|_| Pe::new(config.pe()))
+            .collect();
         FunctionalArray {
             config,
             pes,
@@ -440,8 +442,7 @@ impl FunctionalArray {
     ) -> Result<(Matrix<f32>, ArrayActivity), SystolicError> {
         let wl_cycles = self.load_weights(b)?;
         let (out, feed_activity) = self.execute(a, c_in)?;
-        let wl_activity =
-            ArrayActivity::new(vec![0; wl_cycles as usize], self.config.num_pes(), 0);
+        let wl_activity = ArrayActivity::new(vec![0; wl_cycles as usize], self.config.num_pes(), 0);
         Ok((out, wl_activity.then(&feed_activity)))
     }
 }
@@ -515,7 +516,11 @@ mod tests {
             let b = bf16_matrix(17, 9, |i, j| ((3 * i + j) % 5) as f32 - 2.0);
             let c = Matrix::from_fn(5, 9, |i, j| (i * j) as f32 * 0.5);
             let (out, _) = array.matmul(&a, &b, &c).unwrap();
-            assert_eq!(max_abs_diff(&out, &reference(&a, &b, &c)), 0.0, "variant {pe}");
+            assert_eq!(
+                max_abs_diff(&out, &reference(&a, &b, &c)),
+                0.0,
+                "variant {pe}"
+            );
         }
     }
 
@@ -548,8 +553,14 @@ mod tests {
         array.load_weights(&b).unwrap();
         let (c0, _) = array.execute(&a0, &Matrix::zeros(16, 16)).unwrap();
         let (c1, _) = array.execute(&a1, &Matrix::zeros(16, 16)).unwrap();
-        assert_eq!(max_abs_diff(&c0, &reference(&a0, &b, &Matrix::zeros(16, 16))), 0.0);
-        assert_eq!(max_abs_diff(&c1, &reference(&a1, &b, &Matrix::zeros(16, 16))), 0.0);
+        assert_eq!(
+            max_abs_diff(&c0, &reference(&a0, &b, &Matrix::zeros(16, 16))),
+            0.0
+        );
+        assert_eq!(
+            max_abs_diff(&c1, &reference(&a1, &b, &Matrix::zeros(16, 16))),
+            0.0
+        );
     }
 
     #[test]
@@ -562,10 +573,16 @@ mod tests {
         array.load_weights(&b0).unwrap();
         array.load_shadow_weights(&b1).unwrap();
         let (c0, _) = array.execute(&a, &Matrix::zeros(16, 16)).unwrap();
-        assert_eq!(max_abs_diff(&c0, &reference(&a, &b0, &Matrix::zeros(16, 16))), 0.0);
+        assert_eq!(
+            max_abs_diff(&c0, &reference(&a, &b0, &Matrix::zeros(16, 16))),
+            0.0
+        );
         array.swap_shadow().unwrap();
         let (c1, _) = array.execute(&a, &Matrix::zeros(16, 16)).unwrap();
-        assert_eq!(max_abs_diff(&c1, &reference(&a, &b1, &Matrix::zeros(16, 16))), 0.0);
+        assert_eq!(
+            max_abs_diff(&c1, &reference(&a, &b1, &Matrix::zeros(16, 16))),
+            0.0
+        );
     }
 
     #[test]

@@ -367,10 +367,7 @@ mod tests {
         let done = run_pattern(&mut e, 3, &[4, 5], 1);
         // Steady-state interval = WL + FF + FS = 79 cycles.
         assert_eq!(done[1].timing.wl.start, done[0].timing.fs.end);
-        assert_eq!(
-            done[1].timing.ff.start - done[0].timing.ff.start,
-            79
-        );
+        assert_eq!(done[1].timing.ff.start - done[0].timing.ff.start, 79);
         assert_eq!(done[2].timing.ff.start - done[1].timing.ff.start, 79);
     }
 
@@ -424,8 +421,7 @@ mod tests {
         assert!(done[3].timing.weight_bypassed);
         // The prefetched loads never expose the 32-cycle WL as idle time:
         // the average interval stays well under the PIPE interval.
-        let interval =
-            (done[5].timing.ff.start - done[1].timing.ff.start) as f64 / 4.0;
+        let interval = (done[5].timing.ff.start - done[1].timing.ff.start) as f64 / 4.0;
         assert!(interval < 30.0, "interval {interval}");
         assert!(e.stats().weight_prefetches >= 2);
     }

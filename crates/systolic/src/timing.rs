@@ -123,11 +123,7 @@ pub fn base_latency(config: &SystolicConfig, tile: TileDims) -> u64 {
 /// cycles against the 95-cycle baseline, i.e. a normalized runtime of
 /// 16 / 95 ≈ 0.168.
 #[must_use]
-pub fn steady_state_interval(
-    config: &SystolicConfig,
-    tile: TileDims,
-    weight_reused: bool,
-) -> u64 {
+pub fn steady_state_interval(config: &SystolicConfig, tile: TileDims, weight_reused: bool) -> u64 {
     let d = stage_durations(config, tile);
     match config.control() {
         ControlScheme::Base => d.total(),

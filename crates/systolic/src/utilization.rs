@@ -95,8 +95,7 @@ mod tests {
 
     #[test]
     fn fig1_toy_example_utilization() {
-        let cfg =
-            SystolicConfig::new(2, 2, PeVariant::Baseline, ControlScheme::Base, 4).unwrap();
+        let cfg = SystolicConfig::new(2, 2, PeVariant::Baseline, ControlScheme::Base, 4).unwrap();
         let u = average_utilization(&cfg, TileDims::new(2, 2, 2));
         assert!((u - 2.0 / 7.0).abs() < 1e-9, "expected 28.6 %, got {u}");
     }

@@ -42,9 +42,11 @@ impl TraceGenerator {
     /// Returns [`TraceError::Shape`] for an empty GEMM.
     pub fn gemm_avx(&self, shape: GemmShape, name: &str) -> Result<Program, TraceError> {
         if shape.is_empty() {
-            return Err(TraceError::Shape(rasa_numeric::NumericError::InvalidTiling {
-                reason: format!("cannot generate an avx kernel for an empty GEMM ({shape})"),
-            }));
+            return Err(TraceError::Shape(
+                rasa_numeric::NumericError::InvalidTiling {
+                    reason: format!("cannot generate an avx kernel for an empty GEMM ({shape})"),
+                },
+            ));
         }
         let mut b = ProgramBuilder::new(*self.isa());
         b.set_name(name);

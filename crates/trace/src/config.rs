@@ -107,10 +107,7 @@ impl GemmKernelConfig {
     pub fn validate(&self) -> Result<(), TraceError> {
         if self.tiling.tm == 0 || self.tiling.tk == 0 || self.tiling.tn == 0 {
             return Err(TraceError::InvalidKernel {
-                reason: format!(
-                    "tile dimensions must be non-zero, got {}",
-                    self.tiling
-                ),
+                reason: format!("tile dimensions must be non-zero, got {}", self.tiling),
             });
         }
         if self.max_matmuls == Some(0) {

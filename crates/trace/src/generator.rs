@@ -45,9 +45,7 @@ impl TraceGenerator {
     /// register blocking needs.
     pub fn new(isa: IsaConfig, kernel: GemmKernelConfig) -> Result<Self, TraceError> {
         kernel.validate()?;
-        if kernel.tiling.tm > isa.tm()
-            || kernel.tiling.tk > isa.tk()
-            || kernel.tiling.tn > isa.tn()
+        if kernel.tiling.tm > isa.tm() || kernel.tiling.tk > isa.tk() || kernel.tiling.tn > isa.tn()
         {
             return Err(TraceError::InvalidKernel {
                 reason: format!(
@@ -148,9 +146,8 @@ impl TraceGenerator {
             let n_here: Vec<usize> = (2 * nb..(2 * nb + 2).min(nt)).collect();
             for mb in 0..mt.div_ceil(2) {
                 let m_here: Vec<usize> = (2 * mb..(2 * mb + 2).min(mt)).collect();
-                let c_reg_of = |m_idx: usize, n_idx: usize| {
-                    treg(c_regs[m_idx * n_here.len() + n_idx])
-                };
+                let c_reg_of =
+                    |m_idx: usize, n_idx: usize| treg(c_regs[m_idx * n_here.len() + n_idx]);
 
                 // Load the accumulator tiles for this register block.
                 for (m_idx, &mi) in m_here.iter().enumerate() {
@@ -215,7 +212,8 @@ impl TraceGenerator {
                                     treg(a_regs[m_idx]),
                                     MemRef::tile(self.a_addr(mi, ki, kt), TILE_STRIDE),
                                 );
-                                #[allow(clippy::needless_range_loop)] // b_regs and c_reg_of share the index
+                                #[allow(clippy::needless_range_loop)]
+                                // b_regs and c_reg_of share the index
                                 for n_idx in 0..n_here.len() {
                                     b.matmul(
                                         c_reg_of(m_idx, n_idx),

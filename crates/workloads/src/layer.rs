@@ -127,7 +127,10 @@ impl LayerSpec {
         self.name.split('-').next().unwrap_or(&self.name)
     }
 
-    fn base_name(&self) -> &str {
+    /// The layer name without any `@b<batch>` re-batching suffix (the
+    /// Table I name a swept layer derives from).
+    #[must_use]
+    pub fn base_name(&self) -> &str {
         self.name.split('@').next().unwrap_or(&self.name)
     }
 }

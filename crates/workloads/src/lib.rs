@@ -24,7 +24,7 @@ mod sweep;
 
 pub use layer::{LayerKind, LayerSpec};
 pub use mlperf::{bert_layers, dlrm_layers, resnet50_layers, table1_layers, MlperfWorkload};
-pub use sweep::{batch_sweep, fig7_batch_sizes};
+pub use sweep::{batch_sweep, fig7_batch_sizes, BatchMatrix};
 
 /// The full workload suite used in the paper's evaluation.
 #[derive(Debug, Clone, PartialEq, Eq)]

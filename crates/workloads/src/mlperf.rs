@@ -23,14 +23,8 @@ pub struct MlperfWorkload {
 #[must_use]
 pub fn resnet50_layers() -> Vec<LayerSpec> {
     vec![
-        LayerSpec::conv(
-            "ResNet50-1",
-            ConvShape::new(32, 64, 56, 56, 64, 1, 1, 1, 0),
-        ),
-        LayerSpec::conv(
-            "ResNet50-2",
-            ConvShape::new(32, 64, 56, 56, 64, 3, 3, 1, 1),
-        ),
+        LayerSpec::conv("ResNet50-1", ConvShape::new(32, 64, 56, 56, 64, 1, 1, 1, 0)),
+        LayerSpec::conv("ResNet50-2", ConvShape::new(32, 64, 56, 56, 64, 3, 3, 1, 1)),
         LayerSpec::conv(
             "ResNet50-3",
             ConvShape::new(32, 1024, 14, 14, 512, 1, 1, 1, 0),

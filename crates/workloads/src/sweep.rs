@@ -22,6 +22,66 @@ pub fn batch_sweep(layer: &LayerSpec, batch_sizes: &[usize]) -> Vec<LayerSpec> {
     batch_sizes.iter().map(|&b| layer.with_batch(b)).collect()
 }
 
+/// A lazy iterator over the (layer × batch size) matrix, layer-major: every
+/// batch size of the first layer, then every batch size of the second, …
+///
+/// This is the workload half of an experiment matrix — an
+/// `ExperimentRunner` crosses its output with a design list. Implements
+/// [`ExactSizeIterator`], so runners can pre-size job vectors.
+///
+/// ```
+/// use rasa_workloads::{BatchMatrix, LayerSpec};
+/// let layers = [
+///     LayerSpec::fc("DLRM-1", 512, 1024, 1024),
+///     LayerSpec::fc("BERT-1", 256, 768, 768),
+/// ];
+/// let matrix: Vec<_> = BatchMatrix::new(&layers, &[1, 16]).collect();
+/// assert_eq!(matrix.len(), 4);
+/// assert_eq!(matrix[0].gemm_shape().m, 1);
+/// assert_eq!(matrix[3].base_name(), "BERT-1");
+/// assert_eq!(matrix[3].batch(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchMatrix<'a> {
+    layers: &'a [LayerSpec],
+    batch_sizes: &'a [usize],
+    next: usize,
+}
+
+impl<'a> BatchMatrix<'a> {
+    /// Builds the matrix iterator over `layers × batch_sizes`.
+    #[must_use]
+    pub fn new(layers: &'a [LayerSpec], batch_sizes: &'a [usize]) -> Self {
+        BatchMatrix {
+            layers,
+            batch_sizes,
+            next: 0,
+        }
+    }
+}
+
+impl Iterator for BatchMatrix<'_> {
+    type Item = LayerSpec;
+
+    fn next(&mut self) -> Option<LayerSpec> {
+        if self.batch_sizes.is_empty() {
+            return None;
+        }
+        let layer = self.layers.get(self.next / self.batch_sizes.len())?;
+        let batch = self.batch_sizes[self.next % self.batch_sizes.len()];
+        self.next += 1;
+        Some(layer.with_batch(batch))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let total = self.layers.len() * self.batch_sizes.len();
+        let remaining = total.saturating_sub(self.next);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for BatchMatrix<'_> {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -35,6 +95,30 @@ mod tests {
         for pair in sizes.windows(2) {
             assert_eq!(pair[1], pair[0] * 2);
         }
+    }
+
+    #[test]
+    fn batch_matrix_iterates_layer_major_and_knows_its_length() {
+        let layers = [
+            LayerSpec::fc("DLRM-1", 512, 1024, 1024),
+            LayerSpec::fc("BERT-1", 256, 768, 768),
+        ];
+        let sizes = [1usize, 8, 64];
+        let matrix = BatchMatrix::new(&layers, &sizes);
+        assert_eq!(matrix.len(), 6);
+        let items: Vec<_> = matrix.collect();
+        assert_eq!(items.len(), 6);
+        for (i, item) in items.iter().enumerate() {
+            let layer = &layers[i / sizes.len()];
+            assert_eq!(item.base_name(), layer.name());
+            assert_eq!(item.gemm_shape().m, sizes[i % sizes.len()]);
+            assert_eq!(item.gemm_shape().k, layer.gemm_shape().k);
+        }
+
+        let empty_sizes = BatchMatrix::new(&layers, &[]);
+        assert_eq!(empty_sizes.count(), 0);
+        let empty_layers = BatchMatrix::new(&[], &sizes);
+        assert_eq!(empty_layers.count(), 0);
     }
 
     #[test]

@@ -5,6 +5,9 @@
 //! performance per area and energy efficiency — the kind of exploration the
 //! public API is meant to support beyond the paper's own figures.
 //!
+//! The whole sweep is one [`ExperimentRunner`] grid call: the runner fans
+//! the design points out over all cores and memoizes each cell.
+//!
 //! Run with: `cargo run --release --example design_space`
 
 use rasa::power::EngineActivitySummary;
@@ -13,53 +16,65 @@ use rasa::systolic::{ControlScheme, PeVariant};
 use rasa::workloads::bert_layers;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let layer = &bert_layers()[0];
+    let layer = bert_layers()[0].clone();
     println!("design space on {layer}:");
     println!(
         "{:>18} {:>12} {:>10} {:>10} {:>10} {:>12}",
         "design", "cycles", "norm", "area mm2", "PPA", "energy eff"
     );
 
-    // Baseline first so everything can be normalized against it.
-    let baseline_sim = Simulator::new(DesignPoint::baseline())?.with_matmul_cap(Some(1536))?;
-    let baseline = baseline_sim.run_layer(layer)?;
+    // Baseline first so everything can be normalized against it; then the
+    // full valid (PE variant × control scheme) cross product.
+    let mut designs = vec![DesignPoint::baseline()];
+    for pe in PeVariant::all() {
+        for scheme in ControlScheme::all() {
+            // WLS without double buffering is not constructible.
+            let Ok(systolic) = SystolicConfig::paper(pe, scheme) else {
+                continue;
+            };
+            if systolic.label() != "BASELINE" {
+                designs.push(DesignPoint::new(
+                    systolic.label(),
+                    systolic,
+                    CpuConfig::skylake_like(),
+                ));
+            }
+        }
+    }
+
+    let runner = ExperimentRunner::builder()
+        .with_matmul_cap(Some(1536))
+        .build()?;
+    let run = &runner.run_grid(std::slice::from_ref(&layer), &designs)?[0];
+    let baseline = run.baseline().expect("baseline leads the design list");
 
     let area_model = AreaModel::new();
     let energy_model = EnergyModel::new();
-    let baseline_area = baseline.power.area.total();
     let baseline_energy = baseline.power.energy.total();
+    let baseline_area = baseline.power.area.total();
 
-    for pe in PeVariant::all() {
-        for scheme in ControlScheme::all() {
-            let Ok(systolic) = SystolicConfig::paper(pe, scheme) else {
-                // WLS without double buffering is not constructible.
-                continue;
-            };
-            let design = DesignPoint::new(systolic.label(), systolic, CpuConfig::skylake_like());
-            let sim = Simulator::new(design)?.with_matmul_cap(Some(1536))?;
-            let report = sim.run_layer(layer)?;
+    for (design, report) in designs.iter().zip(&run.reports) {
+        let systolic = design.systolic();
+        let normalized = report.normalized_runtime_vs(baseline);
+        let area = area_model.array_area_mm2(systolic);
+        let ppa = (1.0 / normalized) / (area / baseline_area);
+        let activity = EngineActivitySummary::from_engine_stats(&report.cpu.engine);
+        let energy = energy_model.energy(systolic, &activity).total();
+        let energy_eff = if energy > 0.0 {
+            baseline_energy / energy
+        } else {
+            0.0
+        };
 
-            let normalized = report.normalized_runtime_vs(&baseline);
-            let area = area_model.array_area_mm2(&systolic);
-            let ppa = (1.0 / normalized) / (area / baseline_area);
-            let activity = EngineActivitySummary::from_engine_stats(&report.cpu.engine);
-            let energy = energy_model.energy(&systolic, &activity).total();
-            let energy_eff = if energy > 0.0 {
-                baseline_energy / energy
-            } else {
-                0.0
-            };
-
-            println!(
-                "{:>18} {:>12} {:>10.3} {:>10.3} {:>10.2} {:>11.2}x",
-                systolic.label(),
-                report.core_cycles,
-                normalized,
-                area,
-                ppa,
-                energy_eff
-            );
-        }
+        println!(
+            "{:>18} {:>12} {:>10.3} {:>10.3} {:>10.2} {:>11.2}x",
+            design.name(),
+            report.core_cycles,
+            normalized,
+            area,
+            ppa,
+            energy_eff
+        );
     }
 
     println!();

@@ -4,9 +4,9 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use rasa::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rasa::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---------------------------------------------------------------

@@ -46,7 +46,9 @@ pub mod prelude {
     pub use rasa_numeric::{gemm_bf16_fp32, gemm_f32, Bf16, ConvShape, GemmShape, Matrix};
     pub use rasa_power::{AreaModel, EnergyModel, PowerReport};
     pub use rasa_sim::{
-        DesignPoint, ExperimentSuite, SimReport, SimSummary, Simulator, WorkloadRun,
+        CacheStats, DesignPoint, ExperimentRunner, ExperimentRunnerBuilder, ExperimentSpec,
+        ExperimentSuite, ExperimentSuiteBuilder, SimJob, SimReport, SimSummary, Simulator,
+        WorkloadRun,
     };
     pub use rasa_systolic::{
         ControlScheme, FunctionalArray, MatrixEngine, PeVariant, SystolicConfig, TileDims,

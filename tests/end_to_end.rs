@@ -117,7 +117,9 @@ fn engine_bypass_rate_reflects_the_kernel_blocking() {
     // The 2x2 register blocking reuses each weight tile twice, so roughly
     // half of the rasa_mm instructions bypass Weight Load under WLBP.
     let layer = &dlrm_layers()[0];
-    let report = quick_sim(DesignPoint::rasa_wlbp()).run_layer(layer).unwrap();
+    let report = quick_sim(DesignPoint::rasa_wlbp())
+        .run_layer(layer)
+        .unwrap();
     let rate = report.cpu.engine.bypass_rate();
     assert!(rate > 0.40 && rate < 0.55, "bypass rate {rate}");
 
@@ -129,7 +131,9 @@ fn engine_bypass_rate_reflects_the_kernel_blocking() {
 #[test]
 fn csv_summaries_are_well_formed() {
     let layer = &resnet50_layers()[2];
-    let report = quick_sim(DesignPoint::rasa_db_wls()).run_layer(layer).unwrap();
+    let report = quick_sim(DesignPoint::rasa_db_wls())
+        .run_layer(layer)
+        .unwrap();
     let summary = report.summary();
     let row = summary.to_csv_row();
     assert_eq!(

@@ -23,8 +23,7 @@ fn fig7_asymptote_is_16_over_95() {
     let dmdb = SystolicConfig::paper(PeVariant::Dmdb, ControlScheme::Wls).unwrap();
     let base = SystolicConfig::paper_baseline();
     let tile = TileDims::new(16, 32, 16);
-    let best = steady_state_interval(&dmdb, tile, true) as f64
-        / base_latency(&base, tile) as f64;
+    let best = steady_state_interval(&dmdb, tile, true) as f64 / base_latency(&base, tile) as f64;
     assert!((best - 16.0 / 95.0).abs() < 1e-9);
     assert!((best - 0.168).abs() < 0.001);
 }

@@ -1,0 +1,198 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace benches use — `Criterion`,
+//! benchmark groups, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `black_box` and the `criterion_group!` / `criterion_main!` macros — with
+//! a plain wall-clock measurement loop instead of criterion's statistical
+//! machinery. Each benchmark prints `name: median µs/iter over N samples`.
+
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::time::Instant;
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// bodies.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// A benchmark identifier: a function name plus a parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id for `function_name` with a parameter rendered via `Display`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// The timing harness handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // One warm-up call, then `samples` timed calls.
+        black_box(routine());
+        let mut timings = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            timings.push(start.elapsed().as_secs_f64() * 1e6);
+        }
+        self.timings = timings;
+    }
+}
+
+fn run_one<R>(label: &str, samples: usize, mut f: impl FnMut(&mut Bencher) -> R) {
+    let mut bencher = Bencher {
+        samples,
+        timings: Vec::new(),
+    };
+    f(&mut bencher);
+    let mut timings = bencher.timings;
+    if timings.is_empty() {
+        return;
+    }
+    timings.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let median = timings[timings.len() / 2];
+    println!(
+        "{label}: {median:.1} µs/iter (median of {} samples)",
+        timings.len()
+    );
+}
+
+/// Top-level benchmark registry, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<R>(&mut self, name: &str, f: impl FnMut(&mut Bencher) -> R) -> &mut Self {
+        run_one(name, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<R>(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher) -> R,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I) -> R,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finishes the group (a no-op in the stub; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(3);
+        group.bench_function("noop2", |b| b.iter(|| black_box(2 + 2)));
+        group.bench_with_input(BenchmarkId::new("with_input", 42), &42, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, quick);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

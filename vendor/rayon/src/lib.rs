@@ -1,0 +1,191 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the small parallel-iterator subset the workspace uses:
+//! `slice.par_iter().map(f).collect()` into `Vec<R>` or
+//! `Result<Vec<R>, E>`, plus `current_num_threads`. Work is distributed
+//! over `std::thread::scope` threads via an atomic index (dynamic
+//! work-stealing-ish scheduling: threads grab the next unclaimed item), so
+//! uneven per-item costs still balance well. Results are returned in input
+//! order regardless of completion order.
+
+#![deny(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// The number of worker threads a parallel iterator will use.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// The glob-imported prelude, mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{FromParallelVec, IntoParallelRefIterator, ParIter, ParMap};
+}
+
+/// Types whose references can be iterated in parallel (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by the iterator.
+    type Item: Sync + 'a;
+
+    /// Returns a parallel iterator over references to the elements.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every element through `f` (executed in parallel on `collect`).
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator, ready to `collect`.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Executes the map in parallel and gathers the results in input order.
+    pub fn collect<C: FromParallelVec<R>>(self) -> C {
+        C::from_vec(parallel_map(self.items, &self.f))
+    }
+}
+
+/// Conversion from an in-order result vector, mirroring rayon's
+/// `FromParallelIterator` for the collection shapes the workspace uses.
+pub trait FromParallelVec<R>: Sized {
+    /// Builds the collection from the in-order mapped results.
+    fn from_vec(results: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelVec<R> for Vec<R> {
+    fn from_vec(results: Vec<R>) -> Self {
+        results
+    }
+}
+
+impl<R, E> FromParallelVec<Result<R, E>> for Result<Vec<R>, E> {
+    fn from_vec(results: Vec<Result<R, E>>) -> Self {
+        results.into_iter().collect()
+    }
+}
+
+/// Maps `f` over `items` on all available cores, returning results in input
+/// order. Threads claim items through a shared atomic cursor, so uneven
+/// per-item costs balance dynamically.
+fn parallel_map<'a, T, R, F>(items: &'a [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, R)>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        if index >= n {
+                            break;
+                        }
+                        local.push((index, f(&items[index])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+
+    let mut ordered: Vec<(usize, R)> = buckets.drain(..).flatten().collect();
+    ordered.sort_by_key(|(index, _)| *index);
+    ordered.into_iter().map(|(_, value)| value).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn maps_in_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled.len(), 1000);
+        for (i, v) in doubled.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn collects_results_short_circuit_style() {
+        let items: Vec<u32> = (0..100).collect();
+        let ok: Result<Vec<u32>, String> = items.par_iter().map(|&x| Ok(x + 1)).collect();
+        assert_eq!(ok.unwrap().len(), 100);
+        let err: Result<Vec<u32>, String> = items
+            .par_iter()
+            .map(|&x| {
+                if x == 50 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one[..].par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

@@ -1,0 +1,29 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access; this vendored crate
+//! provides the `Serialize` / `Deserialize` marker traits and derive macros
+//! so that types can declare their serializability (and downstream code can
+//! bound on it) without pulling in the real serialization machinery. Actual
+//! wire formats in this workspace are hand-rolled (see the CSV/JSON export
+//! paths in `rasa-sim` and `rasa-bench`), so the traits carry no methods.
+
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized.
+///
+/// Derivable via `#[derive(Serialize)]`; carries no methods in the stub.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized from borrowed data.
+///
+/// Derivable via `#[derive(Deserialize)]`; carries no methods in the stub.
+pub trait Deserialize<'de>: Sized {}
+
+/// Deserializer-side helper traits.
+pub mod de {
+    /// Marker for types deserializable from any lifetime (owned data).
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+    impl<T> DeserializeOwned for T where T: for<'de> crate::Deserialize<'de> {}
+}

@@ -1,0 +1,46 @@
+//! No-op `Serialize` / `Deserialize` derives for the vendored serde stub.
+//!
+//! The derives emit empty marker-trait impls for the annotated type. Only
+//! non-generic structs and enums are supported — which covers every derive
+//! site in this workspace; a generic type will fail to compile with a clear
+//! "missing generics" error rather than silently misbehave.
+
+#![deny(missing_docs)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the first `struct` or `enum` keyword,
+/// skipping attributes and the visibility qualifier.
+fn type_name(input: &TokenStream) -> String {
+    let mut saw_type_keyword = false;
+    for tree in input.clone() {
+        if let TokenTree::Ident(ident) = tree {
+            let text = ident.to_string();
+            if saw_type_keyword {
+                return text;
+            }
+            if text == "struct" || text == "enum" {
+                saw_type_keyword = true;
+            }
+        }
+    }
+    panic!("serde stub derive: expected a struct or enum definition");
+}
+
+/// Derives the stub `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the stub `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}

@@ -1,0 +1,9 @@
+//! Offline placeholder for the `thiserror` crate.
+//!
+//! The workspace's error enums hand-roll their `Display` / `Error` impls,
+//! so nothing currently consumes this crate; it exists so the workspace
+//! dependency table has a resolvable entry to migrate to once a registry
+//! mirror is reachable (swap the `path` for a version requirement and the
+//! hand-rolled impls for `#[derive(Error)]`).
+
+#![deny(missing_docs)]
