@@ -2,9 +2,11 @@
 //! cached parallel sweep through the shared `ExperimentRunner`, then
 //! cross-checks the results against a fresh serial run and reports the
 //! wall-clock speedup. Pass `--no-serial-check` to skip the cross-check,
-//! `--serial` to run everything single-threaded in the first place.
+//! `--serial` to run everything single-threaded in the first place, and
+//! `--json PATH` to persist the deterministic result metrics as a JSON
+//! document (the file CI diffs against `golden/results.json`).
 
-use rasa_sim::ExperimentSuite;
+use rasa_sim::{ExperimentSuite, JsonValue, ToJson};
 use std::time::{Duration, Instant};
 
 struct EvaluationResults {
@@ -30,6 +32,156 @@ fn run_evaluation(suite: &ExperimentSuite) -> Result<EvaluationResults, rasa_sim
 
 fn seconds(d: Duration) -> f64 {
     d.as_secs_f64()
+}
+
+/// The deterministic slice of the evaluation, as a JSON document: every
+/// metric here depends only on the simulated configuration (wall-clock
+/// times and cache hit counts — which vary with thread scheduling — are
+/// deliberately excluded, so CI can diff this file across commits).
+fn results_document(options: &rasa_bench::BinOptions, results: &EvaluationResults) -> JsonValue {
+    let fig5_rows: Vec<JsonValue> = results
+        .fig5
+        .rows
+        .iter()
+        .map(|row| {
+            JsonValue::Object(vec![
+                ("workload".into(), JsonValue::string(&row.workload)),
+                (
+                    "normalized".into(),
+                    JsonValue::Array(
+                        row.normalized
+                            .iter()
+                            .map(|(design, value)| {
+                                JsonValue::Array(vec![
+                                    JsonValue::string(design),
+                                    JsonValue::number_from_f64(*value),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    let fig6_rows: Vec<JsonValue> = results
+        .fig6
+        .rows
+        .iter()
+        .map(|row| {
+            JsonValue::Object(vec![
+                ("design".into(), JsonValue::string(&row.design)),
+                ("speedup".into(), JsonValue::number_from_f64(row.speedup)),
+                (
+                    "area_ratio".into(),
+                    JsonValue::number_from_f64(row.area_ratio),
+                ),
+                (
+                    "performance_per_area".into(),
+                    JsonValue::number_from_f64(row.performance_per_area),
+                ),
+            ])
+        })
+        .collect();
+    let area_energy_rows: Vec<JsonValue> = results
+        .area_energy
+        .rows
+        .iter()
+        .map(|row| {
+            JsonValue::Object(vec![
+                ("design".into(), JsonValue::string(&row.design)),
+                ("area_mm2".into(), JsonValue::number_from_f64(row.area_mm2)),
+                (
+                    "area_overhead".into(),
+                    JsonValue::number_from_f64(row.area_overhead),
+                ),
+                (
+                    "energy_efficiency".into(),
+                    JsonValue::number_from_f64(row.energy_efficiency),
+                ),
+            ])
+        })
+        .collect();
+    let fig7_rows: Vec<JsonValue> = results
+        .fig7
+        .rows
+        .iter()
+        .map(|row| {
+            JsonValue::Object(vec![
+                ("layer".into(), JsonValue::string(&row.layer)),
+                ("batch".into(), JsonValue::number_from_usize(row.batch)),
+                (
+                    "normalized_runtime".into(),
+                    JsonValue::number_from_f64(row.normalized_runtime),
+                ),
+            ])
+        })
+        .collect();
+    // One flat summary row per (workload, design) cell of the Fig. 5 grid:
+    // the raw cycle/area/energy numbers behind every derived figure.
+    let summaries: Vec<JsonValue> = results
+        .fig5
+        .runs
+        .iter()
+        .flat_map(|run| run.reports.iter())
+        .map(|report| report.summary().to_json())
+        .collect();
+    JsonValue::Object(vec![
+        ("schema".into(), JsonValue::string("rasa-run-all/1")),
+        (
+            "options".into(),
+            JsonValue::Object(vec![
+                (
+                    "matmul_cap".into(),
+                    options
+                        .matmul_cap
+                        .map_or(JsonValue::Null, JsonValue::number_from_usize),
+                ),
+                (
+                    "fig7_max_batch".into(),
+                    JsonValue::number_from_usize(options.fig7_max_batch),
+                ),
+            ]),
+        ),
+        (
+            "fig5".into(),
+            JsonValue::Object(vec![
+                (
+                    "designs".into(),
+                    JsonValue::Array(results.fig5.designs.iter().map(JsonValue::string).collect()),
+                ),
+                ("rows".into(), JsonValue::Array(fig5_rows)),
+            ]),
+        ),
+        (
+            "fig6".into(),
+            JsonValue::Object(vec![("rows".into(), JsonValue::Array(fig6_rows))]),
+        ),
+        (
+            "area_energy".into(),
+            JsonValue::Object(vec![
+                (
+                    "baseline_area_mm2".into(),
+                    JsonValue::number_from_f64(results.area_energy.baseline_area_mm2),
+                ),
+                (
+                    "baseline_die_fraction".into(),
+                    JsonValue::number_from_f64(results.area_energy.baseline_die_fraction),
+                ),
+                ("rows".into(), JsonValue::Array(area_energy_rows)),
+            ]),
+        ),
+        (
+            "fig7".into(),
+            JsonValue::Object(vec![
+                (
+                    "asymptote".into(),
+                    JsonValue::number_from_f64(results.fig7.asymptote),
+                ),
+                ("rows".into(), JsonValue::Array(fig7_rows)),
+            ]),
+        ),
+        ("summaries".into(), JsonValue::Array(summaries)),
+    ])
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -61,12 +213,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     println!("== Execution ==");
     println!(
-        "full evaluation in {:.2} s ({mode}); {} cells simulated, {} served from cache ({:.0}% hit rate)",
+        "full evaluation in {:.2} s ({mode}); {} cells simulated, {} served from cache ({:.0}% hit rate, {} evictions, {}/{} resident)",
         seconds(elapsed),
         stats.misses,
         stats.hits,
-        stats.hit_rate() * 100.0
+        stats.hit_rate() * 100.0,
+        stats.evictions,
+        stats.entries,
+        stats.capacity,
     );
+
+    if let Some(path) = &options.json_path {
+        let document = results_document(&options, &results);
+        rasa_bench::write_verified_json(path, &document)?;
+        println!("results written to {path} (round-trip verified)");
+    }
 
     if options.skip_serial_check || !suite.runner().is_parallel() {
         return Ok(());

@@ -1,0 +1,221 @@
+//! Soak-tests the batched GEMM serving layer: N closed-loop clients drive a
+//! deterministic seeded mix of FC-layer shapes through a [`GemmServer`],
+//! and the harness reports throughput, p50/p99 latency, cache
+//! hit/eviction statistics and batching effectiveness.
+//!
+//! Run with, e.g.:
+//!
+//! ```sh
+//! cargo run --release -p rasa-bench --bin serve_soak -- \
+//!     --clients 8 --requests 32 --workers 2 --cache-capacity 24 \
+//!     --cap 256 --json soak.json
+//! ```
+//!
+//! The `--json` file is round-trip verified before it is written: the
+//! serialized document must reload and re-serialize to byte-identical
+//! output (the property the CI regression harness relies on).
+
+use rasa_sim::serve::{GemmRequest, GemmServer, LatencySummary, ServeConfig};
+use rasa_sim::{DesignPoint, JsonValue, SimSummary, ToJson};
+use rasa_workloads::{bert_layers, dlrm_layers, LayerSpec, TrafficGenerator};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// One client's view of a completed request.
+struct Completion {
+    design: String,
+    workload: String,
+    total_seconds: f64,
+    queue_seconds: f64,
+    simulate_seconds: f64,
+    summary: SimSummary,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let options = rasa_bench::BinOptions::from_env();
+    if options.clients == 0 || options.requests_per_client == 0 {
+        return Err("--clients and --requests must both be at least 1".into());
+    }
+    let designs = [DesignPoint::baseline(), DesignPoint::rasa_dmdb_wls()];
+    let config = ServeConfig {
+        workers_per_design: options.workers_per_design,
+        max_batch: options.serve_max_batch,
+        cache_capacity: options.cache_capacity,
+        matmul_cap: options.matmul_cap,
+    };
+    let server = GemmServer::new(config, &designs)?;
+    assert!(
+        server.worker_count() > 1,
+        "soak requires more than one worker"
+    );
+
+    // FC layers only: the serving mix re-batches them freely, and they are
+    // the latency-critical layers of the paper's recommendation/NLP story.
+    let layers: Vec<LayerSpec> = dlrm_layers().into_iter().chain(bert_layers()).collect();
+    let batch_sizes = [1usize, 8, 64];
+
+    println!(
+        "serve_soak: {} clients x {} requests over {} shapes x {} designs; {} workers, max batch {}, cache capacity {}, seed {}",
+        options.clients,
+        options.requests_per_client,
+        layers.len() * batch_sizes.len(),
+        designs.len(),
+        server.worker_count(),
+        options.serve_max_batch,
+        options.cache_capacity,
+        options.seed,
+    );
+
+    let soak_start = Instant::now();
+    let completions: Vec<Completion> = std::thread::scope(|scope| {
+        let mut clients = Vec::new();
+        for client in 0..options.clients {
+            let server = &server;
+            let layers = &layers;
+            let designs = &designs;
+            clients.push(
+                scope.spawn(move || -> Result<Vec<Completion>, rasa_sim::SimError> {
+                    // Each client gets its own deterministic traffic stream.
+                    let mut traffic =
+                        TrafficGenerator::new(layers, &batch_sizes, options.seed + client as u64)
+                            .expect("non-empty traffic universe");
+                    let mut completions = Vec::with_capacity(options.requests_per_client);
+                    for request_index in 0..options.requests_per_client {
+                        let workload = traffic.next_request();
+                        let design = designs[(client + request_index) % designs.len()].clone();
+                        let handle = server.submit(GemmRequest::new(design, workload))?;
+                        let response = handle.wait()?;
+                        completions.push(Completion {
+                            design: response.report.design.clone(),
+                            workload: response.report.workload.clone(),
+                            total_seconds: response.latency.total_seconds,
+                            queue_seconds: response.latency.queue_seconds,
+                            simulate_seconds: response.latency.simulate_seconds,
+                            summary: response.report.summary(),
+                        });
+                    }
+                    Ok(completions)
+                }),
+            );
+        }
+        clients
+            .into_iter()
+            .map(|client| client.join().expect("client thread panicked"))
+            .collect::<Result<Vec<_>, _>>()
+            .map(|all| all.into_iter().flatten().collect())
+    })?;
+    let wall_seconds = soak_start.elapsed().as_secs_f64();
+
+    let serving = server.stats();
+    let cache = server.cache_stats();
+    server.shutdown();
+
+    let totals: Vec<f64> = completions.iter().map(|c| c.total_seconds).collect();
+    let queues: Vec<f64> = completions.iter().map(|c| c.queue_seconds).collect();
+    let simulates: Vec<f64> = completions.iter().map(|c| c.simulate_seconds).collect();
+    let latency = LatencySummary::from_samples(&totals).expect("at least one completion");
+    let queue_latency = LatencySummary::from_samples(&queues).expect("non-empty");
+    let simulate_latency = LatencySummary::from_samples(&simulates).expect("non-empty");
+    let throughput = completions.len() as f64 / wall_seconds.max(1e-9);
+
+    // Distinct simulated cells in deterministic (design, workload) order —
+    // these numbers are seed-reproducible even though latencies are not.
+    let cells: BTreeMap<(String, String), SimSummary> = completions
+        .into_iter()
+        .map(|c| ((c.design, c.workload), c.summary))
+        .collect();
+
+    println!(
+        "completed {} requests in {:.2} s ({throughput:.0} req/s)",
+        totals.len(),
+        wall_seconds
+    );
+    println!(
+        "latency p50 {:.3} ms | p99 {:.3} ms | max {:.3} ms (queue p99 {:.3} ms, simulate p99 {:.3} ms)",
+        latency.p50_seconds * 1e3,
+        latency.p99_seconds * 1e3,
+        latency.max_seconds * 1e3,
+        queue_latency.p99_seconds * 1e3,
+        simulate_latency.p99_seconds * 1e3,
+    );
+    println!(
+        "cache: {} hits, {} misses ({:.0}% hit rate), {} evictions, {}/{} resident",
+        cache.hits,
+        cache.misses,
+        cache.hit_rate() * 100.0,
+        cache.evictions,
+        cache.entries,
+        cache.capacity,
+    );
+    println!(
+        "batching: {} batches, mean size {:.2}, largest {}, {} requests coalesced",
+        serving.batches,
+        serving.mean_batch_size(),
+        serving.largest_batch,
+        serving.coalesced,
+    );
+    println!("{} distinct cells simulated", cells.len());
+
+    if let Some(path) = &options.json_path {
+        let document = JsonValue::Object(vec![
+            ("schema".into(), JsonValue::string("rasa-serve-soak/1")),
+            (
+                "config".into(),
+                JsonValue::Object(vec![
+                    (
+                        "clients".into(),
+                        JsonValue::number_from_usize(options.clients),
+                    ),
+                    (
+                        "requests_per_client".into(),
+                        JsonValue::number_from_usize(options.requests_per_client),
+                    ),
+                    (
+                        "workers_per_design".into(),
+                        JsonValue::number_from_usize(options.workers_per_design),
+                    ),
+                    (
+                        "max_batch".into(),
+                        JsonValue::number_from_usize(options.serve_max_batch),
+                    ),
+                    (
+                        "cache_capacity".into(),
+                        JsonValue::number_from_usize(options.cache_capacity),
+                    ),
+                    (
+                        "matmul_cap".into(),
+                        options
+                            .matmul_cap
+                            .map_or(JsonValue::Null, JsonValue::number_from_usize),
+                    ),
+                    ("seed".into(), JsonValue::number_from_u64(options.seed)),
+                    (
+                        "designs".into(),
+                        JsonValue::Array(
+                            designs
+                                .iter()
+                                .map(|d| JsonValue::string(d.name()))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "throughput_requests_per_second".into(),
+                JsonValue::number_from_f64(throughput),
+            ),
+            ("latency".into(), latency.to_json()),
+            ("queue_latency".into(), queue_latency.to_json()),
+            ("simulate_latency".into(), simulate_latency.to_json()),
+            ("serving".into(), serving.to_json()),
+            ("cache".into(), cache.to_json()),
+            (
+                "cells".into(),
+                JsonValue::Array(cells.values().map(ToJson::to_json).collect()),
+            ),
+        ]);
+        rasa_bench::write_verified_json(path, &document)?;
+        println!("results written to {path} (round-trip verified)");
+    }
+    Ok(())
+}

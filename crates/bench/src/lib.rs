@@ -46,7 +46,7 @@ pub const PAPER_ENERGY_EFFICIENCY: [(&str, f64); 3] = [
 pub const PAPER_FIG7_ASYMPTOTE: f64 = 16.0 / 95.0;
 
 /// Command-line options shared by the experiment binaries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BinOptions {
     /// Cap on simulated `rasa_mm` instructions per workload/design pair
     /// (`None` = simulate every tile).
@@ -58,6 +58,20 @@ pub struct BinOptions {
     /// For `run_all`: skip the serial re-run that cross-checks the parallel
     /// results and measures the speedup.
     pub skip_serial_check: bool,
+    /// For `run_all` / `serve_soak`: write the JSON results document here.
+    pub json_path: Option<String>,
+    /// For `serve_soak`: number of concurrent closed-loop clients.
+    pub clients: usize,
+    /// For `serve_soak`: requests each client submits.
+    pub requests_per_client: usize,
+    /// For `serve_soak`: worker threads per design pool.
+    pub workers_per_design: usize,
+    /// For `serve_soak`: maximum requests coalesced into one batch.
+    pub serve_max_batch: usize,
+    /// For `serve_soak`: LRU bound on the shared memoization cache.
+    pub cache_capacity: usize,
+    /// For `serve_soak`: base seed of the deterministic traffic mix.
+    pub seed: u64,
 }
 
 impl Default for BinOptions {
@@ -67,35 +81,79 @@ impl Default for BinOptions {
             fig7_max_batch: 1024,
             parallel: true,
             skip_serial_check: false,
+            json_path: None,
+            clients: 8,
+            requests_per_client: 32,
+            workers_per_design: 2,
+            serve_max_batch: 8,
+            cache_capacity: 1024,
+            seed: 42,
         }
     }
 }
 
 impl BinOptions {
     /// Parses the binaries' tiny CLI: `--cap N`, `--full` (no cap),
-    /// `--max-batch N`, `--serial` (single-threaded execution) and
-    /// `--no-serial-check` (skip `run_all`'s serial cross-check). Unknown
-    /// arguments are ignored so the binaries can be run under criterion or
-    /// other wrappers.
+    /// `--max-batch N`, `--serial` (single-threaded execution),
+    /// `--no-serial-check` (skip `run_all`'s serial cross-check),
+    /// `--json PATH` (write the JSON results document), and the
+    /// `serve_soak` knobs `--clients N`, `--requests N`, `--workers N`,
+    /// `--batch N`, `--cache-capacity N`, `--seed N`. Unknown arguments
+    /// are ignored so the binaries can be run under criterion or other
+    /// wrappers.
     #[must_use]
     pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        fn numeric<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>) -> Option<T> {
+            args.next().and_then(|v| v.parse().ok())
+        }
         let mut options = BinOptions::default();
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--cap" => {
-                    if let Some(value) = args.next().and_then(|v| v.parse().ok()) {
+                    if let Some(value) = numeric(&mut args) {
                         options.matmul_cap = Some(value);
                     }
                 }
                 "--full" => options.matmul_cap = None,
                 "--max-batch" => {
-                    if let Some(value) = args.next().and_then(|v| v.parse().ok()) {
+                    if let Some(value) = numeric(&mut args) {
                         options.fig7_max_batch = value;
                     }
                 }
                 "--serial" => options.parallel = false,
                 "--no-serial-check" => options.skip_serial_check = true,
+                "--json" => options.json_path = args.next(),
+                "--clients" => {
+                    if let Some(value) = numeric(&mut args) {
+                        options.clients = value;
+                    }
+                }
+                "--requests" => {
+                    if let Some(value) = numeric(&mut args) {
+                        options.requests_per_client = value;
+                    }
+                }
+                "--workers" => {
+                    if let Some(value) = numeric(&mut args) {
+                        options.workers_per_design = value;
+                    }
+                }
+                "--batch" => {
+                    if let Some(value) = numeric(&mut args) {
+                        options.serve_max_batch = value;
+                    }
+                }
+                "--cache-capacity" => {
+                    if let Some(value) = numeric(&mut args) {
+                        options.cache_capacity = value;
+                    }
+                }
+                "--seed" => {
+                    if let Some(value) = numeric(&mut args) {
+                        options.seed = value;
+                    }
+                }
                 _ => {}
             }
         }
@@ -122,6 +180,42 @@ impl BinOptions {
             .with_parallel(self.parallel)
             .build()
     }
+}
+
+/// Serializes `document` (pretty, trailing newline), proves the bytes
+/// reload to the identical file (parse + re-serialize must be
+/// byte-identical — the CI regression harness depends on this), and writes
+/// them to `path`.
+///
+/// # Errors
+///
+/// Returns parse errors from the self-check and I/O errors from the write.
+pub fn write_verified_json(
+    path: &str,
+    document: &rasa_sim::JsonValue,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let text = document.to_string_pretty();
+    let reloaded = rasa_sim::JsonValue::parse(&text)?;
+    let round_tripped = reloaded.to_string_pretty();
+    if round_tripped != text {
+        return Err(format!(
+            "JSON round-trip drifted for {path}: {} bytes reserialized to {} bytes",
+            text.len(),
+            round_tripped.len()
+        )
+        .into());
+    }
+    std::fs::write(path, &text)?;
+    Ok(())
+}
+
+/// Reads a results file back into a document.
+///
+/// # Errors
+///
+/// Returns I/O errors and JSON parse errors.
+pub fn read_json(path: &str) -> Result<rasa_sim::JsonValue, Box<dyn std::error::Error>> {
+    Ok(rasa_sim::JsonValue::parse(&std::fs::read_to_string(path)?)?)
 }
 
 /// Formats a `measured vs paper` comparison line used by the binaries.
@@ -177,12 +271,68 @@ mod tests {
     }
 
     #[test]
+    fn parse_serving_flags() {
+        let args = [
+            "--json",
+            "out.json",
+            "--clients",
+            "3",
+            "--requests",
+            "7",
+            "--workers",
+            "2",
+            "--batch",
+            "16",
+            "--cache-capacity",
+            "9",
+            "--seed",
+            "123",
+        ];
+        let o = BinOptions::parse(args.iter().map(ToString::to_string));
+        assert_eq!(o.json_path.as_deref(), Some("out.json"));
+        assert_eq!(o.clients, 3);
+        assert_eq!(o.requests_per_client, 7);
+        assert_eq!(o.workers_per_design, 2);
+        assert_eq!(o.serve_max_batch, 16);
+        assert_eq!(o.cache_capacity, 9);
+        assert_eq!(o.seed, 123);
+        // Defaults when absent.
+        let o = BinOptions::parse(std::iter::empty());
+        assert_eq!(o.json_path, None);
+        assert_eq!(o.clients, 8);
+        assert_eq!(o.requests_per_client, 32);
+        assert_eq!(o.workers_per_design, 2);
+        assert_eq!(o.serve_max_batch, 8);
+        assert_eq!(o.cache_capacity, 1024);
+        assert_eq!(o.seed, 42);
+    }
+
+    #[test]
+    fn verified_json_write_and_read() {
+        use rasa_sim::JsonValue;
+        let doc = JsonValue::Object(vec![
+            ("name".into(), JsonValue::string("smoke")),
+            ("value".into(), JsonValue::number_from_f64(0.25)),
+        ]);
+        let path = std::env::temp_dir().join("rasa_bench_verified_json_test.json");
+        let path = path.to_str().unwrap();
+        write_verified_json(path, &doc).unwrap();
+        let reloaded = read_json(path).unwrap();
+        assert_eq!(reloaded, doc);
+        // The on-disk bytes re-serialize identically.
+        let bytes = std::fs::read_to_string(path).unwrap();
+        assert_eq!(reloaded.to_string_pretty(), bytes);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
     fn suite_reflects_options() {
         let o = BinOptions {
             matmul_cap: Some(64),
             fig7_max_batch: 32,
             parallel: false,
             skip_serial_check: false,
+            ..BinOptions::default()
         };
         let s = o.suite().unwrap();
         assert_eq!(s.matmul_cap(), Some(64));

@@ -22,6 +22,16 @@ pub enum SimError {
         /// Human-readable description of the violated constraint.
         reason: String,
     },
+    /// A persisted result document could not be parsed or decoded.
+    Json {
+        /// Human-readable parse/decode failure description.
+        reason: String,
+    },
+    /// The serving layer rejected a request or configuration.
+    Serve {
+        /// Human-readable description of the serving failure.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -34,6 +44,8 @@ impl fmt::Display for SimError {
             SimError::InvalidExperiment { reason } => {
                 write!(f, "invalid experiment configuration: {reason}")
             }
+            SimError::Json { reason } => write!(f, "result serialization error: {reason}"),
+            SimError::Serve { reason } => write!(f, "serving error: {reason}"),
         }
     }
 }
@@ -45,7 +57,9 @@ impl Error for SimError {
             SimError::Trace(e) => Some(e),
             SimError::Cpu(e) => Some(e),
             SimError::Workload(e) => Some(e),
-            SimError::InvalidExperiment { .. } => None,
+            SimError::InvalidExperiment { .. } | SimError::Json { .. } | SimError::Serve { .. } => {
+                None
+            }
         }
     }
 }

@@ -31,13 +31,17 @@
 
 #![deny(missing_docs)]
 
+mod cache;
 mod designs;
 mod error;
 mod experiments;
+pub mod json;
 mod report;
 mod runner;
+pub mod serve;
 mod simulator;
 
+pub use cache::{InsertOutcome, LruCache};
 pub use designs::DesignPoint;
 pub use error::SimError;
 pub use experiments::{
@@ -45,6 +49,14 @@ pub use experiments::{
     CpuAblationResult, CpuAblationRow, ExperimentSuite, ExperimentSuiteBuilder, Fig1Result,
     Fig2Result, Fig5Result, Fig5Row, Fig6Result, Fig6Row, Fig7Result, Fig7Row,
 };
+pub use json::{FromJson, JsonError, JsonValue, ToJson};
 pub use report::{SimReport, SimSummary, WorkloadRun};
-pub use runner::{CacheStats, ExperimentRunner, ExperimentRunnerBuilder, ExperimentSpec, SimJob};
+pub use runner::{
+    CacheStats, ExperimentRunner, ExperimentRunnerBuilder, ExperimentSpec, SimJob,
+    DEFAULT_CACHE_CAPACITY,
+};
+pub use serve::{
+    GemmRequest, GemmResponse, GemmServer, LatencySummary, RequestLatency, ResponseHandle,
+    ServeConfig, ServeStats,
+};
 pub use simulator::Simulator;

@@ -25,14 +25,21 @@
 //! (`ExperimentRunner::builder()`), mirroring the typed config-builder
 //! idiom of kubecl's `TilingScheme`.
 
+use crate::cache::{InsertOutcome, LruCache};
 use crate::simulator::DEFAULT_MATMUL_CAP;
 use crate::{DesignPoint, SimError, SimReport, Simulator, WorkloadRun};
 use rasa_trace::GemmKernelConfig;
 use rasa_workloads::LayerSpec;
 use rayon::prelude::*;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Default bound on the number of memoized cells a runner keeps resident.
+///
+/// The paper matrices need well under a hundred cells; the bound only
+/// matters under serving traffic, where distinct shapes churn through the
+/// cache and the LRU policy keeps the hot set resident.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
 
 /// One simulation cell: a workload on a design point, optionally under a
 /// non-default kernel configuration.
@@ -124,6 +131,11 @@ pub struct CacheStats {
     pub misses: u64,
     /// Distinct cells currently cached.
     pub entries: usize,
+    /// Cells evicted by the LRU bound since construction (or the last
+    /// [`clear_cache`](ExperimentRunner::clear_cache)).
+    pub evictions: u64,
+    /// Maximum resident cells (the LRU capacity).
+    pub capacity: usize,
 }
 
 impl CacheStats {
@@ -151,9 +163,10 @@ impl CacheStats {
 pub struct ExperimentRunner {
     matmul_cap: Option<usize>,
     parallel: bool,
-    cache: Mutex<HashMap<String, Arc<SimReport>>>,
+    cache: Mutex<LruCache<String, Arc<SimReport>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl ExperimentRunner {
@@ -187,18 +200,28 @@ impl ExperimentRunner {
     /// [`clear_cache`](Self::clear_cache)).
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
+        let cache = self.cache.lock().expect("cache lock");
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.cache.lock().expect("cache lock").len(),
+            entries: cache.len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            capacity: cache.capacity(),
         }
     }
 
-    /// Drops every cached cell and resets the hit/miss counters.
+    /// The maximum number of memoized cells kept resident.
+    #[must_use]
+    pub fn cache_capacity(&self) -> usize {
+        self.cache.lock().expect("cache lock").capacity()
+    }
+
+    /// Drops every cached cell and resets the hit/miss/eviction counters.
     pub fn clear_cache(&self) {
         self.cache.lock().expect("cache lock").clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 
     /// The kernel a job resolves to: its explicit override, or the default
@@ -211,6 +234,27 @@ impl ExperimentRunner {
         })
     }
 
+    /// The semantic cache key of a job's simulation cell.
+    ///
+    /// Simulated cycle counts depend only on the design, the lowered GEMM
+    /// shape and the kernel — not on the workload's display name — so the
+    /// key is semantic: a re-batched `DLRM-1@b512` hits the cell `DLRM-1`
+    /// already simulated at its native batch of 512. The derived Debug
+    /// output covers every configuration field (floats print with
+    /// round-trip precision), so the key is a complete identity of the
+    /// cell. The serving layer batches requests by this same key, so
+    /// requests coalesced into one batch share one simulation.
+    #[must_use]
+    pub fn job_key(&self, job: &SimJob) -> String {
+        let kernel = self.resolve_kernel(job);
+        format!(
+            "{:?}|{:?}|{:?}",
+            job.design,
+            job.workload.gemm_shape(),
+            kernel
+        )
+    }
+
     /// Runs (or recalls) one cell.
     ///
     /// # Errors
@@ -218,19 +262,7 @@ impl ExperimentRunner {
     /// Propagates simulation errors from the underlying [`Simulator`].
     pub fn run_job(&self, job: &SimJob) -> Result<Arc<SimReport>, SimError> {
         let kernel = self.resolve_kernel(job);
-        // Simulated cycle counts depend only on the design, the lowered
-        // GEMM shape and the kernel — not on the workload's display name —
-        // so the key is semantic: a re-batched `DLRM-1@b512` hits the cell
-        // `DLRM-1` already simulated at its native batch of 512. The
-        // derived Debug output covers every configuration field (floats
-        // print with round-trip precision), so the key is a complete
-        // identity of the cell.
-        let key = format!(
-            "{:?}|{:?}|{:?}",
-            job.design,
-            job.workload.gemm_shape(),
-            kernel
-        );
+        let key = self.job_key(job);
         if let Some(report) = self.cache.lock().expect("cache lock").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             // Same numbers, possibly a different label: restamp the
@@ -249,10 +281,14 @@ impl ExperimentRunner {
                 .with_kernel(kernel)?
                 .run_layer(&job.workload)?,
         );
-        self.cache
+        let outcome = self
+            .cache
             .lock()
             .expect("cache lock")
             .insert(key, Arc::clone(&report));
+        if matches!(outcome, InsertOutcome::Evicted(..)) {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
         Ok(report)
     }
 
@@ -331,6 +367,7 @@ impl Default for ExperimentRunner {
 pub struct ExperimentRunnerBuilder {
     matmul_cap: Option<Option<usize>>,
     parallel: Option<bool>,
+    cache_capacity: Option<usize>,
 }
 
 impl ExperimentRunnerBuilder {
@@ -356,11 +393,20 @@ impl ExperimentRunnerBuilder {
         self.with_parallel(false)
     }
 
+    /// Bounds the memoization cache to `capacity` resident cells (default
+    /// [`DEFAULT_CACHE_CAPACITY`]); least-recently-used cells are evicted.
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = Some(capacity);
+        self
+    }
+
     /// Validates the configuration and builds the runner.
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::InvalidExperiment`] for a zero matmul cap.
+    /// Returns [`SimError::InvalidExperiment`] for a zero matmul cap or a
+    /// zero cache capacity.
     pub fn build(self) -> Result<ExperimentRunner, SimError> {
         let matmul_cap = self.matmul_cap.unwrap_or(Some(DEFAULT_MATMUL_CAP));
         if matmul_cap == Some(0) {
@@ -368,12 +414,19 @@ impl ExperimentRunnerBuilder {
                 reason: "matmul cap must be at least 1 (or None for uncapped)".to_string(),
             });
         }
+        let cache_capacity = self.cache_capacity.unwrap_or(DEFAULT_CACHE_CAPACITY);
+        if cache_capacity == 0 {
+            return Err(SimError::InvalidExperiment {
+                reason: "cache capacity must be at least 1".to_string(),
+            });
+        }
         Ok(ExperimentRunner {
             matmul_cap,
             parallel: self.parallel.unwrap_or(true),
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(LruCache::new(cache_capacity)),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         })
     }
 }
@@ -466,12 +519,69 @@ mod tests {
         let stats = runner.cache_stats();
         assert_eq!(stats.misses, 4, "second run must be fully cached");
         assert_eq!(stats.hits, 4);
+        assert_eq!(stats.evictions, 0);
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
         assert_eq!(first, second);
 
         runner.clear_cache();
         let stats = runner.cache_stats();
-        assert_eq!(stats, CacheStats::default());
+        assert_eq!(
+            stats,
+            CacheStats {
+                capacity: DEFAULT_CACHE_CAPACITY,
+                ..CacheStats::default()
+            }
+        );
+    }
+
+    #[test]
+    fn bounded_cache_evicts_lru_and_re_misses() {
+        let suite = WorkloadSuite::mlperf();
+        let a = suite.layer("DLRM-1").unwrap().clone();
+        let b = suite.layer("DLRM-2").unwrap().clone();
+        let c = suite.layer("BERT-1").unwrap().clone();
+        let design = DesignPoint::baseline();
+        let runner = ExperimentRunner::builder()
+            .with_matmul_cap(Some(64))
+            .with_cache_capacity(2)
+            .serial()
+            .build()
+            .unwrap();
+        assert_eq!(runner.cache_capacity(), 2);
+
+        // Fill the two slots, then overflow: `a` is LRU and must go.
+        runner
+            .run_job(&SimJob::new(design.clone(), a.clone()))
+            .unwrap();
+        runner
+            .run_job(&SimJob::new(design.clone(), b.clone()))
+            .unwrap();
+        runner
+            .run_job(&SimJob::new(design.clone(), c.clone()))
+            .unwrap();
+        let stats = runner.cache_stats();
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.evictions, 1, "third insert must evict the LRU cell");
+        assert_eq!(stats.entries, 2, "capacity bound must be respected");
+        assert_eq!(stats.capacity, 2);
+
+        // `b` and `c` are resident (hits); `a` was evicted and re-misses.
+        runner.run_job(&SimJob::new(design.clone(), b)).unwrap();
+        runner.run_job(&SimJob::new(design.clone(), c)).unwrap();
+        assert_eq!(runner.cache_stats().hits, 2);
+        runner.run_job(&SimJob::new(design, a)).unwrap();
+        let stats = runner.cache_stats();
+        assert_eq!(stats.misses, 4, "evicted cell must be re-simulated");
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn zero_cache_capacity_is_rejected() {
+        assert!(matches!(
+            ExperimentRunner::builder().with_cache_capacity(0).build(),
+            Err(SimError::InvalidExperiment { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,670 @@
+//! The batching GEMM server: per-design queues, worker pools and the
+//! shape-coalescing dispatch loop.
+
+use crate::serve::{GemmRequest, GemmResponse, RequestLatency, ResponseHandle, ServeStats};
+use crate::simulator::DEFAULT_MATMUL_CAP;
+use crate::{CacheStats, DesignPoint, ExperimentRunner, SimError, SimReport};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Configuration of a [`GemmServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads per design pool (each design gets its own pool).
+    pub workers_per_design: usize,
+    /// Maximum requests coalesced into one batch.
+    pub max_batch: usize,
+    /// Bound on the shared runner's memoization cache (LRU-evicted).
+    pub cache_capacity: usize,
+    /// Cap on simulated `rasa_mm` instructions per cell (`None` = full).
+    pub matmul_cap: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers_per_design: 2,
+            max_batch: 8,
+            cache_capacity: crate::runner::DEFAULT_CACHE_CAPACITY,
+            matmul_cap: Some(DEFAULT_MATMUL_CAP),
+        }
+    }
+}
+
+/// One queued request, waiting for a worker.
+struct Pending {
+    request: GemmRequest,
+    /// The runner's semantic cell key — the coalescing identity.
+    key: String,
+    submitted: Instant,
+    reply: mpsc::Sender<Result<GemmResponse, SimError>>,
+}
+
+/// A design pool's queue; workers sleep on `ready`.
+struct PoolQueue {
+    queue: Mutex<VecDeque<Pending>>,
+    ready: Condvar,
+}
+
+/// State shared by every pool and worker of one server.
+struct Shared {
+    runner: Arc<ExperimentRunner>,
+    max_batch: usize,
+    shutdown: AtomicBool,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    batches: AtomicU64,
+    coalesced: AtomicU64,
+    largest_batch: AtomicU64,
+}
+
+/// The batching multi-query GEMM server. See the
+/// [module docs](crate::serve) for the architecture.
+///
+/// Dropping the server initiates shutdown: queued requests are drained and
+/// answered, then the worker threads are joined.
+#[derive(Debug)]
+pub struct GemmServer {
+    shared: Arc<Shared>,
+    pools: HashMap<String, Arc<PoolQueue>>,
+    /// Design names in construction order (stable reporting order).
+    design_names: Vec<String>,
+    workers: Vec<JoinHandle<()>>,
+    workers_per_design: usize,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("max_batch", &self.max_batch)
+            .field("shutdown", &self.shutdown)
+            .finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for PoolQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolQueue").finish_non_exhaustive()
+    }
+}
+
+impl GemmServer {
+    /// Builds the server and starts its worker pools.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Serve`] for an invalid configuration (zero
+    /// workers or batch size, no designs, duplicate design names) and
+    /// propagates runner construction errors.
+    pub fn new(config: ServeConfig, designs: &[DesignPoint]) -> Result<Self, SimError> {
+        let mut server = GemmServer::suspended(config, designs)?;
+        server.start();
+        Ok(server)
+    }
+
+    /// Builds the server **without** starting any workers. Requests can be
+    /// submitted and sit in the queues; calling [`start`](Self::start)
+    /// releases the workers. Used by tests to make batching deterministic
+    /// and by harnesses that want to preload a burst.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`new`](Self::new).
+    pub fn suspended(config: ServeConfig, designs: &[DesignPoint]) -> Result<Self, SimError> {
+        if config.workers_per_design == 0 {
+            return Err(SimError::Serve {
+                reason: "at least one worker per design is required".to_string(),
+            });
+        }
+        if config.max_batch == 0 {
+            return Err(SimError::Serve {
+                reason: "max batch size must be at least 1".to_string(),
+            });
+        }
+        if designs.is_empty() {
+            return Err(SimError::Serve {
+                reason: "a server needs at least one design point".to_string(),
+            });
+        }
+        let runner = ExperimentRunner::builder()
+            .with_matmul_cap(config.matmul_cap)
+            .with_cache_capacity(config.cache_capacity)
+            .build()?;
+        let mut pools = HashMap::new();
+        let mut design_names = Vec::with_capacity(designs.len());
+        for design in designs {
+            let name = design.name().to_string();
+            if pools
+                .insert(
+                    name.clone(),
+                    Arc::new(PoolQueue {
+                        queue: Mutex::new(VecDeque::new()),
+                        ready: Condvar::new(),
+                    }),
+                )
+                .is_some()
+            {
+                return Err(SimError::Serve {
+                    reason: format!("duplicate design point '{name}'"),
+                });
+            }
+            design_names.push(name);
+        }
+        Ok(GemmServer {
+            shared: Arc::new(Shared {
+                runner: Arc::new(runner),
+                max_batch: config.max_batch,
+                shutdown: AtomicBool::new(false),
+                submitted: AtomicU64::new(0),
+                completed: AtomicU64::new(0),
+                batches: AtomicU64::new(0),
+                coalesced: AtomicU64::new(0),
+                largest_batch: AtomicU64::new(0),
+            }),
+            pools,
+            design_names,
+            workers: Vec::new(),
+            workers_per_design: config.workers_per_design,
+        })
+    }
+
+    /// Starts the worker pools (idempotent).
+    pub fn start(&mut self) {
+        if !self.workers.is_empty() {
+            return;
+        }
+        for name in &self.design_names {
+            let pool = Arc::clone(&self.pools[name]);
+            for worker in 0..self.workers_per_design {
+                let shared = Arc::clone(&self.shared);
+                let pool = Arc::clone(&pool);
+                let thread_name = format!("serve-{name}-{worker}");
+                self.workers.push(
+                    std::thread::Builder::new()
+                        .name(thread_name)
+                        .spawn(move || worker_loop(&shared, &pool))
+                        .expect("spawn serve worker"),
+                );
+            }
+        }
+    }
+
+    /// The design names this server has pools for, in construction order.
+    #[must_use]
+    pub fn designs(&self) -> &[String] {
+        &self.design_names
+    }
+
+    /// Total worker threads once started.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.design_names.len() * self.workers_per_design
+    }
+
+    /// Enqueues a request and returns a handle for the response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Serve`] when the request names a design the
+    /// server has no pool for, or when the server is shutting down.
+    pub fn submit(&self, request: GemmRequest) -> Result<ResponseHandle, SimError> {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(SimError::Serve {
+                reason: "server is shutting down".to_string(),
+            });
+        }
+        let Some(pool) = self.pools.get(request.design.name()) else {
+            return Err(SimError::Serve {
+                reason: format!(
+                    "no worker pool for design '{}' (serving: {})",
+                    request.design.name(),
+                    self.design_names.join(", ")
+                ),
+            });
+        };
+        let key = self.shared.runner.job_key(&request.clone().into_job());
+        let (reply, receiver) = mpsc::channel();
+        let pending = Pending {
+            request,
+            key,
+            submitted: Instant::now(),
+            reply,
+        };
+        // Counted before the request becomes visible to workers, so
+        // `submitted >= completed` holds for every stats() observer.
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        pool.queue
+            .lock()
+            .expect("serve queue lock")
+            .push_back(pending);
+        pool.ready.notify_one();
+        Ok(ResponseHandle { receiver })
+    }
+
+    /// Submits a burst of requests and blocks for all responses, returned
+    /// in request order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first submission or simulation error.
+    pub fn run_batch(&self, requests: Vec<GemmRequest>) -> Result<Vec<GemmResponse>, SimError> {
+        let handles: Vec<ResponseHandle> = requests
+            .into_iter()
+            .map(|request| self.submit(request))
+            .collect::<Result<_, _>>()?;
+        handles.into_iter().map(ResponseHandle::wait).collect()
+    }
+
+    /// Serving counters since construction.
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            coalesced: self.shared.coalesced.load(Ordering::Relaxed),
+            largest_batch: self.shared.largest_batch.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Cache counters of the shared runner (hits, misses, evictions,
+    /// resident entries, capacity).
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.runner.cache_stats()
+    }
+
+    /// The shared memoizing runner backing every pool.
+    #[must_use]
+    pub fn runner(&self) -> &ExperimentRunner {
+        &self.shared.runner
+    }
+
+    /// Drains the queues, answers everything pending and joins the
+    /// workers. Called automatically on drop; explicit calls make the
+    /// shutdown point visible in harness code.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for pool in self.pools.values() {
+            pool.ready.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for GemmServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Removes the front request and every queued request sharing its semantic
+/// key (up to `max_batch` total), preserving the relative order of what
+/// remains. The returned batch is never empty and its first element is the
+/// oldest member.
+fn take_batch(queue: &mut VecDeque<Pending>, max_batch: usize) -> Vec<Pending> {
+    let leader = queue.pop_front().expect("take_batch on empty queue");
+    let mut batch = Vec::with_capacity(max_batch.min(queue.len() + 1));
+    let key = leader.key.clone();
+    batch.push(leader);
+    let mut kept = VecDeque::with_capacity(queue.len());
+    while let Some(pending) = queue.pop_front() {
+        if batch.len() < max_batch && pending.key == key {
+            batch.push(pending);
+        } else {
+            kept.push_back(pending);
+        }
+    }
+    *queue = kept;
+    batch
+}
+
+fn worker_loop(shared: &Shared, pool: &PoolQueue) {
+    loop {
+        let batch = {
+            let mut queue = pool.queue.lock().expect("serve queue lock");
+            loop {
+                if !queue.is_empty() {
+                    break;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = pool.ready.wait(queue).expect("serve queue lock");
+            }
+            take_batch(&mut queue, shared.max_batch)
+        };
+        dispatch(shared, batch);
+    }
+}
+
+/// Simulates one coalesced batch and answers every member.
+fn dispatch(shared: &Shared, batch: Vec<Pending>) {
+    let dispatched = Instant::now();
+    let batch_formation_seconds = dispatched.duration_since(batch[0].submitted).as_secs_f64();
+    let batch_size = batch.len();
+    shared.batches.fetch_add(1, Ordering::Relaxed);
+    shared
+        .coalesced
+        .fetch_add(batch_size as u64 - 1, Ordering::Relaxed);
+    shared
+        .largest_batch
+        .fetch_max(batch_size as u64, Ordering::Relaxed);
+
+    let job = batch[0].request.clone().into_job();
+    let result = shared.runner.run_job(&job);
+    let simulate_seconds = dispatched.elapsed().as_secs_f64();
+
+    for pending in batch {
+        let response = match &result {
+            Ok(report) => {
+                let now = Instant::now();
+                Ok(GemmResponse {
+                    report: relabel(report, pending.request.workload.name()),
+                    latency: RequestLatency {
+                        queue_seconds: dispatched.duration_since(pending.submitted).as_secs_f64(),
+                        batch_formation_seconds,
+                        simulate_seconds,
+                        total_seconds: now.duration_since(pending.submitted).as_secs_f64(),
+                    },
+                    batch_size,
+                })
+            }
+            Err(error) => Err(error.clone()),
+        };
+        // Counted before the send so a client that has its response (and
+        // anyone it synchronizes with) observes a complete count.
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+        // A dropped handle just means the client stopped waiting.
+        let _ = pending.reply.send(response);
+    }
+}
+
+/// Restamps a shared report with the workload name the member asked for
+/// (batch members may carry different names for the same semantic shape).
+fn relabel(report: &Arc<SimReport>, workload: &str) -> Arc<SimReport> {
+    if report.workload == workload {
+        Arc::clone(report)
+    } else {
+        let mut relabelled = (**report).clone();
+        relabelled.workload = workload.to_string();
+        Arc::new(relabelled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rasa_workloads::WorkloadSuite;
+
+    fn pending(key: &str) -> Pending {
+        let suite = WorkloadSuite::mlperf();
+        let (reply, _receiver) = mpsc::channel();
+        // The receiver is dropped; dispatch tolerates that, and these
+        // entries only exercise `take_batch`, which never sends.
+        Pending {
+            request: GemmRequest::new(
+                DesignPoint::baseline(),
+                suite.layer("DLRM-1").unwrap().clone(),
+            ),
+            key: key.to_string(),
+            submitted: Instant::now(),
+            reply,
+        }
+    }
+
+    fn keys(batch: &[Pending]) -> Vec<&str> {
+        batch.iter().map(|p| p.key.as_str()).collect()
+    }
+
+    #[test]
+    fn take_batch_coalesces_equal_keys_and_preserves_order() {
+        let mut queue: VecDeque<Pending> =
+            ["a", "b", "a", "a", "c"].into_iter().map(pending).collect();
+        let batch = take_batch(&mut queue, 8);
+        assert_eq!(keys(&batch), vec!["a", "a", "a"]);
+        let remaining: Vec<&str> = queue.iter().map(|p| p.key.as_str()).collect();
+        assert_eq!(remaining, vec!["b", "c"], "relative order preserved");
+    }
+
+    #[test]
+    fn take_batch_respects_max_batch() {
+        let mut queue: VecDeque<Pending> = ["a", "a", "a", "a"].into_iter().map(pending).collect();
+        let batch = take_batch(&mut queue, 2);
+        assert_eq!(keys(&batch), vec!["a", "a"]);
+        assert_eq!(queue.len(), 2, "overflow stays queued for the next batch");
+        let batch = take_batch(&mut queue, 2);
+        assert_eq!(keys(&batch), vec!["a", "a"]);
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn take_batch_singleton() {
+        let mut queue: VecDeque<Pending> = ["x", "y"].into_iter().map(pending).collect();
+        let batch = take_batch(&mut queue, 8);
+        assert_eq!(keys(&batch), vec!["x"]);
+        assert_eq!(queue.len(), 1);
+    }
+
+    #[test]
+    fn config_validation() {
+        let designs = [DesignPoint::baseline()];
+        for (config, what) in [
+            (
+                ServeConfig {
+                    workers_per_design: 0,
+                    ..ServeConfig::default()
+                },
+                "zero workers",
+            ),
+            (
+                ServeConfig {
+                    max_batch: 0,
+                    ..ServeConfig::default()
+                },
+                "zero batch",
+            ),
+            (
+                ServeConfig {
+                    cache_capacity: 0,
+                    ..ServeConfig::default()
+                },
+                "zero cache",
+            ),
+        ] {
+            assert!(GemmServer::new(config, &designs).is_err(), "{what}");
+        }
+        assert!(
+            GemmServer::new(ServeConfig::default(), &[]).is_err(),
+            "no designs"
+        );
+        assert!(
+            GemmServer::new(
+                ServeConfig::default(),
+                &[DesignPoint::baseline(), DesignPoint::baseline()]
+            )
+            .is_err(),
+            "duplicate designs"
+        );
+    }
+
+    #[test]
+    fn equal_shape_requests_share_one_simulation() {
+        let suite = WorkloadSuite::mlperf();
+        let layer = suite.layer("DLRM-2").unwrap().clone();
+        let other = suite.layer("BERT-1").unwrap().clone();
+        let config = ServeConfig {
+            workers_per_design: 2,
+            max_batch: 8,
+            cache_capacity: 64,
+            matmul_cap: Some(64),
+        };
+        let mut server = GemmServer::suspended(config, &[DesignPoint::baseline()]).unwrap();
+
+        // Queue three identical-shape requests and one different shape
+        // BEFORE any worker runs: the first worker must take all three as
+        // one batch.
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            handles.push(
+                server
+                    .submit(GemmRequest::new(DesignPoint::baseline(), layer.clone()))
+                    .unwrap(),
+            );
+        }
+        let other_handle = server
+            .submit(GemmRequest::new(DesignPoint::baseline(), other))
+            .unwrap();
+        server.start();
+
+        for handle in handles {
+            let response = handle.wait().unwrap();
+            assert_eq!(response.batch_size, 3, "identical shapes form one batch");
+            assert_eq!(response.report.workload, "DLRM-2");
+            assert!(response.latency.total_seconds >= response.latency.simulate_seconds);
+        }
+        let response = other_handle.wait().unwrap();
+        assert_eq!(response.batch_size, 1);
+
+        // Two distinct cells were simulated, total — the three coalesced
+        // requests shared one.
+        let cache = server.cache_stats();
+        assert_eq!(cache.misses, 2, "one simulation per distinct shape");
+        let stats = server.stats();
+        assert_eq!(stats.submitted, 4);
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.coalesced, 2);
+        assert_eq!(stats.largest_batch, 3);
+        assert_eq!(stats.batches, 2);
+        assert!((stats.mean_batch_size() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebatched_layers_coalesce_and_are_relabelled() {
+        let suite = WorkloadSuite::mlperf();
+        let layer = suite.layer("DLRM-1").unwrap().clone();
+        let rebatched = layer.with_batch(layer.batch());
+        assert_ne!(layer.name(), rebatched.name());
+
+        let config = ServeConfig {
+            workers_per_design: 1,
+            max_batch: 8,
+            cache_capacity: 64,
+            matmul_cap: Some(64),
+        };
+        let mut server = GemmServer::suspended(config, &[DesignPoint::baseline()]).unwrap();
+        let a = server
+            .submit(GemmRequest::new(DesignPoint::baseline(), layer))
+            .unwrap();
+        let b = server
+            .submit(GemmRequest::new(DesignPoint::baseline(), rebatched.clone()))
+            .unwrap();
+        server.start();
+
+        let a = a.wait().unwrap();
+        let b = b.wait().unwrap();
+        assert_eq!(a.batch_size, 2, "same semantic shape key");
+        assert_eq!(b.batch_size, 2);
+        assert_eq!(a.report.workload, "DLRM-1");
+        assert_eq!(b.report.workload, rebatched.name(), "relabelled");
+        assert_eq!(a.report.core_cycles, b.report.core_cycles);
+        assert_eq!(server.cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn unknown_design_is_rejected() {
+        let suite = WorkloadSuite::mlperf();
+        let server = GemmServer::new(
+            ServeConfig {
+                matmul_cap: Some(64),
+                ..ServeConfig::default()
+            },
+            &[DesignPoint::baseline()],
+        )
+        .unwrap();
+        let err = server.submit(GemmRequest::new(
+            DesignPoint::rasa_dmdb_wls(),
+            suite.layer("DLRM-1").unwrap().clone(),
+        ));
+        assert!(matches!(err, Err(SimError::Serve { .. })));
+        assert_eq!(server.designs(), &["BASELINE".to_string()]);
+        assert_eq!(server.worker_count(), 2);
+    }
+
+    #[test]
+    fn run_batch_returns_responses_in_request_order() {
+        let suite = WorkloadSuite::mlperf();
+        let designs = [DesignPoint::baseline(), DesignPoint::rasa_dmdb_wls()];
+        let server = GemmServer::new(
+            ServeConfig {
+                workers_per_design: 2,
+                max_batch: 4,
+                cache_capacity: 64,
+                matmul_cap: Some(64),
+            },
+            &designs,
+        )
+        .unwrap();
+        let layers = [
+            suite.layer("DLRM-1").unwrap().clone(),
+            suite.layer("BERT-1").unwrap().clone(),
+        ];
+        let mut requests = Vec::new();
+        for design in &designs {
+            for layer in &layers {
+                requests.push(GemmRequest::new(design.clone(), layer.clone()));
+            }
+        }
+        let expected: Vec<(String, String)> = requests
+            .iter()
+            .map(|r| (r.design.name().to_string(), r.workload.name().to_string()))
+            .collect();
+        let responses = server.run_batch(requests).unwrap();
+        assert_eq!(responses.len(), expected.len());
+        for (response, (design, workload)) in responses.iter().zip(&expected) {
+            assert_eq!(&response.report.design, design);
+            assert_eq!(&response.report.workload, workload);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn kernel_override_keys_separately_from_default() {
+        use rasa_trace::{GemmKernelConfig, MatmulOrder};
+        let suite = WorkloadSuite::mlperf();
+        let layer = suite.layer("DLRM-1").unwrap().clone();
+        let design = DesignPoint::rasa_wlbp();
+        let config = ServeConfig {
+            workers_per_design: 1,
+            max_batch: 8,
+            cache_capacity: 64,
+            matmul_cap: Some(64),
+        };
+        let mut server = GemmServer::suspended(config, std::slice::from_ref(&design)).unwrap();
+        let mut interleaved =
+            GemmKernelConfig::amx_like().with_matmul_order(MatmulOrder::Interleaved);
+        interleaved.max_matmuls = Some(64);
+        let a = server
+            .submit(GemmRequest::new(design.clone(), layer.clone()))
+            .unwrap();
+        let b = server
+            .submit(GemmRequest::new(design, layer).with_kernel(interleaved))
+            .unwrap();
+        server.start();
+        let a = a.wait().unwrap();
+        let b = b.wait().unwrap();
+        assert_eq!(a.batch_size, 1, "different kernels must not coalesce");
+        assert_eq!(b.batch_size, 1);
+        assert!(a.report.core_cycles < b.report.core_cycles);
+        assert_eq!(server.cache_stats().misses, 2);
+    }
+}

@@ -1,0 +1,180 @@
+//! Serving-side counters and latency aggregation.
+
+use crate::json::{JsonValue, ToJson};
+
+/// Monotonic counters of a [`GemmServer`](crate::serve::GemmServer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Requests accepted by [`submit`](crate::serve::GemmServer::submit).
+    pub submitted: u64,
+    /// Requests answered (success or simulation error).
+    pub completed: u64,
+    /// Batches dispatched to the runner.
+    pub batches: u64,
+    /// Requests that rode along in a batch they did not lead — each one is
+    /// a simulation avoided by shape coalescing (on top of cache hits).
+    pub coalesced: u64,
+    /// The largest batch dispatched so far.
+    pub largest_batch: u64,
+}
+
+impl ServeStats {
+    /// Mean requests per dispatched batch (0 when nothing was dispatched).
+    #[must_use]
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.batches as f64
+        }
+    }
+}
+
+impl ToJson for ServeStats {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "submitted".into(),
+                JsonValue::number_from_u64(self.submitted),
+            ),
+            (
+                "completed".into(),
+                JsonValue::number_from_u64(self.completed),
+            ),
+            ("batches".into(), JsonValue::number_from_u64(self.batches)),
+            (
+                "coalesced".into(),
+                JsonValue::number_from_u64(self.coalesced),
+            ),
+            (
+                "largest_batch".into(),
+                JsonValue::number_from_u64(self.largest_batch),
+            ),
+        ])
+    }
+}
+
+/// Order statistics over a set of latency samples, in seconds.
+///
+/// Percentiles use the nearest-rank method on the sorted samples, so every
+/// reported value is an actually-observed latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples aggregated.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean_seconds: f64,
+    /// Median (50th percentile).
+    pub p50_seconds: f64,
+    /// 90th percentile.
+    pub p90_seconds: f64,
+    /// 99th percentile.
+    pub p99_seconds: f64,
+    /// Largest sample.
+    pub max_seconds: f64,
+}
+
+impl LatencySummary {
+    /// Aggregates `samples`; returns `None` for an empty slice.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let nearest_rank = |p: f64| {
+            let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        Some(LatencySummary {
+            count: sorted.len(),
+            mean_seconds: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50_seconds: nearest_rank(50.0),
+            p90_seconds: nearest_rank(90.0),
+            p99_seconds: nearest_rank(99.0),
+            max_seconds: *sorted.last().expect("non-empty"),
+        })
+    }
+}
+
+impl ToJson for LatencySummary {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("count".into(), JsonValue::number_from_usize(self.count)),
+            (
+                "mean_seconds".into(),
+                JsonValue::number_from_f64(self.mean_seconds),
+            ),
+            (
+                "p50_seconds".into(),
+                JsonValue::number_from_f64(self.p50_seconds),
+            ),
+            (
+                "p90_seconds".into(),
+                JsonValue::number_from_f64(self.p90_seconds),
+            ),
+            (
+                "p99_seconds".into(),
+                JsonValue::number_from_f64(self.p99_seconds),
+            ),
+            (
+                "max_seconds".into(),
+                JsonValue::number_from_f64(self.max_seconds),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_samples_have_no_summary() {
+        assert!(LatencySummary::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        // 1..=100 milliseconds: p50 = 50ms, p99 = 99ms, max = 100ms.
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64 * 1e-3).collect();
+        let s = LatencySummary::from_samples(&samples).unwrap();
+        assert_eq!(s.count, 100);
+        assert!((s.p50_seconds - 0.050).abs() < 1e-12);
+        assert!((s.p90_seconds - 0.090).abs() < 1e-12);
+        assert!((s.p99_seconds - 0.099).abs() < 1e-12);
+        assert!((s.max_seconds - 0.100).abs() < 1e-12);
+        assert!((s.mean_seconds - 0.0505).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let s = LatencySummary::from_samples(&[0.25]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p50_seconds, 0.25);
+        assert_eq!(s.p99_seconds, 0.25);
+        assert_eq!(s.max_seconds, 0.25);
+        // Unsorted input is handled.
+        let s = LatencySummary::from_samples(&[0.3, 0.1, 0.2]).unwrap();
+        assert_eq!(s.p50_seconds, 0.2);
+        assert_eq!(s.max_seconds, 0.3);
+    }
+
+    #[test]
+    fn serve_stats_mean_batch_size_and_json() {
+        let stats = ServeStats {
+            submitted: 10,
+            completed: 10,
+            batches: 4,
+            coalesced: 6,
+            largest_batch: 5,
+        };
+        assert!((stats.mean_batch_size() - 2.5).abs() < 1e-12);
+        assert_eq!(ServeStats::default().mean_batch_size(), 0.0);
+        let json = stats.to_json().to_string_compact();
+        assert!(json.contains("\"coalesced\":6"));
+        let lat = LatencySummary::from_samples(&[0.1]).unwrap();
+        assert!(lat.to_json().to_string_compact().contains("\"count\":1"));
+    }
+}

@@ -21,10 +21,12 @@
 mod layer;
 mod mlperf;
 mod sweep;
+mod traffic;
 
 pub use layer::{LayerKind, LayerSpec};
 pub use mlperf::{bert_layers, dlrm_layers, resnet50_layers, table1_layers, MlperfWorkload};
 pub use sweep::{batch_sweep, fig7_batch_sizes, BatchMatrix};
+pub use traffic::TrafficGenerator;
 
 /// The full workload suite used in the paper's evaluation.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,178 @@
+//! Deterministic synthetic traffic for the serving layer.
+//!
+//! The serving soak harness needs a request stream that looks like
+//! production inference traffic — a fixed universe of (layer × batch size)
+//! shapes with a few hot shapes dominating — while staying exactly
+//! reproducible across runs and machines. [`TrafficGenerator`] provides
+//! that: the shape universe is the [`BatchMatrix`] cross product, the
+//! popularity skew is a Zipf-like 1/rank weighting, and the sampler is the
+//! workspace's seeded deterministic RNG.
+
+use crate::{BatchMatrix, LayerSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An endless, seeded stream of [`LayerSpec`] requests drawn from a
+/// (layer × batch size) universe with Zipf-like popularity skew.
+///
+/// Shapes are ranked in [`BatchMatrix`] order and weighted `1/(rank+1)`:
+/// the first layer at the first batch size is the hottest request, the
+/// tail shapes arrive rarely. This gives a serving cache a realistic churn
+/// pattern — a resident hot set plus a long tail that forces evictions.
+///
+/// ```
+/// use rasa_workloads::{LayerSpec, TrafficGenerator};
+///
+/// let layers = [LayerSpec::fc("DLRM-1", 512, 1024, 1024)];
+/// let mut a = TrafficGenerator::new(&layers, &[1, 16], 7).unwrap();
+/// let mut b = TrafficGenerator::new(&layers, &[1, 16], 7).unwrap();
+/// let first: Vec<_> = a.by_ref().take(8).collect();
+/// let second: Vec<_> = b.by_ref().take(8).collect();
+/// assert_eq!(first, second, "same seed, same stream");
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrafficGenerator {
+    shapes: Vec<LayerSpec>,
+    /// Cumulative popularity weights, parallel to `shapes`.
+    cumulative: Vec<f64>,
+    rng: StdRng,
+    emitted: u64,
+}
+
+impl TrafficGenerator {
+    /// Builds a generator over `layers × batch_sizes`, seeded with `seed`.
+    ///
+    /// Returns `None` when the universe is empty (no layers or no batch
+    /// sizes).
+    #[must_use]
+    pub fn new(layers: &[LayerSpec], batch_sizes: &[usize], seed: u64) -> Option<Self> {
+        let shapes: Vec<LayerSpec> = BatchMatrix::new(layers, batch_sizes).collect();
+        if shapes.is_empty() {
+            return None;
+        }
+        let mut cumulative = Vec::with_capacity(shapes.len());
+        let mut total = 0.0;
+        for rank in 0..shapes.len() {
+            total += 1.0 / (rank as f64 + 1.0);
+            cumulative.push(total);
+        }
+        Some(TrafficGenerator {
+            shapes,
+            cumulative,
+            rng: StdRng::seed_from_u64(seed),
+            emitted: 0,
+        })
+    }
+
+    /// The distinct shapes this generator can emit, hottest first.
+    #[must_use]
+    pub fn shapes(&self) -> &[LayerSpec] {
+        &self.shapes
+    }
+
+    /// How many requests have been drawn so far.
+    #[must_use]
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Draws the next request (never exhausts).
+    pub fn next_request(&mut self) -> LayerSpec {
+        let total = *self.cumulative.last().expect("non-empty universe");
+        let draw = self.rng.gen_range(0.0..total);
+        let index = self
+            .cumulative
+            .partition_point(|&bound| bound <= draw)
+            .min(self.shapes.len() - 1);
+        self.emitted += 1;
+        self.shapes[index].clone()
+    }
+}
+
+impl Iterator for TrafficGenerator {
+    type Item = LayerSpec;
+
+    fn next(&mut self) -> Option<LayerSpec> {
+        Some(self.next_request())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn fc_layers() -> Vec<LayerSpec> {
+        vec![
+            LayerSpec::fc("DLRM-1", 512, 1024, 1024),
+            LayerSpec::fc("BERT-1", 256, 768, 768),
+        ]
+    }
+
+    #[test]
+    fn empty_universe_yields_no_generator() {
+        assert!(TrafficGenerator::new(&[], &[1, 2], 0).is_none());
+        assert!(TrafficGenerator::new(&fc_layers(), &[], 0).is_none());
+    }
+
+    #[test]
+    fn same_seed_same_stream_different_seed_diverges() {
+        let layers = fc_layers();
+        let sizes = [1usize, 8, 64];
+        let a: Vec<_> = TrafficGenerator::new(&layers, &sizes, 42)
+            .unwrap()
+            .take(64)
+            .collect();
+        let b: Vec<_> = TrafficGenerator::new(&layers, &sizes, 42)
+            .unwrap()
+            .take(64)
+            .collect();
+        assert_eq!(a, b);
+        let c: Vec<_> = TrafficGenerator::new(&layers, &sizes, 43)
+            .unwrap()
+            .take(64)
+            .collect();
+        assert_ne!(a, c, "different seeds must diverge");
+    }
+
+    #[test]
+    fn samples_stay_inside_the_universe_and_skew_hot() {
+        let layers = fc_layers();
+        let sizes = [1usize, 8];
+        let mut generator = TrafficGenerator::new(&layers, &sizes, 7).unwrap();
+        assert_eq!(generator.shapes().len(), 4);
+        let universe: Vec<String> = generator
+            .shapes()
+            .iter()
+            .map(|l| l.name().to_string())
+            .collect();
+
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for request in generator.by_ref().take(2000) {
+            assert!(universe.contains(&request.name().to_string()));
+            *counts.entry(request.name().to_string()).or_default() += 1;
+        }
+        assert_eq!(generator.emitted(), 2000);
+
+        // Zipf-like: the rank-0 shape must be sampled more than the last.
+        let hottest = counts[&universe[0]];
+        let coldest = counts[&universe[3]];
+        assert!(
+            hottest > coldest,
+            "rank 0 ({hottest}) must beat rank 3 ({coldest})"
+        );
+        // And every shape appears at least once in 2000 draws.
+        assert_eq!(counts.len(), 4);
+    }
+
+    #[test]
+    fn shapes_rank_in_batch_matrix_order() {
+        let layers = fc_layers();
+        let generator = TrafficGenerator::new(&layers, &[1, 16], 0).unwrap();
+        let names: Vec<&str> = generator.shapes().iter().map(LayerSpec::name).collect();
+        assert_eq!(
+            names,
+            vec!["DLRM-1@b1", "DLRM-1@b16", "BERT-1@b1", "BERT-1@b16"]
+        );
+    }
+}

@@ -45,10 +45,11 @@ pub mod prelude {
     pub use rasa_isa::{Instruction, IsaConfig, MemRef, Program, ProgramBuilder, TileReg};
     pub use rasa_numeric::{gemm_bf16_fp32, gemm_f32, Bf16, ConvShape, GemmShape, Matrix};
     pub use rasa_power::{AreaModel, EnergyModel, PowerReport};
+    pub use rasa_sim::serve::{GemmRequest, GemmResponse, GemmServer, ServeConfig};
     pub use rasa_sim::{
         CacheStats, DesignPoint, ExperimentRunner, ExperimentRunnerBuilder, ExperimentSpec,
-        ExperimentSuite, ExperimentSuiteBuilder, SimJob, SimReport, SimSummary, Simulator,
-        WorkloadRun,
+        ExperimentSuite, ExperimentSuiteBuilder, FromJson, JsonValue, SimJob, SimReport,
+        SimSummary, Simulator, ToJson, WorkloadRun,
     };
     pub use rasa_systolic::{
         ControlScheme, FunctionalArray, MatrixEngine, PeVariant, SystolicConfig, TileDims,
