@@ -16,10 +16,11 @@
 //! output (the property the CI regression harness relies on).
 
 use rasa_sim::serve::{GemmRequest, GemmServer, LatencySummary, ServeConfig};
-use rasa_sim::{DesignPoint, JsonValue, SimSummary, ToJson};
+use rasa_sim::{DesignPoint, JsonValue, SimError, SimSummary, ToJson};
 use rasa_workloads::{bert_layers, dlrm_layers, LayerSpec, TrafficGenerator};
 use std::collections::BTreeMap;
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// One client's view of a completed request.
 struct Completion {
@@ -42,6 +43,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         max_batch: options.serve_max_batch,
         cache_capacity: options.cache_capacity,
         matmul_cap: options.matmul_cap,
+        queue_capacity: options.queue_capacity,
+        admission: options.admission,
     };
     let server = GemmServer::new(config, &designs)?;
     assert!(
@@ -55,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let batch_sizes = [1usize, 8, 64];
 
     println!(
-        "serve_soak: {} clients x {} requests over {} shapes x {} designs; {} workers, max batch {}, cache capacity {}, seed {}",
+        "serve_soak: {} clients x {} requests over {} shapes x {} designs; {} workers, max batch {}, cache capacity {}, queue capacity {} ({:?} admission), seed {}",
         options.clients,
         options.requests_per_client,
         layers.len() * batch_sizes.len(),
@@ -63,9 +66,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         server.worker_count(),
         options.serve_max_batch,
         options.cache_capacity,
+        options.queue_capacity,
+        options.admission,
         options.seed,
     );
 
+    // Client-side retries after an admission-control rejection (reject
+    // mode only; block mode clients park inside `submit` instead).
+    let retries = AtomicU64::new(0);
     let soak_start = Instant::now();
     let completions: Vec<Completion> = std::thread::scope(|scope| {
         let mut clients = Vec::new();
@@ -73,6 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let server = &server;
             let layers = &layers;
             let designs = &designs;
+            let retries = &retries;
             clients.push(
                 scope.spawn(move || -> Result<Vec<Completion>, rasa_sim::SimError> {
                     // Each client gets its own deterministic traffic stream.
@@ -83,7 +92,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     for request_index in 0..options.requests_per_client {
                         let workload = traffic.next_request();
                         let design = designs[(client + request_index) % designs.len()].clone();
-                        let handle = server.submit(GemmRequest::new(design, workload))?;
+                        // A rejected request (queue at capacity under
+                        // `--admission reject`) backs off briefly and
+                        // retries: the closed loop must still complete
+                        // every request.
+                        let handle = loop {
+                            match server.submit(GemmRequest::new(design.clone(), workload.clone()))
+                            {
+                                Ok(handle) => break handle,
+                                Err(SimError::Overloaded { .. }) => {
+                                    retries.fetch_add(1, Ordering::Relaxed);
+                                    std::thread::sleep(Duration::from_micros(200));
+                                }
+                                Err(error) => return Err(error),
+                            }
+                        };
                         let response = handle.wait()?;
                         completions.push(Completion {
                             design: response.report.design.clone(),
@@ -154,6 +177,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         serving.largest_batch,
         serving.coalesced,
     );
+    println!(
+        "backpressure: {} submissions blocked for space, {} rejected ({} client retries)",
+        serving.blocked,
+        serving.rejected,
+        retries.load(Ordering::Relaxed),
+    );
     println!("{} distinct cells simulated", cells.len());
 
     if let Some(path) = &options.json_path {
@@ -183,6 +212,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         JsonValue::number_from_usize(options.cache_capacity),
                     ),
                     (
+                        "queue_capacity".into(),
+                        JsonValue::number_from_usize(options.queue_capacity),
+                    ),
+                    (
+                        "admission".into(),
+                        JsonValue::string(format!("{:?}", options.admission)),
+                    ),
+                    (
                         "matmul_cap".into(),
                         options
                             .matmul_cap
@@ -208,6 +245,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ("queue_latency".into(), queue_latency.to_json()),
             ("simulate_latency".into(), simulate_latency.to_json()),
             ("serving".into(), serving.to_json()),
+            (
+                "client_retries".into(),
+                JsonValue::number_from_u64(retries.load(Ordering::Relaxed)),
+            ),
             ("cache".into(), cache.to_json()),
             (
                 "cells".into(),

@@ -17,6 +17,7 @@
 
 #![deny(missing_docs)]
 
+use rasa_sim::serve::AdmissionControl;
 use rasa_sim::ExperimentSuite;
 
 /// The paper's reported average runtime reductions (Fig. 5), as fractions.
@@ -72,6 +73,22 @@ pub struct BinOptions {
     pub cache_capacity: usize,
     /// For `serve_soak`: base seed of the deterministic traffic mix.
     pub seed: u64,
+    /// For `serve_soak`: bound on queued requests per design pool.
+    pub queue_capacity: usize,
+    /// For `serve_soak`: what a full queue does to new submissions.
+    pub admission: AdmissionControl,
+    /// For `run_all`: warm-start the runner's cell cache from a previous
+    /// `--json` results document before evaluating.
+    pub warm_start_path: Option<String>,
+    /// For `run_all`: the Table I layer used for the full-fidelity
+    /// event-driven vs reference core timing comparison.
+    pub timing_layer: String,
+    /// For `run_all`: skip the evaluation and run only the timing
+    /// comparison (the CI `--full` smoke step).
+    pub timing_only: bool,
+    /// For `run_all`: skip the timing comparison (repeat sweeps that do
+    /// not need the full-fidelity reference re-run).
+    pub no_timing: bool,
 }
 
 impl Default for BinOptions {
@@ -88,6 +105,12 @@ impl Default for BinOptions {
             serve_max_batch: 8,
             cache_capacity: 1024,
             seed: 42,
+            queue_capacity: rasa_sim::DEFAULT_QUEUE_CAPACITY,
+            admission: AdmissionControl::default(),
+            warm_start_path: None,
+            timing_layer: "ResNet50-2".to_string(),
+            timing_only: false,
+            no_timing: false,
         }
     }
 }
@@ -96,11 +119,13 @@ impl BinOptions {
     /// Parses the binaries' tiny CLI: `--cap N`, `--full` (no cap),
     /// `--max-batch N`, `--serial` (single-threaded execution),
     /// `--no-serial-check` (skip `run_all`'s serial cross-check),
-    /// `--json PATH` (write the JSON results document), and the
-    /// `serve_soak` knobs `--clients N`, `--requests N`, `--workers N`,
-    /// `--batch N`, `--cache-capacity N`, `--seed N`. Unknown arguments
-    /// are ignored so the binaries can be run under criterion or other
-    /// wrappers.
+    /// `--json PATH` (write the JSON results document), the `run_all`
+    /// knobs `--warm-start PATH`, `--timing-layer NAME` and
+    /// `--timing-only`, and the `serve_soak` knobs `--clients N`,
+    /// `--requests N`, `--workers N`, `--batch N`, `--cache-capacity N`,
+    /// `--queue-capacity N`, `--admission block|reject` and `--seed N`.
+    /// Unknown arguments are ignored so the binaries can be run under
+    /// criterion or other wrappers.
     #[must_use]
     pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
         fn numeric<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>) -> Option<T> {
@@ -154,6 +179,24 @@ impl BinOptions {
                         options.seed = value;
                     }
                 }
+                "--queue-capacity" => {
+                    if let Some(value) = numeric(&mut args) {
+                        options.queue_capacity = value;
+                    }
+                }
+                "--admission" => match args.next().as_deref() {
+                    Some("reject") => options.admission = AdmissionControl::Reject,
+                    Some("block") => options.admission = AdmissionControl::Block,
+                    _ => {}
+                },
+                "--warm-start" => options.warm_start_path = args.next(),
+                "--timing-layer" => {
+                    if let Some(value) = args.next() {
+                        options.timing_layer = value;
+                    }
+                }
+                "--timing-only" => options.timing_only = true,
+                "--no-timing" => options.no_timing = true,
                 _ => {}
             }
         }
@@ -305,6 +348,37 @@ mod tests {
         assert_eq!(o.serve_max_batch, 8);
         assert_eq!(o.cache_capacity, 1024);
         assert_eq!(o.seed, 42);
+        assert_eq!(o.queue_capacity, rasa_sim::DEFAULT_QUEUE_CAPACITY);
+        assert_eq!(o.admission, AdmissionControl::Block);
+        assert_eq!(o.warm_start_path, None);
+        assert_eq!(o.timing_layer, "ResNet50-2");
+        assert!(!o.timing_only);
+    }
+
+    #[test]
+    fn parse_backpressure_and_timing_flags() {
+        let args = [
+            "--queue-capacity",
+            "5",
+            "--admission",
+            "reject",
+            "--warm-start",
+            "prev.json",
+            "--timing-layer",
+            "DLRM-2",
+            "--timing-only",
+        ];
+        let o = BinOptions::parse(args.iter().map(ToString::to_string));
+        assert_eq!(o.queue_capacity, 5);
+        assert_eq!(o.admission, AdmissionControl::Reject);
+        assert_eq!(o.warm_start_path.as_deref(), Some("prev.json"));
+        assert_eq!(o.timing_layer, "DLRM-2");
+        assert!(o.timing_only);
+        assert!(!o.no_timing);
+        assert!(BinOptions::parse(["--no-timing".to_string()]).no_timing);
+        // Unknown admission values keep the default.
+        let o = BinOptions::parse(["--admission".to_string(), "banana".to_string()]);
+        assert_eq!(o.admission, AdmissionControl::Block);
     }
 
     #[test]

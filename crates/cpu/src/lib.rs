@@ -20,6 +20,14 @@
 //!   and never miss, matching the paper's methodology;
 //! * in-order retirement.
 //!
+//! Time advances through an **event-driven scheduler** (see [`SchedStats`]
+//! and the `sched` module): completions live in a binary heap, consumers
+//! subscribe to their producers at rename, and the core simulates only
+//! cycles on which the pipeline can move — which is what makes
+//! full-fidelity runs of the large Table I layers cheap. The original
+//! cycle-stepping loop is retained as [`CpuCore::run_reference`] and the
+//! two are bit-identical on every program (enforced by parity tests).
+//!
 //! ## Example
 //!
 //! ```
@@ -51,9 +59,11 @@
 mod config;
 mod core;
 mod error;
+mod sched;
 mod stats;
 
 pub use config::CpuConfig;
 pub use core::CpuCore;
 pub use error::CpuError;
+pub use sched::SchedStats;
 pub use stats::CpuStats;

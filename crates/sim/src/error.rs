@@ -32,6 +32,15 @@ pub enum SimError {
         /// Human-readable description of the serving failure.
         reason: String,
     },
+    /// A request was turned away by admission control: the design's queue
+    /// was at capacity and the server is configured to reject rather than
+    /// block. The request was not enqueued; retrying later is safe.
+    Overloaded {
+        /// The design pool whose queue was full.
+        design: String,
+        /// The configured queue capacity that was hit.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -46,6 +55,10 @@ impl fmt::Display for SimError {
             }
             SimError::Json { reason } => write!(f, "result serialization error: {reason}"),
             SimError::Serve { reason } => write!(f, "serving error: {reason}"),
+            SimError::Overloaded { design, capacity } => write!(
+                f,
+                "server overloaded: queue for design '{design}' is at capacity {capacity}"
+            ),
         }
     }
 }
@@ -57,9 +70,10 @@ impl Error for SimError {
             SimError::Trace(e) => Some(e),
             SimError::Cpu(e) => Some(e),
             SimError::Workload(e) => Some(e),
-            SimError::InvalidExperiment { .. } | SimError::Json { .. } | SimError::Serve { .. } => {
-                None
-            }
+            SimError::InvalidExperiment { .. }
+            | SimError::Json { .. }
+            | SimError::Serve { .. }
+            | SimError::Overloaded { .. } => None,
         }
     }
 }

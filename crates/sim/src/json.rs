@@ -23,7 +23,7 @@
 //! well.
 
 use crate::{CacheStats, SimError, SimReport, SimSummary};
-use rasa_cpu::CpuStats;
+use rasa_cpu::{CpuStats, SchedStats};
 use rasa_power::{AreaBreakdown, EnergyBreakdown, PowerReport};
 use rasa_systolic::EngineStats;
 use std::fmt;
@@ -707,6 +707,37 @@ impl FromJson for CpuStats {
     }
 }
 
+impl ToJson for SchedStats {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "visited_cycles".into(),
+                JsonValue::number_from_u64(self.visited_cycles),
+            ),
+            (
+                "skipped_cycles".into(),
+                JsonValue::number_from_u64(self.skipped_cycles),
+            ),
+            (
+                "completion_events".into(),
+                JsonValue::number_from_u64(self.completion_events),
+            ),
+            ("wakeups".into(), JsonValue::number_from_u64(self.wakeups)),
+        ])
+    }
+}
+
+impl FromJson for SchedStats {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(SchedStats {
+            visited_cycles: u64_member(value, "visited_cycles")?,
+            skipped_cycles: u64_member(value, "skipped_cycles")?,
+            completion_events: u64_member(value, "completion_events")?,
+            wakeups: u64_member(value, "wakeups")?,
+        })
+    }
+}
+
 impl ToJson for AreaBreakdown {
     fn to_json(&self) -> JsonValue {
         JsonValue::Object(vec![
@@ -816,6 +847,7 @@ impl ToJson for SimReport {
                 JsonValue::number_from_f64(self.runtime_seconds),
             ),
             ("cpu".into(), self.cpu.to_json()),
+            ("sched".into(), self.sched.to_json()),
             ("power".into(), self.power.to_json()),
         ])
     }
@@ -832,6 +864,7 @@ impl FromJson for SimReport {
             total_matmuls: u64_member(value, "total_matmuls")?,
             runtime_seconds: f64_member(value, "runtime_seconds")?,
             cpu: CpuStats::from_json(member(value, "cpu")?)?,
+            sched: SchedStats::from_json(member(value, "sched")?)?,
             power: PowerReport::from_json(member(value, "power")?)?,
         })
     }
@@ -868,6 +901,14 @@ impl ToJson for SimSummary {
                 "energy_joules".into(),
                 JsonValue::number_from_f64(self.energy_joules),
             ),
+            (
+                "sched_events".into(),
+                JsonValue::number_from_u64(self.sched_events),
+            ),
+            (
+                "visited_cycles".into(),
+                JsonValue::number_from_u64(self.visited_cycles),
+            ),
         ])
     }
 }
@@ -885,6 +926,8 @@ impl FromJson for SimSummary {
             engine_bypass_rate: f64_member(value, "engine_bypass_rate")?,
             area_mm2: f64_member(value, "area_mm2")?,
             energy_joules: f64_member(value, "energy_joules")?,
+            sched_events: u64_member(value, "sched_events")?,
+            visited_cycles: u64_member(value, "visited_cycles")?,
         })
     }
 }
@@ -1076,6 +1119,11 @@ mod tests {
         assert_eq!(back, report, "full report must survive the round trip");
         // Byte-identity: reload + re-serialize is exactly the same file.
         assert_eq!(JsonValue::parse(&text).unwrap().to_string_pretty(), text);
+        // The scheduler counters are part of the document.
+        assert!(report.sched.completion_events > 0);
+        assert_eq!(back.sched, report.sched);
+        let sched = SchedStats::from_json(member(&json, "sched").unwrap()).unwrap();
+        assert_eq!(sched, report.sched);
     }
 
     #[test]

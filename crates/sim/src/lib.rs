@@ -56,7 +56,7 @@ pub use runner::{
     DEFAULT_CACHE_CAPACITY,
 };
 pub use serve::{
-    GemmRequest, GemmResponse, GemmServer, LatencySummary, RequestLatency, ResponseHandle,
-    ServeConfig, ServeStats,
+    AdmissionControl, GemmRequest, GemmResponse, GemmServer, LatencySummary, RequestLatency,
+    ResponseHandle, ServeConfig, ServeStats, DEFAULT_QUEUE_CAPACITY,
 };
 pub use simulator::Simulator;

@@ -1,4 +1,4 @@
-use rasa_cpu::CpuStats;
+use rasa_cpu::{CpuStats, SchedStats};
 use rasa_power::PowerReport;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -24,6 +24,9 @@ pub struct SimReport {
     pub runtime_seconds: f64,
     /// Detailed CPU statistics of the simulated portion.
     pub cpu: CpuStats,
+    /// Event-scheduler counters of the simulating core (all zero when the
+    /// cycle-stepping reference core produced the report).
+    pub sched: SchedStats,
     /// Area/energy report of the simulated portion.
     pub power: PowerReport,
 }
@@ -70,6 +73,8 @@ impl SimReport {
             engine_bypass_rate: self.cpu.engine.bypass_rate(),
             area_mm2: self.power.area.total(),
             energy_joules: self.power.energy.total(),
+            sched_events: self.sched.completion_events,
+            visited_cycles: self.sched.visited_cycles,
         }
     }
 }
@@ -116,20 +121,25 @@ pub struct SimSummary {
     pub area_mm2: f64,
     /// Estimated energy of the simulated portion in joules.
     pub energy_joules: f64,
+    /// Completion events processed by the event-driven core scheduler.
+    pub sched_events: u64,
+    /// Cycles the event-driven scheduler actually simulated (the rest of
+    /// the timeline was jumped over).
+    pub visited_cycles: u64,
 }
 
 impl SimSummary {
     /// The CSV header matching [`SimSummary::to_csv_row`].
     #[must_use]
     pub fn csv_header() -> &'static str {
-        "design,workload,core_cycles,simulated_matmuls,total_matmuls,runtime_seconds,ipc,engine_bypass_rate,area_mm2,energy_joules"
+        "design,workload,core_cycles,simulated_matmuls,total_matmuls,runtime_seconds,ipc,engine_bypass_rate,area_mm2,energy_joules,sched_events,visited_cycles"
     }
 
     /// One CSV row (no trailing newline).
     #[must_use]
     pub fn to_csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{:.6e},{:.4},{:.4},{:.4},{:.6e}",
+            "{},{},{},{},{},{:.6e},{:.4},{:.4},{:.4},{:.6e},{},{}",
             self.design,
             self.workload,
             self.core_cycles,
@@ -139,7 +149,9 @@ impl SimSummary {
             self.ipc,
             self.engine_bypass_rate,
             self.area_mm2,
-            self.energy_joules
+            self.energy_joules,
+            self.sched_events,
+            self.visited_cycles
         )
     }
 }
@@ -191,6 +203,7 @@ mod tests {
             total_matmuls: 100,
             runtime_seconds: cycles as f64 / 2.0e9,
             cpu: CpuStats::default(),
+            sched: SchedStats::default(),
             power: PowerReport::new(&cfg, &EngineActivitySummary::default(), cycles),
         }
     }

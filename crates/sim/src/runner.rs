@@ -26,6 +26,7 @@
 //! idiom of kubecl's `TilingScheme`.
 
 use crate::cache::{InsertOutcome, LruCache};
+use crate::json::{FromJson, JsonValue, ToJson};
 use crate::simulator::DEFAULT_MATMUL_CAP;
 use crate::{DesignPoint, SimError, SimReport, Simulator, WorkloadRun};
 use rasa_trace::GemmKernelConfig;
@@ -222,6 +223,95 @@ impl ExperimentRunner {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
+    }
+
+    /// Serializes the resident memoization cache as a JSON node: an array
+    /// of `{"key", "report"}` objects sorted by key (so the document is
+    /// deterministic even after parallel runs filled the cache in
+    /// scheduler-dependent order).
+    ///
+    /// The `run_all` binary embeds this under `"cache": {"cells": ...}` in
+    /// its `--json` results document; a later run can hand that document to
+    /// [`warm_start_json`](Self::warm_start_json) to start with a hot
+    /// cache.
+    #[must_use]
+    pub fn dump_cache_json(&self) -> JsonValue {
+        let cache = self.cache.lock().expect("cache lock");
+        let mut cells: Vec<(String, JsonValue)> = cache
+            .keys_by_recency()
+            .into_iter()
+            .map(|key| {
+                let report = cache.peek(&key).expect("listed key is resident");
+                (key, report.to_json())
+            })
+            .collect();
+        drop(cache);
+        cells.sort_by(|a, b| a.0.cmp(&b.0));
+        JsonValue::Array(
+            cells
+                .into_iter()
+                .map(|(key, report)| {
+                    JsonValue::Object(vec![
+                        ("key".into(), JsonValue::string(key)),
+                        ("report".into(), report),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// Warm-starts the memoization cache from a previously persisted
+    /// document and returns the number of cells loaded.
+    ///
+    /// Accepts, in order of preference: a full `run_all --json` results
+    /// document (cells under `"cache"."cells"`), an object with a
+    /// `"cells"` member, or the bare cell array produced by
+    /// [`dump_cache_json`](Self::dump_cache_json). Loaded cells count as
+    /// neither hits nor misses; insertions beyond the capacity evict LRU
+    /// cells as usual (and count as evictions). Keys embed the complete
+    /// cell identity (design, lowered shape, kernel — including the matmul
+    /// cap), so cells dumped under a different fidelity simply never match
+    /// this runner's lookups: warm-starting is always safe, never wrong.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Json`] when the document holds no cell array or
+    /// a cell fails to decode.
+    pub fn warm_start_json(&self, document: &JsonValue) -> Result<usize, SimError> {
+        let cells = document
+            .get("cache")
+            .and_then(|cache| cache.get("cells"))
+            .or_else(|| document.get("cells"))
+            .unwrap_or(document);
+        let Some(cells) = cells.as_array() else {
+            return Err(SimError::Json {
+                reason: "warm-start document has no cache cell array".to_string(),
+            });
+        };
+        let mut loaded = 0usize;
+        for cell in cells {
+            let key = cell
+                .get("key")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| SimError::Json {
+                    reason: "cache cell is missing its string 'key'".to_string(),
+                })?
+                .to_string();
+            let report =
+                SimReport::from_json(cell.get("report").ok_or_else(|| SimError::Json {
+                    reason: format!("cache cell '{key}' is missing its 'report'"),
+                })?)?;
+            let outcome = self
+                .cache
+                .lock()
+                .expect("cache lock")
+                .insert(key, Arc::new(report));
+            if matches!(outcome, InsertOutcome::Evicted(..)) {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            loaded += 1;
+        }
+        Ok(loaded)
     }
 
     /// The kernel a job resolves to: its explicit override, or the default
@@ -574,6 +664,94 @@ mod tests {
         assert_eq!(stats.misses, 4, "evicted cell must be re-simulated");
         assert_eq!(stats.evictions, 2);
         assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn cache_warm_start_round_trips_through_json() {
+        let (workloads, designs) = small_grid();
+        let runner = ExperimentRunner::builder()
+            .with_matmul_cap(Some(96))
+            .build()
+            .unwrap();
+        let first = runner.run_grid(&workloads, &designs).unwrap();
+        assert_eq!(runner.cache_stats().misses, 4);
+
+        // Dump through text (as `run_all --json` would persist it) and
+        // warm-start a fresh runner with the same fidelity.
+        let text = JsonValue::Object(vec![(
+            "cache".into(),
+            JsonValue::Object(vec![("cells".into(), runner.dump_cache_json())]),
+        )])
+        .to_string_pretty();
+        let document = JsonValue::parse(&text).unwrap();
+
+        let warmed = ExperimentRunner::builder()
+            .with_matmul_cap(Some(96))
+            .build()
+            .unwrap();
+        assert_eq!(warmed.warm_start_json(&document).unwrap(), 4);
+        let stats = warmed.cache_stats();
+        assert_eq!(stats.entries, 4);
+        assert_eq!((stats.hits, stats.misses), (0, 0), "loading is not a hit");
+
+        // The warmed runner answers the whole grid from the cache, with
+        // results identical to the original simulation.
+        let second = warmed.run_grid(&workloads, &designs).unwrap();
+        let stats = warmed.cache_stats();
+        assert_eq!(stats.misses, 0, "warm-started grid must be fully cached");
+        assert_eq!(stats.hits, 4);
+        assert_eq!(first, second);
+
+        // The bare array form loads too, and insertions respect the LRU
+        // capacity bound.
+        let tiny = ExperimentRunner::builder()
+            .with_matmul_cap(Some(96))
+            .with_cache_capacity(2)
+            .build()
+            .unwrap();
+        assert_eq!(tiny.warm_start_json(&runner.dump_cache_json()).unwrap(), 4);
+        let stats = tiny.cache_stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 2);
+    }
+
+    #[test]
+    fn warm_start_rejects_malformed_documents() {
+        let runner = ExperimentRunner::new();
+        for text in [
+            "{\"schema\":\"rasa-run-all/1\"}",
+            "[{\"report\":{}}]",
+            "[{\"key\":\"k\"}]",
+            "[{\"key\":\"k\",\"report\":{\"design\":\"X\"}}]",
+        ] {
+            let document = JsonValue::parse(text).unwrap();
+            assert!(
+                matches!(
+                    runner.warm_start_json(&document),
+                    Err(SimError::Json { .. })
+                ),
+                "{text} must be rejected"
+            );
+        }
+        // A mismatched-fidelity dump loads fine but never hits: the key
+        // embeds the kernel, so a lookup under this runner's cap misses.
+        let (workloads, designs) = small_grid();
+        let other = ExperimentRunner::builder()
+            .with_matmul_cap(Some(64))
+            .build()
+            .unwrap();
+        other
+            .run_job(&SimJob::new(designs[0].clone(), workloads[0].clone()))
+            .unwrap();
+        let runner = ExperimentRunner::builder()
+            .with_matmul_cap(Some(96))
+            .build()
+            .unwrap();
+        assert_eq!(runner.warm_start_json(&other.dump_cache_json()).unwrap(), 1);
+        runner
+            .run_job(&SimJob::new(designs[0].clone(), workloads[0].clone()))
+            .unwrap();
+        assert_eq!(runner.cache_stats().misses, 1, "different cap, no hit");
     }
 
     #[test]

@@ -42,5 +42,5 @@ mod server;
 mod stats;
 
 pub use request::{GemmRequest, GemmResponse, RequestLatency, ResponseHandle};
-pub use server::{GemmServer, ServeConfig};
+pub use server::{AdmissionControl, GemmServer, ServeConfig, DEFAULT_QUEUE_CAPACITY};
 pub use stats::{LatencySummary, ServeStats};

@@ -10,6 +10,22 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+/// Default per-design bound on queued (not yet dispatched) requests.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
+
+/// What [`GemmServer::submit`] does when a design's queue is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionControl {
+    /// Block the submitting thread until a worker frees queue space (or the
+    /// server shuts down). Backpressure propagates to the client.
+    #[default]
+    Block,
+    /// Fail fast with [`SimError::Overloaded`]; the request is not
+    /// enqueued and the rejection is counted in
+    /// [`ServeStats::rejected`](crate::serve::ServeStats::rejected).
+    Reject,
+}
+
 /// Configuration of a [`GemmServer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
@@ -21,6 +37,10 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Cap on simulated `rasa_mm` instructions per cell (`None` = full).
     pub matmul_cap: Option<usize>,
+    /// Bound on queued requests per design pool.
+    pub queue_capacity: usize,
+    /// Behaviour when a design's queue is at capacity.
+    pub admission: AdmissionControl,
 }
 
 impl Default for ServeConfig {
@@ -30,6 +50,8 @@ impl Default for ServeConfig {
             max_batch: 8,
             cache_capacity: crate::runner::DEFAULT_CACHE_CAPACITY,
             matmul_cap: Some(DEFAULT_MATMUL_CAP),
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            admission: AdmissionControl::default(),
         }
     }
 }
@@ -43,22 +65,28 @@ struct Pending {
     reply: mpsc::Sender<Result<GemmResponse, SimError>>,
 }
 
-/// A design pool's queue; workers sleep on `ready`.
+/// A design pool's queue; workers sleep on `ready`, submitters blocked by
+/// a full queue sleep on `space`.
 struct PoolQueue {
     queue: Mutex<VecDeque<Pending>>,
     ready: Condvar,
+    space: Condvar,
 }
 
 /// State shared by every pool and worker of one server.
 struct Shared {
     runner: Arc<ExperimentRunner>,
     max_batch: usize,
+    queue_capacity: usize,
+    admission: AdmissionControl,
     shutdown: AtomicBool,
     submitted: AtomicU64,
     completed: AtomicU64,
     batches: AtomicU64,
     coalesced: AtomicU64,
     largest_batch: AtomicU64,
+    rejected: AtomicU64,
+    blocked: AtomicU64,
 }
 
 /// The batching multi-query GEMM server. See the
@@ -72,7 +100,9 @@ pub struct GemmServer {
     pools: HashMap<String, Arc<PoolQueue>>,
     /// Design names in construction order (stable reporting order).
     design_names: Vec<String>,
-    workers: Vec<JoinHandle<()>>,
+    /// Worker join handles; behind a mutex so [`GemmServer::start`] works
+    /// through a shared reference (e.g. an `Arc`-held server).
+    workers: Mutex<Vec<JoinHandle<()>>>,
     workers_per_design: usize,
 }
 
@@ -100,7 +130,7 @@ impl GemmServer {
     /// workers or batch size, no designs, duplicate design names) and
     /// propagates runner construction errors.
     pub fn new(config: ServeConfig, designs: &[DesignPoint]) -> Result<Self, SimError> {
-        let mut server = GemmServer::suspended(config, designs)?;
+        let server = GemmServer::suspended(config, designs)?;
         server.start();
         Ok(server)
     }
@@ -124,6 +154,11 @@ impl GemmServer {
                 reason: "max batch size must be at least 1".to_string(),
             });
         }
+        if config.queue_capacity == 0 {
+            return Err(SimError::Serve {
+                reason: "queue capacity must be at least 1".to_string(),
+            });
+        }
         if designs.is_empty() {
             return Err(SimError::Serve {
                 reason: "a server needs at least one design point".to_string(),
@@ -143,6 +178,7 @@ impl GemmServer {
                     Arc::new(PoolQueue {
                         queue: Mutex::new(VecDeque::new()),
                         ready: Condvar::new(),
+                        space: Condvar::new(),
                     }),
                 )
                 .is_some()
@@ -157,23 +193,28 @@ impl GemmServer {
             shared: Arc::new(Shared {
                 runner: Arc::new(runner),
                 max_batch: config.max_batch,
+                queue_capacity: config.queue_capacity,
+                admission: config.admission,
                 shutdown: AtomicBool::new(false),
                 submitted: AtomicU64::new(0),
                 completed: AtomicU64::new(0),
                 batches: AtomicU64::new(0),
                 coalesced: AtomicU64::new(0),
                 largest_batch: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+                blocked: AtomicU64::new(0),
             }),
             pools,
             design_names,
-            workers: Vec::new(),
+            workers: Mutex::new(Vec::new()),
             workers_per_design: config.workers_per_design,
         })
     }
 
     /// Starts the worker pools (idempotent).
-    pub fn start(&mut self) {
-        if !self.workers.is_empty() {
+    pub fn start(&self) {
+        let mut workers = self.workers.lock().expect("serve workers lock");
+        if !workers.is_empty() {
             return;
         }
         for name in &self.design_names {
@@ -182,7 +223,7 @@ impl GemmServer {
                 let shared = Arc::clone(&self.shared);
                 let pool = Arc::clone(&pool);
                 let thread_name = format!("serve-{name}-{worker}");
-                self.workers.push(
+                workers.push(
                     std::thread::Builder::new()
                         .name(thread_name)
                         .spawn(move || worker_loop(&shared, &pool))
@@ -206,10 +247,17 @@ impl GemmServer {
 
     /// Enqueues a request and returns a handle for the response.
     ///
+    /// Admission control bounds each design's queue at the configured
+    /// capacity: a submission hitting a full queue either blocks until a
+    /// worker frees space ([`AdmissionControl::Block`], the default) or
+    /// fails fast ([`AdmissionControl::Reject`]).
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::Serve`] when the request names a design the
-    /// server has no pool for, or when the server is shutting down.
+    /// server has no pool for or when the server is shutting down, and
+    /// [`SimError::Overloaded`] when the queue is full under
+    /// [`AdmissionControl::Reject`].
     pub fn submit(&self, request: GemmRequest) -> Result<ResponseHandle, SimError> {
         if self.shared.shutdown.load(Ordering::SeqCst) {
             return Err(SimError::Serve {
@@ -233,13 +281,43 @@ impl GemmServer {
             submitted: Instant::now(),
             reply,
         };
+        let mut queue = pool.queue.lock().expect("serve queue lock");
+        if queue.len() >= self.shared.queue_capacity {
+            match self.shared.admission {
+                AdmissionControl::Reject => {
+                    self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(SimError::Overloaded {
+                        design: pending.request.design.name().to_string(),
+                        capacity: self.shared.queue_capacity,
+                    });
+                }
+                AdmissionControl::Block => {
+                    self.shared.blocked.fetch_add(1, Ordering::Relaxed);
+                    while queue.len() >= self.shared.queue_capacity {
+                        if self.shared.shutdown.load(Ordering::SeqCst) {
+                            return Err(SimError::Serve {
+                                reason: "server is shutting down".to_string(),
+                            });
+                        }
+                        queue = pool.space.wait(queue).expect("serve queue lock");
+                    }
+                }
+            }
+        }
+        // Re-check under the lock: a submitter woken by freed space (or one
+        // that raced the fast path) must not enqueue into a server whose
+        // workers may already have drained and exited — the request would
+        // never be answered and the caller's `wait` would hang.
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(SimError::Serve {
+                reason: "server is shutting down".to_string(),
+            });
+        }
         // Counted before the request becomes visible to workers, so
         // `submitted >= completed` holds for every stats() observer.
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
-        pool.queue
-            .lock()
-            .expect("serve queue lock")
-            .push_back(pending);
+        queue.push_back(pending);
+        drop(queue);
         pool.ready.notify_one();
         Ok(ResponseHandle { receiver })
     }
@@ -267,6 +345,8 @@ impl GemmServer {
             batches: self.shared.batches.load(Ordering::Relaxed),
             coalesced: self.shared.coalesced.load(Ordering::Relaxed),
             largest_batch: self.shared.largest_batch.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            blocked: self.shared.blocked.load(Ordering::Relaxed),
         }
     }
 
@@ -293,9 +373,17 @@ impl GemmServer {
     fn stop_and_join(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         for pool in self.pools.values() {
+            // Notify under the queue lock: a submitter that read the flag
+            // as false is then either still holding the lock (and will see
+            // it on its next loop iteration) or already parked on the
+            // condvar (and receives this wakeup) — the notification cannot
+            // fall between its check and its wait.
+            let _queue = pool.queue.lock().expect("serve queue lock");
             pool.ready.notify_all();
+            pool.space.notify_all();
         }
-        for worker in self.workers.drain(..) {
+        let workers = std::mem::take(&mut *self.workers.lock().expect("serve workers lock"));
+        for worker in workers {
             let _ = worker.join();
         }
     }
@@ -343,6 +431,8 @@ fn worker_loop(shared: &Shared, pool: &PoolQueue) {
             }
             take_batch(&mut queue, shared.max_batch)
         };
+        // The batch freed queue space: admit blocked submitters.
+        pool.space.notify_all();
         dispatch(shared, batch);
     }
 }
@@ -484,6 +574,17 @@ mod tests {
             assert!(GemmServer::new(config, &designs).is_err(), "{what}");
         }
         assert!(
+            GemmServer::new(
+                ServeConfig {
+                    queue_capacity: 0,
+                    ..ServeConfig::default()
+                },
+                &designs,
+            )
+            .is_err(),
+            "zero queue capacity"
+        );
+        assert!(
             GemmServer::new(ServeConfig::default(), &[]).is_err(),
             "no designs"
         );
@@ -507,8 +608,9 @@ mod tests {
             max_batch: 8,
             cache_capacity: 64,
             matmul_cap: Some(64),
+            ..ServeConfig::default()
         };
-        let mut server = GemmServer::suspended(config, &[DesignPoint::baseline()]).unwrap();
+        let server = GemmServer::suspended(config, &[DesignPoint::baseline()]).unwrap();
 
         // Queue three identical-shape requests and one different shape
         // BEFORE any worker runs: the first worker must take all three as
@@ -560,8 +662,9 @@ mod tests {
             max_batch: 8,
             cache_capacity: 64,
             matmul_cap: Some(64),
+            ..ServeConfig::default()
         };
-        let mut server = GemmServer::suspended(config, &[DesignPoint::baseline()]).unwrap();
+        let server = GemmServer::suspended(config, &[DesignPoint::baseline()]).unwrap();
         let a = server
             .submit(GemmRequest::new(DesignPoint::baseline(), layer))
             .unwrap();
@@ -578,6 +681,131 @@ mod tests {
         assert_eq!(b.report.workload, rebatched.name(), "relabelled");
         assert_eq!(a.report.core_cycles, b.report.core_cycles);
         assert_eq!(server.cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn full_queue_rejects_when_admission_is_reject() {
+        let suite = WorkloadSuite::mlperf();
+        let layer = suite.layer("DLRM-1").unwrap().clone();
+        let config = ServeConfig {
+            workers_per_design: 1,
+            max_batch: 8,
+            cache_capacity: 64,
+            matmul_cap: Some(64),
+            queue_capacity: 2,
+            admission: AdmissionControl::Reject,
+        };
+        // Suspended server: nothing drains the queue, so the bound is hit
+        // deterministically.
+        let server = GemmServer::suspended(config, &[DesignPoint::baseline()]).unwrap();
+        let a = server
+            .submit(GemmRequest::new(DesignPoint::baseline(), layer.clone()))
+            .unwrap();
+        let b = server
+            .submit(GemmRequest::new(DesignPoint::baseline(), layer.clone()))
+            .unwrap();
+        let err = server
+            .submit(GemmRequest::new(DesignPoint::baseline(), layer.clone()))
+            .unwrap_err();
+        assert!(
+            matches!(err, SimError::Overloaded { capacity: 2, .. }),
+            "expected Overloaded, got {err:?}"
+        );
+        assert!(err.to_string().contains("overloaded"));
+        let stats = server.stats();
+        assert_eq!(stats.submitted, 2, "rejected requests are not admitted");
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.blocked, 0);
+
+        // Once workers drain the queue, new submissions are admitted again.
+        server.start();
+        a.wait().unwrap();
+        b.wait().unwrap();
+        let c = server
+            .submit(GemmRequest::new(DesignPoint::baseline(), layer))
+            .unwrap();
+        c.wait().unwrap();
+        assert_eq!(server.stats().completed, 3);
+    }
+
+    #[test]
+    fn full_queue_blocks_until_space_when_admission_is_block() {
+        let suite = WorkloadSuite::mlperf();
+        let layer = suite.layer("DLRM-2").unwrap().clone();
+        let config = ServeConfig {
+            workers_per_design: 1,
+            max_batch: 1,
+            cache_capacity: 64,
+            matmul_cap: Some(64),
+            queue_capacity: 1,
+            admission: AdmissionControl::Block,
+        };
+        let server = GemmServer::suspended(config, &[DesignPoint::baseline()]).unwrap();
+        let first = server
+            .submit(GemmRequest::new(DesignPoint::baseline(), layer.clone()))
+            .unwrap();
+
+        // The queue is now full; a second submission must block until a
+        // worker frees space.
+        std::thread::scope(|scope| {
+            let submitter = scope.spawn(|| {
+                server
+                    .submit(GemmRequest::new(DesignPoint::baseline(), layer.clone()))
+                    .map(ResponseHandle::wait)
+            });
+            // `blocked` is incremented before the condvar wait, so once it
+            // reads 1 the submitter is (about to be) parked and still
+            // unadmitted.
+            while server.stats().blocked == 0 {
+                std::thread::yield_now();
+            }
+            assert_eq!(server.stats().submitted, 1, "second submit not admitted");
+            // Releasing the workers drains the queue and admits it.
+            server.start();
+            let second = submitter.join().expect("submitter thread");
+            second.expect("blocked submission is admitted").unwrap();
+        });
+        first.wait().unwrap();
+        let stats = server.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.blocked, 1);
+        assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn shutdown_wakes_blocked_submitters() {
+        let suite = WorkloadSuite::mlperf();
+        let layer = suite.layer("DLRM-1").unwrap().clone();
+        let config = ServeConfig {
+            workers_per_design: 1,
+            max_batch: 1,
+            cache_capacity: 64,
+            matmul_cap: Some(64),
+            queue_capacity: 1,
+            admission: AdmissionControl::Block,
+        };
+        let server = GemmServer::suspended(config, &[DesignPoint::baseline()]).unwrap();
+        let _first = server
+            .submit(GemmRequest::new(DesignPoint::baseline(), layer.clone()))
+            .unwrap();
+        std::thread::scope(|scope| {
+            let submitter = scope
+                .spawn(|| server.submit(GemmRequest::new(DesignPoint::baseline(), layer.clone())));
+            while server.stats().blocked == 0 {
+                std::thread::yield_now();
+            }
+            // Signal shutdown exactly as `stop_and_join` does (flag, then
+            // notify under the queue lock); the blocked submitter must
+            // wake and error out instead of hanging.
+            server.shared.shutdown.store(true, Ordering::SeqCst);
+            for pool in server.pools.values() {
+                let _queue = pool.queue.lock().expect("serve queue lock");
+                pool.space.notify_all();
+            }
+            let err = submitter.join().expect("submitter thread").unwrap_err();
+            assert!(matches!(err, SimError::Serve { .. }), "got {err:?}");
+        });
     }
 
     #[test]
@@ -610,6 +838,7 @@ mod tests {
                 max_batch: 4,
                 cache_capacity: 64,
                 matmul_cap: Some(64),
+                ..ServeConfig::default()
             },
             &designs,
         )
@@ -648,8 +877,9 @@ mod tests {
             max_batch: 8,
             cache_capacity: 64,
             matmul_cap: Some(64),
+            ..ServeConfig::default()
         };
-        let mut server = GemmServer::suspended(config, std::slice::from_ref(&design)).unwrap();
+        let server = GemmServer::suspended(config, std::slice::from_ref(&design)).unwrap();
         let mut interleaved =
             GemmKernelConfig::amx_like().with_matmul_order(MatmulOrder::Interleaved);
         interleaved.max_matmuls = Some(64);

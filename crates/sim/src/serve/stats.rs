@@ -16,6 +16,12 @@ pub struct ServeStats {
     pub coalesced: u64,
     /// The largest batch dispatched so far.
     pub largest_batch: u64,
+    /// Requests turned away by admission control (reject mode, queue at
+    /// capacity). Rejected requests are never counted in `submitted`.
+    pub rejected: u64,
+    /// Submissions that had to wait for queue space (block mode) before
+    /// being admitted.
+    pub blocked: u64,
 }
 
 impl ServeStats {
@@ -50,6 +56,8 @@ impl ToJson for ServeStats {
                 "largest_batch".into(),
                 JsonValue::number_from_u64(self.largest_batch),
             ),
+            ("rejected".into(), JsonValue::number_from_u64(self.rejected)),
+            ("blocked".into(), JsonValue::number_from_u64(self.blocked)),
         ])
     }
 }
@@ -75,27 +83,39 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    /// Aggregates `samples`; returns `None` for an empty slice.
+    /// Aggregates `samples`; returns `None` when no finite sample exists.
+    ///
+    /// Non-finite samples (NaN/∞, which wall-clock measurement can only
+    /// produce through caller bugs) are ignored rather than poisoning the
+    /// sort or the mean, so every reported statistic is a well-defined,
+    /// actually-observed latency: a single-sample set reports that sample
+    /// for every percentile, and the empty set reports `None` instead of
+    /// NaN.
     #[must_use]
     pub fn from_samples(samples: &[f64]) -> Option<Self> {
-        if samples.is_empty() {
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|s| s.is_finite()).collect();
+        if sorted.is_empty() {
             return None;
         }
-        let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        let nearest_rank = |p: f64| {
-            let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
-            sorted[rank.clamp(1, sorted.len()) - 1]
-        };
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples compare"));
         Some(LatencySummary {
             count: sorted.len(),
             mean_seconds: sorted.iter().sum::<f64>() / sorted.len() as f64,
-            p50_seconds: nearest_rank(50.0),
-            p90_seconds: nearest_rank(90.0),
-            p99_seconds: nearest_rank(99.0),
+            p50_seconds: nearest_rank(&sorted, 50.0),
+            p90_seconds: nearest_rank(&sorted, 90.0),
+            p99_seconds: nearest_rank(&sorted, 99.0),
             max_seconds: *sorted.last().expect("non-empty"),
         })
     }
+}
+
+/// The nearest-rank percentile of an ascending, non-empty sample set: the
+/// smallest sample at or above rank ⌈p/100 · n⌉, clamped into `[1, n]` so
+/// `p = 0` returns the minimum and any `p ≥ 100` returns the maximum.
+fn nearest_rank(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty(), "nearest_rank needs samples");
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 impl ToJson for LatencySummary {
@@ -133,6 +153,29 @@ mod tests {
     #[test]
     fn empty_samples_have_no_summary() {
         assert!(LatencySummary::from_samples(&[]).is_none());
+        // A set with only non-finite samples is empty after filtering.
+        assert!(LatencySummary::from_samples(&[f64::NAN, f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn non_finite_samples_are_ignored() {
+        let s = LatencySummary::from_samples(&[0.2, f64::NAN, 0.4, f64::NEG_INFINITY]).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.p50_seconds, 0.2);
+        assert_eq!(s.p99_seconds, 0.4);
+        assert_eq!(s.max_seconds, 0.4);
+        assert!((s.mean_seconds - 0.3).abs() < 1e-12);
+        assert!(s.mean_seconds.is_finite());
+    }
+
+    #[test]
+    fn nearest_rank_clamps_extreme_percentiles() {
+        let sorted = [0.1, 0.2, 0.3];
+        assert_eq!(nearest_rank(&sorted, 0.0), 0.1, "p0 is the minimum");
+        assert_eq!(nearest_rank(&sorted, 100.0), 0.3);
+        assert_eq!(nearest_rank(&sorted, 150.0), 0.3, "out-of-range clamps");
+        assert_eq!(nearest_rank(&[0.7], 50.0), 0.7);
+        assert_eq!(nearest_rank(&[0.7], 99.0), 0.7);
     }
 
     #[test]
@@ -169,11 +212,15 @@ mod tests {
             batches: 4,
             coalesced: 6,
             largest_batch: 5,
+            rejected: 3,
+            blocked: 2,
         };
         assert!((stats.mean_batch_size() - 2.5).abs() < 1e-12);
         assert_eq!(ServeStats::default().mean_batch_size(), 0.0);
         let json = stats.to_json().to_string_compact();
         assert!(json.contains("\"coalesced\":6"));
+        assert!(json.contains("\"rejected\":3"));
+        assert!(json.contains("\"blocked\":2"));
         let lat = LatencySummary::from_samples(&[0.1]).unwrap();
         assert!(lat.to_json().to_string_compact().contains("\"count\":1"));
     }

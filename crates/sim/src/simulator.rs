@@ -109,6 +109,24 @@ impl Simulator {
         self.run_program(&program, total as u64, layer.name())
     }
 
+    /// Simulates one DNN layer on the cycle-stepping **reference** core
+    /// ([`CpuCore::run_reference`]) instead of the event-driven scheduler.
+    ///
+    /// The architectural statistics (`report.cpu`) must be bit-identical to
+    /// [`Simulator::run_layer`]; the scheduler counters (`report.sched`)
+    /// are zero because the reference loop does not use the event heap.
+    /// This exists for parity checks and the `run_all` timing comparison.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace-generation and CPU errors.
+    pub fn run_layer_reference(&self, layer: &LayerSpec) -> Result<SimReport, SimError> {
+        let shape = layer.gemm_shape();
+        let program = self.generator.gemm(shape, layer.name())?;
+        let total = self.generator.matmul_count(shape)?;
+        self.run_program_on(&program, total as u64, layer.name(), true)
+    }
+
     /// Runs an already-generated program, extrapolating to `total_matmuls`
     /// when the program is a truncated trace of a larger workload.
     ///
@@ -121,9 +139,24 @@ impl Simulator {
         total_matmuls: u64,
         workload: &str,
     ) -> Result<SimReport, SimError> {
+        self.run_program_on(program, total_matmuls, workload, false)
+    }
+
+    fn run_program_on(
+        &self,
+        program: &Program,
+        total_matmuls: u64,
+        workload: &str,
+        reference: bool,
+    ) -> Result<SimReport, SimError> {
         let engine = MatrixEngine::new(*self.design.systolic());
         let mut core = CpuCore::new(*self.design.cpu(), engine);
-        let cpu_stats = core.run(program)?;
+        let cpu_stats = if reference {
+            core.run_reference(program)?
+        } else {
+            core.run(program)?
+        };
+        let sched = *core.sched_stats();
 
         let simulated_matmuls = cpu_stats.retired_matmuls;
         let simulated_cycles = cpu_stats.cycles;
@@ -147,6 +180,7 @@ impl Simulator {
             total_matmuls: total_matmuls.max(simulated_matmuls),
             runtime_seconds: self.design.cpu().cycles_to_seconds(core_cycles),
             cpu: cpu_stats,
+            sched,
             power,
         })
     }
@@ -211,6 +245,31 @@ mod tests {
         }
         // End-to-end speedup of the best design is large.
         assert!(cycles[0] as f64 / *cycles.last().unwrap() as f64 > 2.5);
+    }
+
+    #[test]
+    fn reference_core_matches_event_driven_core() {
+        let suite = WorkloadSuite::mlperf();
+        let layer = suite.layer("DLRM-2").unwrap();
+        for design in [DesignPoint::baseline(), DesignPoint::rasa_dmdb_wls()] {
+            let sim = Simulator::new(design)
+                .unwrap()
+                .with_matmul_cap(Some(256))
+                .unwrap();
+            let event = sim.run_layer(layer).unwrap();
+            let reference = sim.run_layer_reference(layer).unwrap();
+            assert_eq!(event.cpu, reference.cpu, "architectural stats diverge");
+            assert_eq!(event.core_cycles, reference.core_cycles);
+            // The event-driven core reports scheduler activity, the
+            // reference loop reports none.
+            assert!(event.sched.completion_events > 0);
+            assert!(event.sched.skip_rate() > 0.0);
+            assert_eq!(reference.sched, rasa_cpu::SchedStats::default());
+            // The flat summary surfaces the event counts.
+            let summary = event.summary();
+            assert_eq!(summary.sched_events, event.sched.completion_events);
+            assert_eq!(summary.visited_cycles, event.sched.visited_cycles);
+        }
     }
 
     #[test]

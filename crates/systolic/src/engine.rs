@@ -53,6 +53,22 @@ pub struct MmCompletion {
     pub complete_cycle: u64,
 }
 
+/// A timestamped completion event recorded by the engine.
+///
+/// Every accepted [`MmRequest`] enqueues exactly one completion event; an
+/// event-driven host drains them with [`MatrixEngine::take_completions`]
+/// and schedules its own wakeups from the timestamps instead of polling
+/// engine state cycle by cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineCompletion {
+    /// Program-order submission index of the instruction (the engine's
+    /// internal sequence counter at submit time).
+    pub sequence: u64,
+    /// Engine cycle at which the instruction's result is architecturally
+    /// visible (its Drain end).
+    pub complete_cycle: u64,
+}
+
 /// The RASA matrix engine scheduler.
 ///
 /// The engine accepts `rasa_mm` instructions **in program order** and
@@ -104,6 +120,9 @@ pub struct MatrixEngine {
     /// Completion cycles of the most recent in-flight instructions, bounded
     /// by the configuration's `max_in_flight`.
     in_flight: VecDeque<u64>,
+    /// Completion events recorded by `submit` and not yet drained through
+    /// [`MatrixEngine::take_completions`].
+    pending_completions: Vec<EngineCompletion>,
 }
 
 impl MatrixEngine {
@@ -119,6 +138,7 @@ impl MatrixEngine {
             dirty: [true; NUM_TILE_REGS],
             wl_channel_free: 0,
             in_flight: VecDeque::new(),
+            pending_completions: Vec::new(),
         }
     }
 
@@ -166,6 +186,18 @@ impl MatrixEngine {
         self.dirty = [true; NUM_TILE_REGS];
         self.wl_channel_free = 0;
         self.in_flight.clear();
+        self.pending_completions.clear();
+    }
+
+    /// Drains the completion events recorded since the last call, in
+    /// submission order.
+    ///
+    /// Each accepted [`MmRequest`] records exactly one [`EngineCompletion`];
+    /// an event-driven host (the `rasa-cpu` scheduler) pairs the drained
+    /// events with its own bookkeeping and inserts the timestamps into its
+    /// event heap rather than polling the engine for per-instruction state.
+    pub fn take_completions(&mut self) -> Vec<EngineCompletion> {
+        std::mem::take(&mut self.pending_completions)
     }
 
     /// Submits the next `rasa_mm` in program order and returns its resolved
@@ -302,6 +334,10 @@ impl MatrixEngine {
         while self.in_flight.len() > self.config.max_in_flight() {
             self.in_flight.pop_front();
         }
+        self.pending_completions.push(EngineCompletion {
+            sequence: self.sequence,
+            complete_cycle: dr.end,
+        });
         self.sequence += 1;
         self.prev = Some(timing);
 
@@ -529,6 +565,38 @@ mod tests {
         let c = e.submit(MmRequest::ready_at(treg(4), FULL, 0)).unwrap();
         assert!(!c.timing.weight_bypassed);
         assert_eq!(c.timing.wl.start, 0);
+    }
+
+    #[test]
+    fn completion_events_are_recorded_in_submission_order() {
+        let mut e = engine(PeVariant::Baseline, ControlScheme::Base);
+        let done = run_pattern(&mut e, 3, &[4], 1);
+        let events = e.take_completions();
+        assert_eq!(events.len(), 3);
+        for (i, (event, completion)) in events.iter().zip(&done).enumerate() {
+            assert_eq!(event.sequence, i as u64);
+            assert_eq!(event.complete_cycle, completion.complete_cycle);
+        }
+        // The queue drains: a second take returns nothing new.
+        assert!(e.take_completions().is_empty());
+        e.submit(MmRequest::ready_at(treg(4), FULL, 0)).unwrap();
+        let events = e.take_completions();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].sequence, 3);
+    }
+
+    #[test]
+    fn rejected_submissions_record_no_events_and_reset_clears_them() {
+        let mut e = engine(PeVariant::Baseline, ControlScheme::Base);
+        let bad = TileDims::new(16, 64, 16);
+        assert!(e.submit(MmRequest::ready_at(treg(0), bad, 0)).is_err());
+        assert!(e.take_completions().is_empty());
+        e.submit(MmRequest::ready_at(treg(4), FULL, 0)).unwrap();
+        e.reset();
+        assert!(
+            e.take_completions().is_empty(),
+            "reset drops undrained events"
+        );
     }
 
     #[test]

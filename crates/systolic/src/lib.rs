@@ -49,7 +49,7 @@ mod utilization;
 
 pub use array::{ArrayActivity, FunctionalArray};
 pub use config::{ControlScheme, PeVariant, SystolicConfig};
-pub use engine::{MatrixEngine, MmCompletion, MmRequest};
+pub use engine::{EngineCompletion, MatrixEngine, MmCompletion, MmRequest};
 pub use error::SystolicError;
 pub use pe::{Pe, PeState};
 pub use stage::{MatmulTiming, StageDurations, StageWindow, SubStage};

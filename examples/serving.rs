@@ -21,6 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             max_batch: 8,
             cache_capacity: 16,
             matmul_cap: Some(512),
+            ..ServeConfig::default()
         },
         &designs,
     )?;

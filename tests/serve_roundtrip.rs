@@ -20,6 +20,7 @@ fn served_reports_match_direct_simulation() {
             max_batch: 4,
             cache_capacity: 32,
             matmul_cap: Some(96),
+            ..ServeConfig::default()
         },
         &designs,
     )
@@ -64,6 +65,7 @@ fn concurrent_clients_with_tiny_cache_stay_consistent() {
             // Tiny on purpose: force LRU churn under concurrent traffic.
             cache_capacity: 4,
             matmul_cap: Some(64),
+            ..ServeConfig::default()
         },
         &designs,
     )
@@ -115,6 +117,7 @@ fn served_report_json_round_trips_bytewise() {
             max_batch: 4,
             cache_capacity: 8,
             matmul_cap: Some(64),
+            ..ServeConfig::default()
         },
         &serving_designs(),
     )
