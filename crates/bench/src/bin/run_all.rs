@@ -46,11 +46,18 @@ fn seconds(d: Duration) -> f64 {
     d.as_secs_f64()
 }
 
-/// Runs one Table I layer at full fidelity (no matmul cap) on both the
-/// event-driven core and the cycle-stepping reference, asserts the
-/// architectural statistics are bit-identical, and reports the measured
-/// wall-clock speedup together with the scheduler's event counts.
-fn timing_comparison(layer_name: &str) -> Result<(), Box<dyn std::error::Error>> {
+/// Runs one Table I layer at full fidelity (no matmul cap) three ways —
+/// streamed pipeline (event-driven core fed by the bounded-channel
+/// producer), materialized event-driven, and the cycle-stepping reference —
+/// asserts the architectural statistics are bit-identical across all three
+/// (with a byte-identical JSON cross-check for the CI parity step), and
+/// reports the measured wall-clock speedups, segment counts and peak
+/// resident instructions.
+fn timing_comparison(
+    layer_name: &str,
+    stream: bool,
+    segment_size: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
     let suite = WorkloadSuite::mlperf();
     let Some(layer) = suite.layer(layer_name) else {
         return Err(format!(
@@ -61,14 +68,17 @@ fn timing_comparison(layer_name: &str) -> Result<(), Box<dyn std::error::Error>>
     println!("== Event-driven core timing (full fidelity, {layer_name}) ==");
     for design in [DesignPoint::baseline(), DesignPoint::rasa_dmdb_wls()] {
         let name = design.name().to_string();
-        let sim = Simulator::new(design)?.with_matmul_cap(None)?;
+        let sim = Simulator::new(design)?
+            .with_matmul_cap(None)?
+            .with_segment_size(segment_size)?;
+
         let start = Instant::now();
-        let event = sim.run_layer(layer)?;
-        let event_seconds = seconds(start.elapsed());
+        let materialized = sim.clone().with_streaming(false).run_layer(layer)?;
+        let materialized_seconds = seconds(start.elapsed());
         let start = Instant::now();
         let reference = sim.run_layer_reference(layer)?;
         let reference_seconds = seconds(start.elapsed());
-        if event.cpu != reference.cpu {
+        if materialized.cpu != reference.cpu {
             return Err(format!(
                 "event-driven core diverged from the reference on {layer_name} / {name}"
             )
@@ -76,22 +86,67 @@ fn timing_comparison(layer_name: &str) -> Result<(), Box<dyn std::error::Error>>
         }
         println!(
             "  {name:<14} {} rasa_mm, {} cycles: event-driven {:.3} s vs cycle-stepping {:.3} s = {:.2}x speedup",
-            event.simulated_matmuls,
-            event.core_cycles,
-            event_seconds,
+            materialized.simulated_matmuls,
+            materialized.core_cycles,
+            materialized_seconds,
             reference_seconds,
-            reference_seconds / event_seconds.max(1e-9),
+            reference_seconds / materialized_seconds.max(1e-9),
         );
         println!(
             "  {:<14} {} completion events, {} cycles visited, {} skipped ({:.1}% of the timeline)",
             "",
-            event.sched.completion_events,
-            event.sched.visited_cycles,
-            event.sched.skipped_cycles,
-            event.sched.skip_rate() * 100.0,
+            materialized.sched.completion_events,
+            materialized.sched.visited_cycles,
+            materialized.sched.skipped_cycles,
+            materialized.sched.skip_rate() * 100.0,
+        );
+
+        if !stream {
+            continue;
+        }
+        // Streaming parity + overlap measurement: the streamed pipeline
+        // must reproduce the materialized run's architectural *and*
+        // scheduler statistics bit for bit (byte-identical serialized
+        // form), while generating the trace concurrently with — and
+        // sharded ahead of — the simulation.
+        let start = Instant::now();
+        let streamed = sim.run_layer(layer)?;
+        let streamed_seconds = seconds(start.elapsed());
+        if streamed.cpu != materialized.cpu || streamed.sched != materialized.sched {
+            return Err(format!(
+                "streamed pipeline diverged from the materialized path on {layer_name} / {name}"
+            )
+            .into());
+        }
+        let streamed_json = streamed.cpu.to_json().to_string_pretty();
+        let materialized_json = materialized.cpu.to_json().to_string_pretty();
+        if streamed_json != materialized_json {
+            return Err(format!(
+                "streamed CpuStats JSON drifted from the materialized document on {layer_name} / {name}"
+            )
+            .into());
+        }
+        println!(
+            "  {:<14} streamed {:.3} s vs materialized {:.3} s = {:.2}x overlap speedup",
+            "",
+            streamed_seconds,
+            materialized_seconds,
+            materialized_seconds / streamed_seconds.max(1e-9),
+        );
+        println!(
+            "  {:<14} {} segments, peak resident {} of {} instructions ({:.2}% of the materialized trace); CpuStats JSON byte-identical",
+            "",
+            streamed.pipeline.segments,
+            streamed.pipeline.peak_resident_instructions,
+            streamed.pipeline.fed_instructions,
+            streamed.pipeline.residency() * 100.0,
         );
     }
-    println!("  statistics bit-identical across both cores");
+    if stream {
+        println!("  statistics bit-identical across all cores and pipelines");
+    } else {
+        println!("  statistics bit-identical across both cores (streamed pipeline not compared: --no-stream)");
+    }
     Ok(())
 }
 
@@ -205,6 +260,18 @@ fn results_document(
                     "fig7_max_batch".into(),
                     JsonValue::number_from_usize(options.fig7_max_batch),
                 ),
+                ("stream".into(), JsonValue::Bool(options.stream)),
+                (
+                    "segment_size".into(),
+                    JsonValue::number_from_usize(options.segment_size),
+                ),
+                (
+                    "layers".into(),
+                    options
+                        .layers
+                        .as_deref()
+                        .map_or(JsonValue::Null, JsonValue::string),
+                ),
             ]),
         ),
         (
@@ -258,7 +325,7 @@ fn results_document(
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let options = rasa_bench::BinOptions::from_env();
     if options.timing_only {
-        return timing_comparison(&options.timing_layer);
+        return timing_comparison(&options.timing_layer, options.stream, options.segment_size);
     }
     let suite = options.suite()?;
 
@@ -302,6 +369,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.entries,
         stats.capacity,
     );
+    // Aggregate trace-pipeline footprint across the Fig. 5 grid cells.
+    let reports = || results.fig5.runs.iter().flat_map(|run| run.reports.iter());
+    let segments: u64 = reports().map(|r| r.pipeline.segments).sum();
+    let peak = reports()
+        .map(|r| r.pipeline.peak_resident_instructions)
+        .max()
+        .unwrap_or(0);
+    let fed = reports()
+        .map(|r| r.pipeline.fed_instructions)
+        .max()
+        .unwrap_or(0);
+    println!(
+        "trace pipeline: {} across {} cells ({} segments of ~{} instructions, peak resident {} of a largest trace of {})",
+        if suite.runner().is_streaming() {
+            "streamed"
+        } else {
+            "materialized"
+        },
+        results.fig5.runs.len() * results.fig5.designs.len(),
+        segments,
+        suite.runner().segment_size(),
+        peak,
+        fed,
+    );
 
     if let Some(path) = &options.json_path {
         let document = results_document(&options, &results, suite.runner().dump_cache_json());
@@ -310,7 +401,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     if !options.no_timing {
-        timing_comparison(&options.timing_layer)?;
+        timing_comparison(&options.timing_layer, options.stream, options.segment_size)?;
     }
 
     if options.skip_serial_check || !suite.runner().is_parallel() {
@@ -322,6 +413,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let serial_suite = ExperimentSuite::builder()
         .with_matmul_cap(options.matmul_cap)
         .with_fig7_max_batch(options.fig7_max_batch)
+        .with_streaming(options.stream)
+        .with_segment_size(options.segment_size)
+        .with_layer_filter(options.layers.clone())
         .serial()
         .build()?;
     let serial_start = Instant::now();

@@ -89,6 +89,15 @@ pub struct BinOptions {
     /// For `run_all`: skip the timing comparison (repeat sweeps that do
     /// not need the full-fidelity reference re-run).
     pub no_timing: bool,
+    /// Run cells through the streaming trace→simulate pipeline (default) or
+    /// the materialized path (`--no-stream`, the A/B escape hatch).
+    pub stream: bool,
+    /// Target streamed-segment size in instructions (`--segment-size`).
+    pub segment_size: usize,
+    /// For `run_all`: restrict the evaluation to the Table I layers
+    /// matching this filter (comma-separated substrings or 1-based
+    /// indices).
+    pub layers: Option<String>,
 }
 
 impl Default for BinOptions {
@@ -111,6 +120,9 @@ impl Default for BinOptions {
             timing_layer: "ResNet50-2".to_string(),
             timing_only: false,
             no_timing: false,
+            stream: true,
+            segment_size: rasa_sim::DEFAULT_SEGMENT_SIZE,
+            layers: None,
         }
     }
 }
@@ -119,13 +131,16 @@ impl BinOptions {
     /// Parses the binaries' tiny CLI: `--cap N`, `--full` (no cap),
     /// `--max-batch N`, `--serial` (single-threaded execution),
     /// `--no-serial-check` (skip `run_all`'s serial cross-check),
-    /// `--json PATH` (write the JSON results document), the `run_all`
-    /// knobs `--warm-start PATH`, `--timing-layer NAME` and
-    /// `--timing-only`, and the `serve_soak` knobs `--clients N`,
-    /// `--requests N`, `--workers N`, `--batch N`, `--cache-capacity N`,
-    /// `--queue-capacity N`, `--admission block|reject` and `--seed N`.
-    /// Unknown arguments are ignored so the binaries can be run under
-    /// criterion or other wrappers.
+    /// `--json PATH` (write the JSON results document), the streaming
+    /// pipeline knobs `--no-stream` (materialized A/B path),
+    /// `--segment-size N` and `--layers FILTER` (comma-separated
+    /// substrings or 1-based Table I indices), the `run_all` knobs
+    /// `--warm-start PATH`, `--timing-layer NAME` and `--timing-only`, and
+    /// the `serve_soak` knobs `--clients N`, `--requests N`, `--workers N`,
+    /// `--batch N`, `--cache-capacity N`, `--queue-capacity N`,
+    /// `--admission block|reject` and `--seed N`. Unknown arguments are
+    /// ignored so the binaries can be run under criterion or other
+    /// wrappers.
     #[must_use]
     pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
         fn numeric<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>) -> Option<T> {
@@ -190,6 +205,13 @@ impl BinOptions {
                     _ => {}
                 },
                 "--warm-start" => options.warm_start_path = args.next(),
+                "--no-stream" => options.stream = false,
+                "--segment-size" => {
+                    if let Some(value) = numeric(&mut args) {
+                        options.segment_size = value;
+                    }
+                }
+                "--layers" => options.layers = args.next(),
                 "--timing-layer" => {
                     if let Some(value) = args.next() {
                         options.timing_layer = value;
@@ -221,6 +243,9 @@ impl BinOptions {
             .with_matmul_cap(self.matmul_cap)
             .with_fig7_max_batch(self.fig7_max_batch)
             .with_parallel(self.parallel)
+            .with_streaming(self.stream)
+            .with_segment_size(self.segment_size)
+            .with_layer_filter(self.layers.clone())
             .build()
     }
 }
@@ -379,6 +404,29 @@ mod tests {
         // Unknown admission values keep the default.
         let o = BinOptions::parse(["--admission".to_string(), "banana".to_string()]);
         assert_eq!(o.admission, AdmissionControl::Block);
+    }
+
+    #[test]
+    fn parse_streaming_flags() {
+        let o = BinOptions::parse(std::iter::empty());
+        assert!(o.stream, "streaming is the default");
+        assert_eq!(o.segment_size, rasa_sim::DEFAULT_SEGMENT_SIZE);
+        assert_eq!(o.layers, None);
+        let args = [
+            "--no-stream",
+            "--segment-size",
+            "4096",
+            "--layers",
+            "DLRM,9",
+        ];
+        let o = BinOptions::parse(args.iter().map(ToString::to_string));
+        assert!(!o.stream);
+        assert_eq!(o.segment_size, 4096);
+        assert_eq!(o.layers.as_deref(), Some("DLRM,9"));
+        let s = o.suite().unwrap();
+        assert!(!s.runner().is_streaming());
+        assert_eq!(s.runner().segment_size(), 4096);
+        assert_eq!(s.layers().len(), 4);
     }
 
     #[test]

@@ -1,6 +1,10 @@
 use crate::sched::EventHeap;
+use crate::stats::StreamStats;
 use crate::{CpuConfig, CpuError, CpuStats, SchedStats};
-use rasa_isa::{Instruction, InstructionKind, Program, TileReg, NUM_GPR_REGS, NUM_TILE_REGS};
+use rasa_isa::{
+    Instruction, InstructionKind, IsaConfig, Program, ProgramSegment, TileReg, NUM_GPR_REGS,
+    NUM_TILE_REGS,
+};
 use rasa_systolic::{MatrixEngine, MmRequest, TileDims};
 use std::collections::{HashMap, VecDeque};
 
@@ -58,6 +62,164 @@ enum EngineEvent {
     },
 }
 
+/// Where a paused streaming run resumes inside its current cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RunPhase {
+    /// At the top of a not-yet-simulated cycle.
+    TopOfCycle,
+    /// Mid-rename within the current cycle: retire and issue already ran,
+    /// `renamed` instructions were dispatched so far, and `progress`
+    /// records whether any stage moved this cycle.
+    Rename { progress: bool, renamed: usize },
+}
+
+/// The explicit boundary state of a resumable (streaming) execution.
+///
+/// Created by [`CpuCore::begin_run`]; advanced by [`CpuCore::feed_segment`]
+/// / [`CpuCore::feed_instructions`]; completed by
+/// [`CpuCore::run_to_quiescence`]. Between feeds the run is **paused at an
+/// exact pipeline boundary**: the core stops the moment rename wants an
+/// instruction that has not been fed yet (mid-cycle, before any stall is
+/// mis-counted), so the statistics of a segment-wise execution are
+/// bit-identical to a one-shot [`CpuCore::run`] of the concatenated
+/// trace — however the trace is sliced.
+///
+/// The state is checkpointable: `CoreRun` is `Clone`, and cloning it
+/// together with its core (which owns the matrix engine) snapshots the
+/// whole execution; both copies can then be driven independently and
+/// produce identical results for identical remaining feeds.
+#[derive(Debug, Clone)]
+pub struct CoreRun {
+    isa: IsaConfig,
+    /// The core run id this run was opened under (see `CpuCore::run_id`).
+    run_id: u64,
+    config: CpuConfig,
+    full_tile: TileDims,
+    clock_ratio: u64,
+    tile_writer: [Option<u64>; NUM_TILE_REGS],
+    gpr_writer: [Option<u64>; NUM_GPR_REGS],
+    vec_writer: [Option<u64>; NUM_VEC_REGS],
+    rob: VecDeque<RobEntry>,
+    rob_base: u64,
+    next_seq: u64,
+    rs_slots: Vec<(u64, InstructionKind)>,
+    rs_unsorted: bool,
+    rs_ready: usize,
+    engine_events: VecDeque<EngineEvent>,
+    events: EventHeap,
+    /// Fed-but-not-yet-renamed instructions (the resident window).
+    pending: VecDeque<Instruction>,
+    fed: usize,
+    retired: usize,
+    cycle: u64,
+    phase: RunPhase,
+    finalized: bool,
+    done: bool,
+    stats: CpuStats,
+    sched: SchedStats,
+    stream: StreamStats,
+}
+
+impl CoreRun {
+    fn new(isa: &IsaConfig, run_id: u64, config: CpuConfig, clock_ratio: u64) -> Self {
+        CoreRun {
+            isa: *isa,
+            run_id,
+            config,
+            full_tile: TileDims::new(isa.tm(), isa.tk(), isa.tn()),
+            clock_ratio,
+            tile_writer: [None; NUM_TILE_REGS],
+            gpr_writer: [None; NUM_GPR_REGS],
+            vec_writer: [None; NUM_VEC_REGS],
+            rob: VecDeque::with_capacity(config.rob_size),
+            rob_base: 0,
+            next_seq: 0,
+            rs_slots: Vec::with_capacity(config.rs_size),
+            rs_unsorted: false,
+            rs_ready: 0,
+            engine_events: VecDeque::new(),
+            events: EventHeap::default(),
+            pending: VecDeque::new(),
+            fed: 0,
+            retired: 0,
+            // The front end delivers the first instructions after the
+            // pipeline depth has elapsed.
+            cycle: config.frontend_depth,
+            phase: RunPhase::TopOfCycle,
+            finalized: false,
+            done: false,
+            stats: CpuStats::default(),
+            sched: SchedStats::default(),
+            stream: StreamStats::default(),
+        }
+    }
+
+    /// Feed-side statistics (segments, peak resident instructions, pauses).
+    #[must_use]
+    pub const fn stream_stats(&self) -> &StreamStats {
+        &self.stream
+    }
+
+    /// Whether the run has retired every fed instruction after
+    /// finalization.
+    #[must_use]
+    pub const fn is_finished(&self) -> bool {
+        self.done
+    }
+
+    /// Instructions fed but not yet renamed into the pipeline.
+    #[must_use]
+    pub fn pending_instructions(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Instructions retired so far.
+    #[must_use]
+    pub const fn retired_instructions(&self) -> usize {
+        self.retired
+    }
+
+    /// Delivers every completion event due by `now`: each popped event
+    /// wakes the instructions subscribed to that producer, moving
+    /// fully-resolved reservation-station entries into the ready pool.
+    fn drain_due(&mut self, now: u64) {
+        while let Some((_, seq)) = self.events.pop_due(now) {
+            self.sched.completion_events += 1;
+            debug_assert!(seq >= self.rob_base, "completion for retired entry");
+            let waiters = std::mem::take(&mut self.rob[(seq - self.rob_base) as usize].waiters);
+            for consumer in waiters {
+                self.sched.wakeups += 1;
+                let entry = &mut self.rob[(consumer - self.rob_base) as usize];
+                entry.pending -= 1;
+                if entry.pending == 0 && !matches!(entry.kind, InstructionKind::MatMul) {
+                    self.rs_ready += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Registers `seq` as a waiter on `producer` if the producer has not
+/// completed by `cycle`, bumping `pending` per outstanding reference.
+fn subscribe(
+    rob: &mut VecDeque<RobEntry>,
+    rob_base: u64,
+    cycle: u64,
+    seq: u64,
+    producer: u64,
+    pending: &mut u32,
+) {
+    if producer < rob_base {
+        return; // retired, hence complete
+    }
+    let idx = (producer - rob_base) as usize;
+    if rob[idx].issued && rob[idx].complete_cycle <= cycle {
+        return; // already complete
+    }
+    rob[idx].waiters.push(seq);
+    *pending += 1;
+}
+
 /// The trace-driven out-of-order core.
 ///
 /// See the crate-level documentation for the modelled pipeline. A `CpuCore`
@@ -71,11 +233,26 @@ enum EngineEvent {
 /// completion event from its event heap. The original cycle-stepping loop
 /// is retained as [`CpuCore::run_reference`]; both produce bit-identical
 /// [`CpuStats`] for every program.
+///
+/// The event-driven path is **resumable**: [`CpuCore::begin_run`] opens a
+/// [`CoreRun`], [`CpuCore::feed_segment`] streams bounded instruction
+/// chunks into it (the pipeline simulates as far as the fed trace allows,
+/// then pauses at an exact boundary), and [`CpuCore::run_to_quiescence`]
+/// drains it to completion. [`CpuCore::run`] is one-shot sugar over this
+/// machinery, so the streamed and materialized paths cannot drift.
 #[derive(Debug, Clone)]
 pub struct CpuCore {
     config: CpuConfig,
     engine: MatrixEngine,
     sched: SchedStats,
+    stream: StreamStats,
+    /// Monotonic id of the most recent run (streaming or reference) on
+    /// this core. A [`CoreRun`] records the id it was opened under, so
+    /// feeding a run whose engine state this core no longer holds is
+    /// rejected instead of silently corrupting statistics. Cloning the
+    /// core (checkpointing) preserves the id, so a cloned run remains
+    /// valid on its cloned core.
+    run_id: u64,
 }
 
 impl CpuCore {
@@ -86,6 +263,8 @@ impl CpuCore {
             config,
             engine,
             sched: SchedStats::default(),
+            stream: StreamStats::default(),
+            run_id: 0,
         }
     }
 
@@ -108,6 +287,14 @@ impl CpuCore {
         &self.sched
     }
 
+    /// Feed-side counters of the most recent streaming run (or one-shot
+    /// [`CpuCore::run`], which feeds the whole program as one segment).
+    /// Zeroed by [`CpuCore::run_reference`].
+    #[must_use]
+    pub const fn stream_stats(&self) -> &StreamStats {
+        &self.stream
+    }
+
     /// Executes `program` to completion and returns the run statistics.
     ///
     /// The matrix engine is reset at the start of every run so a single core
@@ -121,278 +308,367 @@ impl CpuCore {
     /// resulting [`CpuStats`] are bit-identical to
     /// [`CpuCore::run_reference`].
     ///
+    /// This is one-shot sugar over the resumable streaming API: the whole
+    /// program is fed as a single segment and the run is drained to
+    /// quiescence. Feeding the same instructions in arbitrary bounded
+    /// segments produces bit-identical statistics.
+    ///
     /// # Errors
     ///
     /// Returns [`CpuError::InvalidConfig`] for an invalid configuration and
     /// [`CpuError::Engine`] when the engine rejects an instruction (tile
     /// larger than the configured array).
     pub fn run(&mut self, program: &Program) -> Result<CpuStats, CpuError> {
+        let mut run = self.begin_run(program.isa())?;
+        self.feed_instructions(&mut run, program.instructions())?;
+        self.run_to_quiescence(run)
+    }
+
+    /// Opens a resumable streaming run against `isa`, resetting the matrix
+    /// engine and the scheduler counters.
+    ///
+    /// The returned [`CoreRun`] is bound to this core (which hosts the
+    /// engine state): feed it with [`CpuCore::feed_segment`] /
+    /// [`CpuCore::feed_instructions`] and complete it with
+    /// [`CpuCore::run_to_quiescence`]. Interleaving two runs on one core
+    /// is rejected — beginning a run (or executing [`CpuCore::run`] /
+    /// [`CpuCore::run_reference`]) resets the engine and invalidates any
+    /// outstanding run, and a run fed to a core other than the one that
+    /// opened it (or a clone of it) returns [`CpuError::Stream`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError::InvalidConfig`] for an invalid configuration.
+    pub fn begin_run(&mut self, isa: &IsaConfig) -> Result<CoreRun, CpuError> {
         self.config.validate()?;
         self.engine.reset();
         self.sched = SchedStats::default();
+        self.stream = StreamStats::default();
+        self.run_id += 1;
+        let clock_ratio = u64::from(self.engine.config().clock_ratio());
+        Ok(CoreRun::new(isa, self.run_id, self.config, clock_ratio))
+    }
 
-        let instructions = program.instructions();
-        let total = instructions.len();
-        let mut stats = CpuStats::default();
-        if total == 0 {
-            return Ok(stats);
+    /// Rejects a run whose engine state this core no longer holds (opened
+    /// on a different core, or invalidated by a later `begin_run` /
+    /// `run_reference` resetting the engine).
+    fn check_run(&self, run: &CoreRun) -> Result<(), CpuError> {
+        if run.run_id != self.run_id {
+            return Err(CpuError::Stream {
+                reason: "run is not this core's active run (opened on another core or \
+                         invalidated by a later run on this one)"
+                    .to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Feeds one validated segment into a streaming run and simulates as
+    /// far as the fed trace allows (see [`CpuCore::feed_instructions`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError::Stream`] when the segment's ISA differs from the
+    /// run's or the run was already finalized, plus the errors of
+    /// [`CpuCore::feed_instructions`].
+    pub fn feed_segment(
+        &mut self,
+        run: &mut CoreRun,
+        segment: &ProgramSegment,
+    ) -> Result<(), CpuError> {
+        if segment.isa() != &run.isa {
+            return Err(CpuError::Stream {
+                reason: "segment was built against a different isa than the run".to_string(),
+            });
+        }
+        self.feed_instructions(run, segment.instructions())
+    }
+
+    /// Appends `instructions` to a streaming run's fetch buffer and
+    /// advances the pipeline until it either needs instructions that have
+    /// not been fed yet (pausing at an exact mid-cycle boundary) or all fed
+    /// work is in flight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError::Stream`] when the run was already finalized and
+    /// [`CpuError::Engine`] when the engine rejects an instruction.
+    pub fn feed_instructions(
+        &mut self,
+        run: &mut CoreRun,
+        instructions: &[Instruction],
+    ) -> Result<(), CpuError> {
+        self.check_run(run)?;
+        if run.finalized {
+            return Err(CpuError::Stream {
+                reason: "cannot feed a finalized run".to_string(),
+            });
+        }
+        run.pending.extend(instructions.iter().copied());
+        run.fed += instructions.len();
+        if !instructions.is_empty() {
+            run.stream.segments += 1;
+            run.stream.fed_instructions += instructions.len() as u64;
+            run.stream.peak_resident = run.stream.peak_resident.max(run.pending.len());
+        }
+        let result = self.advance(run);
+        self.sched = run.sched;
+        self.stream = run.stream;
+        result
+    }
+
+    /// Finalizes a streaming run (no further feeds), drains the pipeline to
+    /// quiescence and returns the run statistics — bit-identical to a
+    /// one-shot [`CpuCore::run`] of the concatenated trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError::Engine`] when the engine rejects an instruction
+    /// and [`CpuError::InvalidConfig`] on a pipeline deadlock (impossible
+    /// for validated programs).
+    pub fn run_to_quiescence(&mut self, mut run: CoreRun) -> Result<CpuStats, CpuError> {
+        self.check_run(&run)?;
+        run.finalized = true;
+        self.advance(&mut run)?;
+        debug_assert!(run.done, "a finalized run drains to completion");
+        self.sched = run.sched;
+        self.stream = run.stream;
+        let mut stats = run.stats;
+        if run.fed > 0 {
+            stats.engine = *self.engine.stats();
+        }
+        Ok(stats)
+    }
+
+    /// The streaming pipeline loop: simulates cycles until the run
+    /// completes (finalized and fully retired) or must pause for more
+    /// instructions. Resumes exactly where the previous call paused —
+    /// including mid-cycle, mid-rename — so the feed pattern cannot perturb
+    /// the simulated statistics.
+    fn advance(&mut self, run: &mut CoreRun) -> Result<(), CpuError> {
+        if run.done {
+            return Ok(());
+        }
+        if run.fed == 0 {
+            // Nothing was ever fed: an empty finalized run completes with
+            // default statistics (matching the one-shot empty-program
+            // fast path); otherwise wait for the first segment.
+            run.done = run.finalized;
+            return Ok(());
         }
 
-        let isa = program.isa();
-        let full_tile = TileDims::new(isa.tm(), isa.tk(), isa.tn());
-        let clock_ratio = u64::from(self.engine.config().clock_ratio());
-
-        // Architectural register → ROB sequence of the last (program-order)
-        // writer that has not yet retired. `None` means the value is ready.
-        let mut tile_writer: [Option<u64>; NUM_TILE_REGS] = [None; NUM_TILE_REGS];
-        let mut gpr_writer: [Option<u64>; NUM_GPR_REGS] = [None; NUM_GPR_REGS];
-        let mut vec_writer: [Option<u64>; NUM_VEC_REGS] = [None; NUM_VEC_REGS];
-
-        // The ROB, indexed by sequence number − rob_base.
-        let mut rob: VecDeque<RobEntry> = VecDeque::with_capacity(self.config.rob_size);
-        let mut rob_base: u64 = 0;
-        let mut next_seq: u64 = 0;
-
-        // The reservation station: `(rob_seq, kind)` slots scanned exactly
-        // like the reference loop's entry vector (ascending sequence at scan
-        // start, `swap_remove` on issue), plus incremental readiness — the
-        // outstanding-producer count lives in each ROB entry (`pending`)
-        // and `rs_ready` counts the station entries whose producers have
-        // all completed, so cycles that cannot issue skip the scan
-        // entirely.
-        let mut rs_slots: Vec<(u64, InstructionKind)> = Vec::with_capacity(self.config.rs_size);
-        let mut rs_unsorted = false;
-        let mut rs_ready: usize = 0;
-
-        let mut engine_events: VecDeque<EngineEvent> = VecDeque::new();
-
-        let mut events = EventHeap::default();
-
-        let mut next_fetch = 0usize; // next program index to rename
-        let mut retired = 0usize;
-        // The front end delivers the first instructions after the pipeline
-        // depth has elapsed.
-        let mut cycle: u64 = self.config.frontend_depth;
-
-        // Delivers every completion event due by `now`: each popped event
-        // wakes the instructions subscribed to that producer, moving
-        // fully-resolved reservation-station entries into the ready pool.
-        let drain_due = |now: u64,
-                         events: &mut EventHeap,
-                         rob: &mut VecDeque<RobEntry>,
-                         rob_base: u64,
-                         rs_ready: &mut usize,
-                         sched: &mut SchedStats| {
-            while let Some((_, seq)) = events.pop_due(now) {
-                sched.completion_events += 1;
-                debug_assert!(seq >= rob_base, "completion for retired entry");
-                let waiters = std::mem::take(&mut rob[(seq - rob_base) as usize].waiters);
-                for consumer in waiters {
-                    sched.wakeups += 1;
-                    let entry = &mut rob[(consumer - rob_base) as usize];
-                    entry.pending -= 1;
-                    if entry.pending == 0 && !matches!(entry.kind, InstructionKind::MatMul) {
-                        *rs_ready += 1;
-                    }
-                }
-            }
-        };
-
         loop {
-            self.sched.visited_cycles += 1;
-            drain_due(
-                cycle,
-                &mut events,
-                &mut rob,
-                rob_base,
-                &mut rs_ready,
-                &mut self.sched,
-            );
+            if matches!(run.phase, RunPhase::TopOfCycle) {
+                run.sched.visited_cycles += 1;
+                run.drain_due(run.cycle);
 
-            let mut progress = false;
+                let mut progress = false;
 
-            // ---- Retire (in order) -------------------------------------
-            let mut retired_this_cycle = 0;
-            while retired_this_cycle < self.config.retire_width {
-                let Some(front) = rob.front() else { break };
-                if !(front.issued && front.complete_cycle <= cycle && !front.retired) {
-                    break;
-                }
-                let entry = rob.pop_front().expect("front exists");
-                debug_assert!(entry.waiters.is_empty(), "waiters outlive completion");
-                rob_base += 1;
-                retired += 1;
-                retired_this_cycle += 1;
-                progress = true;
-                stats.retired_instructions += 1;
-                match entry.kind {
-                    InstructionKind::MatMul => stats.retired_matmuls += 1,
-                    InstructionKind::TileLoad | InstructionKind::TileStore => {
-                        stats.retired_tile_memory_ops += 1;
+                // ---- Retire (in order) ---------------------------------
+                let mut retired_this_cycle = 0;
+                while retired_this_cycle < run.config.retire_width {
+                    let Some(front) = run.rob.front() else { break };
+                    if !(front.issued && front.complete_cycle <= run.cycle && !front.retired) {
+                        break;
                     }
-                    _ => {}
-                }
-            }
-            if retired == total {
-                stats.cycles = cycle;
-                break;
-            }
-
-            // ---- Issue to functional units ------------------------------
-            let mut issued_this_cycle = 0;
-            let mut alu_used = 0;
-            let mut lsu_used = 0;
-            let mut vec_used = 0;
-
-            // Matrix-engine events are processed in program order.
-            while issued_this_cycle < self.config.issue_width {
-                match engine_events.front() {
-                    Some(EngineEvent::Write(reg)) => {
-                        self.engine.note_tile_write(*reg);
-                        engine_events.pop_front();
+                    let entry = run.rob.pop_front().expect("front exists");
+                    debug_assert!(entry.waiters.is_empty(), "waiters outlive completion");
+                    run.rob_base += 1;
+                    run.retired += 1;
+                    retired_this_cycle += 1;
+                    progress = true;
+                    run.stats.retired_instructions += 1;
+                    match entry.kind {
+                        InstructionKind::MatMul => run.stats.retired_matmuls += 1,
+                        InstructionKind::TileLoad | InstructionKind::TileStore => {
+                            run.stats.retired_tile_memory_ops += 1;
+                        }
+                        _ => {}
                     }
-                    Some(EngineEvent::Matmul {
-                        rob_seq,
-                        weight,
-                        tile,
-                    }) => {
-                        let seq = *rob_seq;
-                        if rob[(seq - rob_base) as usize].pending > 0 {
-                            break;
+                }
+                if run.retired == run.fed {
+                    // Everything fed has retired. A pause always fires at
+                    // the first starved rename attempt, which precedes the
+                    // final retirement by at least a cycle — so reaching
+                    // this point mid-stream (unfinalized) is impossible.
+                    debug_assert!(run.finalized, "drained an unfinalized run");
+                    run.stats.cycles = run.cycle;
+                    run.done = true;
+                    return Ok(());
+                }
+
+                // ---- Issue to functional units --------------------------
+                let mut issued_this_cycle = 0;
+                let mut alu_used = 0;
+                let mut lsu_used = 0;
+                let mut vec_used = 0;
+
+                // Matrix-engine events are processed in program order.
+                while issued_this_cycle < run.config.issue_width {
+                    match run.engine_events.front() {
+                        Some(EngineEvent::Write(reg)) => {
+                            self.engine.note_tile_write(*reg);
+                            run.engine_events.pop_front();
                         }
-                        let engine_ready = cycle.div_ceil(clock_ratio);
-                        let request = MmRequest::ready_at(*weight, *tile, engine_ready);
-                        self.engine
-                            .submit(request)
-                            .map_err(|source| CpuError::Engine {
-                                instruction_index: (seq) as usize,
-                                source,
-                            })?;
-                        // The engine reports the completion as a timestamped
-                        // event; convert it to core cycles and schedule it.
-                        for completion in self.engine.take_completions() {
-                            let complete = completion.complete_cycle * clock_ratio;
-                            let idx = (seq - rob_base) as usize;
-                            rob[idx].issued = true;
-                            rob[idx].complete_cycle = complete;
-                            events.push(complete, seq);
+                        Some(EngineEvent::Matmul {
+                            rob_seq,
+                            weight,
+                            tile,
+                        }) => {
+                            let seq = *rob_seq;
+                            if run.rob[(seq - run.rob_base) as usize].pending > 0 {
+                                break;
+                            }
+                            let engine_ready = run.cycle.div_ceil(run.clock_ratio);
+                            let request = MmRequest::ready_at(*weight, *tile, engine_ready);
+                            self.engine
+                                .submit(request)
+                                .map_err(|source| CpuError::Engine {
+                                    instruction_index: (seq) as usize,
+                                    source,
+                                })?;
+                            // The engine reports the completion as a
+                            // timestamped event; convert it to core cycles
+                            // and schedule it.
+                            for completion in self.engine.take_completions() {
+                                let complete = completion.complete_cycle * run.clock_ratio;
+                                let idx = (seq - run.rob_base) as usize;
+                                run.rob[idx].issued = true;
+                                run.rob[idx].complete_cycle = complete;
+                                run.events.push(complete, seq);
+                            }
+                            run.engine_events.pop_front();
+                            issued_this_cycle += 1;
+                            progress = true;
+                            run.drain_due(run.cycle);
                         }
-                        engine_events.pop_front();
+                        None => break,
+                    }
+                }
+
+                // Ordinary reservation-station issue. The scan replicates
+                // the reference loop exactly — ascending-sequence order at
+                // scan start, `swap_remove` on issue (which perturbs the
+                // in-scan order), port-first checks — but runs only when at
+                // least one entry is actually ready.
+                if issued_this_cycle < run.config.issue_width && run.rs_ready > 0 {
+                    if run.rs_unsorted {
+                        run.rs_slots.sort_unstable_by_key(|(seq, _)| *seq);
+                        run.rs_unsorted = false;
+                    }
+                    let mut i = 0;
+                    while i < run.rs_slots.len() && issued_this_cycle < run.config.issue_width {
+                        let (seq, kind) = run.rs_slots[i];
+                        let port_free = match kind {
+                            InstructionKind::ScalarAlu
+                            | InstructionKind::Branch
+                            | InstructionKind::Nop
+                            | InstructionKind::TileZero => alu_used < run.config.alu_units,
+                            InstructionKind::TileLoad
+                            | InstructionKind::TileStore
+                            | InstructionKind::ScalarLoad => lsu_used < run.config.lsu_ports,
+                            InstructionKind::VectorFma => vec_used < run.config.vector_units,
+                            InstructionKind::MatMul => false,
+                        };
+                        if !port_free {
+                            i += 1;
+                            continue;
+                        }
+                        if run.rob[(seq - run.rob_base) as usize].pending > 0 {
+                            i += 1;
+                            continue;
+                        }
+                        let latency = match kind {
+                            InstructionKind::ScalarAlu
+                            | InstructionKind::Branch
+                            | InstructionKind::Nop
+                            | InstructionKind::TileZero => {
+                                alu_used += 1;
+                                run.config.alu_latency
+                            }
+                            InstructionKind::TileLoad => {
+                                lsu_used += 1;
+                                run.config.tile_load_latency
+                            }
+                            InstructionKind::TileStore => {
+                                lsu_used += 1;
+                                run.config.tile_store_latency
+                            }
+                            InstructionKind::ScalarLoad => {
+                                lsu_used += 1;
+                                run.config.scalar_load_latency
+                            }
+                            InstructionKind::VectorFma => {
+                                vec_used += 1;
+                                run.config.vector_latency
+                            }
+                            InstructionKind::MatMul => unreachable!("handled via engine events"),
+                        };
+                        let idx = (seq - run.rob_base) as usize;
+                        run.rob[idx].issued = true;
+                        run.rob[idx].complete_cycle = run.cycle + latency;
+                        run.events.push(run.cycle + latency, seq);
+                        run.rs_slots.swap_remove(i);
+                        if i < run.rs_slots.len() {
+                            run.rs_unsorted = true;
+                        }
+                        run.rs_ready -= 1;
                         issued_this_cycle += 1;
                         progress = true;
-                        drain_due(
-                            cycle,
-                            &mut events,
-                            &mut rob,
-                            rob_base,
-                            &mut rs_ready,
-                            &mut self.sched,
-                        );
+                        // Zero-latency units complete within this very
+                        // cycle; wake their consumers so the rest of the
+                        // scan sees them, exactly as the reference loop's
+                        // fresh completion checks would.
+                        run.drain_due(run.cycle);
+                        // Do not advance `i`: swap_remove moved a new entry
+                        // here.
                     }
-                    None => break,
                 }
+
+                run.phase = RunPhase::Rename {
+                    progress,
+                    renamed: 0,
+                };
             }
 
-            // Ordinary reservation-station issue. The scan replicates the
-            // reference loop exactly — ascending-sequence order at scan
-            // start, `swap_remove` on issue (which perturbs the in-scan
-            // order), port-first checks — but runs only when at least one
-            // entry is actually ready.
-            if issued_this_cycle < self.config.issue_width && rs_ready > 0 {
-                if rs_unsorted {
-                    rs_slots.sort_unstable_by_key(|(seq, _)| *seq);
-                    rs_unsorted = false;
-                }
-                let mut i = 0;
-                while i < rs_slots.len() && issued_this_cycle < self.config.issue_width {
-                    let (seq, kind) = rs_slots[i];
-                    let port_free = match kind {
-                        InstructionKind::ScalarAlu
-                        | InstructionKind::Branch
-                        | InstructionKind::Nop
-                        | InstructionKind::TileZero => alu_used < self.config.alu_units,
-                        InstructionKind::TileLoad
-                        | InstructionKind::TileStore
-                        | InstructionKind::ScalarLoad => lsu_used < self.config.lsu_ports,
-                        InstructionKind::VectorFma => vec_used < self.config.vector_units,
-                        InstructionKind::MatMul => false,
-                    };
-                    if !port_free {
-                        i += 1;
-                        continue;
-                    }
-                    if rob[(seq - rob_base) as usize].pending > 0 {
-                        i += 1;
-                        continue;
-                    }
-                    let latency = match kind {
-                        InstructionKind::ScalarAlu
-                        | InstructionKind::Branch
-                        | InstructionKind::Nop
-                        | InstructionKind::TileZero => {
-                            alu_used += 1;
-                            self.config.alu_latency
-                        }
-                        InstructionKind::TileLoad => {
-                            lsu_used += 1;
-                            self.config.tile_load_latency
-                        }
-                        InstructionKind::TileStore => {
-                            lsu_used += 1;
-                            self.config.tile_store_latency
-                        }
-                        InstructionKind::ScalarLoad => {
-                            lsu_used += 1;
-                            self.config.scalar_load_latency
-                        }
-                        InstructionKind::VectorFma => {
-                            vec_used += 1;
-                            self.config.vector_latency
-                        }
-                        InstructionKind::MatMul => unreachable!("handled via engine events"),
-                    };
-                    let idx = (seq - rob_base) as usize;
-                    rob[idx].issued = true;
-                    rob[idx].complete_cycle = cycle + latency;
-                    events.push(cycle + latency, seq);
-                    rs_slots.swap_remove(i);
-                    if i < rs_slots.len() {
-                        rs_unsorted = true;
-                    }
-                    rs_ready -= 1;
-                    issued_this_cycle += 1;
-                    progress = true;
-                    // Zero-latency units complete within this very cycle;
-                    // wake their consumers so the rest of the scan sees
-                    // them, exactly as the reference loop's fresh
-                    // completion checks would.
-                    drain_due(
-                        cycle,
-                        &mut events,
-                        &mut rob,
-                        rob_base,
-                        &mut rs_ready,
-                        &mut self.sched,
-                    );
-                    // Do not advance `i`: swap_remove moved a new entry here.
-                }
-            }
-
-            // ---- Rename / dispatch --------------------------------------
-            let mut renamed_this_cycle = 0;
-            while renamed_this_cycle < self.config.fetch_width && next_fetch < total {
-                if rob.len() >= self.config.rob_size {
-                    stats.rob_full_stalls += 1;
+            // ---- Rename / dispatch ----------------------------------
+            // (Re-)entered mid-cycle after a pause: retire and issue for
+            // this cycle already ran; `renamed`/`progress` carry over.
+            let RunPhase::Rename {
+                mut progress,
+                mut renamed,
+            } = run.phase
+            else {
+                unreachable!("phase was just set to Rename")
+            };
+            loop {
+                if renamed >= run.config.fetch_width {
                     break;
                 }
-                let inst = &instructions[next_fetch];
+                let Some(&inst) = run.pending.front() else {
+                    if run.finalized {
+                        break;
+                    }
+                    // The fetch buffer ran dry mid-program: pause *before*
+                    // probing ROB/RS occupancy, because the stall counters
+                    // (and rename itself) depend on whether an instruction
+                    // is available — exactly like the one-shot loop's
+                    // `next_fetch < total` guard.
+                    run.phase = RunPhase::Rename { progress, renamed };
+                    run.stream.pauses += 1;
+                    return Ok(());
+                };
+                if run.rob.len() >= run.config.rob_size {
+                    run.stats.rob_full_stalls += 1;
+                    break;
+                }
                 let kind = inst.kind();
                 let needs_rs = !matches!(kind, InstructionKind::MatMul);
-                if needs_rs && rs_slots.len() >= self.config.rs_size {
-                    stats.rs_full_stalls += 1;
+                if needs_rs && run.rs_slots.len() >= run.config.rs_size {
+                    run.stats.rs_full_stalls += 1;
                     break;
                 }
-                let seq = next_seq;
+                let seq = run.next_seq;
 
                 // Subscribe to the producers named by the current renaming
                 // map: each incomplete producer gets this instruction on
@@ -400,94 +676,85 @@ impl CpuCore {
                 // two operands wakes this instruction twice, matching the
                 // two pending references counted here).
                 let mut pending: u32 = 0;
-                let subscribe = |producer: u64, rob: &mut VecDeque<RobEntry>, pending: &mut u32| {
-                    if producer < rob_base {
-                        return; // retired, hence complete
-                    }
-                    let idx = (producer - rob_base) as usize;
-                    if rob[idx].issued && rob[idx].complete_cycle <= cycle {
-                        return; // already complete
-                    }
-                    rob[idx].waiters.push(seq);
-                    *pending += 1;
-                };
                 for r in inst.tile_reads().iter() {
-                    if let Some(p) = tile_writer[r.index()] {
-                        subscribe(p, &mut rob, &mut pending);
+                    if let Some(p) = run.tile_writer[r.index()] {
+                        subscribe(&mut run.rob, run.rob_base, run.cycle, seq, p, &mut pending);
                     }
                 }
                 for r in inst.gpr_reads().iter() {
-                    if let Some(p) = gpr_writer[r.index()] {
-                        subscribe(p, &mut rob, &mut pending);
+                    if let Some(p) = run.gpr_writer[r.index()] {
+                        subscribe(&mut run.rob, run.rob_base, run.cycle, seq, p, &mut pending);
                     }
                 }
                 if let Instruction::VectorFma { dst, src1, src2 } = inst {
                     for r in [dst, src1, src2] {
-                        if let Some(p) = vec_writer[*r as usize % NUM_VEC_REGS] {
-                            subscribe(p, &mut rob, &mut pending);
+                        if let Some(p) = run.vec_writer[r as usize % NUM_VEC_REGS] {
+                            subscribe(&mut run.rob, run.rob_base, run.cycle, seq, p, &mut pending);
                         }
                     }
                 }
 
-                // Dispatch either to the matrix-engine event queue or the RS.
+                // Dispatch either to the matrix-engine event queue or the
+                // RS.
                 match inst {
                     Instruction::MatMul { acc, a: _, b } => {
-                        engine_events.push_back(EngineEvent::Matmul {
+                        run.engine_events.push_back(EngineEvent::Matmul {
                             rob_seq: seq,
-                            weight: *b,
-                            tile: full_tile,
+                            weight: b,
+                            tile: run.full_tile,
                         });
                         // The destination write is visible to the engine's
                         // dirty-bit logic after the instruction itself.
-                        engine_events.push_back(EngineEvent::Write(*acc));
+                        run.engine_events.push_back(EngineEvent::Write(acc));
                     }
                     _ => {
                         for w in inst.tile_writes().iter() {
-                            engine_events.push_back(EngineEvent::Write(w));
+                            run.engine_events.push_back(EngineEvent::Write(w));
                         }
                         // Sequences grow monotonically, so appending keeps
                         // the slot vector sorted.
-                        rs_slots.push((seq, kind));
+                        run.rs_slots.push((seq, kind));
                         if pending == 0 {
-                            rs_ready += 1;
+                            run.rs_ready += 1;
                         }
                     }
                 }
 
                 // Update the renaming map with this instruction's writes.
                 for w in inst.tile_writes().iter() {
-                    tile_writer[w.index()] = Some(seq);
+                    run.tile_writer[w.index()] = Some(seq);
                 }
                 for w in inst.gpr_writes().iter() {
-                    gpr_writer[w.index()] = Some(seq);
+                    run.gpr_writer[w.index()] = Some(seq);
                 }
                 if let Instruction::VectorFma { dst, .. } = inst {
-                    vec_writer[*dst as usize % NUM_VEC_REGS] = Some(seq);
+                    run.vec_writer[dst as usize % NUM_VEC_REGS] = Some(seq);
                 }
 
                 let mut entry = RobEntry::new(kind);
                 entry.pending = pending;
-                rob.push_back(entry);
-                next_seq += 1;
-                next_fetch += 1;
-                renamed_this_cycle += 1;
+                run.rob.push_back(entry);
+                run.pending.pop_front();
+                run.next_seq += 1;
+                renamed += 1;
                 progress = true;
             }
+            run.phase = RunPhase::TopOfCycle;
 
-            // ---- Advance time -------------------------------------------
+            // ---- Advance time ---------------------------------------
             if progress {
-                cycle += 1;
+                run.cycle += 1;
             } else {
                 // Nothing moved: jump straight to the next completion
                 // event. Every event still in the heap is strictly in the
                 // future (due events were drained above), so the heap's
                 // minimum is exactly the reference loop's "next completion
                 // of an issued, incomplete ROB entry".
-                match events.next_time() {
+                match run.events.next_time() {
                     Some(wake) => {
-                        debug_assert!(wake > cycle, "due events were drained");
-                        self.sched.skipped_cycles += wake - cycle - 1;
-                        cycle = wake;
+                        debug_assert!(wake > run.cycle, "due events were drained");
+                        run.sched.skipped_cycles += wake - run.cycle - 1;
+                        run.cycle = wake;
                     }
                     None => {
                         // No instruction in flight can unblock us; this only
@@ -501,9 +768,6 @@ impl CpuCore {
                 }
             }
         }
-
-        stats.engine = *self.engine.stats();
-        Ok(stats)
     }
 
     /// Executes `program` with the original cycle-stepping pipeline loop.
@@ -522,6 +786,10 @@ impl CpuCore {
         self.config.validate()?;
         self.engine.reset();
         self.sched = SchedStats::default();
+        self.stream = StreamStats::default();
+        // The reference loop resets the engine too: any outstanding
+        // streaming run's state is gone, so invalidate it.
+        self.run_id += 1;
 
         let instructions = program.instructions();
         let total = instructions.len();
@@ -1185,6 +1453,204 @@ mod tests {
         // The reference loop reports no scheduler activity.
         c.run_reference(&p).unwrap();
         assert_eq!(*c.sched_stats(), SchedStats::default());
+    }
+
+    // ---- Resumable (streaming) core tests -------------------------------
+
+    /// Feeds `program` in segments of `chunk` instructions and drains the
+    /// run, returning the statistics.
+    fn run_chunked(core: &mut CpuCore, program: &Program, chunk: usize) -> CpuStats {
+        let mut run = core.begin_run(program.isa()).unwrap();
+        for slice in program.instructions().chunks(chunk) {
+            core.feed_instructions(&mut run, slice).unwrap();
+        }
+        core.run_to_quiescence(run).unwrap()
+    }
+
+    #[test]
+    fn segment_feeding_is_bit_identical_for_any_slicing() {
+        // The feed pattern must be invisible: chunk sizes of 1 (maximal
+        // pausing), a prime, and effectively-one-shot all reproduce the
+        // one-shot statistics on every design, bit for bit.
+        let p = microkernel_program(12);
+        for (pe, scheme) in all_designs() {
+            let mut c = core(pe, scheme);
+            let oneshot = c.run(&p).unwrap();
+            let oneshot_sched = *c.sched_stats();
+            for chunk in [1, 7, p.len()] {
+                let streamed = run_chunked(&mut c, &p, chunk);
+                assert_eq!(streamed, oneshot, "chunk {chunk} on {pe:?}/{scheme:?}");
+                assert_eq!(
+                    *c.sched_stats(),
+                    oneshot_sched,
+                    "scheduler counters drift at chunk {chunk}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn segment_feeding_matches_under_tiny_buffers() {
+        // Stall accounting across pauses: a tiny ROB forces rob_full stalls
+        // at rename, which must count identically however the trace is
+        // sliced (the pause fires before any stall can be mis-attributed).
+        let p = microkernel_program(16);
+        let mut cfg = CpuConfig::skylake_like();
+        cfg.rob_size = 6;
+        cfg.rs_size = 4;
+        let engine = MatrixEngine::new(
+            SystolicConfig::paper(PeVariant::Baseline, ControlScheme::Base).unwrap(),
+        );
+        let mut c = CpuCore::new(cfg, engine);
+        let oneshot = c.run(&p).unwrap();
+        assert!(oneshot.rob_full_stalls > 0);
+        for chunk in [1, 3, 11] {
+            assert_eq!(run_chunked(&mut c, &p, chunk), oneshot, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn stream_stats_track_feeding() {
+        let p = microkernel_program(8);
+        let mut c = core(PeVariant::Baseline, ControlScheme::Wlbp);
+
+        // One-shot: a single segment, the whole program resident at once.
+        c.run(&p).unwrap();
+        let stream = *c.stream_stats();
+        assert_eq!(stream.segments, 1);
+        assert_eq!(stream.fed_instructions as usize, p.len());
+        assert_eq!(stream.peak_resident, p.len());
+        // Rename exhausts the buffer before finalization, so even the
+        // one-shot path records exactly one starved-rename pause.
+        assert_eq!(stream.pauses, 1);
+
+        // Chunked: one segment per feed, peak resident bounded by the
+        // chunk (the pipeline drains each chunk before pausing for more),
+        // and one pause per starved rename.
+        let chunk = 5;
+        run_chunked(&mut c, &p, chunk);
+        let stream = *c.stream_stats();
+        assert_eq!(stream.segments as usize, p.len().div_ceil(chunk));
+        assert_eq!(stream.fed_instructions as usize, p.len());
+        assert!(
+            stream.peak_resident <= 2 * chunk,
+            "peak {} for chunk {chunk}",
+            stream.peak_resident
+        );
+        assert!(stream.pauses >= stream.segments - 1);
+
+        // The reference loop reports no streaming activity.
+        c.run_reference(&p).unwrap();
+        assert_eq!(*c.stream_stats(), StreamStats::default());
+    }
+
+    #[test]
+    fn run_state_is_checkpointable() {
+        // Clone (core, run) mid-stream; finishing the original and the
+        // checkpoint with identical remaining feeds must agree bit for bit.
+        let p = microkernel_program(10);
+        let half = p.len() / 2;
+        let mut c = core(PeVariant::Db, ControlScheme::Wls);
+        let mut run = c.begin_run(p.isa()).unwrap();
+        c.feed_instructions(&mut run, &p.instructions()[..half])
+            .unwrap();
+
+        let mut c2 = c.clone();
+        let mut run2 = run.clone();
+        assert!(!run2.is_finished());
+        assert_eq!(run2.retired_instructions(), run.retired_instructions());
+
+        c.feed_instructions(&mut run, &p.instructions()[half..])
+            .unwrap();
+        let original = c.run_to_quiescence(run).unwrap();
+        c2.feed_instructions(&mut run2, &p.instructions()[half..])
+            .unwrap();
+        let resumed = c2.run_to_quiescence(run2).unwrap();
+        assert_eq!(original, resumed);
+        assert_eq!(original, c.run(&p).unwrap(), "and both match one-shot");
+    }
+
+    #[test]
+    fn streaming_misuse_is_rejected() {
+        let p = microkernel_program(1);
+        let mut c = core(PeVariant::Baseline, ControlScheme::Base);
+
+        // Feeding after finalization: rebuild the run via run_to_quiescence
+        // consuming it, so misuse means a fresh finalized-by-hand run.
+        let mut run = c.begin_run(p.isa()).unwrap();
+        run.finalized = true;
+        assert!(matches!(
+            c.feed_instructions(&mut run, p.instructions()),
+            Err(CpuError::Stream { .. })
+        ));
+
+        // A segment against a different ISA is rejected.
+        let other_isa = rasa_isa::IsaConfig::new(
+            rasa_isa::TileGeometry::new(8, 64).unwrap(),
+            8,
+            rasa_isa::DataType::Bf16,
+            rasa_isa::DataType::Fp32,
+        )
+        .unwrap();
+        let mut b = rasa_isa::ProgramBuilder::new(other_isa);
+        b.tile_load(treg(0), MemRef::tile(0, 64));
+        let segment = b.finish_segment().unwrap();
+        let mut run = c.begin_run(p.isa()).unwrap();
+        assert!(matches!(
+            c.feed_segment(&mut run, &segment),
+            Err(CpuError::Stream { .. })
+        ));
+
+        // An empty finalized run completes with default statistics, like
+        // the one-shot empty-program fast path.
+        let run = c.begin_run(p.isa()).unwrap();
+        assert_eq!(run.pending_instructions(), 0);
+        let stats = c.run_to_quiescence(run).unwrap();
+        assert_eq!(stats, CpuStats::default());
+
+        // A run fed to a core that did not open it — or to its own core
+        // after a later run reset the engine — is rejected, not silently
+        // mis-simulated.
+        let mut other = core(PeVariant::Baseline, ControlScheme::Base);
+        let mut run = c.begin_run(p.isa()).unwrap();
+        assert!(matches!(
+            other.feed_instructions(&mut run, p.instructions()),
+            Err(CpuError::Stream { .. })
+        ));
+        c.run_reference(&p).unwrap(); // resets the engine mid-run
+        assert!(matches!(
+            c.feed_instructions(&mut run, p.instructions()),
+            Err(CpuError::Stream { .. })
+        ));
+        assert!(matches!(
+            c.run_to_quiescence(run),
+            Err(CpuError::Stream { .. })
+        ));
+    }
+
+    #[test]
+    fn feed_segment_accepts_builder_segments() {
+        // Drive the core directly from ProgramSegments (as the simulator's
+        // producer/consumer pipeline does) and compare to one-shot.
+        let p = microkernel_program(6);
+        let mut b = rasa_isa::ProgramBuilder::new(IsaConfig::amx_like());
+        let mut segments = Vec::new();
+        for (i, inst) in p.iter().enumerate() {
+            b.push(*inst);
+            if i % 9 == 8 {
+                segments.push(b.finish_segment().unwrap());
+            }
+        }
+        segments.push(b.finish_segment().unwrap());
+
+        let mut c = core(PeVariant::Dmdb, ControlScheme::Wls);
+        let oneshot = c.run(&p).unwrap();
+        let mut run = c.begin_run(p.isa()).unwrap();
+        for segment in &segments {
+            c.feed_segment(&mut run, segment).unwrap();
+        }
+        assert_eq!(c.run_to_quiescence(run).unwrap(), oneshot);
+        assert_eq!(c.stream_stats().segments as usize, segments.len());
     }
 
     #[test]

@@ -19,6 +19,12 @@ pub enum CpuError {
         /// The underlying engine error.
         source: SystolicError,
     },
+    /// A streaming run was driven inconsistently (a segment fed after
+    /// finalization, or built against a different ISA than the run).
+    Stream {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CpuError {
@@ -34,6 +40,7 @@ impl fmt::Display for CpuError {
                 f,
                 "matrix engine rejected instruction {instruction_index}: {source}"
             ),
+            CpuError::Stream { reason } => write!(f, "invalid streaming run: {reason}"),
         }
     }
 }
@@ -42,7 +49,7 @@ impl Error for CpuError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CpuError::Engine { source, .. } => Some(source),
-            CpuError::InvalidConfig { .. } => None,
+            CpuError::InvalidConfig { .. } | CpuError::Stream { .. } => None,
         }
     }
 }

@@ -63,7 +63,7 @@ mod sched;
 mod stats;
 
 pub use config::CpuConfig;
-pub use core::CpuCore;
+pub use core::{CoreRun, CpuCore};
 pub use error::CpuError;
 pub use sched::SchedStats;
-pub use stats::CpuStats;
+pub use stats::{CpuStats, StreamStats};

@@ -54,6 +54,30 @@ impl CpuStats {
     }
 }
 
+/// Feed-side statistics of a streaming ([`crate::CoreRun`]) execution.
+///
+/// Like [`crate::SchedStats`] these describe the *simulator*, not the
+/// simulated core: they are deterministic for a given feed pattern but are
+/// kept out of [`CpuStats`] so the architectural statistics stay directly
+/// comparable across one-shot, streamed and reference executions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamStats {
+    /// Segments (non-empty feed calls) delivered to the run.
+    pub segments: u64,
+    /// Total instructions fed.
+    pub fed_instructions: u64,
+    /// Peak number of fed-but-not-yet-renamed instructions resident in the
+    /// run's fetch buffer. A one-shot [`crate::CpuCore::run`] feeds the
+    /// whole program at once, so this equals the program length; a
+    /// segment-wise feed keeps it at the largest single segment.
+    pub peak_resident: usize,
+    /// Times the run paused because the fetch buffer ran dry before
+    /// finalization (i.e. rename wanted instructions not yet fed). Every
+    /// feed ends in one such pause — including the single feed of a
+    /// one-shot run — so this counts at least one per segment.
+    pub pauses: u64,
+}
+
 impl fmt::Display for CpuStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

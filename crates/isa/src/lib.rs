@@ -56,6 +56,6 @@ pub use dtype::DataType;
 pub use error::IsaError;
 pub use instruction::{Instruction, InstructionKind};
 pub use memref::MemRef;
-pub use program::{Program, ProgramBuilder, ProgramStats};
+pub use program::{Program, ProgramBuilder, ProgramSegment, ProgramStats};
 pub use regs::{GprReg, RegSet, TileReg, NUM_GPR_REGS, NUM_TILE_REGS};
 pub use tile::{TileGeometry, TileRegisterFile, TileShape};

@@ -71,6 +71,89 @@ impl fmt::Display for ProgramStats {
     }
 }
 
+/// A bounded, validated chunk of a larger instruction stream.
+///
+/// Segments are produced by [`ProgramBuilder::finish_segment`]: the builder
+/// validates the buffered instructions against the register state carried
+/// over from earlier segments, so a sequence of segments is exactly as
+/// well-formed as the equivalent one-shot [`Program`] — without any single
+/// owner ever holding the whole trace. Each segment carries stable metadata
+/// (its position in the stream, the global offset of its first instruction
+/// and its instruction-mix statistics) so consumers can account for the
+/// stream without reassembling it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramSegment {
+    isa: IsaConfig,
+    index: usize,
+    first_instruction: usize,
+    instructions: Vec<Instruction>,
+    stats: ProgramStats,
+}
+
+impl ProgramSegment {
+    /// The ISA configuration the segment was built against.
+    #[must_use]
+    pub const fn isa(&self) -> &IsaConfig {
+        &self.isa
+    }
+
+    /// Zero-based position of this segment in its stream.
+    #[must_use]
+    pub const fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Global (stream-wide) offset of this segment's first instruction.
+    #[must_use]
+    pub const fn first_instruction(&self) -> usize {
+        self.first_instruction
+    }
+
+    /// The instructions of this segment, in program order.
+    #[must_use]
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Number of instructions in the segment.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the segment holds no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Instruction-mix statistics of this segment alone.
+    #[must_use]
+    pub const fn stats(&self) -> &ProgramStats {
+        &self.stats
+    }
+
+    /// Number of `rasa_mm` instructions in this segment.
+    #[must_use]
+    pub const fn count_matmuls(&self) -> usize {
+        self.stats.matmuls
+    }
+
+    /// Iterates over the instructions in program order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instruction> {
+        self.instructions.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a ProgramSegment {
+    type Item = &'a Instruction;
+    type IntoIter = std::slice::Iter<'a, Instruction>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.instructions.iter()
+    }
+}
+
 /// An immutable, validated instruction trace.
 ///
 /// A `Program` is what the trace generators in `rasa-trace` produce and what
@@ -179,6 +262,67 @@ impl Program {
         self.name = format!("{}+{}", self.name, other.name);
         Ok(self)
     }
+
+    /// Reassembles a contiguous run of stream segments into one `Program`
+    /// (the inverse of segment-wise emission, used by parity tests that
+    /// prove a streamed trace equals its materialized counterpart).
+    ///
+    /// The segments must come from one stream, in order: identical ISA
+    /// configurations, consecutive indices and instruction offsets that tile
+    /// the stream without gaps. Each segment was already validated by its
+    /// producing builder (against the register state carried across
+    /// segments), so no re-validation happens here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::InvalidProgram`] when the segments disagree on
+    /// the ISA or are not contiguous.
+    pub fn from_segments(
+        segments: impl IntoIterator<Item = ProgramSegment>,
+        name: impl Into<String>,
+    ) -> Result<Program, IsaError> {
+        let mut segments = segments.into_iter();
+        let Some(first) = segments.next() else {
+            return Err(IsaError::InvalidProgram {
+                index: 0,
+                reason: "cannot reassemble a program from zero segments".to_string(),
+            });
+        };
+        let isa = first.isa;
+        let mut stats = first.stats;
+        let mut instructions = first.instructions;
+        let mut next_offset = first.first_instruction + instructions.len();
+        for (next_index, segment) in (first.index + 1..).zip(segments) {
+            if segment.isa != isa {
+                return Err(IsaError::InvalidProgram {
+                    index: segment.first_instruction,
+                    reason: "cannot reassemble segments with different isa configurations"
+                        .to_string(),
+                });
+            }
+            if segment.index != next_index || segment.first_instruction != next_offset {
+                return Err(IsaError::InvalidProgram {
+                    index: segment.first_instruction,
+                    reason: format!(
+                        "segment {} at offset {} is not contiguous with the previous \
+                         segment (expected index {next_index} at offset {next_offset})",
+                        segment.index, segment.first_instruction
+                    ),
+                });
+            }
+            next_offset += segment.instructions.len();
+            for inst in &segment.instructions {
+                stats.record(inst.kind());
+            }
+            instructions.extend(segment.instructions);
+        }
+        Ok(Program {
+            isa,
+            instructions,
+            stats,
+            name: name.into(),
+        })
+    }
 }
 
 impl<'a> IntoIterator for &'a Program {
@@ -195,12 +339,64 @@ impl<'a> IntoIterator for &'a Program {
 /// The builder tracks which tile registers have been written so that
 /// [`ProgramBuilder::finish`] can reject programs that read undefined
 /// registers — a common bug class in hand-written kernel generators.
+///
+/// For streaming producers the builder doubles as a **segmenter**:
+/// [`ProgramBuilder::finish_segment`] drains and validates the buffered
+/// instructions as one [`ProgramSegment`], carrying the written-register
+/// state (and the global instruction offset) forward so later segments may
+/// read registers defined by earlier ones — exactly as a single validated
+/// [`Program`] would allow.
 #[derive(Debug, Clone)]
 pub struct ProgramBuilder {
     isa: IsaConfig,
     instructions: Vec<Instruction>,
     live_in: [bool; NUM_TILE_REGS],
     name: String,
+    /// Segments emitted so far via [`ProgramBuilder::finish_segment`].
+    segments_emitted: usize,
+    /// Instructions already flushed into segments (the global offset of the
+    /// first buffered instruction).
+    flushed_instructions: usize,
+}
+
+/// Validates `instructions` against the carried written-register state,
+/// updating it in place, and returns their instruction-mix statistics.
+/// `base_index` offsets the reported error indices so streaming errors point
+/// at the global stream position.
+fn validate_instructions(
+    isa: &IsaConfig,
+    written: &mut [bool; NUM_TILE_REGS],
+    instructions: &[Instruction],
+    base_index: usize,
+) -> Result<ProgramStats, IsaError> {
+    let mut stats = ProgramStats::default();
+    for (offset, inst) in instructions.iter().enumerate() {
+        let index = base_index + offset;
+        for r in inst.tile_reads().iter().chain(inst.tile_writes().iter()) {
+            if r.index() >= isa.num_tile_regs() {
+                return Err(IsaError::InvalidProgram {
+                    index,
+                    reason: format!(
+                        "{r} exceeds the configured register count {}",
+                        isa.num_tile_regs()
+                    ),
+                });
+            }
+        }
+        for r in inst.tile_reads().iter() {
+            if !written[r.index()] {
+                return Err(IsaError::InvalidProgram {
+                    index,
+                    reason: format!("{inst} reads {r} before any write"),
+                });
+            }
+        }
+        for w in inst.tile_writes().iter() {
+            written[w.index()] = true;
+        }
+        stats.record(inst.kind());
+    }
+    Ok(stats)
 }
 
 impl ProgramBuilder {
@@ -212,6 +408,8 @@ impl ProgramBuilder {
             instructions: Vec::new(),
             live_in: [false; NUM_TILE_REGS],
             name: "unnamed".to_string(),
+            segments_emitted: 0,
+            flushed_instructions: 0,
         }
     }
 
@@ -301,7 +499,45 @@ impl ProgramBuilder {
         self.instructions.is_empty()
     }
 
+    /// Drains the buffered instructions into a validated [`ProgramSegment`],
+    /// carrying the written-register state forward so later segments (or a
+    /// final [`finish`](Self::finish)) may read registers defined here.
+    ///
+    /// Segment metadata (index and global instruction offset) advances
+    /// monotonically across calls. Flushing an empty buffer produces an
+    /// empty segment, which is valid but rarely useful.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::InvalidProgram`] under the same rules as
+    /// [`finish`](Self::finish); error indices are global stream positions.
+    pub fn finish_segment(&mut self) -> Result<ProgramSegment, IsaError> {
+        let instructions = std::mem::take(&mut self.instructions);
+        let first_instruction = self.flushed_instructions;
+        let stats = validate_instructions(
+            &self.isa,
+            &mut self.live_in,
+            &instructions,
+            first_instruction,
+        )?;
+        let index = self.segments_emitted;
+        self.segments_emitted += 1;
+        self.flushed_instructions += instructions.len();
+        Ok(ProgramSegment {
+            isa: self.isa,
+            index,
+            first_instruction,
+            instructions,
+            stats,
+        })
+    }
+
     /// Validates the emitted instructions and produces a [`Program`].
+    ///
+    /// On a builder that already flushed segments, this finishes only the
+    /// remaining (unflushed) tail — register reads resolved by earlier
+    /// segments still validate, because the written-register state carries
+    /// across [`finish_segment`](Self::finish_segment) calls.
     ///
     /// # Errors
     ///
@@ -311,32 +547,12 @@ impl ProgramBuilder {
     /// register count.
     pub fn finish(self) -> Result<Program, IsaError> {
         let mut written = self.live_in;
-        let mut stats = ProgramStats::default();
-        for (index, inst) in self.instructions.iter().enumerate() {
-            for r in inst.tile_reads().iter().chain(inst.tile_writes().iter()) {
-                if r.index() >= self.isa.num_tile_regs() {
-                    return Err(IsaError::InvalidProgram {
-                        index,
-                        reason: format!(
-                            "{r} exceeds the configured register count {}",
-                            self.isa.num_tile_regs()
-                        ),
-                    });
-                }
-            }
-            for r in inst.tile_reads().iter() {
-                if !written[r.index()] {
-                    return Err(IsaError::InvalidProgram {
-                        index,
-                        reason: format!("{inst} reads {r} before any write"),
-                    });
-                }
-            }
-            for w in inst.tile_writes().iter() {
-                written[w.index()] = true;
-            }
-            stats.record(inst.kind());
-        }
+        let stats = validate_instructions(
+            &self.isa,
+            &mut written,
+            &self.instructions,
+            self.flushed_instructions,
+        )?;
         Ok(Program {
             isa: self.isa,
             instructions: self.instructions,
@@ -477,6 +693,104 @@ mod tests {
         assert_eq!(p.iter().count(), p.len());
         assert_eq!((&p).into_iter().count(), p.len());
         assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn segments_carry_register_state_and_reassemble() {
+        // Split Algorithm 1 at an arbitrary point: the second segment reads
+        // registers written in the first, which must validate through the
+        // carried state.
+        let whole = algorithm_one();
+        let isa = IsaConfig::amx_like();
+        let mut b = ProgramBuilder::new(isa);
+        let mut segments = Vec::new();
+        for (i, inst) in whole.iter().enumerate() {
+            b.push(*inst);
+            if i % 5 == 4 {
+                segments.push(b.finish_segment().unwrap());
+            }
+        }
+        segments.push(b.finish_segment().unwrap());
+        assert_eq!(segments.len(), 4);
+        // Metadata tiles the stream: indices and offsets are contiguous.
+        let mut offset = 0;
+        for (i, s) in segments.iter().enumerate() {
+            assert_eq!(s.index(), i);
+            assert_eq!(s.first_instruction(), offset);
+            offset += s.len();
+            assert_eq!(s.isa(), &isa);
+            assert_eq!(s.iter().count(), s.len());
+        }
+        assert_eq!(offset, whole.len());
+        // Per-segment stats sum to the whole program's stats.
+        let mm: usize = segments.iter().map(ProgramSegment::count_matmuls).sum();
+        assert_eq!(mm, whole.count_matmuls());
+        // Reassembly reproduces the materialized program exactly.
+        let rebuilt = Program::from_segments(segments, "algorithm-1").unwrap();
+        assert_eq!(rebuilt, whole);
+    }
+
+    #[test]
+    fn segment_validation_reports_global_indices() {
+        let isa = IsaConfig::amx_like();
+        let mut b = ProgramBuilder::new(isa);
+        b.tile_load(treg(0), MemRef::tile(0, 64));
+        b.tile_load(treg(4), MemRef::tile(0x400, 64));
+        b.finish_segment().unwrap();
+        // treg6 was never written in any segment: rejected with the global
+        // stream index (2), not the segment-local one (0).
+        b.matmul(treg(0), treg(6), treg(4));
+        let err = b.finish_segment().unwrap_err();
+        assert!(matches!(err, IsaError::InvalidProgram { index: 2, .. }));
+    }
+
+    #[test]
+    fn finish_after_segments_validates_the_tail() {
+        let isa = IsaConfig::amx_like();
+        let mut b = ProgramBuilder::new(isa);
+        b.tile_load(treg(0), MemRef::tile(0, 64));
+        b.tile_load(treg(4), MemRef::tile(0x400, 64));
+        b.tile_load(treg(6), MemRef::tile(0x800, 64));
+        b.finish_segment().unwrap();
+        // The tail reads registers defined in the flushed segment.
+        b.matmul(treg(0), treg(6), treg(4));
+        let tail = b.finish().unwrap();
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail.count_matmuls(), 1);
+    }
+
+    #[test]
+    fn empty_and_mismatched_segment_streams_are_rejected() {
+        assert!(Program::from_segments(Vec::new(), "empty").is_err());
+        // Two independent streams both start at index 0 / offset 0: not
+        // contiguous.
+        let isa = IsaConfig::amx_like();
+        let mut a = ProgramBuilder::new(isa);
+        a.tile_load(treg(0), MemRef::tile(0, 64));
+        let s0 = a.finish_segment().unwrap();
+        let mut b = ProgramBuilder::new(isa);
+        b.tile_load(treg(1), MemRef::tile(0x400, 64));
+        let s1 = b.finish_segment().unwrap();
+        assert!(Program::from_segments([s0.clone(), s1], "dup").is_err());
+        // A lone segment (even mid-streamish) reassembles fine.
+        let lone = Program::from_segments([s0], "lone").unwrap();
+        assert_eq!(lone.len(), 1);
+        assert!(!lone.is_empty());
+    }
+
+    #[test]
+    fn empty_segment_is_valid() {
+        let mut b = ProgramBuilder::new(IsaConfig::amx_like());
+        let s = b.finish_segment().unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.stats().total(), 0);
+        // The next segment continues the numbering.
+        b.tile_load(treg(0), MemRef::tile(0, 64));
+        let s = b.finish_segment().unwrap();
+        assert_eq!(s.index(), 1);
+        assert_eq!(s.first_instruction(), 0);
+        assert_eq!((&s).into_iter().count(), 1);
     }
 
     #[test]

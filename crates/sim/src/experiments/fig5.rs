@@ -7,7 +7,7 @@
 //! runner.
 
 use crate::{DesignPoint, ExperimentRunner, ExperimentSpec, SimError, WorkloadRun};
-use rasa_workloads::WorkloadSuite;
+use rasa_workloads::LayerSpec;
 use std::fmt;
 
 /// One row of the Fig. 5 comparison: a workload and its normalized runtime
@@ -33,18 +33,22 @@ pub struct Fig5Result {
     pub runs: Vec<WorkloadRun>,
 }
 
-/// The declarative Fig. 5 matrix: Table I layers × the eight paper designs.
-pub(super) fn spec() -> ExperimentSpec {
+/// The declarative Fig. 5 matrix: the suite's (possibly filtered) Table I
+/// layers × the eight paper designs.
+pub(super) fn spec(workloads: &[LayerSpec]) -> ExperimentSpec {
     ExperimentSpec {
         name: "fig5",
-        workloads: WorkloadSuite::mlperf().layers().to_vec(),
+        workloads: workloads.to_vec(),
         designs: DesignPoint::paper_designs(),
         kernel: None,
     }
 }
 
-pub(super) fn run(runner: &ExperimentRunner) -> Result<Fig5Result, SimError> {
-    let spec = spec();
+pub(super) fn run(
+    runner: &ExperimentRunner,
+    workloads: &[LayerSpec],
+) -> Result<Fig5Result, SimError> {
+    let spec = spec(workloads);
     let design_names: Vec<String> = spec.designs.iter().map(|d| d.name().to_string()).collect();
     let runs = runner.run_spec(&spec)?;
     let rows = runs

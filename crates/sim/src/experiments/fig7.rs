@@ -6,8 +6,12 @@
 //! experiment that already simulated them.
 
 use crate::{DesignPoint, ExperimentRunner, ExperimentSpec, SimError};
-use rasa_workloads::{fig7_batch_sizes, BatchMatrix, LayerSpec, WorkloadSuite};
+use rasa_workloads::{fig7_batch_sizes, BatchMatrix, LayerSpec};
 use std::fmt;
+
+/// The theoretical best-case normalized runtime: a perfectly pipelined
+/// `rasa_mm` every TM = 16 cycles against the 95-cycle baseline.
+const ASYMPTOTE: f64 = 16.0 / 95.0;
 
 /// One point of the Fig. 7 sweep: a layer at a batch size, with the runtime
 /// of RASA-DMDB-WLS normalized to the baseline at the same batch size.
@@ -34,9 +38,13 @@ pub struct Fig7Result {
     pub asymptote: f64,
 }
 
-/// The declarative Fig. 7 matrix: every Table I FC layer at every batch
-/// size up to `max_batch`, against {baseline, RASA-DMDB-WLS}.
-pub(super) fn spec(max_batch: usize) -> Result<(ExperimentSpec, Vec<usize>), SimError> {
+/// The declarative Fig. 7 matrix: the FC layers among the suite's
+/// (possibly filtered) Table I layers at every batch size up to
+/// `max_batch`, against {baseline, RASA-DMDB-WLS}.
+pub(super) fn spec(
+    workloads: &[LayerSpec],
+    max_batch: usize,
+) -> Result<(ExperimentSpec, Vec<usize>), SimError> {
     let batch_sizes: Vec<usize> = fig7_batch_sizes()
         .into_iter()
         .filter(|&b| b <= max_batch)
@@ -47,11 +55,9 @@ pub(super) fn spec(max_batch: usize) -> Result<(ExperimentSpec, Vec<usize>), Sim
         });
     }
 
-    // The FC layers of Table I (DLRM and BERT); the convolutions are not
-    // part of the paper's batch sweep.
-    let workloads = WorkloadSuite::mlperf();
+    // The FC layers (DLRM and BERT); the convolutions are not part of the
+    // paper's batch sweep.
     let fc_layers: Vec<LayerSpec> = workloads
-        .layers()
         .iter()
         .filter(|l| matches!(l.kind(), rasa_workloads::LayerKind::Fc { .. }))
         .cloned()
@@ -66,8 +72,22 @@ pub(super) fn spec(max_batch: usize) -> Result<(ExperimentSpec, Vec<usize>), Sim
     Ok((spec, batch_sizes))
 }
 
-pub(super) fn run(runner: &ExperimentRunner, max_batch: usize) -> Result<Fig7Result, SimError> {
-    let (spec, batch_sizes) = spec(max_batch)?;
+pub(super) fn run(
+    runner: &ExperimentRunner,
+    workloads: &[LayerSpec],
+    max_batch: usize,
+) -> Result<Fig7Result, SimError> {
+    let (spec, batch_sizes) = spec(workloads, max_batch)?;
+    if spec.is_empty() {
+        // A layer filter can exclude every FC layer; the batch sweep is
+        // then simply empty rather than an error, so filtered runs of the
+        // full evaluation still complete.
+        return Ok(Fig7Result {
+            batch_sizes,
+            rows: Vec::new(),
+            asymptote: ASYMPTOTE,
+        });
+    }
     let runs = runner.run_spec(&spec)?;
     let rows = runs
         .iter()
@@ -82,7 +102,7 @@ pub(super) fn run(runner: &ExperimentRunner, max_batch: usize) -> Result<Fig7Res
     Ok(Fig7Result {
         batch_sizes,
         rows,
-        asymptote: 16.0 / 95.0,
+        asymptote: ASYMPTOTE,
     })
 }
 

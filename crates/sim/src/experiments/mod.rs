@@ -30,7 +30,30 @@ pub use fig6::{Fig6Result, Fig6Row};
 pub use fig7::{Fig7Result, Fig7Row};
 
 use crate::{ExperimentRunner, SimError};
+use rasa_workloads::{LayerSpec, WorkloadSuite};
 use std::sync::Arc;
+
+/// Selects the Table I layers matching a `--layers`-style filter:
+/// comma-separated tokens, each either a 1-based index into the Table I
+/// order or a case-insensitive substring of a layer name. Presentation
+/// order is preserved.
+fn filter_layers(all: &[LayerSpec], filter: &str) -> Vec<LayerSpec> {
+    let tokens: Vec<String> = filter
+        .split(',')
+        .map(|token| token.trim().to_ascii_lowercase())
+        .filter(|token| !token.is_empty())
+        .collect();
+    all.iter()
+        .enumerate()
+        .filter(|(position, layer)| {
+            tokens.iter().any(|token| match token.parse::<usize>() {
+                Ok(index) => index == position + 1,
+                Err(_) => layer.name().to_ascii_lowercase().contains(token),
+            })
+        })
+        .map(|(_, layer)| layer.clone())
+        .collect()
+}
 
 /// Facade over the full paper evaluation: one method per figure/table, all
 /// executing through one shared, memoizing [`ExperimentRunner`].
@@ -47,6 +70,12 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 pub struct ExperimentSuite {
     fig7_max_batch: usize,
+    /// The Table I layers the matrix experiments run over — all nine by
+    /// default, a subset under a layer filter.
+    layers: Vec<LayerSpec>,
+    /// The original filter expression, kept so reconfiguration rebuilds
+    /// resolve it again.
+    layer_filter: Option<String>,
     runner: Arc<ExperimentRunner>,
 }
 
@@ -79,6 +108,9 @@ impl ExperimentSuite {
             .with_matmul_cap(cap)
             .with_fig7_max_batch(self.fig7_max_batch)
             .with_parallel(self.runner.is_parallel())
+            .with_streaming(self.runner.is_streaming())
+            .with_segment_size(self.runner.segment_size())
+            .with_layer_filter(self.layer_filter.clone())
             .build()
             .expect("matmul cap must be at least 1 (or None for uncapped)")
     }
@@ -109,6 +141,13 @@ impl ExperimentSuite {
         &self.runner
     }
 
+    /// The Table I layers the matrix experiments run over (all nine unless
+    /// a layer filter narrowed them).
+    #[must_use]
+    pub fn layers(&self) -> &[LayerSpec] {
+        &self.layers
+    }
+
     /// Fig. 1: the 2×2 weight-stationary walkthrough (per-cycle utilization,
     /// 28.6 % average).
     ///
@@ -133,7 +172,7 @@ impl ExperimentSuite {
     ///
     /// Propagates simulation errors.
     pub fn fig5_runtime(&self) -> Result<Fig5Result, SimError> {
-        fig5::run(self.runner())
+        fig5::run(self.runner(), &self.layers)
     }
 
     /// Fig. 6: performance-per-area of the three RASA-Data designs (each
@@ -161,7 +200,7 @@ impl ExperimentSuite {
     ///
     /// Propagates simulation errors.
     pub fn fig7_batch(&self) -> Result<Fig7Result, SimError> {
-        fig7::run(self.runner(), self.fig7_max_batch)
+        fig7::run(self.runner(), &self.layers, self.fig7_max_batch)
     }
 
     /// The §V area and energy-efficiency comparison of the RASA-Data
@@ -216,6 +255,9 @@ pub struct ExperimentSuiteBuilder {
     matmul_cap: Option<Option<usize>>,
     fig7_max_batch: Option<usize>,
     parallel: Option<bool>,
+    streaming: Option<bool>,
+    segment_size: Option<usize>,
+    layer_filter: Option<String>,
 }
 
 impl ExperimentSuiteBuilder {
@@ -247,20 +289,66 @@ impl ExperimentSuiteBuilder {
         self.with_parallel(false)
     }
 
+    /// Selects the streaming trace→simulate pipeline (default) or the
+    /// materialized path for every cell.
+    #[must_use]
+    pub fn with_streaming(mut self, streaming: bool) -> Self {
+        self.streaming = Some(streaming);
+        self
+    }
+
+    /// Overrides the target streamed-segment size in instructions.
+    #[must_use]
+    pub fn with_segment_size(mut self, segment_size: usize) -> Self {
+        self.segment_size = Some(segment_size);
+        self
+    }
+
+    /// Restricts the matrix experiments to the Table I layers matching
+    /// `filter`: comma-separated tokens, each a 1-based Table I index or a
+    /// case-insensitive substring of a layer name (`"DLRM"`, `"BERT-2"`,
+    /// `"1,resnet50-3"`, …). `None` keeps all nine layers.
+    #[must_use]
+    pub fn with_layer_filter(mut self, filter: Option<String>) -> Self {
+        self.layer_filter = filter;
+        self
+    }
+
     /// Validates the configuration and builds the suite (and its runner).
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::InvalidExperiment`] for a zero matmul cap.
+    /// Returns [`SimError::InvalidExperiment`] for a zero matmul cap, a
+    /// zero segment size or a layer filter matching no Table I layer.
     pub fn build(self) -> Result<ExperimentSuite, SimError> {
         let parallel = self.parallel.unwrap_or(true);
-        let mut runner_builder = ExperimentRunner::builder().with_parallel(parallel);
+        let mut runner_builder = ExperimentRunner::builder()
+            .with_parallel(parallel)
+            .with_streaming(self.streaming.unwrap_or(true));
         if let Some(cap) = self.matmul_cap {
             runner_builder = runner_builder.with_matmul_cap(cap);
         }
+        if let Some(segment_size) = self.segment_size {
+            runner_builder = runner_builder.with_segment_size(segment_size);
+        }
         let runner = runner_builder.build()?;
+        let all_layers = WorkloadSuite::mlperf().layers().to_vec();
+        let layers = match &self.layer_filter {
+            Some(filter) => {
+                let selected = filter_layers(&all_layers, filter);
+                if selected.is_empty() {
+                    return Err(SimError::InvalidExperiment {
+                        reason: format!("layer filter '{filter}' matches no Table I layer"),
+                    });
+                }
+                selected
+            }
+            None => all_layers,
+        };
         Ok(ExperimentSuite {
             fig7_max_batch: self.fig7_max_batch.unwrap_or(1024),
+            layers,
+            layer_filter: self.layer_filter,
             runner: Arc::new(runner),
         })
     }
@@ -300,6 +388,62 @@ mod tests {
             ExperimentSuite::builder().with_matmul_cap(Some(0)).build(),
             Err(SimError::InvalidExperiment { .. })
         ));
+    }
+
+    #[test]
+    fn layer_filter_narrows_the_matrix() {
+        // Tokens are substrings or 1-based Table I indices, comma-separated.
+        let s = ExperimentSuite::builder()
+            .with_matmul_cap(Some(96))
+            .with_fig7_max_batch(16)
+            .with_layer_filter(Some("dlrm,9".to_string()))
+            .build()
+            .unwrap();
+        let names: Vec<&str> = s.layers().iter().map(|l| l.name()).collect();
+        assert_eq!(names, ["DLRM-1", "DLRM-2", "DLRM-3", "BERT-3"]);
+        let fig5 = s.fig5_runtime().unwrap();
+        assert_eq!(fig5.rows.len(), 4);
+        let fig7 = s.fig7_batch().unwrap();
+        assert_eq!(fig7.layers().len(), 4, "fig7 sweeps the filtered FCs");
+
+        // A conv-only filter leaves the FC batch sweep empty, not failing.
+        let conv_only = ExperimentSuite::builder()
+            .with_matmul_cap(Some(96))
+            .with_fig7_max_batch(16)
+            .with_layer_filter(Some("ResNet50-1".to_string()))
+            .build()
+            .unwrap();
+        assert_eq!(conv_only.layers().len(), 1);
+        assert!(conv_only.fig7_batch().unwrap().rows.is_empty());
+
+        // A filter matching nothing is a configuration error.
+        assert!(matches!(
+            ExperimentSuite::builder()
+                .with_layer_filter(Some("not-a-layer".to_string()))
+                .build(),
+            Err(SimError::InvalidExperiment { .. })
+        ));
+    }
+
+    #[test]
+    fn streaming_options_flow_to_the_runner() {
+        let s = ExperimentSuite::builder()
+            .with_matmul_cap(Some(96))
+            .with_streaming(false)
+            .with_segment_size(512)
+            .with_layer_filter(Some("BERT-1".to_string()))
+            .build()
+            .unwrap();
+        assert!(!s.runner().is_streaming());
+        assert_eq!(s.runner().segment_size(), 512);
+        // Reconfiguration rebuilds the runner but keeps the streaming
+        // options and the resolved layer filter.
+        let s = s.with_matmul_cap(Some(64));
+        assert!(!s.runner().is_streaming());
+        assert_eq!(s.runner().segment_size(), 512);
+        assert_eq!(s.layers().len(), 1);
+        // The default is the streaming pipeline.
+        assert!(ExperimentSuite::new().runner().is_streaming());
     }
 
     #[test]

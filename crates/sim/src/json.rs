@@ -22,7 +22,7 @@
 //! round-trip `Display` formatting, so `f64 -> text -> f64` is lossless as
 //! well.
 
-use crate::{CacheStats, SimError, SimReport, SimSummary};
+use crate::{CacheStats, PipelineStats, SimError, SimReport, SimSummary};
 use rasa_cpu::{CpuStats, SchedStats};
 use rasa_power::{AreaBreakdown, EnergyBreakdown, PowerReport};
 use rasa_systolic::EngineStats;
@@ -738,6 +738,37 @@ impl FromJson for SchedStats {
     }
 }
 
+impl ToJson for PipelineStats {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("streamed".into(), JsonValue::Bool(self.streamed)),
+            ("segments".into(), JsonValue::number_from_u64(self.segments)),
+            (
+                "fed_instructions".into(),
+                JsonValue::number_from_u64(self.fed_instructions),
+            ),
+            (
+                "peak_resident_instructions".into(),
+                JsonValue::number_from_u64(self.peak_resident_instructions),
+            ),
+        ])
+    }
+}
+
+impl FromJson for PipelineStats {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        let streamed = member(value, "streamed")?
+            .as_bool()
+            .ok_or_else(|| JsonError::decode("field 'streamed' is not a bool"))?;
+        Ok(PipelineStats {
+            streamed,
+            segments: u64_member(value, "segments")?,
+            fed_instructions: u64_member(value, "fed_instructions")?,
+            peak_resident_instructions: u64_member(value, "peak_resident_instructions")?,
+        })
+    }
+}
+
 impl ToJson for AreaBreakdown {
     fn to_json(&self) -> JsonValue {
         JsonValue::Object(vec![
@@ -848,6 +879,7 @@ impl ToJson for SimReport {
             ),
             ("cpu".into(), self.cpu.to_json()),
             ("sched".into(), self.sched.to_json()),
+            ("pipeline".into(), self.pipeline.to_json()),
             ("power".into(), self.power.to_json()),
         ])
     }
@@ -865,6 +897,13 @@ impl FromJson for SimReport {
             runtime_seconds: f64_member(value, "runtime_seconds")?,
             cpu: CpuStats::from_json(member(value, "cpu")?)?,
             sched: SchedStats::from_json(member(value, "sched")?)?,
+            // Absent in documents written before the streaming pipeline;
+            // default the diagnostics so old warm-start dumps still load.
+            pipeline: value
+                .get("pipeline")
+                .map(PipelineStats::from_json)
+                .transpose()?
+                .unwrap_or_default(),
             power: PowerReport::from_json(member(value, "power")?)?,
         })
     }
@@ -909,6 +948,11 @@ impl ToJson for SimSummary {
                 "visited_cycles".into(),
                 JsonValue::number_from_u64(self.visited_cycles),
             ),
+            ("segments".into(), JsonValue::number_from_u64(self.segments)),
+            (
+                "peak_resident_instructions".into(),
+                JsonValue::number_from_u64(self.peak_resident_instructions),
+            ),
         ])
     }
 }
@@ -928,6 +972,16 @@ impl FromJson for SimSummary {
             energy_joules: f64_member(value, "energy_joules")?,
             sched_events: u64_member(value, "sched_events")?,
             visited_cycles: u64_member(value, "visited_cycles")?,
+            // Pipeline diagnostics are absent in pre-streaming documents;
+            // default them rather than rejecting the row.
+            segments: value
+                .get("segments")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0),
+            peak_resident_instructions: value
+                .get("peak_resident_instructions")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0),
         })
     }
 }

@@ -50,7 +50,7 @@ pub use experiments::{
     Fig2Result, Fig5Result, Fig5Row, Fig6Result, Fig6Row, Fig7Result, Fig7Row,
 };
 pub use json::{FromJson, JsonError, JsonValue, ToJson};
-pub use report::{SimReport, SimSummary, WorkloadRun};
+pub use report::{PipelineStats, SimReport, SimSummary, WorkloadRun};
 pub use runner::{
     CacheStats, ExperimentRunner, ExperimentRunnerBuilder, ExperimentSpec, SimJob,
     DEFAULT_CACHE_CAPACITY,
@@ -60,3 +60,7 @@ pub use serve::{
     ResponseHandle, ServeConfig, ServeStats, DEFAULT_QUEUE_CAPACITY,
 };
 pub use simulator::Simulator;
+
+/// Default target size (in instructions) of a streamed trace segment
+/// (re-exported from `rasa-trace` for configuration plumbing).
+pub use rasa_trace::DEFAULT_SEGMENT_SIZE;

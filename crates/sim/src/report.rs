@@ -3,6 +3,60 @@ use rasa_power::PowerReport;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// How the trace reached the simulating core: as a stream of bounded
+/// segments (the default pipeline) or as one materialized program.
+///
+/// These are diagnostics of the *pipeline*, not of the simulated core —
+/// deterministic for a given configuration (segment boundaries derive from
+/// the shape and segment size, never from thread scheduling), but carrying
+/// no architectural meaning. The simulated statistics ([`SimReport::cpu`],
+/// [`SimReport::sched`]) are bit-identical across both transports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PipelineStats {
+    /// Whether the streaming producer/consumer pipeline ran (`false` for
+    /// the materialized generate-then-simulate path).
+    pub streamed: bool,
+    /// Segments fed to the core (1 for a materialized run).
+    pub segments: u64,
+    /// Total instructions fed (the trace length).
+    pub fed_instructions: u64,
+    /// Peak instructions resident in the core's fetch buffer — the whole
+    /// trace for a materialized run, roughly one segment for a streamed
+    /// one. The streaming pipeline's memory headroom is the ratio of the
+    /// two.
+    pub peak_resident_instructions: u64,
+}
+
+impl PipelineStats {
+    /// Fraction of the trace resident at the peak (1.0 for a materialized
+    /// run, ~segment/trace for a streamed one; 0 when nothing was fed).
+    #[must_use]
+    pub fn residency(&self) -> f64 {
+        if self.fed_instructions == 0 {
+            0.0
+        } else {
+            self.peak_resident_instructions as f64 / self.fed_instructions as f64
+        }
+    }
+}
+
+impl fmt::Display for PipelineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} via {} segment(s), peak {} of {} instructions resident",
+            if self.streamed {
+                "streamed"
+            } else {
+                "materialized"
+            },
+            self.segments,
+            self.peak_resident_instructions,
+            self.fed_instructions
+        )
+    }
+}
+
 /// The result of simulating one workload on one design point.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
@@ -27,6 +81,9 @@ pub struct SimReport {
     /// Event-scheduler counters of the simulating core (all zero when the
     /// cycle-stepping reference core produced the report).
     pub sched: SchedStats,
+    /// Trace-transport diagnostics: streamed vs materialized, segment count
+    /// and peak resident instructions.
+    pub pipeline: PipelineStats,
     /// Area/energy report of the simulated portion.
     pub power: PowerReport,
 }
@@ -75,6 +132,8 @@ impl SimReport {
             energy_joules: self.power.energy.total(),
             sched_events: self.sched.completion_events,
             visited_cycles: self.sched.visited_cycles,
+            segments: self.pipeline.segments,
+            peak_resident_instructions: self.pipeline.peak_resident_instructions,
         }
     }
 }
@@ -126,20 +185,24 @@ pub struct SimSummary {
     /// Cycles the event-driven scheduler actually simulated (the rest of
     /// the timeline was jumped over).
     pub visited_cycles: u64,
+    /// Trace segments fed to the core (1 for a materialized run).
+    pub segments: u64,
+    /// Peak instructions resident in the core's fetch buffer.
+    pub peak_resident_instructions: u64,
 }
 
 impl SimSummary {
     /// The CSV header matching [`SimSummary::to_csv_row`].
     #[must_use]
     pub fn csv_header() -> &'static str {
-        "design,workload,core_cycles,simulated_matmuls,total_matmuls,runtime_seconds,ipc,engine_bypass_rate,area_mm2,energy_joules,sched_events,visited_cycles"
+        "design,workload,core_cycles,simulated_matmuls,total_matmuls,runtime_seconds,ipc,engine_bypass_rate,area_mm2,energy_joules,sched_events,visited_cycles,segments,peak_resident_instructions"
     }
 
     /// One CSV row (no trailing newline).
     #[must_use]
     pub fn to_csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{:.6e},{:.4},{:.4},{:.4},{:.6e},{},{}",
+            "{},{},{},{},{},{:.6e},{:.4},{:.4},{:.4},{:.6e},{},{},{},{}",
             self.design,
             self.workload,
             self.core_cycles,
@@ -151,7 +214,9 @@ impl SimSummary {
             self.area_mm2,
             self.energy_joules,
             self.sched_events,
-            self.visited_cycles
+            self.visited_cycles,
+            self.segments,
+            self.peak_resident_instructions
         )
     }
 }
@@ -204,8 +269,30 @@ mod tests {
             runtime_seconds: cycles as f64 / 2.0e9,
             cpu: CpuStats::default(),
             sched: SchedStats::default(),
+            pipeline: PipelineStats::default(),
             power: PowerReport::new(&cfg, &EngineActivitySummary::default(), cycles),
         }
+    }
+
+    #[test]
+    fn pipeline_stats_residency_and_display() {
+        let streamed = PipelineStats {
+            streamed: true,
+            segments: 10,
+            fed_instructions: 1000,
+            peak_resident_instructions: 120,
+        };
+        assert!((streamed.residency() - 0.12).abs() < 1e-12);
+        assert!(streamed.to_string().contains("streamed"));
+        let materialized = PipelineStats {
+            streamed: false,
+            segments: 1,
+            fed_instructions: 1000,
+            peak_resident_instructions: 1000,
+        };
+        assert!((materialized.residency() - 1.0).abs() < 1e-12);
+        assert!(materialized.to_string().contains("materialized"));
+        assert_eq!(PipelineStats::default().residency(), 0.0);
     }
 
     #[test]

@@ -164,6 +164,8 @@ impl CacheStats {
 pub struct ExperimentRunner {
     matmul_cap: Option<usize>,
     parallel: bool,
+    streaming: bool,
+    segment_size: usize,
     cache: Mutex<LruCache<String, Arc<SimReport>>>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -195,6 +197,21 @@ impl ExperimentRunner {
     #[must_use]
     pub const fn is_parallel(&self) -> bool {
         self.parallel
+    }
+
+    /// Whether cells run through the streaming trace→simulate pipeline
+    /// (default) or the materialized path. Simulated statistics are
+    /// bit-identical either way; only the [`crate::PipelineStats`]
+    /// diagnostics differ.
+    #[must_use]
+    pub const fn is_streaming(&self) -> bool {
+        self.streaming
+    }
+
+    /// The target streamed-segment size in instructions.
+    #[must_use]
+    pub const fn segment_size(&self) -> usize {
+        self.segment_size
     }
 
     /// Cache effectiveness counters since construction (or the last
@@ -272,6 +289,13 @@ impl ExperimentRunner {
     /// cell identity (design, lowered shape, kernel — including the matmul
     /// cap), so cells dumped under a different fidelity simply never match
     /// this runner's lookups: warm-starting is always safe, never wrong.
+    ///
+    /// The trace-transport settings (streaming on/off, segment size) are
+    /// deliberately *not* part of the key — the simulated statistics are
+    /// bit-identical across transports. A warmed cell therefore keeps the
+    /// [`crate::PipelineStats`] diagnostics of the execution that
+    /// originally produced it, which may describe a different transport
+    /// than this runner's; every architectural metric is exact.
     ///
     /// # Errors
     ///
@@ -369,6 +393,8 @@ impl ExperimentRunner {
         let report = Arc::new(
             Simulator::new(job.design.clone())?
                 .with_kernel(kernel)?
+                .with_streaming(self.streaming)
+                .with_segment_size(self.segment_size)?
                 .run_layer(&job.workload)?,
         );
         let outcome = self
@@ -457,6 +483,8 @@ impl Default for ExperimentRunner {
 pub struct ExperimentRunnerBuilder {
     matmul_cap: Option<Option<usize>>,
     parallel: Option<bool>,
+    streaming: Option<bool>,
+    segment_size: Option<usize>,
     cache_capacity: Option<usize>,
 }
 
@@ -481,6 +509,21 @@ impl ExperimentRunnerBuilder {
     #[must_use]
     pub fn serial(self) -> Self {
         self.with_parallel(false)
+    }
+
+    /// Selects the streaming trace→simulate pipeline (default) or the
+    /// materialized path for every cell.
+    #[must_use]
+    pub fn with_streaming(mut self, streaming: bool) -> Self {
+        self.streaming = Some(streaming);
+        self
+    }
+
+    /// Overrides the target streamed-segment size in instructions.
+    #[must_use]
+    pub fn with_segment_size(mut self, segment_size: usize) -> Self {
+        self.segment_size = Some(segment_size);
+        self
     }
 
     /// Bounds the memoization cache to `capacity` resident cells (default
@@ -510,9 +553,19 @@ impl ExperimentRunnerBuilder {
                 reason: "cache capacity must be at least 1".to_string(),
             });
         }
+        let segment_size = self
+            .segment_size
+            .unwrap_or(rasa_trace::DEFAULT_SEGMENT_SIZE);
+        if segment_size == 0 {
+            return Err(SimError::InvalidExperiment {
+                reason: "segment size must be at least one instruction".to_string(),
+            });
+        }
         Ok(ExperimentRunner {
             matmul_cap,
             parallel: self.parallel.unwrap_or(true),
+            streaming: self.streaming.unwrap_or(true),
+            segment_size,
             cache: Mutex::new(LruCache::new(cache_capacity)),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),

@@ -1,11 +1,16 @@
-use crate::{DesignPoint, SimError, SimReport};
-use rasa_cpu::CpuCore;
-use rasa_isa::Program;
+use crate::{DesignPoint, PipelineStats, SimError, SimReport};
+use rasa_cpu::{CpuCore, CpuStats, SchedStats, StreamStats};
+use rasa_isa::{Program, ProgramSegment};
 use rasa_numeric::GemmShape;
 use rasa_power::{EngineActivitySummary, PowerReport};
 use rasa_systolic::MatrixEngine;
-use rasa_trace::{GemmKernelConfig, TraceGenerator};
+use rasa_trace::{
+    GemmKernelConfig, ProgramSource, TraceError, TraceGenerator, DEFAULT_SEGMENT_SIZE,
+};
 use rasa_workloads::LayerSpec;
+use rayon::prelude::*;
+use std::ops::Range;
+use std::sync::mpsc;
 
 /// Default cap on the number of `rasa_mm` instructions simulated per
 /// workload. The Table I layers contain up to hundreds of thousands of
@@ -14,21 +19,42 @@ use rasa_workloads::LayerSpec;
 /// [`SimReport`] records both numbers).
 pub(crate) const DEFAULT_MATMUL_CAP: usize = 4096;
 
+/// Segments buffered in the bounded producer→consumer channel of a
+/// streamed run. Together with the shard wave this bounds the resident
+/// trace to a handful of segments, whatever the workload size.
+const STREAM_CHANNEL_SEGMENTS: usize = 4;
+
+/// Register-block shards generated concurrently per wave when an uncapped
+/// trace is fanned out over the worker pool. Small on purpose: a streamed
+/// cell may itself be one job of an already-parallel experiment matrix.
+const SHARD_WAVE: usize = 4;
+
 /// End-to-end simulator for one design point.
 ///
 /// A `Simulator` owns the trace generator and the CPU/engine configuration;
 /// each `run_*` call generates the workload trace, executes it on a fresh
 /// core and returns a [`SimReport`].
+///
+/// By default the trace→simulate path is a **streaming pipeline**: a
+/// producer thread generates bounded instruction segments (in parallel
+/// register-block shards when the trace is uncapped) into a bounded
+/// channel while the resumable core consumes them, so trace generation
+/// overlaps timing simulation and the resident trace stays O(segment)
+/// instead of O(workload). The simulated statistics are bit-identical to
+/// the materialized path ([`Simulator::with_streaming`]`(false)`), which is
+/// retained for A/B comparisons; [`SimReport::pipeline`] records which path
+/// ran and what it kept resident.
 #[derive(Debug, Clone)]
 pub struct Simulator {
     design: DesignPoint,
     generator: TraceGenerator,
-    matmul_cap: Option<usize>,
+    streaming: bool,
+    segment_size: usize,
 }
 
 impl Simulator {
     /// Creates a simulator for a design point with the default trace
-    /// generator and matmul cap.
+    /// generator, matmul cap and streaming pipeline.
     ///
     /// # Errors
     ///
@@ -40,12 +66,17 @@ impl Simulator {
         Ok(Simulator {
             design,
             generator,
-            matmul_cap: Some(DEFAULT_MATMUL_CAP),
+            streaming: true,
+            segment_size: DEFAULT_SEGMENT_SIZE,
         })
     }
 
     /// Overrides the cap on simulated `rasa_mm` instructions (`None` removes
     /// it and simulates every tile of the workload).
+    ///
+    /// The cap lives in the kernel configuration — the single source of
+    /// truth the trace generator, the cache keys and
+    /// [`Simulator::matmul_cap`] all read.
     ///
     /// # Errors
     ///
@@ -55,7 +86,6 @@ impl Simulator {
         let mut kernel = *self.generator.kernel();
         kernel.max_matmuls = cap;
         self.generator = self.generator.with_kernel(kernel)?;
-        self.matmul_cap = cap;
         Ok(self)
     }
 
@@ -69,7 +99,31 @@ impl Simulator {
     /// the ISA.
     pub fn with_kernel(mut self, kernel: GemmKernelConfig) -> Result<Self, SimError> {
         self.generator = self.generator.with_kernel(kernel)?;
-        self.matmul_cap = kernel.max_matmuls;
+        Ok(self)
+    }
+
+    /// Selects the streaming pipeline (default) or the materialized
+    /// generate-then-simulate path. Both produce bit-identical simulated
+    /// statistics; the materialized path is the A/B reference for the
+    /// streaming pipeline's memory and overlap gains.
+    #[must_use]
+    pub const fn with_streaming(mut self, streaming: bool) -> Self {
+        self.streaming = streaming;
+        self
+    }
+
+    /// Overrides the target streamed-segment size in instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidExperiment`] for a zero segment size.
+    pub fn with_segment_size(mut self, segment_size: usize) -> Result<Self, SimError> {
+        if segment_size == 0 {
+            return Err(SimError::InvalidExperiment {
+                reason: "segment size must be at least one instruction".to_string(),
+            });
+        }
+        self.segment_size = segment_size;
         Ok(self)
     }
 
@@ -79,10 +133,23 @@ impl Simulator {
         &self.design
     }
 
-    /// The configured matmul cap, if any.
+    /// The configured matmul cap, if any — read from the kernel
+    /// configuration, its single source of truth.
     #[must_use]
-    pub const fn matmul_cap(&self) -> Option<usize> {
-        self.matmul_cap
+    pub fn matmul_cap(&self) -> Option<usize> {
+        self.generator.kernel().max_matmuls
+    }
+
+    /// Whether runs use the streaming pipeline.
+    #[must_use]
+    pub const fn is_streaming(&self) -> bool {
+        self.streaming
+    }
+
+    /// The target streamed-segment size in instructions.
+    #[must_use]
+    pub const fn segment_size(&self) -> usize {
+        self.segment_size
     }
 
     /// Simulates an arbitrary GEMM.
@@ -92,9 +159,7 @@ impl Simulator {
     /// Propagates trace-generation and CPU errors.
     pub fn run_gemm(&self, shape: GemmShape) -> Result<SimReport, SimError> {
         let name = format!("GEMM-{}x{}x{}", shape.m, shape.k, shape.n);
-        let program = self.generator.gemm(shape, &name)?;
-        let total = self.generator.matmul_count(shape)?;
-        self.run_program(&program, total as u64, &name)
+        self.run_shape(shape, &name)
     }
 
     /// Simulates one DNN layer (convolutions are lowered via im2col).
@@ -103,10 +168,7 @@ impl Simulator {
     ///
     /// Propagates trace-generation and CPU errors.
     pub fn run_layer(&self, layer: &LayerSpec) -> Result<SimReport, SimError> {
-        let shape = layer.gemm_shape();
-        let program = self.generator.gemm(shape, layer.name())?;
-        let total = self.generator.matmul_count(shape)?;
-        self.run_program(&program, total as u64, layer.name())
+        self.run_shape(layer.gemm_shape(), layer.name())
     }
 
     /// Simulates one DNN layer on the cycle-stepping **reference** core
@@ -116,6 +178,7 @@ impl Simulator {
     /// [`Simulator::run_layer`]; the scheduler counters (`report.sched`)
     /// are zero because the reference loop does not use the event heap.
     /// This exists for parity checks and the `run_all` timing comparison.
+    /// The reference core always consumes a materialized program.
     ///
     /// # Errors
     ///
@@ -125,6 +188,18 @@ impl Simulator {
         let program = self.generator.gemm(shape, layer.name())?;
         let total = self.generator.matmul_count(shape)?;
         self.run_program_on(&program, total as u64, layer.name(), true)
+    }
+
+    /// Generates and simulates `shape` under this simulator's configured
+    /// pipeline (streamed or materialized).
+    fn run_shape(&self, shape: GemmShape, name: &str) -> Result<SimReport, SimError> {
+        let total = self.generator.matmul_count(shape)? as u64;
+        if self.streaming {
+            self.run_streamed(shape, name, total)
+        } else {
+            let program = self.generator.gemm(shape, name)?;
+            self.run_program_on(&program, total, name, false)
+        }
     }
 
     /// Runs an already-generated program, extrapolating to `total_matmuls`
@@ -157,7 +232,103 @@ impl Simulator {
             core.run(program)?
         };
         let sched = *core.sched_stats();
+        // Both materialized paths hold (and feed) the whole program at
+        // once: one segment, everything resident.
+        let pipeline = PipelineStats {
+            streamed: false,
+            segments: 1,
+            fed_instructions: program.len() as u64,
+            peak_resident_instructions: program.len() as u64,
+        };
+        Ok(self.report(cpu_stats, sched, pipeline, total_matmuls, workload))
+    }
 
+    /// The streaming trace→simulate pipeline: a producer thread generates
+    /// bounded segments into a bounded channel while the resumable core
+    /// consumes them. Uncapped traces are additionally fanned out as
+    /// register-block shards generated in parallel waves through the rayon
+    /// pool, so a single heavy `--full` workload no longer serializes its
+    /// whole trace generation behind one thread.
+    fn run_streamed(
+        &self,
+        shape: GemmShape,
+        name: &str,
+        total_matmuls: u64,
+    ) -> Result<SimReport, SimError> {
+        let engine = MatrixEngine::new(*self.design.systolic());
+        let mut core = CpuCore::new(*self.design.cpu(), engine);
+        let generator = &self.generator;
+        let segment_size = self.segment_size;
+        let blocks = generator.block_count(shape)?;
+        // Shards only pay off when the trace is uncapped (the cap is a
+        // sequential prefix property) and wide enough to split.
+        let shard_blocks = if generator.kernel().max_matmuls.is_none() && blocks > SHARD_WAVE {
+            Some(self.blocks_per_shard(shape, segment_size)?)
+        } else {
+            None
+        };
+
+        let (cpu_stats, sched, stream) = std::thread::scope(
+            |scope| -> Result<(CpuStats, SchedStats, StreamStats), SimError> {
+                let (tx, rx) = mpsc::sync_channel::<Result<ProgramSegment, TraceError>>(
+                    STREAM_CHANNEL_SEGMENTS,
+                );
+                scope.spawn(move || {
+                    let outcome = produce_segments(
+                        generator,
+                        shape,
+                        name,
+                        blocks,
+                        shard_blocks,
+                        segment_size,
+                        &tx,
+                    );
+                    if let Err(error) = outcome {
+                        // The consumer surfaces the error; if it already
+                        // hung up, there is nobody left to care.
+                        let _ = tx.send(Err(error));
+                    }
+                });
+                let mut run = core.begin_run(generator.isa())?;
+                for message in rx {
+                    let segment = message?;
+                    core.feed_segment(&mut run, &segment)?;
+                }
+                let cpu_stats = core.run_to_quiescence(run)?;
+                Ok((cpu_stats, *core.sched_stats(), *core.stream_stats()))
+            },
+        )?;
+
+        let pipeline = PipelineStats {
+            streamed: true,
+            segments: stream.segments,
+            fed_instructions: stream.fed_instructions,
+            peak_resident_instructions: stream.peak_resident as u64,
+        };
+        Ok(self.report(cpu_stats, sched, pipeline, total_matmuls, name))
+    }
+
+    /// Register blocks per generation shard: sized so one shard amounts to
+    /// a couple of segments, derived deterministically from the shape (so
+    /// segment boundaries — and hence pipeline statistics — do not depend
+    /// on the machine's parallelism).
+    fn blocks_per_shard(&self, shape: GemmShape, segment_size: usize) -> Result<usize, SimError> {
+        let kt = rasa_numeric::TileGrid::new(shape, self.generator.kernel().tiling)?.k_tiles();
+        // Upper bound on one full 2×2 block: 4 accumulator loads and
+        // stores, plus per K-step up to 4 operand loads, 4 matmuls and 4
+        // scalar/branch overhead instructions.
+        let block_len = 8 + 12 * kt;
+        Ok((2 * segment_size).div_ceil(block_len).max(1))
+    }
+
+    fn report(
+        &self,
+        cpu_stats: CpuStats,
+        sched: SchedStats,
+        pipeline: PipelineStats,
+        total_matmuls: u64,
+        workload: &str,
+    ) -> SimReport {
         let simulated_matmuls = cpu_stats.retired_matmuls;
         let simulated_cycles = cpu_stats.cycles;
         let core_cycles = if simulated_matmuls > 0 && total_matmuls > simulated_matmuls {
@@ -171,7 +342,7 @@ impl Simulator {
         let activity = EngineActivitySummary::from_engine_stats(&cpu_stats.engine);
         let power = PowerReport::new(self.design.systolic(), &activity, simulated_cycles);
 
-        Ok(SimReport {
+        SimReport {
             design: self.design.name().to_string(),
             workload: workload.to_string(),
             core_cycles,
@@ -181,9 +352,66 @@ impl Simulator {
             runtime_seconds: self.design.cpu().cycles_to_seconds(core_cycles),
             cpu: cpu_stats,
             sched,
+            pipeline,
             power,
-        })
+        }
     }
+}
+
+/// Producer half of the streaming pipeline: pushes the trace of `shape`
+/// into `tx` as validated segments, either sequentially or as
+/// wave-parallel register-block shards. A send failure means the consumer
+/// hung up (success or error); either way there is nothing left to do.
+fn produce_segments(
+    generator: &TraceGenerator,
+    shape: GemmShape,
+    name: &str,
+    blocks: usize,
+    shard_blocks: Option<usize>,
+    segment_size: usize,
+    tx: &mpsc::SyncSender<Result<ProgramSegment, TraceError>>,
+) -> Result<(), TraceError> {
+    let Some(shard_blocks) = shard_blocks else {
+        let mut stream = generator.gemm_stream(shape, name, segment_size)?;
+        while let Some(segment) = stream.next_segment()? {
+            if tx.send(Ok(segment)).is_err() {
+                return Ok(());
+            }
+        }
+        return Ok(());
+    };
+
+    // Wave-parallel sharding: generate SHARD_WAVE shards concurrently,
+    // then forward their segments in block order while the core simulates.
+    // Memory stays bounded by (wave + channel) segments.
+    let mut start = 0usize;
+    while start < blocks {
+        let ranges: Vec<Range<usize>> = (0..SHARD_WAVE)
+            .map(|i| {
+                let lo = (start + i * shard_blocks).min(blocks);
+                let hi = (start + (i + 1) * shard_blocks).min(blocks);
+                lo..hi
+            })
+            .filter(|r| !r.is_empty())
+            .collect();
+        start = (start + SHARD_WAVE * shard_blocks).min(blocks);
+        let wave: Result<Vec<Vec<ProgramSegment>>, TraceError> = ranges
+            .par_iter()
+            .map(|range| {
+                generator
+                    .gemm_blocks(shape, name, range.clone(), segment_size)?
+                    .collect()
+            })
+            .collect();
+        for shard in wave? {
+            for segment in shard {
+                if tx.send(Ok(segment)).is_err() {
+                    return Ok(());
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -273,6 +501,73 @@ mod tests {
     }
 
     #[test]
+    fn streamed_and_materialized_paths_are_bit_identical() {
+        let suite = WorkloadSuite::mlperf();
+        let layer = suite.layer("DLRM-1").unwrap();
+        for (cap, segment_size) in [(Some(2000), 512), (None, 128)] {
+            let sim = Simulator::new(DesignPoint::rasa_wlbp())
+                .unwrap()
+                .with_matmul_cap(cap)
+                .unwrap()
+                .with_segment_size(segment_size)
+                .unwrap();
+            // Keep the uncapped case tractable: a small GEMM with enough
+            // register blocks to trigger the shard-parallel producer.
+            let (streamed, materialized) = if cap.is_none() {
+                let shape = GemmShape::new(256, 64, 256);
+                assert!(sim.generator.block_count(shape).unwrap() > SHARD_WAVE);
+                (
+                    sim.run_gemm(shape).unwrap(),
+                    sim.with_streaming(false).run_gemm(shape).unwrap(),
+                )
+            } else {
+                (
+                    sim.run_layer(layer).unwrap(),
+                    sim.with_streaming(false).run_layer(layer).unwrap(),
+                )
+            };
+            // Architectural and scheduler statistics are bit-identical;
+            // only the pipeline diagnostics differ.
+            assert_eq!(streamed.cpu, materialized.cpu);
+            assert_eq!(streamed.sched, materialized.sched);
+            assert_eq!(streamed.core_cycles, materialized.core_cycles);
+            assert!(streamed.pipeline.streamed);
+            assert!(!materialized.pipeline.streamed);
+            assert_eq!(
+                streamed.pipeline.fed_instructions,
+                materialized.pipeline.fed_instructions
+            );
+            assert!(streamed.pipeline.segments > 1);
+            assert_eq!(materialized.pipeline.segments, 1);
+            // The whole point: the stream never holds the full trace.
+            assert!(
+                streamed.pipeline.peak_resident_instructions
+                    < materialized.pipeline.peak_resident_instructions / 2,
+                "streamed {} vs materialized {}",
+                streamed.pipeline.peak_resident_instructions,
+                materialized.pipeline.peak_resident_instructions
+            );
+        }
+    }
+
+    #[test]
+    fn streamed_pipeline_stats_are_deterministic() {
+        // Segment boundaries derive from the shape and segment size alone,
+        // never from scheduling, so repeated runs agree exactly.
+        let sim = Simulator::new(DesignPoint::baseline())
+            .unwrap()
+            .with_matmul_cap(None)
+            .unwrap()
+            .with_segment_size(300)
+            .unwrap();
+        let shape = GemmShape::new(192, 64, 192);
+        let a = sim.run_gemm(shape).unwrap();
+        let b = sim.run_gemm(shape).unwrap();
+        assert_eq!(a, b);
+        assert!(a.pipeline.segments > 1);
+    }
+
+    #[test]
     fn cap_can_be_removed() {
         let sim = Simulator::new(DesignPoint::rasa_wlbp())
             .unwrap()
@@ -285,9 +580,32 @@ mod tests {
     }
 
     #[test]
+    fn matmul_cap_has_a_single_source_of_truth() {
+        // The cap reported by the simulator is read from the kernel
+        // configuration, so a kernel override cannot leave a stale copy.
+        let sim = Simulator::new(DesignPoint::baseline()).unwrap();
+        assert_eq!(sim.matmul_cap(), Some(DEFAULT_MATMUL_CAP));
+        let sim = sim
+            .with_kernel(GemmKernelConfig::amx_like().with_max_matmuls(123))
+            .unwrap();
+        assert_eq!(sim.matmul_cap(), Some(123));
+        let sim = sim.with_kernel(GemmKernelConfig::amx_like()).unwrap();
+        assert_eq!(sim.matmul_cap(), None);
+    }
+
+    #[test]
     fn zero_cap_is_rejected() {
         let sim = Simulator::new(DesignPoint::baseline()).unwrap();
         assert!(sim.with_matmul_cap(Some(0)).is_err());
+    }
+
+    #[test]
+    fn zero_segment_size_is_rejected() {
+        let sim = Simulator::new(DesignPoint::baseline()).unwrap();
+        assert!(matches!(
+            sim.with_segment_size(0),
+            Err(SimError::InvalidExperiment { .. })
+        ));
     }
 
     #[test]

@@ -18,6 +18,12 @@ pub enum TraceError {
     /// The emitted program failed ISA validation (a generator bug — surfaced
     /// rather than panicking so fuzzing can exercise it).
     Emit(IsaError),
+    /// A streaming trace was configured inconsistently (zero segment size or
+    /// an out-of-range register-block shard).
+    Stream {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -28,6 +34,9 @@ impl fmt::Display for TraceError {
             }
             TraceError::Shape(e) => write!(f, "workload shape error: {e}"),
             TraceError::Emit(e) => write!(f, "emitted program failed validation: {e}"),
+            TraceError::Stream { reason } => {
+                write!(f, "invalid stream configuration: {reason}")
+            }
         }
     }
 }
@@ -37,7 +46,7 @@ impl Error for TraceError {
         match self {
             TraceError::Shape(e) => Some(e),
             TraceError::Emit(e) => Some(e),
-            TraceError::InvalidKernel { .. } => None,
+            TraceError::InvalidKernel { .. } | TraceError::Stream { .. } => None,
         }
     }
 }

@@ -112,26 +112,37 @@ impl TraceGenerator {
         C_BASE + ((mi * n_tiles + ni) as u64) * TILE_BYTES
     }
 
-    /// Emits the tiled GEMM trace for `shape`.
-    ///
-    /// The loop nest is `for n-block { for m-block { load C; for k { … };
-    /// store C } }` with 2×2 register blocking, which keeps each B tile
-    /// register live across two consecutive `rasa_mm` instructions — the
-    /// reuse pattern WLBP and WLS exploit.
+    /// The (mt, kt, nt) tile grid of a shape under this generator's tiling.
+    pub(crate) fn tile_dims(&self, shape: GemmShape) -> Result<(usize, usize, usize), TraceError> {
+        let grid = TileGrid::new(shape, self.kernel.tiling)?;
+        Ok((grid.m_tiles(), grid.k_tiles(), grid.n_tiles()))
+    }
+
+    /// The number of 2×2 register blocks a trace of `shape` walks (the unit
+    /// both the cap check and the streaming segmenter operate on). Blocks
+    /// are ordered n-block-major: linear index `nb * mb_count + mb`.
     ///
     /// # Errors
     ///
-    /// Returns [`TraceError::Shape`] for an empty GEMM and
-    /// [`TraceError::Emit`] if the emitted program fails ISA validation
-    /// (which would be a generator bug).
-    pub fn gemm(&self, shape: GemmShape, name: &str) -> Result<Program, TraceError> {
-        let grid = TileGrid::new(shape, self.kernel.tiling)?;
-        let (mt, kt, nt) = (grid.m_tiles(), grid.k_tiles(), grid.n_tiles());
-        let cap = self.kernel.max_matmuls.unwrap_or(usize::MAX);
+    /// Returns [`TraceError::Shape`] for an empty GEMM.
+    pub fn block_count(&self, shape: GemmShape) -> Result<usize, TraceError> {
+        let (mt, _, nt) = self.tile_dims(shape)?;
+        Ok(nt.div_ceil(2) * mt.div_ceil(2))
+    }
 
-        let mut b = ProgramBuilder::new(self.isa);
-        b.set_name(name);
-
+    /// Emits one 2×2 register block (accumulator loads, the K reduction
+    /// loop, accumulator stores) for the block at `(nb, mb)`, bumping
+    /// `emitted` by the number of `rasa_mm` instructions produced. Shared by
+    /// the materialized [`TraceGenerator::gemm`] path and the streaming
+    /// segmenter, so both emit the identical instruction sequence.
+    pub(crate) fn emit_register_block(
+        &self,
+        b: &mut ProgramBuilder,
+        (mt, kt, nt): (usize, usize, usize),
+        nb: usize,
+        mb: usize,
+        emitted: &mut usize,
+    ) {
         // Register allocation mirroring Algorithm 1.
         let c_regs = [0u8, 1, 2, 3];
         let b_regs = [4u8, 5];
@@ -141,111 +152,136 @@ impl TraceGenerator {
         let b_ptr = GprReg::new(2).expect("valid gpr");
         let k_counter = GprReg::new(3).expect("valid gpr");
 
-        let mut emitted = 0usize;
-        'outer: for nb in 0..nt.div_ceil(2) {
-            let n_here: Vec<usize> = (2 * nb..(2 * nb + 2).min(nt)).collect();
-            for mb in 0..mt.div_ceil(2) {
-                let m_here: Vec<usize> = (2 * mb..(2 * mb + 2).min(mt)).collect();
-                let c_reg_of =
-                    |m_idx: usize, n_idx: usize| treg(c_regs[m_idx * n_here.len() + n_idx]);
+        let n_here: Vec<usize> = (2 * nb..(2 * nb + 2).min(nt)).collect();
+        let m_here: Vec<usize> = (2 * mb..(2 * mb + 2).min(mt)).collect();
+        let c_reg_of = |m_idx: usize, n_idx: usize| treg(c_regs[m_idx * n_here.len() + n_idx]);
 
-                // Load the accumulator tiles for this register block.
-                for (m_idx, &mi) in m_here.iter().enumerate() {
+        // Load the accumulator tiles for this register block.
+        for (m_idx, &mi) in m_here.iter().enumerate() {
+            for (n_idx, &ni) in n_here.iter().enumerate() {
+                b.tile_load(
+                    c_reg_of(m_idx, n_idx),
+                    MemRef::tile(self.c_addr(mi, ni, nt), TILE_STRIDE),
+                );
+            }
+        }
+
+        // Reduction loop: each iteration consumes one K tile.
+        for ki in 0..kt {
+            match self.kernel.matmul_order {
+                MatmulOrder::WeightPaired => {
+                    // Algorithm 1: each weight register feeds two
+                    // consecutive rasa_mm instructions.
+                    b.tile_load(
+                        treg(b_regs[0]),
+                        MemRef::tile(self.b_addr(ki, n_here[0], nt), TILE_STRIDE),
+                    );
+                    b.tile_load(
+                        treg(a_regs[0]),
+                        MemRef::tile(self.a_addr(m_here[0], ki, kt), TILE_STRIDE),
+                    );
+                    b.matmul(c_reg_of(0, 0), treg(a_regs[0]), treg(b_regs[0]));
+                    *emitted += 1;
+                    if m_here.len() > 1 {
+                        b.tile_load(
+                            treg(a_regs[1]),
+                            MemRef::tile(self.a_addr(m_here[1], ki, kt), TILE_STRIDE),
+                        );
+                        b.matmul(c_reg_of(1, 0), treg(a_regs[1]), treg(b_regs[0]));
+                        *emitted += 1;
+                    }
+                    // Second weight tile, reusing the loaded A tiles.
+                    if n_here.len() > 1 {
+                        b.tile_load(
+                            treg(b_regs[1]),
+                            MemRef::tile(self.b_addr(ki, n_here[1], nt), TILE_STRIDE),
+                        );
+                        b.matmul(c_reg_of(0, 1), treg(a_regs[0]), treg(b_regs[1]));
+                        *emitted += 1;
+                        if m_here.len() > 1 {
+                            b.matmul(c_reg_of(1, 1), treg(a_regs[1]), treg(b_regs[1]));
+                            *emitted += 1;
+                        }
+                    }
+                }
+                MatmulOrder::Interleaved => {
+                    // Load every operand tile up front, then emit the
+                    // rasa_mm instructions alternating weight
+                    // registers (no consecutive reuse).
                     for (n_idx, &ni) in n_here.iter().enumerate() {
                         b.tile_load(
-                            c_reg_of(m_idx, n_idx),
-                            MemRef::tile(self.c_addr(mi, ni, nt), TILE_STRIDE),
+                            treg(b_regs[n_idx]),
+                            MemRef::tile(self.b_addr(ki, ni, nt), TILE_STRIDE),
                         );
                     }
-                }
-
-                // Reduction loop: each iteration consumes one K tile.
-                for ki in 0..kt {
-                    match self.kernel.matmul_order {
-                        MatmulOrder::WeightPaired => {
-                            // Algorithm 1: each weight register feeds two
-                            // consecutive rasa_mm instructions.
-                            b.tile_load(
-                                treg(b_regs[0]),
-                                MemRef::tile(self.b_addr(ki, n_here[0], nt), TILE_STRIDE),
-                            );
-                            b.tile_load(
-                                treg(a_regs[0]),
-                                MemRef::tile(self.a_addr(m_here[0], ki, kt), TILE_STRIDE),
-                            );
-                            b.matmul(c_reg_of(0, 0), treg(a_regs[0]), treg(b_regs[0]));
-                            emitted += 1;
-                            if m_here.len() > 1 {
-                                b.tile_load(
-                                    treg(a_regs[1]),
-                                    MemRef::tile(self.a_addr(m_here[1], ki, kt), TILE_STRIDE),
-                                );
-                                b.matmul(c_reg_of(1, 0), treg(a_regs[1]), treg(b_regs[0]));
-                                emitted += 1;
-                            }
-                            // Second weight tile, reusing the loaded A tiles.
-                            if n_here.len() > 1 {
-                                b.tile_load(
-                                    treg(b_regs[1]),
-                                    MemRef::tile(self.b_addr(ki, n_here[1], nt), TILE_STRIDE),
-                                );
-                                b.matmul(c_reg_of(0, 1), treg(a_regs[0]), treg(b_regs[1]));
-                                emitted += 1;
-                                if m_here.len() > 1 {
-                                    b.matmul(c_reg_of(1, 1), treg(a_regs[1]), treg(b_regs[1]));
-                                    emitted += 1;
-                                }
-                            }
-                        }
-                        MatmulOrder::Interleaved => {
-                            // Load every operand tile up front, then emit the
-                            // rasa_mm instructions alternating weight
-                            // registers (no consecutive reuse).
-                            for (n_idx, &ni) in n_here.iter().enumerate() {
-                                b.tile_load(
-                                    treg(b_regs[n_idx]),
-                                    MemRef::tile(self.b_addr(ki, ni, nt), TILE_STRIDE),
-                                );
-                            }
-                            for (m_idx, &mi) in m_here.iter().enumerate() {
-                                b.tile_load(
-                                    treg(a_regs[m_idx]),
-                                    MemRef::tile(self.a_addr(mi, ki, kt), TILE_STRIDE),
-                                );
-                                #[allow(clippy::needless_range_loop)]
-                                // b_regs and c_reg_of share the index
-                                for n_idx in 0..n_here.len() {
-                                    b.matmul(
-                                        c_reg_of(m_idx, n_idx),
-                                        treg(a_regs[m_idx]),
-                                        treg(b_regs[n_idx]),
-                                    );
-                                    emitted += 1;
-                                }
-                            }
-                        }
-                    }
-
-                    if self.kernel.emit_scalar_overhead {
-                        // Pointer bumps for the A/B streams and the loop
-                        // bookkeeping of the K loop.
-                        b.scalar_alu(a_ptr, &[a_ptr]);
-                        b.scalar_alu(b_ptr, &[b_ptr]);
-                        b.scalar_alu(k_counter, &[k_counter]);
-                        b.branch(ki + 1 != kt);
-                    }
-                }
-
-                // Write the finished accumulators back.
-                for (m_idx, &mi) in m_here.iter().enumerate() {
-                    for (n_idx, &ni) in n_here.iter().enumerate() {
-                        b.tile_store(
-                            MemRef::tile(self.c_addr(mi, ni, nt), TILE_STRIDE),
-                            c_reg_of(m_idx, n_idx),
+                    for (m_idx, &mi) in m_here.iter().enumerate() {
+                        b.tile_load(
+                            treg(a_regs[m_idx]),
+                            MemRef::tile(self.a_addr(mi, ki, kt), TILE_STRIDE),
                         );
+                        #[allow(clippy::needless_range_loop)]
+                        // b_regs and c_reg_of share the index
+                        for n_idx in 0..n_here.len() {
+                            b.matmul(
+                                c_reg_of(m_idx, n_idx),
+                                treg(a_regs[m_idx]),
+                                treg(b_regs[n_idx]),
+                            );
+                            *emitted += 1;
+                        }
                     }
                 }
+            }
 
+            if self.kernel.emit_scalar_overhead {
+                // Pointer bumps for the A/B streams and the loop
+                // bookkeeping of the K loop.
+                b.scalar_alu(a_ptr, &[a_ptr]);
+                b.scalar_alu(b_ptr, &[b_ptr]);
+                b.scalar_alu(k_counter, &[k_counter]);
+                b.branch(ki + 1 != kt);
+            }
+        }
+
+        // Write the finished accumulators back.
+        for (m_idx, &mi) in m_here.iter().enumerate() {
+            for (n_idx, &ni) in n_here.iter().enumerate() {
+                b.tile_store(
+                    MemRef::tile(self.c_addr(mi, ni, nt), TILE_STRIDE),
+                    c_reg_of(m_idx, n_idx),
+                );
+            }
+        }
+    }
+
+    /// Emits the tiled GEMM trace for `shape`.
+    ///
+    /// The loop nest is `for n-block { for m-block { load C; for k { … };
+    /// store C } }` with 2×2 register blocking, which keeps each B tile
+    /// register live across two consecutive `rasa_mm` instructions — the
+    /// reuse pattern WLBP and WLS exploit.
+    ///
+    /// The streaming counterpart, [`TraceGenerator::gemm_stream`], emits the
+    /// identical instruction sequence as bounded
+    /// [`rasa_isa::ProgramSegment`]s without materializing the whole trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Shape`] for an empty GEMM and
+    /// [`TraceError::Emit`] if the emitted program fails ISA validation
+    /// (which would be a generator bug).
+    pub fn gemm(&self, shape: GemmShape, name: &str) -> Result<Program, TraceError> {
+        let dims = self.tile_dims(shape)?;
+        let (mt, _, nt) = dims;
+        let cap = self.kernel.max_matmuls.unwrap_or(usize::MAX);
+
+        let mut b = ProgramBuilder::new(self.isa);
+        b.set_name(name);
+
+        let mut emitted = 0usize;
+        'outer: for nb in 0..nt.div_ceil(2) {
+            for mb in 0..mt.div_ceil(2) {
+                self.emit_register_block(&mut b, dims, nb, mb, &mut emitted);
                 if emitted >= cap {
                     break 'outer;
                 }

@@ -39,7 +39,9 @@ mod avx;
 mod config;
 mod error;
 mod generator;
+mod stream;
 
 pub use config::{GemmKernelConfig, MatmulOrder};
 pub use error::TraceError;
 pub use generator::TraceGenerator;
+pub use stream::{GemmTraceStream, ProgramSource, DEFAULT_SEGMENT_SIZE};

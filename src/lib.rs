@@ -41,19 +41,21 @@ pub use rasa_workloads as workloads;
 /// Commonly used types, re-exported for one-line imports in examples and
 /// downstream code.
 pub mod prelude {
-    pub use rasa_cpu::{CpuConfig, CpuCore, CpuStats};
-    pub use rasa_isa::{Instruction, IsaConfig, MemRef, Program, ProgramBuilder, TileReg};
+    pub use rasa_cpu::{CoreRun, CpuConfig, CpuCore, CpuStats, StreamStats};
+    pub use rasa_isa::{
+        Instruction, IsaConfig, MemRef, Program, ProgramBuilder, ProgramSegment, TileReg,
+    };
     pub use rasa_numeric::{gemm_bf16_fp32, gemm_f32, Bf16, ConvShape, GemmShape, Matrix};
     pub use rasa_power::{AreaModel, EnergyModel, PowerReport};
     pub use rasa_sim::serve::{GemmRequest, GemmResponse, GemmServer, ServeConfig};
     pub use rasa_sim::{
         CacheStats, DesignPoint, ExperimentRunner, ExperimentRunnerBuilder, ExperimentSpec,
-        ExperimentSuite, ExperimentSuiteBuilder, FromJson, JsonValue, SimJob, SimReport,
-        SimSummary, Simulator, ToJson, WorkloadRun,
+        ExperimentSuite, ExperimentSuiteBuilder, FromJson, JsonValue, PipelineStats, SimJob,
+        SimReport, SimSummary, Simulator, ToJson, WorkloadRun,
     };
     pub use rasa_systolic::{
         ControlScheme, FunctionalArray, MatrixEngine, PeVariant, SystolicConfig, TileDims,
     };
-    pub use rasa_trace::{GemmKernelConfig, TraceGenerator};
+    pub use rasa_trace::{GemmKernelConfig, GemmTraceStream, ProgramSource, TraceGenerator};
     pub use rasa_workloads::{LayerSpec, MlperfWorkload, WorkloadSuite};
 }

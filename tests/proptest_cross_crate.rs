@@ -24,12 +24,18 @@ proptest! {
 
     /// The trace generator always emits exactly one rasa_mm per register
     /// tile, whatever the GEMM shape, and the emitted program is valid.
+    /// The streaming source emits the identical sequence as bounded
+    /// segments (with per-segment matmul counts summing to the same total),
+    /// and `matmul_count` predicts the uncapped emission exactly.
     #[test]
     fn trace_matmul_count_matches_tiling(
         m in 1usize..200,
         k in 1usize..200,
         n in 1usize..200,
+        segment_size in 1usize..600,
     ) {
+        use rasa::trace::ProgramSource;
+
         let generator = TraceGenerator::amx_like()
             .with_kernel(GemmKernelConfig::amx_like().without_scalar_overhead())
             .unwrap();
@@ -37,9 +43,22 @@ proptest! {
         let program = generator.gemm(shape, "prop").unwrap();
         let tiles = m.div_ceil(16) * k.div_ceil(32) * n.div_ceil(16);
         prop_assert_eq!(program.count_matmuls(), tiles);
+        prop_assert_eq!(generator.matmul_count(shape).unwrap(), tiles);
         // Every accumulator tile is loaded and stored exactly once.
         let c_tiles = m.div_ceil(16) * n.div_ceil(16);
         prop_assert_eq!(program.stats().tile_stores, c_tiles);
+
+        // Streamed segments reassemble to the materialized program.
+        let mut stream = generator.gemm_stream(shape, "prop", segment_size).unwrap();
+        let mut segments = Vec::new();
+        let mut streamed_matmuls = 0usize;
+        while let Some(segment) = stream.next_segment().unwrap() {
+            streamed_matmuls += segment.count_matmuls();
+            segments.push(segment);
+        }
+        prop_assert_eq!(streamed_matmuls, tiles);
+        let rebuilt = rasa::isa::Program::from_segments(segments, "prop").unwrap();
+        prop_assert_eq!(&rebuilt, &program);
     }
 
     /// Every RASA design completes any small workload at least as fast as
@@ -84,7 +103,9 @@ proptest! {
 
     /// The event-driven core scheduler is cycle-exact: for arbitrary
     /// instruction mixes, designs and buffer sizes, its statistics are
-    /// bit-identical to the cycle-stepping reference loop.
+    /// bit-identical to the cycle-stepping reference loop — and feeding
+    /// the same program through the resumable streaming API in arbitrary
+    /// bounded chunks reproduces them again, bit for bit.
     #[test]
     fn event_driven_core_matches_reference_on_random_programs(
         design in arb_design(),
@@ -92,6 +113,7 @@ proptest! {
         length in 1usize..160,
         rob_size in 6usize..97,
         rs_size in 2usize..60,
+        chunk in 1usize..48,
     ) {
         use rand::{Rng, SeedableRng};
         use rasa::cpu::{CpuConfig, CpuCore};
@@ -143,7 +165,19 @@ proptest! {
         let mut core = CpuCore::new(cfg, engine);
         let event = core.run(&program).unwrap();
         let reference = core.run_reference(&program).unwrap();
-        prop_assert_eq!(event, reference);
+        prop_assert_eq!(&event, &reference);
+
+        // Resumable streaming parity: feed the program in bounded chunks.
+        let mut run = core.begin_run(program.isa()).unwrap();
+        for slice in program.instructions().chunks(chunk) {
+            core.feed_instructions(&mut run, slice).unwrap();
+        }
+        let streamed = core.run_to_quiescence(run).unwrap();
+        prop_assert_eq!(&streamed, &event);
+        prop_assert_eq!(
+            core.stream_stats().segments as usize,
+            program.len().div_ceil(chunk)
+        );
     }
 
     /// Functional correctness of the systolic array holds for random
