@@ -17,6 +17,7 @@
 
 #![deny(missing_docs)]
 
+use rasa_sim::search::{Evolutionary, ExhaustiveGrid, RandomSampling, SearchStrategy};
 use rasa_sim::serve::AdmissionControl;
 use rasa_sim::ExperimentSuite;
 
@@ -98,6 +99,18 @@ pub struct BinOptions {
     /// matching this filter (comma-separated substrings or 1-based
     /// indices).
     pub layers: Option<String>,
+    /// For `design_search`: the strategy to run (`grid`, `random` or
+    /// `evolve`).
+    pub strategy: String,
+    /// For `design_search --strategy evolve`: individuals per generation.
+    pub population: usize,
+    /// For `design_search --strategy evolve`: breeding generations after
+    /// the initial draw.
+    pub generations: usize,
+    /// For `design_search --strategy random`: number of seeded draws.
+    pub samples: usize,
+    /// For `design_search`: the Table I layer candidates are evaluated on.
+    pub workload: String,
 }
 
 impl Default for BinOptions {
@@ -123,6 +136,11 @@ impl Default for BinOptions {
             stream: true,
             segment_size: rasa_sim::DEFAULT_SEGMENT_SIZE,
             layers: None,
+            strategy: "grid".to_string(),
+            population: 16,
+            generations: 8,
+            samples: 48,
+            workload: "DLRM-2".to_string(),
         }
     }
 }
@@ -138,9 +156,11 @@ impl BinOptions {
     /// `--warm-start PATH`, `--timing-layer NAME` and `--timing-only`, and
     /// the `serve_soak` knobs `--clients N`, `--requests N`, `--workers N`,
     /// `--batch N`, `--cache-capacity N`, `--queue-capacity N`,
-    /// `--admission block|reject` and `--seed N`. Unknown arguments are
-    /// ignored so the binaries can be run under criterion or other
-    /// wrappers.
+    /// `--admission block|reject` and `--seed N`, and the `design_search`
+    /// knobs `--strategy grid|random|evolve`, `--population N`,
+    /// `--generations N`, `--samples N` and `--workload NAME`. Unknown
+    /// arguments are ignored so the binaries can be run under criterion or
+    /// other wrappers.
     #[must_use]
     pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
         fn numeric<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>) -> Option<T> {
@@ -219,6 +239,31 @@ impl BinOptions {
                 }
                 "--timing-only" => options.timing_only = true,
                 "--no-timing" => options.no_timing = true,
+                "--strategy" => {
+                    if let Some(value) = args.next() {
+                        options.strategy = value;
+                    }
+                }
+                "--population" => {
+                    if let Some(value) = numeric(&mut args) {
+                        options.population = value;
+                    }
+                }
+                "--generations" => {
+                    if let Some(value) = numeric(&mut args) {
+                        options.generations = value;
+                    }
+                }
+                "--samples" => {
+                    if let Some(value) = numeric(&mut args) {
+                        options.samples = value;
+                    }
+                }
+                "--workload" => {
+                    if let Some(value) = args.next() {
+                        options.workload = value;
+                    }
+                }
                 _ => {}
             }
         }
@@ -229,6 +274,30 @@ impl BinOptions {
     #[must_use]
     pub fn from_env() -> Self {
         BinOptions::parse(std::env::args().skip(1))
+    }
+
+    /// Builds the boxed [`SearchStrategy`] these options select for the
+    /// `design_search` binary: `--strategy grid` (the default), `random`
+    /// (`--samples`, `--seed`) or `evolve` (`--population`,
+    /// `--generations`, `--seed`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rasa_sim::SimError::InvalidExperiment`] for an unknown
+    /// strategy name.
+    pub fn search_strategy(&self) -> Result<Box<dyn SearchStrategy>, rasa_sim::SimError> {
+        match self.strategy.as_str() {
+            "grid" => Ok(Box::new(ExhaustiveGrid)),
+            "random" => Ok(Box::new(RandomSampling::new(self.samples, self.seed))),
+            "evolve" => Ok(Box::new(Evolutionary::new(
+                self.population,
+                self.generations,
+                self.seed,
+            ))),
+            other => Err(rasa_sim::SimError::InvalidExperiment {
+                reason: format!("unknown search strategy '{other}' (grid|random|evolve)"),
+            }),
+        }
     }
 
     /// Builds the experiment suite these options describe.
@@ -427,6 +496,47 @@ mod tests {
         assert!(!s.runner().is_streaming());
         assert_eq!(s.runner().segment_size(), 4096);
         assert_eq!(s.layers().len(), 4);
+    }
+
+    #[test]
+    fn parse_search_flags_and_build_strategies() {
+        let o = BinOptions::parse(std::iter::empty());
+        assert_eq!(o.strategy, "grid");
+        assert_eq!(o.population, 16);
+        assert_eq!(o.generations, 8);
+        assert_eq!(o.samples, 48);
+        assert_eq!(o.workload, "DLRM-2");
+        assert_eq!(o.search_strategy().unwrap().name(), "grid");
+
+        let args = [
+            "--strategy",
+            "evolve",
+            "--population",
+            "12",
+            "--generations",
+            "4",
+            "--samples",
+            "20",
+            "--workload",
+            "BERT-1",
+            "--seed",
+            "7",
+        ];
+        let o = BinOptions::parse(args.iter().map(ToString::to_string));
+        assert_eq!(o.strategy, "evolve");
+        assert_eq!(o.population, 12);
+        assert_eq!(o.generations, 4);
+        assert_eq!(o.samples, 20);
+        assert_eq!(o.workload, "BERT-1");
+        assert_eq!(o.search_strategy().unwrap().name(), "evolve");
+
+        let o = BinOptions::parse(["--strategy".to_string(), "random".to_string()]);
+        assert_eq!(o.search_strategy().unwrap().name(), "random");
+        let o = BinOptions::parse(["--strategy".to_string(), "banana".to_string()]);
+        assert!(matches!(
+            o.search_strategy(),
+            Err(rasa_sim::SimError::InvalidExperiment { .. })
+        ));
     }
 
     #[test]

@@ -38,6 +38,7 @@ mod experiments;
 pub mod json;
 mod report;
 mod runner;
+pub mod search;
 pub mod serve;
 mod simulator;
 
@@ -54,6 +55,10 @@ pub use report::{PipelineStats, SimReport, SimSummary, WorkloadRun};
 pub use runner::{
     CacheStats, ExperimentRunner, ExperimentRunnerBuilder, ExperimentSpec, SimJob,
     DEFAULT_CACHE_CAPACITY,
+};
+pub use search::{
+    DesignSearch, EvaluatedDesign, Evolutionary, ExhaustiveGrid, Genotype, ParetoFrontier,
+    RandomSampling, SearchOutcome, SearchSpace, SearchStrategy,
 };
 pub use serve::{
     AdmissionControl, GemmRequest, GemmResponse, GemmServer, LatencySummary, RequestLatency,

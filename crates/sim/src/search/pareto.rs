@@ -1,0 +1,367 @@
+//! Multi-objective frontier maintenance.
+//!
+//! Every evaluated design collapses to three minimized objectives —
+//! normalized runtime (vs the paper baseline on the same workload), array
+//! area in mm² and simulated energy in joules — and the
+//! [`ParetoFrontier`] keeps exactly the non-dominated set. Everything is
+//! deterministic: objectives come from a deterministic simulation, members
+//! are kept sorted under a total order ([`f64::total_cmp`] with the design
+//! name as the final tie-break), and the resulting set is independent of
+//! insertion order.
+
+use super::Genotype;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The three minimized objectives of a design evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objectives {
+    /// Runtime normalized to the paper baseline on the same workload
+    /// (< 1 is faster than the baseline).
+    pub normalized_runtime: f64,
+    /// Array area in mm².
+    pub area_mm2: f64,
+    /// Estimated energy of the simulated portion in joules.
+    pub energy_joules: f64,
+}
+
+impl Objectives {
+    /// Pareto dominance: at least as good on every objective and strictly
+    /// better on at least one. Equal objective vectors do not dominate
+    /// each other, so exact ties coexist on a frontier.
+    #[must_use]
+    pub fn dominates(&self, other: &Objectives) -> bool {
+        let no_worse = self.normalized_runtime <= other.normalized_runtime
+            && self.area_mm2 <= other.area_mm2
+            && self.energy_joules <= other.energy_joules;
+        let better = self.normalized_runtime < other.normalized_runtime
+            || self.area_mm2 < other.area_mm2
+            || self.energy_joules < other.energy_joules;
+        no_worse && better
+    }
+}
+
+impl fmt::Display for Objectives {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "norm {:.3}, {:.3} mm2, {:.3e} J",
+            self.normalized_runtime, self.area_mm2, self.energy_joules
+        )
+    }
+}
+
+/// One fully evaluated design: the genotype, its deterministic name, the
+/// raw cycle count and the objective vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluatedDesign {
+    /// The evaluated search-space point.
+    pub genotype: Genotype,
+    /// Deterministic design name (see [`Genotype::label`]).
+    pub name: String,
+    /// Full-workload core cycles (extrapolated when the trace was capped).
+    pub core_cycles: u64,
+    /// The minimized objective vector.
+    pub objectives: Objectives,
+}
+
+impl EvaluatedDesign {
+    /// The deterministic frontier order: best normalized runtime first,
+    /// then area, then energy, then name. Total (all metrics are finite).
+    #[must_use]
+    pub fn frontier_order(&self, other: &EvaluatedDesign) -> Ordering {
+        self.objectives
+            .normalized_runtime
+            .total_cmp(&other.objectives.normalized_runtime)
+            .then_with(|| {
+                self.objectives
+                    .area_mm2
+                    .total_cmp(&other.objectives.area_mm2)
+            })
+            .then_with(|| {
+                self.objectives
+                    .energy_joules
+                    .total_cmp(&other.objectives.energy_joules)
+            })
+            .then_with(|| self.name.cmp(&other.name))
+    }
+}
+
+impl fmt::Display for EvaluatedDesign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} cycles ({})",
+            self.name, self.core_cycles, self.objectives
+        )
+    }
+}
+
+/// What [`ParetoFrontier::insert`] did with a candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontierInsert {
+    /// The candidate joined the frontier, pruning `pruned` now-dominated
+    /// members.
+    Added {
+        /// Members removed because the new candidate dominates them.
+        pruned: usize,
+    },
+    /// An existing member dominates the candidate; the frontier is
+    /// unchanged.
+    Dominated,
+    /// The candidate's genotype is already a member (a revisited genotype
+    /// re-evaluates to identical objectives); the frontier is unchanged.
+    Revisited,
+}
+
+/// The non-dominated set over [`EvaluatedDesign`]s, kept in the
+/// deterministic [`frontier_order`](EvaluatedDesign::frontier_order).
+///
+/// The maintained set is insertion-order independent: a candidate is kept
+/// exactly when no other inserted candidate dominates it, whichever order
+/// the insertions arrive in.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParetoFrontier {
+    members: Vec<EvaluatedDesign>,
+}
+
+impl ParetoFrontier {
+    /// An empty frontier.
+    #[must_use]
+    pub fn new() -> Self {
+        ParetoFrontier::default()
+    }
+
+    /// Offers a candidate to the frontier.
+    pub fn insert(&mut self, candidate: EvaluatedDesign) -> FrontierInsert {
+        if self
+            .members
+            .iter()
+            .any(|member| member.genotype == candidate.genotype)
+        {
+            return FrontierInsert::Revisited;
+        }
+        if self
+            .members
+            .iter()
+            .any(|member| member.objectives.dominates(&candidate.objectives))
+        {
+            return FrontierInsert::Dominated;
+        }
+        let before = self.members.len();
+        self.members
+            .retain(|member| !candidate.objectives.dominates(&member.objectives));
+        let pruned = before - self.members.len();
+        let position = self
+            .members
+            .partition_point(|member| member.frontier_order(&candidate) == Ordering::Less);
+        self.members.insert(position, candidate);
+        FrontierInsert::Added { pruned }
+    }
+
+    /// The non-dominated members, best normalized runtime first.
+    #[must_use]
+    pub fn members(&self) -> &[EvaluatedDesign] {
+        &self.members
+    }
+
+    /// Number of frontier members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the frontier is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The member with the best (smallest) normalized runtime, if any —
+    /// the first member under the frontier order.
+    #[must_use]
+    pub fn fastest(&self) -> Option<&EvaluatedDesign> {
+        self.members.first()
+    }
+
+    /// Looks a member up by design name.
+    #[must_use]
+    pub fn member(&self, name: &str) -> Option<&EvaluatedDesign> {
+        self.members.iter().find(|member| member.name == name)
+    }
+}
+
+impl fmt::Display for ParetoFrontier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "pareto frontier ({} points):", self.members.len())?;
+        for member in &self.members {
+            writeln!(f, "  {member}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rasa_systolic::{ControlScheme, PeVariant};
+
+    fn design(name: &str, runtime: f64, area: f64, energy: f64) -> EvaluatedDesign {
+        // A name-derived in-flight depth keeps synthetic genotypes
+        // distinct per name even when objectives repeat.
+        let depth = 1 + name.bytes().map(usize::from).sum::<usize>();
+        EvaluatedDesign {
+            genotype: Genotype {
+                pe: PeVariant::Baseline,
+                control: ControlScheme::Base,
+                max_tk: 32,
+                cols: 16,
+                max_in_flight: depth,
+                clock_ratio: 4,
+            },
+            name: name.to_string(),
+            core_cycles: (runtime * 1000.0) as u64,
+            objectives: Objectives {
+                normalized_runtime: runtime,
+                area_mm2: area,
+                energy_joules: energy,
+            },
+        }
+    }
+
+    #[test]
+    fn dominance_requires_strict_improvement_somewhere() {
+        let a = design("A", 0.5, 1.0, 1.0).objectives;
+        let b = design("B", 0.6, 1.0, 1.0).objectives;
+        let c = design("C", 0.6, 0.9, 1.1).objectives;
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        // Equal vectors never dominate.
+        assert!(!a.dominates(&a));
+        // Trade-offs (faster vs smaller) are incomparable.
+        assert!(!b.dominates(&c));
+        assert!(!c.dominates(&b));
+        assert!(a.to_string().contains("norm 0.500"));
+    }
+
+    #[test]
+    fn single_point_is_its_own_frontier() {
+        let mut frontier = ParetoFrontier::new();
+        assert!(frontier.is_empty());
+        assert!(frontier.fastest().is_none());
+        assert_eq!(
+            frontier.insert(design("ONLY", 1.0, 1.0, 1.0)),
+            FrontierInsert::Added { pruned: 0 }
+        );
+        assert_eq!(frontier.len(), 1);
+        assert_eq!(frontier.fastest().unwrap().name, "ONLY");
+        assert!(frontier.member("ONLY").is_some());
+        assert!(frontier.member("OTHER").is_none());
+    }
+
+    #[test]
+    fn dominated_candidates_are_rejected_and_members_pruned() {
+        let mut frontier = ParetoFrontier::new();
+        frontier.insert(design("MID", 0.5, 0.5, 0.5));
+        // Strictly worse everywhere: rejected.
+        assert_eq!(
+            frontier.insert(design("WORSE", 0.6, 0.6, 0.6)),
+            FrontierInsert::Dominated
+        );
+        assert_eq!(frontier.len(), 1);
+        // Strictly better everywhere: replaces the member.
+        assert_eq!(
+            frontier.insert(design("BEST", 0.4, 0.4, 0.4)),
+            FrontierInsert::Added { pruned: 1 }
+        );
+        assert_eq!(frontier.len(), 1);
+        assert_eq!(frontier.members()[0].name, "BEST");
+    }
+
+    #[test]
+    fn degenerate_all_dominated_input_collapses_to_one_point() {
+        // A chain where each design dominates the next: whatever the
+        // insertion order, only the best survives.
+        let chain: Vec<EvaluatedDesign> = (0..5)
+            .map(|i| {
+                let v = 0.3 + 0.1 * i as f64;
+                design(&format!("D{i}"), v, v, v)
+            })
+            .collect();
+        for order in [[0, 1, 2, 3, 4], [4, 3, 2, 1, 0], [2, 0, 4, 1, 3]] {
+            let mut frontier = ParetoFrontier::new();
+            for &i in &order {
+                frontier.insert(chain[i].clone());
+            }
+            assert_eq!(frontier.len(), 1, "order {order:?}");
+            assert_eq!(frontier.members()[0].name, "D0");
+        }
+    }
+
+    #[test]
+    fn exact_ties_coexist_in_name_order() {
+        let mut frontier = ParetoFrontier::new();
+        frontier.insert(design("ZETA", 0.5, 1.0, 1.0));
+        frontier.insert(design("ALPHA1", 0.5, 1.0, 1.0));
+        assert_eq!(frontier.len(), 2);
+        let names: Vec<&str> = frontier.members().iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["ALPHA1", "ZETA"], "ties break by name");
+    }
+
+    #[test]
+    fn revisited_genotypes_do_not_duplicate() {
+        let mut frontier = ParetoFrontier::new();
+        let point = design("SAME", 0.5, 1.0, 1.0);
+        assert_eq!(
+            frontier.insert(point.clone()),
+            FrontierInsert::Added { pruned: 0 }
+        );
+        assert_eq!(frontier.insert(point), FrontierInsert::Revisited);
+        assert_eq!(frontier.len(), 1);
+    }
+
+    #[test]
+    fn frontier_is_insertion_order_independent() {
+        // Three incomparable trade-off points plus two dominated ones; all
+        // six permutations of a representative subset (and a few full
+        // shuffles) must converge to the same sorted member list.
+        let points = [
+            design("FAST", 0.2, 1.2, 1.1),
+            design("SMALL", 0.9, 0.4, 1.0),
+            design("FRUGAL", 0.8, 1.1, 0.3),
+            design("LOSER1", 0.95, 1.3, 1.2),
+            design("LOSER2", 0.9, 0.5, 1.1),
+        ];
+        let orders = [
+            [0, 1, 2, 3, 4],
+            [4, 3, 2, 1, 0],
+            [3, 4, 0, 2, 1],
+            [1, 0, 4, 3, 2],
+            [2, 4, 1, 0, 3],
+            [4, 0, 3, 1, 2],
+        ];
+        let mut reference: Option<Vec<EvaluatedDesign>> = None;
+        for order in orders {
+            let mut frontier = ParetoFrontier::new();
+            for &i in &order {
+                frontier.insert(points[i].clone());
+            }
+            let members = frontier.members().to_vec();
+            let names: Vec<&str> = members.iter().map(|m| m.name.as_str()).collect();
+            assert_eq!(names, vec!["FAST", "FRUGAL", "SMALL"], "order {order:?}");
+            match &reference {
+                None => reference = Some(members),
+                Some(expected) => assert_eq!(&members, expected, "order {order:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn display_lists_members() {
+        let mut frontier = ParetoFrontier::new();
+        frontier.insert(design("A", 0.5, 1.0, 1.0));
+        let text = frontier.to_string();
+        assert!(text.contains("1 points") || text.contains("(1 points)"));
+        assert!(text.contains("A:"));
+    }
+}

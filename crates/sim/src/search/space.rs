@@ -1,0 +1,594 @@
+//! The parameterized design space a search explores.
+//!
+//! A [`SearchSpace`] is four axes over [`SystolicConfig`] parameters — PE
+//! variant, control scheme, array geometry and engine in-flight depth —
+//! plus the validity rules that prune the raw cross product: Weight Load
+//! Skip needs double-buffered PEs, the logical K extent must fold evenly
+//! into the variant's multipliers-per-PE, and the array must still fit the
+//! AMX-like register tile the trace generator emits. The surviving
+//! [`Genotype`]s are enumerated once, in a deterministic axis-major order,
+//! so every strategy (and every seeded random draw) indexes the same list.
+
+use crate::{DesignPoint, SimError};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rasa_cpu::CpuConfig;
+use rasa_systolic::{ControlScheme, PeVariant, SystolicConfig};
+use rasa_trace::GemmKernelConfig;
+use std::fmt;
+
+/// One point of a [`SearchSpace`]: a complete, materializable systolic
+/// configuration choice.
+///
+/// The geometry is stored as the **logical** K extent (`max_tk`, the K
+/// positions the array covers, i.e. `rows × multipliers_per_pe`) rather
+/// than physical rows, so the same geometry value is comparable across PE
+/// variants — exactly the paper's convention of halving the rows of
+/// double-multiplier arrays to keep the multiplier budget constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Genotype {
+    /// Processing-element variant.
+    pub pe: PeVariant,
+    /// Control/pipelining scheme.
+    pub control: ControlScheme,
+    /// Logical K extent of the array (`rows × multipliers_per_pe`).
+    pub max_tk: usize,
+    /// Physical PE columns (the N extent).
+    pub cols: usize,
+    /// Engine in-flight window (`rasa_mm` instructions tracked at once) —
+    /// the "buffer depth" axis.
+    pub max_in_flight: usize,
+    /// CPU cycles per engine cycle (fixed per space, not an axis).
+    pub clock_ratio: u32,
+}
+
+impl Genotype {
+    /// Physical PE rows this genotype materializes to.
+    ///
+    /// Meaningful only for valid genotypes (`max_tk` divisible by the
+    /// variant's multipliers per PE); rounds down otherwise.
+    #[must_use]
+    pub const fn rows(&self) -> usize {
+        self.max_tk / self.pe.multipliers_per_pe()
+    }
+
+    /// The deterministic design name: the paper label for paper-convention
+    /// genotypes (`RASA-DMDB-WLS`, `BASELINE`, …), with explicit geometry
+    /// (`@K64N32`) and in-flight (`+Q2`) suffixes exactly when the genotype
+    /// deviates from the paper's 32-K × 16-N array and depth-8 window.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let reference = SystolicConfig::paper_baseline();
+        let mut label = match (self.pe, self.control) {
+            (PeVariant::Baseline, ControlScheme::Base) => "BASELINE".to_string(),
+            (PeVariant::Baseline, c) => format!("RASA-{}", c.label()),
+            (p, c) => format!("RASA-{}-{}", p.label(), c.label()),
+        };
+        if self.max_tk != reference.max_tk() || self.cols != reference.max_tn() {
+            label.push_str(&format!("@K{}N{}", self.max_tk, self.cols));
+        }
+        if self.max_in_flight != reference.max_in_flight() {
+            label.push_str(&format!("+Q{}", self.max_in_flight));
+        }
+        label
+    }
+
+    /// Materializes the genotype into a simulatable [`DesignPoint`] (with
+    /// the evaluation's Skylake-like host core).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidExperiment`] when `max_tk` does not fold
+    /// into the variant's multipliers per PE, and [`SimError::Design`] when
+    /// the systolic configuration itself is invalid.
+    pub fn materialize(&self) -> Result<DesignPoint, SimError> {
+        if self.max_tk % self.pe.multipliers_per_pe() != 0 {
+            return Err(SimError::InvalidExperiment {
+                reason: format!(
+                    "genotype K extent {} does not fold into {} multipliers per PE",
+                    self.max_tk,
+                    self.pe.multipliers_per_pe()
+                ),
+            });
+        }
+        let systolic = SystolicConfig::new(
+            self.rows(),
+            self.cols,
+            self.pe,
+            self.control,
+            self.clock_ratio,
+        )?
+        .with_max_in_flight(self.max_in_flight);
+        Ok(DesignPoint::new(
+            self.label(),
+            systolic,
+            CpuConfig::skylake_like(),
+        ))
+    }
+}
+
+impl fmt::Display for Genotype {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// The four-axis design space. Built with [`SearchSpace::builder`] (or the
+/// [`paper`](SearchSpace::paper) / [`explorer`](SearchSpace::explorer)
+/// presets); immutable afterwards, with the valid candidate list
+/// pre-enumerated in deterministic axis-major order (variant → scheme →
+/// geometry → depth).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchSpace {
+    pe_variants: Vec<PeVariant>,
+    control_schemes: Vec<ControlScheme>,
+    /// `(max_tk, cols)` pairs: logical K extent × physical columns.
+    geometries: Vec<(usize, usize)>,
+    in_flight_depths: Vec<usize>,
+    clock_ratio: u32,
+    /// Minimum logical K extent: the register tile's K dimension (the
+    /// engine rejects tiles taller than the array).
+    tile_k: usize,
+    /// Minimum column count: the register tile's N dimension.
+    tile_n: usize,
+    candidates: Vec<Genotype>,
+}
+
+impl SearchSpace {
+    /// Starts building a space (kubecl-style typed config builder).
+    #[must_use]
+    pub fn builder() -> SearchSpaceBuilder {
+        SearchSpaceBuilder::default()
+    }
+
+    /// The paper's own design space: every PE variant × control scheme at
+    /// the evaluated geometry (logical 32-K × 16 columns, in-flight 8) —
+    /// 14 valid candidates carrying the paper's design names.
+    #[must_use]
+    pub fn paper() -> Self {
+        SearchSpace::builder()
+            .build()
+            .expect("paper space is always valid")
+    }
+
+    /// A wider exploration space: the paper combinations crossed with
+    /// larger-than-paper geometries and shallow/deep in-flight windows —
+    /// the default space of the `design_search` binary.
+    #[must_use]
+    pub fn explorer() -> Self {
+        SearchSpace::builder()
+            .with_geometries(vec![(32, 16), (64, 16), (32, 32)])
+            .with_in_flight_depths(vec![2, 8])
+            .build()
+            .expect("explorer space is always valid")
+    }
+
+    /// The PE-variant axis.
+    #[must_use]
+    pub fn pe_variants(&self) -> &[PeVariant] {
+        &self.pe_variants
+    }
+
+    /// The control-scheme axis.
+    #[must_use]
+    pub fn control_schemes(&self) -> &[ControlScheme] {
+        &self.control_schemes
+    }
+
+    /// The geometry axis as `(max_tk, cols)` pairs.
+    #[must_use]
+    pub fn geometries(&self) -> &[(usize, usize)] {
+        &self.geometries
+    }
+
+    /// The in-flight-depth axis.
+    #[must_use]
+    pub fn in_flight_depths(&self) -> &[usize] {
+        &self.in_flight_depths
+    }
+
+    /// CPU cycles per engine cycle for every candidate.
+    #[must_use]
+    pub const fn clock_ratio(&self) -> u32 {
+        self.clock_ratio
+    }
+
+    /// All valid candidates, in deterministic axis-major enumeration order.
+    #[must_use]
+    pub fn candidates(&self) -> &[Genotype] {
+        &self.candidates
+    }
+
+    /// The number of valid candidates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Whether the space has no valid candidate (never true for a built
+    /// space; kept for API symmetry).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// Whether a genotype satisfies every validity rule of this space:
+    /// scheme supported by the variant, K extent folding evenly into the
+    /// multipliers per PE, and an array at least as large as the register
+    /// tile the trace generator emits.
+    #[must_use]
+    pub fn is_valid(&self, genotype: &Genotype) -> bool {
+        genotype.control.is_supported_by(genotype.pe)
+            && genotype.max_tk % genotype.pe.multipliers_per_pe() == 0
+            && genotype.max_tk >= self.tile_k
+            && genotype.cols >= self.tile_n
+    }
+
+    /// Draws a uniformly random candidate (by enumeration index).
+    #[must_use]
+    pub fn sample(&self, rng: &mut StdRng) -> Genotype {
+        self.candidates[rng.gen_range(0..self.candidates.len())]
+    }
+
+    /// Mutates a parent genotype: each axis is independently resampled
+    /// from its axis values with probability `rate`, then the result is
+    /// repaired back into validity (an unsupported control scheme falls
+    /// back to the first axis scheme the new variant supports; if no
+    /// repair produces a valid genotype the mutation collapses to the
+    /// parent). RNG draws happen in a fixed order, so the operation is
+    /// deterministic for a given seed state.
+    #[must_use]
+    pub fn mutate(&self, parent: &Genotype, rng: &mut StdRng, rate: f64) -> Genotype {
+        let mut child = *parent;
+        if rng.gen::<f64>() < rate {
+            child.pe = self.pe_variants[rng.gen_range(0..self.pe_variants.len())];
+        }
+        if rng.gen::<f64>() < rate {
+            child.control = self.control_schemes[rng.gen_range(0..self.control_schemes.len())];
+        }
+        if rng.gen::<f64>() < rate {
+            let (max_tk, cols) = self.geometries[rng.gen_range(0..self.geometries.len())];
+            child.max_tk = max_tk;
+            child.cols = cols;
+        }
+        if rng.gen::<f64>() < rate {
+            child.max_in_flight =
+                self.in_flight_depths[rng.gen_range(0..self.in_flight_depths.len())];
+        }
+        if !self.is_valid(&child) {
+            if let Some(scheme) = self
+                .control_schemes
+                .iter()
+                .find(|scheme| scheme.is_supported_by(child.pe))
+            {
+                child.control = *scheme;
+            }
+            if !self.is_valid(&child) {
+                child = *parent;
+            }
+        }
+        child
+    }
+}
+
+impl fmt::Display for SearchSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} PE variants x {} schemes x {} geometries x {} depths = {} valid candidates",
+            self.pe_variants.len(),
+            self.control_schemes.len(),
+            self.geometries.len(),
+            self.in_flight_depths.len(),
+            self.candidates.len()
+        )
+    }
+}
+
+/// Builder for [`SearchSpace`]: optional axes, validated and enumerated at
+/// [`build`](Self::build).
+#[derive(Debug, Default)]
+pub struct SearchSpaceBuilder {
+    pe_variants: Option<Vec<PeVariant>>,
+    control_schemes: Option<Vec<ControlScheme>>,
+    geometries: Option<Vec<(usize, usize)>>,
+    in_flight_depths: Option<Vec<usize>>,
+    clock_ratio: Option<u32>,
+}
+
+impl SearchSpaceBuilder {
+    /// Restricts the PE-variant axis (default: all four variants).
+    #[must_use]
+    pub fn with_pe_variants(mut self, variants: Vec<PeVariant>) -> Self {
+        self.pe_variants = Some(variants);
+        self
+    }
+
+    /// Restricts the control-scheme axis (default: all four schemes).
+    #[must_use]
+    pub fn with_control_schemes(mut self, schemes: Vec<ControlScheme>) -> Self {
+        self.control_schemes = Some(schemes);
+        self
+    }
+
+    /// Sets the geometry axis as `(max_tk, cols)` pairs (default: the
+    /// paper's logical 32-K × 16 columns only).
+    #[must_use]
+    pub fn with_geometries(mut self, geometries: Vec<(usize, usize)>) -> Self {
+        self.geometries = Some(geometries);
+        self
+    }
+
+    /// Sets the in-flight-depth axis (default: the paper's depth of 8).
+    #[must_use]
+    pub fn with_in_flight_depths(mut self, depths: Vec<usize>) -> Self {
+        self.in_flight_depths = Some(depths);
+        self
+    }
+
+    /// Overrides the CPU-to-engine clock ratio (default 4, the paper's
+    /// 500 MHz array under a 2 GHz core).
+    #[must_use]
+    pub fn with_clock_ratio(mut self, ratio: u32) -> Self {
+        self.clock_ratio = Some(ratio);
+        self
+    }
+
+    /// Validates the axes and enumerates the candidate list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidExperiment`] for an empty axis, a zero
+    /// dimension/depth/ratio, a geometry smaller than the register tile,
+    /// or a space whose filtered cross product is empty.
+    pub fn build(self) -> Result<SearchSpace, SimError> {
+        let invalid = |reason: String| SimError::InvalidExperiment { reason };
+        let reference = SystolicConfig::paper_baseline();
+        let pe_variants = self.pe_variants.unwrap_or_else(|| PeVariant::all().into());
+        let control_schemes = self
+            .control_schemes
+            .unwrap_or_else(|| ControlScheme::all().into());
+        let geometries = self
+            .geometries
+            .unwrap_or_else(|| vec![(reference.max_tk(), reference.max_tn())]);
+        let in_flight_depths = self
+            .in_flight_depths
+            .unwrap_or_else(|| vec![reference.max_in_flight()]);
+        let clock_ratio = self.clock_ratio.unwrap_or(reference.clock_ratio());
+        if pe_variants.is_empty()
+            || control_schemes.is_empty()
+            || geometries.is_empty()
+            || in_flight_depths.is_empty()
+        {
+            return Err(invalid("every search axis needs at least one value".into()));
+        }
+        if clock_ratio == 0 {
+            return Err(invalid("clock ratio must be at least 1".into()));
+        }
+        if in_flight_depths.contains(&0) {
+            return Err(invalid("in-flight depth must be at least 1".into()));
+        }
+        // The trace generator emits AMX-like register tiles; an array
+        // smaller than one tile cannot execute the trace at all, so such
+        // geometries are configuration errors rather than filterable
+        // candidates.
+        let tile = GemmKernelConfig::amx_like().tiling;
+        for &(max_tk, cols) in &geometries {
+            if max_tk < tile.tk || cols < tile.tn {
+                return Err(invalid(format!(
+                    "geometry K{max_tk}xN{cols} cannot hold the {}x{} register tile",
+                    tile.tk, tile.tn
+                )));
+            }
+        }
+
+        let mut space = SearchSpace {
+            pe_variants,
+            control_schemes,
+            geometries,
+            in_flight_depths,
+            clock_ratio,
+            tile_k: tile.tk,
+            tile_n: tile.tn,
+            candidates: Vec::new(),
+        };
+        for &pe in &space.pe_variants {
+            for &control in &space.control_schemes {
+                for &(max_tk, cols) in &space.geometries {
+                    for &max_in_flight in &space.in_flight_depths {
+                        let genotype = Genotype {
+                            pe,
+                            control,
+                            max_tk,
+                            cols,
+                            max_in_flight,
+                            clock_ratio: space.clock_ratio,
+                        };
+                        if space.is_valid(&genotype) {
+                            space.candidates.push(genotype);
+                        }
+                    }
+                }
+            }
+        }
+        if space.candidates.is_empty() {
+            return Err(invalid(
+                "no valid candidate survives the validity filter".into(),
+            ));
+        }
+        Ok(space)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_space_enumerates_the_fourteen_named_designs() {
+        let space = SearchSpace::paper();
+        assert_eq!(space.len(), 14);
+        assert!(!space.is_empty());
+        let labels: Vec<String> = space.candidates().iter().map(Genotype::label).collect();
+        for expected in [
+            "BASELINE",
+            "RASA-PIPE",
+            "RASA-WLBP",
+            "RASA-DM-PIPE",
+            "RASA-DM-WLBP",
+            "RASA-DB-WLS",
+            "RASA-DMDB-WLBP",
+            "RASA-DMDB-WLS",
+        ] {
+            assert!(labels.contains(&expected.to_string()), "missing {expected}");
+        }
+        // No WLS without double buffering ever enumerates.
+        assert!(space.candidates().iter().all(|g| space.is_valid(g)));
+        assert!(space.to_string().contains("14 valid candidates"));
+    }
+
+    #[test]
+    fn labels_suffix_non_paper_geometry_and_depth() {
+        let genotype = Genotype {
+            pe: PeVariant::Dmdb,
+            control: ControlScheme::Wls,
+            max_tk: 64,
+            cols: 32,
+            max_in_flight: 2,
+            clock_ratio: 4,
+        };
+        assert_eq!(genotype.label(), "RASA-DMDB-WLS@K64N32+Q2");
+        assert_eq!(genotype.to_string(), genotype.label());
+        let paper = Genotype {
+            max_tk: 32,
+            cols: 16,
+            max_in_flight: 8,
+            ..genotype
+        };
+        assert_eq!(paper.label(), "RASA-DMDB-WLS");
+    }
+
+    #[test]
+    fn materialize_follows_the_row_convention() {
+        let space = SearchSpace::explorer();
+        for genotype in space.candidates() {
+            let design = genotype.materialize().unwrap();
+            let systolic = design.systolic();
+            assert_eq!(systolic.max_tk(), genotype.max_tk);
+            assert_eq!(systolic.max_tn(), genotype.cols);
+            assert_eq!(systolic.max_in_flight(), genotype.max_in_flight);
+            assert_eq!(design.name(), genotype.label());
+            // Double-multiplier variants halve the physical rows.
+            assert_eq!(
+                systolic.rows(),
+                genotype.max_tk / genotype.pe.multipliers_per_pe()
+            );
+        }
+    }
+
+    #[test]
+    fn odd_k_extent_does_not_fold_into_dm() {
+        let genotype = Genotype {
+            pe: PeVariant::Dm,
+            control: ControlScheme::Pipe,
+            max_tk: 34,
+            cols: 16,
+            max_in_flight: 8,
+            clock_ratio: 4,
+        };
+        assert_eq!(genotype.rows(), 17);
+        assert!(genotype.materialize().is_ok(), "34 folds into 2");
+        let odd = Genotype {
+            max_tk: 33,
+            ..genotype
+        };
+        assert!(matches!(
+            odd.materialize(),
+            Err(SimError::InvalidExperiment { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_axes() {
+        assert!(SearchSpace::builder()
+            .with_pe_variants(vec![])
+            .build()
+            .is_err());
+        assert!(SearchSpace::builder()
+            .with_in_flight_depths(vec![0])
+            .build()
+            .is_err());
+        assert!(SearchSpace::builder().with_clock_ratio(0).build().is_err());
+        // A geometry smaller than the 32x16 register tile is rejected
+        // outright rather than silently filtered.
+        assert!(SearchSpace::builder()
+            .with_geometries(vec![(16, 16)])
+            .build()
+            .is_err());
+        assert!(SearchSpace::builder()
+            .with_geometries(vec![(32, 8)])
+            .build()
+            .is_err());
+        // An all-invalid cross product is rejected.
+        assert!(SearchSpace::builder()
+            .with_pe_variants(vec![PeVariant::Baseline])
+            .with_control_schemes(vec![ControlScheme::Wls])
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn sampling_and_mutation_stay_inside_the_space() {
+        let space = SearchSpace::explorer();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut genotype = space.sample(&mut rng);
+        for _ in 0..200 {
+            assert!(space.is_valid(&genotype));
+            assert!(space.candidates().contains(&genotype));
+            genotype = space.mutate(&genotype, &mut rng, 0.7);
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic_for_a_seed() {
+        let space = SearchSpace::explorer();
+        let walk = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut genotype = space.sample(&mut rng);
+            let mut path = vec![genotype];
+            for _ in 0..32 {
+                genotype = space.mutate(&genotype, &mut rng, 0.5);
+                path.push(genotype);
+            }
+            path
+        };
+        assert_eq!(walk(3), walk(3));
+        assert_ne!(walk(3), walk(4), "different seeds should diverge");
+    }
+
+    #[test]
+    fn mutation_repairs_unsupported_schemes() {
+        // A space where WLS exists but Baseline PEs do not support it: the
+        // repair path must land on a supported scheme, never the parent's
+        // invalid combination.
+        let space = SearchSpace::builder()
+            .with_pe_variants(vec![PeVariant::Baseline, PeVariant::Dmdb])
+            .with_control_schemes(vec![ControlScheme::Wlbp, ControlScheme::Wls])
+            .build()
+            .unwrap();
+        let parent = Genotype {
+            pe: PeVariant::Dmdb,
+            control: ControlScheme::Wls,
+            max_tk: 32,
+            cols: 16,
+            max_in_flight: 8,
+            clock_ratio: 4,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            let child = space.mutate(&parent, &mut rng, 1.0);
+            assert!(space.is_valid(&child), "invalid child {child:?}");
+        }
+    }
+}

@@ -147,6 +147,16 @@ impl ControlScheme {
         matches!(self, ControlScheme::Wlbp | ControlScheme::Wls)
     }
 
+    /// Whether the scheme can run on a PE variant: every scheme except WLS
+    /// works everywhere, and WLS needs the shadow weight plane of a
+    /// double-buffered variant. This is the single validity rule of the
+    /// (variant × scheme) design space; [`SystolicConfig::new`] enforces it
+    /// and design-space enumeration filters with it.
+    #[must_use]
+    pub const fn is_supported_by(self, pe: PeVariant) -> bool {
+        !self.requires_double_buffering() || pe.has_double_buffering()
+    }
+
     /// Short uppercase name used in design-point labels.
     #[must_use]
     pub const fn label(self) -> &'static str {
@@ -221,7 +231,7 @@ impl SystolicConfig {
                 reason: "clock ratio must be at least 1".to_string(),
             });
         }
-        if control.requires_double_buffering() && !pe.has_double_buffering() {
+        if !control.is_supported_by(pe) {
             return Err(SystolicError::UnsupportedCombination {
                 scheme: control.label(),
                 variant: pe.label(),
@@ -247,8 +257,7 @@ impl SystolicConfig {
     /// Returns [`SystolicError::UnsupportedCombination`] when `control`
     /// requires double buffering and `pe` lacks it.
     pub fn paper(pe: PeVariant, control: ControlScheme) -> Result<Self, SystolicError> {
-        let rows = if pe.has_double_multiplier() { 16 } else { 32 };
-        SystolicConfig::new(rows, 16, pe, control, 4)
+        SystolicConfig::new(SystolicConfig::paper_rows(pe), 16, pe, control, 4)
     }
 
     /// The paper's baseline design: 32×16 baseline PEs, no pipelining.
@@ -256,6 +265,36 @@ impl SystolicConfig {
     pub fn paper_baseline() -> Self {
         SystolicConfig::paper(PeVariant::Baseline, ControlScheme::Base)
             .expect("baseline combination is always valid")
+    }
+
+    /// The paper's PE-row convention for a variant: double-multiplier PEs
+    /// cover two K positions, so the array halves its rows to keep the
+    /// multiplier count at 512.
+    #[must_use]
+    pub const fn paper_rows(pe: PeVariant) -> usize {
+        if pe.has_double_multiplier() {
+            16
+        } else {
+            32
+        }
+    }
+
+    /// Every valid (PE variant × control scheme) combination, variant-major
+    /// in the paper's presentation order: 14 of the 16 raw pairs survive
+    /// the WLS filter. This is the ground-truth count an exhaustive search
+    /// over the paper's design space must cover (asserted by
+    /// `tests/paper_claims.rs`).
+    #[must_use]
+    pub fn valid_combinations() -> Vec<(PeVariant, ControlScheme)> {
+        PeVariant::all()
+            .into_iter()
+            .flat_map(|pe| {
+                ControlScheme::all()
+                    .into_iter()
+                    .filter(move |scheme| scheme.is_supported_by(pe))
+                    .map(move |scheme| (pe, scheme))
+            })
+            .collect()
     }
 
     /// Physical PE rows.
@@ -421,6 +460,33 @@ mod tests {
         assert!(SystolicConfig::paper(PeVariant::Dm, ControlScheme::Wls).is_err());
         assert!(SystolicConfig::paper(PeVariant::Db, ControlScheme::Wls).is_ok());
         assert!(SystolicConfig::paper(PeVariant::Dmdb, ControlScheme::Wls).is_ok());
+        assert!(!ControlScheme::Wls.is_supported_by(PeVariant::Baseline));
+        assert!(!ControlScheme::Wls.is_supported_by(PeVariant::Dm));
+        assert!(ControlScheme::Wls.is_supported_by(PeVariant::Db));
+        assert!(ControlScheme::Wlbp.is_supported_by(PeVariant::Baseline));
+    }
+
+    #[test]
+    fn valid_combinations_enumerate_the_fourteen_designs() {
+        let combos = SystolicConfig::valid_combinations();
+        assert_eq!(combos.len(), 14, "16 raw pairs minus the two invalid WLS");
+        assert!(combos
+            .iter()
+            .all(|(pe, scheme)| scheme.is_supported_by(*pe)));
+        // Variant-major presentation order, starting from the baseline.
+        assert_eq!(combos[0], (PeVariant::Baseline, ControlScheme::Base));
+        assert!(!combos.contains(&(PeVariant::Baseline, ControlScheme::Wls)));
+        assert!(!combos.contains(&(PeVariant::Dm, ControlScheme::Wls)));
+
+        // Every materialized combination follows the paper's row
+        // convention and keeps the 512-multiplier budget.
+        for (pe, scheme) in combos {
+            let config = SystolicConfig::paper(pe, scheme).unwrap();
+            assert_eq!(config.rows(), SystolicConfig::paper_rows(pe));
+            assert_eq!(config.num_multipliers(), 512);
+        }
+        assert_eq!(SystolicConfig::paper_rows(PeVariant::Baseline), 32);
+        assert_eq!(SystolicConfig::paper_rows(PeVariant::Dmdb), 16);
     }
 
     #[test]

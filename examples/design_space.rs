@@ -1,84 +1,56 @@
-//! Design-space exploration: every PE variant × control scheme combination.
+//! Design-space exploration through the `rasa_sim::search` subsystem.
 //!
-//! The paper evaluates eight named design points; this example sweeps the
-//! full (valid) cross product on one BERT layer and reports runtime, area,
-//! performance per area and energy efficiency — the kind of exploration the
-//! public API is meant to support beyond the paper's own figures.
-//!
-//! The whole sweep is one [`ExperimentRunner`] grid call: the runner fans
-//! the design points out over all cores and memoizes each cell.
+//! The paper evaluates eight hand-picked design points; this example runs
+//! the automated search instead. First the exhaustive grid over the
+//! paper's own space (every valid PE variant × control scheme at the
+//! evaluated geometry) rediscovers the paper's best designs as the Pareto
+//! frontier over (normalized runtime, area, energy); then a seeded
+//! evolutionary search over the wider explorer space (more geometries,
+//! shallow/deep in-flight windows) finds the same frontier with a fraction
+//! of the evaluations, courtesy of the memoizing `ExperimentRunner`.
 //!
 //! Run with: `cargo run --release --example design_space`
 
-use rasa::power::EngineActivitySummary;
 use rasa::prelude::*;
-use rasa::systolic::{ControlScheme, PeVariant};
+use rasa::sim::search::{DesignSearch, Evolutionary, ExhaustiveGrid, SearchSpace};
 use rasa::workloads::bert_layers;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let layer = bert_layers()[0].clone();
-    println!("design space on {layer}:");
-    println!(
-        "{:>18} {:>12} {:>10} {:>10} {:>10} {:>12}",
-        "design", "cycles", "norm", "area mm2", "PPA", "energy eff"
-    );
-
-    // Baseline first so everything can be normalized against it; then the
-    // full valid (PE variant × control scheme) cross product.
-    let mut designs = vec![DesignPoint::baseline()];
-    for pe in PeVariant::all() {
-        for scheme in ControlScheme::all() {
-            // WLS without double buffering is not constructible.
-            let Ok(systolic) = SystolicConfig::paper(pe, scheme) else {
-                continue;
-            };
-            if systolic.label() != "BASELINE" {
-                designs.push(DesignPoint::new(
-                    systolic.label(),
-                    systolic,
-                    CpuConfig::skylake_like(),
-                ));
-            }
-        }
-    }
-
     let runner = ExperimentRunner::builder()
         .with_matmul_cap(Some(1536))
         .build()?;
-    let run = &runner.run_grid(std::slice::from_ref(&layer), &designs)?[0];
-    let baseline = run.baseline().expect("baseline leads the design list");
 
-    let area_model = AreaModel::new();
-    let energy_model = EnergyModel::new();
-    let baseline_energy = baseline.power.energy.total();
-    let baseline_area = baseline.power.area.total();
+    // Ground truth: every valid candidate of the paper's space.
+    let grid_search = DesignSearch::new(&runner, SearchSpace::paper(), layer.clone());
+    println!(
+        "exhaustive grid over the paper space ({}) on {layer}:",
+        grid_search.space()
+    );
+    let grid = grid_search.run(&ExhaustiveGrid)?;
+    println!("{grid}");
 
-    for (design, report) in designs.iter().zip(&run.reports) {
-        let systolic = design.systolic();
-        let normalized = report.normalized_runtime_vs(baseline);
-        let area = area_model.array_area_mm2(systolic);
-        let ppa = (1.0 / normalized) / (area / baseline_area);
-        let activity = EngineActivitySummary::from_engine_stats(&report.cpu.engine);
-        let energy = energy_model.energy(systolic, &activity).total();
-        let energy_eff = if energy > 0.0 {
-            baseline_energy / energy
-        } else {
-            0.0
-        };
+    // Seeded evolutionary search over the wider explorer space: same
+    // frontier shape, discovered through sampling. The runner's cell cache
+    // carries every already-simulated design over from the grid above.
+    let space = SearchSpace::explorer();
+    let evolve = Evolutionary::new(10, 6, 42);
+    println!(
+        "evolutionary search over the explorer space ({space}), population {}, {} generations, seed {}:",
+        evolve.population, evolve.generations, evolve.seed
+    );
+    let outcome = DesignSearch::new(&runner, space, layer).run(&evolve)?;
+    println!("{outcome}");
 
-        println!(
-            "{:>18} {:>12} {:>10.3} {:>10.3} {:>10.2} {:>11.2}x",
-            design.name(),
-            report.core_cycles,
-            normalized,
-            area,
-            ppa,
-            energy_eff
-        );
-    }
-
+    let stats = runner.cache_stats();
+    println!(
+        "{} cells simulated in total, {} evaluations served from the cell cache ({:.0}% hit rate)",
+        stats.misses,
+        stats.hits,
+        stats.hit_rate() * 100.0
+    );
     println!();
-    println!("(norm = runtime normalized to BASELINE; PPA and energy efficiency are");
-    println!(" relative to BASELINE; WLS rows only exist for double-buffered PEs)");
+    println!("(norm = runtime normalized to BASELINE; the frontier keeps every");
+    println!(" non-dominated (norm, area, energy) trade-off; same seed => same result)");
     Ok(())
 }

@@ -100,6 +100,71 @@ fn fig7_batch_sensitivity_shape() {
 }
 
 #[test]
+fn design_search_grid_rediscovers_the_paper_best_designs() {
+    // The exhaustive grid over the paper's own design space (every valid
+    // PE variant x control scheme at the evaluated geometry) must
+    // rediscover the paper's conclusions on each workload class: the
+    // Pareto frontier consists of exactly the designs the paper highlights
+    // — RASA-DMDB-WLS (best performance), RASA-DB-WLS (best energy
+    // efficiency) and the WLBP trade-off points — with RASA-DMDB-WLS the
+    // fastest, near the 16/95 pipelining asymptote.
+    use rasa::sim::search::{DesignSearch, ExhaustiveGrid, SearchSpace};
+
+    // The paper space covers exactly the valid (variant x scheme)
+    // combinations at the evaluated geometry.
+    let expected_candidates = SystolicConfig::valid_combinations().len();
+    assert_eq!(SearchSpace::paper().len(), expected_candidates);
+
+    let suite = WorkloadSuite::mlperf();
+    // One representative layer per workload class (FC from DLRM and BERT,
+    // conv from ResNet50).
+    for layer_name in ["DLRM-2", "BERT-2", "ResNet50-1"] {
+        let runner = ExperimentRunner::builder()
+            .with_matmul_cap(Some(192))
+            .build()
+            .unwrap();
+        let layer = suite.layer(layer_name).unwrap().clone();
+        let outcome = DesignSearch::new(&runner, SearchSpace::paper(), layer)
+            .run(&ExhaustiveGrid)
+            .unwrap();
+        assert_eq!(
+            outcome.distinct_evaluated, expected_candidates,
+            "{layer_name}"
+        );
+
+        let names = outcome.frontier_names();
+        assert_eq!(
+            names,
+            vec!["RASA-DMDB-WLS", "RASA-DB-WLS", "RASA-DM-WLBP", "RASA-WLBP"],
+            "{layer_name}: frontier must rediscover the paper's named designs"
+        );
+
+        // The paper's best-performance design leads the frontier, close to
+        // the 16/95 = 0.168 perfect-pipelining asymptote.
+        let fastest = outcome.fastest().unwrap();
+        assert_eq!(fastest.name, "RASA-DMDB-WLS", "{layer_name}");
+        assert!(
+            (0.16..0.20).contains(&fastest.objectives.normalized_runtime),
+            "{layer_name}: fastest norm {}",
+            fastest.objectives.normalized_runtime
+        );
+
+        // The paper's best energy-efficiency design uses the least energy
+        // of any frontier member.
+        let frugal = outcome
+            .frontier
+            .iter()
+            .min_by(|a, b| {
+                a.objectives
+                    .energy_joules
+                    .total_cmp(&b.objectives.energy_joules)
+            })
+            .unwrap();
+        assert_eq!(frugal.name, "RASA-DB-WLS", "{layer_name}");
+    }
+}
+
+#[test]
 fn energy_efficiency_scale_matches_the_paper() {
     let suite = ExperimentSuite::new().with_matmul_cap(Some(192));
     let fig5 = suite.fig5_runtime().unwrap();
