@@ -1,0 +1,164 @@
+//! Compares a freshly generated perf document against a checked-in
+//! baseline (`BENCH_<pr>.json`) and flags metric regressions beyond a
+//! noise band.
+//!
+//! ```sh
+//! cargo run --release -p rasa-bench --bin bench_check -- \
+//!     --baseline BENCH_6.json --candidate bench.json --noise 0.35
+//! ```
+//!
+//! The documents hold wall-clock observations, so exact comparison is
+//! meaningless across machines; instead every tracked metric must stay
+//! within `--noise` (default 0.35 = 35%) of the baseline in its *bad*
+//! direction — throughputs and speedups may not drop below
+//! `baseline · (1 - noise)`, latencies may not rise above
+//! `baseline · (1 + noise)`. Improvements of any size pass. Metrics absent
+//! from either document are reported and skipped (a smoke-sized rerun does
+//! not populate every section). Exit status: 0 when every present metric
+//! is within band, 2 when at least one regressed — CI runs this step
+//! warn-only (`continue-on-error`), so a red check is a signal, not a
+//! gate.
+
+use rasa_sim::JsonValue;
+
+/// The direction in which a metric can regress.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Better {
+    /// Larger values are better (throughputs, speedups, rates).
+    Higher,
+    /// Smaller values are better (latencies).
+    Lower,
+}
+
+/// Dotted paths of every tracked metric in the perf document.
+const METRICS: &[(&str, Better)] = &[
+    ("run_all.cells_per_second", Better::Higher),
+    ("run_all.instructions_per_second", Better::Higher),
+    ("run_all.visited_cycle_skip_rate", Better::Higher),
+    ("design_search.cells_per_second", Better::Higher),
+    ("serve_soak.throughput_requests_per_second", Better::Higher),
+    ("serve_soak.p50_seconds", Better::Lower),
+    ("serve_soak.p99_seconds", Better::Lower),
+    ("serve_soak.p999_seconds", Better::Lower),
+];
+
+/// Per-design metrics inside every `run_all.timing` row.
+const TIMING_METRICS: &[(&str, Better)] = &[
+    ("speculative_speedup", Better::Higher),
+    ("spec_commit_rate", Better::Higher),
+];
+
+/// Looks up a dotted path (`"run_all.cells_per_second"`) in a document.
+fn lookup<'a>(document: &'a JsonValue, path: &str) -> Option<&'a JsonValue> {
+    path.split('.')
+        .try_fold(document, |value, segment| value.get(segment))
+}
+
+/// One metric comparison: prints the verdict line, returns `true` when the
+/// metric regressed beyond the band.
+fn check(label: &str, baseline: f64, candidate: f64, better: Better, noise: f64) -> bool {
+    let (bound, regressed) = match better {
+        Better::Higher => {
+            let bound = baseline * (1.0 - noise);
+            (bound, candidate < bound)
+        }
+        Better::Lower => {
+            let bound = baseline * (1.0 + noise);
+            (bound, candidate > bound)
+        }
+    };
+    let verdict = if regressed { "REGRESSED" } else { "ok" };
+    println!(
+        "  {verdict:<9} {label:<44} baseline {baseline:>12.4}  candidate {candidate:>12.4}  bound {bound:>12.4}"
+    );
+    regressed
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut baseline_path = String::from("BENCH_6.json");
+    let mut candidate_path = String::from("bench.json");
+    let mut noise = 0.35f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_path = args.next().unwrap_or(baseline_path),
+            "--candidate" => candidate_path = args.next().unwrap_or(candidate_path),
+            "--noise" => {
+                if let Some(value) = args.next().and_then(|v| v.parse().ok()) {
+                    noise = value;
+                }
+            }
+            _ => {}
+        }
+    }
+    let baseline = rasa_bench::read_json(&baseline_path)?;
+    let candidate = rasa_bench::read_json(&candidate_path)?;
+    println!(
+        "bench_check: {candidate_path} vs {baseline_path} (noise band {:.0}%)",
+        noise * 100.0
+    );
+
+    let mut regressions = 0usize;
+    let mut skipped = 0usize;
+    let mut compare =
+        |label: &str, base: Option<f64>, cand: Option<f64>, better: Better| match (base, cand) {
+            (Some(base), Some(cand)) => {
+                if check(label, base, cand, better, noise) {
+                    regressions += 1;
+                }
+            }
+            _ => {
+                println!("  skipped   {label:<44} (absent from baseline or candidate)");
+                skipped += 1;
+            }
+        };
+
+    for (path, better) in METRICS {
+        compare(
+            path,
+            lookup(&baseline, path).and_then(JsonValue::as_f64),
+            lookup(&candidate, path).and_then(JsonValue::as_f64),
+            *better,
+        );
+    }
+    // Timing rows are matched by design name, so a reordered document
+    // still compares like with like.
+    let timing_rows = |document: &JsonValue| -> Vec<(String, JsonValue)> {
+        match lookup(document, "run_all.timing") {
+            Some(JsonValue::Array(rows)) => rows
+                .iter()
+                .filter_map(|row| {
+                    row.get("design")
+                        .and_then(JsonValue::as_str)
+                        .map(|name| (name.to_string(), row.clone()))
+                })
+                .collect(),
+            _ => Vec::new(),
+        }
+    };
+    let baseline_rows = timing_rows(&baseline);
+    let candidate_rows = timing_rows(&candidate);
+    for (design, baseline_row) in &baseline_rows {
+        let candidate_row = candidate_rows
+            .iter()
+            .find(|(name, _)| name == design)
+            .map(|(_, row)| row);
+        for (member, better) in TIMING_METRICS {
+            compare(
+                &format!("run_all.timing[{design}].{member}"),
+                baseline_row.get(member).and_then(JsonValue::as_f64),
+                candidate_row
+                    .and_then(|row| row.get(member))
+                    .and_then(JsonValue::as_f64),
+                *better,
+            );
+        }
+    }
+
+    if regressions > 0 {
+        println!("{regressions} metric(s) regressed beyond the noise band ({skipped} skipped)");
+        std::process::exit(2);
+    }
+    println!("all present metrics within the noise band ({skipped} skipped)");
+    Ok(())
+}

@@ -35,6 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let runner = ExperimentRunner::builder()
         .with_matmul_cap(options.matmul_cap)
         .with_parallel(options.parallel)
+        .with_streaming(options.stream)
+        .with_segment_size(options.segment_size)
+        .with_speculation(options.speculation)
+        .with_spec_depth(options.spec_depth)
         .build()?;
     let space = SearchSpace::explorer();
     println!(
@@ -100,6 +104,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ]);
         rasa_bench::write_verified_json(path, &document)?;
         println!("results written to {path} (round-trip verified)");
+    }
+
+    if let Some(path) = &options.bench_path {
+        // Wall-clock search throughput for the perf trajectory
+        // (machine-dependent; `bench_check` compares within a noise band).
+        let section = JsonValue::Object(vec![
+            (
+                "elapsed_seconds".into(),
+                JsonValue::number_from_f64(elapsed),
+            ),
+            (
+                "cells_simulated".into(),
+                JsonValue::number_from_u64(stats.misses),
+            ),
+            (
+                "cells_per_second".into(),
+                JsonValue::number_from_f64(stats.misses as f64 / elapsed.max(1e-9)),
+            ),
+            (
+                "cache_hit_rate".into(),
+                JsonValue::number_from_f64(stats.hit_rate()),
+            ),
+        ]);
+        rasa_bench::update_bench_section(path, "design_search", section)?;
+        println!("perf document section 'design_search' written to {path}");
     }
     Ok(())
 }

@@ -46,18 +46,19 @@ fn seconds(d: Duration) -> f64 {
     d.as_secs_f64()
 }
 
-/// Runs one Table I layer at full fidelity (no matmul cap) three ways —
-/// streamed pipeline (event-driven core fed by the bounded-channel
-/// producer), materialized event-driven, and the cycle-stepping reference —
-/// asserts the architectural statistics are bit-identical across all three
-/// (with a byte-identical JSON cross-check for the CI parity step), and
-/// reports the measured wall-clock speedups, segment counts and peak
-/// resident instructions.
+/// Runs one Table I layer at full fidelity (no matmul cap) four ways —
+/// speculative streamed (fork/join segment scheduler), sequential streamed
+/// (event-driven core fed by the bounded-channel producer), materialized
+/// event-driven, and the cycle-stepping reference — asserts the
+/// architectural statistics are bit-identical across all of them (with a
+/// byte-identical JSON cross-check for the CI parity step), and reports the
+/// measured wall-clock speedups, segment counts, peak resident
+/// instructions and speculation commit/replay rates. Returns the per-design
+/// timing rows for the machine-readable perf document.
 fn timing_comparison(
     layer_name: &str,
-    stream: bool,
-    segment_size: usize,
-) -> Result<(), Box<dyn std::error::Error>> {
+    options: &rasa_bench::BinOptions,
+) -> Result<Vec<JsonValue>, Box<dyn std::error::Error>> {
     let suite = WorkloadSuite::mlperf();
     let Some(layer) = suite.layer(layer_name) else {
         return Err(format!(
@@ -65,12 +66,16 @@ fn timing_comparison(
         )
         .into());
     };
+    let stream = options.stream;
+    let speculation = stream && options.speculation;
+    let mut rows = Vec::new();
     println!("== Event-driven core timing (full fidelity, {layer_name}) ==");
     for design in [DesignPoint::baseline(), DesignPoint::rasa_dmdb_wls()] {
         let name = design.name().to_string();
         let sim = Simulator::new(design)?
             .with_matmul_cap(None)?
-            .with_segment_size(segment_size)?;
+            .with_segment_size(options.segment_size)?
+            .with_spec_depth(options.spec_depth)?;
 
         let start = Instant::now();
         let materialized = sim.clone().with_streaming(false).run_layer(layer)?;
@@ -101,16 +106,29 @@ fn timing_comparison(
             materialized.sched.skip_rate() * 100.0,
         );
 
+        let mut row = vec![
+            ("design".to_string(), JsonValue::string(&name)),
+            (
+                "materialized_seconds".to_string(),
+                JsonValue::number_from_f64(materialized_seconds),
+            ),
+            (
+                "reference_seconds".to_string(),
+                JsonValue::number_from_f64(reference_seconds),
+            ),
+        ];
+
         if !stream {
+            rows.push(JsonValue::Object(row));
             continue;
         }
-        // Streaming parity + overlap measurement: the streamed pipeline
-        // must reproduce the materialized run's architectural *and*
-        // scheduler statistics bit for bit (byte-identical serialized
-        // form), while generating the trace concurrently with — and
-        // sharded ahead of — the simulation.
+        // Streaming parity + overlap measurement: the sequential streamed
+        // pipeline must reproduce the materialized run's architectural
+        // *and* scheduler statistics bit for bit (byte-identical
+        // serialized form), while generating the trace concurrently with —
+        // and sharded ahead of — the simulation.
         let start = Instant::now();
-        let streamed = sim.run_layer(layer)?;
+        let streamed = sim.clone().with_speculation(false).run_layer(layer)?;
         let streamed_seconds = seconds(start.elapsed());
         if streamed.cpu != materialized.cpu || streamed.sched != materialized.sched {
             return Err(format!(
@@ -141,13 +159,85 @@ fn timing_comparison(
             streamed.pipeline.fed_instructions,
             streamed.pipeline.residency() * 100.0,
         );
+        row.push((
+            "streamed_seconds".to_string(),
+            JsonValue::number_from_f64(streamed_seconds),
+        ));
+
+        if !speculation {
+            rows.push(JsonValue::Object(row));
+            continue;
+        }
+        // Speculation leg: the fork/join segment scheduler must reproduce
+        // the sequential streamed statistics bit for bit (including the
+        // byte-identical CpuStats JSON), and the wall-clock gain over the
+        // sequential streamed run is the tentpole's measured speedup.
+        let start = Instant::now();
+        let speculative = sim.run_layer(layer)?;
+        let speculative_seconds = seconds(start.elapsed());
+        if speculative.cpu != streamed.cpu || speculative.sched != streamed.sched {
+            return Err(format!(
+                "speculative scheduler diverged from the sequential streamed path on {layer_name} / {name}"
+            )
+            .into());
+        }
+        if speculative.cpu.to_json().to_string_pretty() != streamed_json {
+            return Err(format!(
+                "speculative CpuStats JSON drifted from the sequential document on {layer_name} / {name}"
+            )
+            .into());
+        }
+        let spec_speedup = streamed_seconds / speculative_seconds.max(1e-9);
+        println!(
+            "  {:<14} speculative {:.3} s vs sequential streamed {:.3} s = {:.2}x fork/join speedup",
+            "", speculative_seconds, streamed_seconds, spec_speedup,
+        );
+        println!(
+            "  {:<14} {} speculative segments: {} committed, {} replayed ({:.1}% commit rate)",
+            "",
+            speculative.pipeline.spec_forks,
+            speculative.pipeline.spec_commits,
+            speculative.pipeline.spec_replays,
+            speculative.pipeline.spec_commit_rate() * 100.0,
+        );
+        row.extend([
+            (
+                "speculative_seconds".to_string(),
+                JsonValue::number_from_f64(speculative_seconds),
+            ),
+            (
+                "speculative_speedup".to_string(),
+                JsonValue::number_from_f64(spec_speedup),
+            ),
+            (
+                "spec_forks".to_string(),
+                JsonValue::number_from_u64(speculative.pipeline.spec_forks),
+            ),
+            (
+                "spec_commits".to_string(),
+                JsonValue::number_from_u64(speculative.pipeline.spec_commits),
+            ),
+            (
+                "spec_replays".to_string(),
+                JsonValue::number_from_u64(speculative.pipeline.spec_replays),
+            ),
+            (
+                "spec_commit_rate".to_string(),
+                JsonValue::number_from_f64(speculative.pipeline.spec_commit_rate()),
+            ),
+        ]);
+        rows.push(JsonValue::Object(row));
     }
-    if stream {
-        println!("  statistics bit-identical across all cores and pipelines");
+    if speculation {
+        println!(
+            "  statistics bit-identical across all cores, pipelines and the fork/join scheduler"
+        );
+    } else if stream {
+        println!("  statistics bit-identical across all cores and pipelines (speculation off)");
     } else {
         println!("  statistics bit-identical across both cores (streamed pipeline not compared: --no-stream)");
     }
-    Ok(())
+    Ok(rows)
 }
 
 /// The deterministic slice of the evaluation, as a JSON document: every
@@ -265,6 +355,11 @@ fn results_document(
                     "segment_size".into(),
                     JsonValue::number_from_usize(options.segment_size),
                 ),
+                ("speculation".into(), JsonValue::Bool(options.speculation)),
+                (
+                    "spec_depth".into(),
+                    JsonValue::number_from_usize(options.spec_depth),
+                ),
                 (
                     "layers".into(),
                     options
@@ -325,7 +420,13 @@ fn results_document(
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let options = rasa_bench::BinOptions::from_env();
     if options.timing_only {
-        return timing_comparison(&options.timing_layer, options.stream, options.segment_size);
+        let timing_rows = timing_comparison(&options.timing_layer, &options)?;
+        if let Some(path) = &options.bench_path {
+            let section = JsonValue::Object(vec![("timing".into(), JsonValue::Array(timing_rows))]);
+            rasa_bench::update_bench_section(path, "run_all", section)?;
+            println!("perf document section 'run_all' written to {path}");
+        }
+        return Ok(());
     }
     let suite = options.suite()?;
 
@@ -400,8 +501,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("results written to {path} (round-trip verified)");
     }
 
-    if !options.no_timing {
-        timing_comparison(&options.timing_layer, options.stream, options.segment_size)?;
+    let timing_rows = if options.no_timing {
+        Vec::new()
+    } else {
+        timing_comparison(&options.timing_layer, &options)?
+    };
+
+    if let Some(path) = &options.bench_path {
+        // Wall-clock throughputs and speculation rates for the perf
+        // trajectory. Unlike the results document these numbers are
+        // machine-dependent; `bench_check` compares them within a noise
+        // band only.
+        let visited: u64 = reports().map(|r| r.sched.visited_cycles).sum();
+        let skipped: u64 = reports().map(|r| r.sched.skipped_cycles).sum();
+        let instructions: u64 = reports().map(|r| r.pipeline.fed_instructions).sum();
+        let timeline = visited + skipped;
+        let section = JsonValue::Object(vec![
+            (
+                "elapsed_seconds".into(),
+                JsonValue::number_from_f64(seconds(elapsed)),
+            ),
+            (
+                "cells_simulated".into(),
+                JsonValue::number_from_u64(stats.misses),
+            ),
+            (
+                "cells_per_second".into(),
+                JsonValue::number_from_f64(stats.misses as f64 / seconds(elapsed).max(1e-9)),
+            ),
+            (
+                "instructions_per_second".into(),
+                JsonValue::number_from_f64(instructions as f64 / seconds(elapsed).max(1e-9)),
+            ),
+            (
+                "visited_cycle_skip_rate".into(),
+                JsonValue::number_from_f64(if timeline == 0 {
+                    0.0
+                } else {
+                    skipped as f64 / timeline as f64
+                }),
+            ),
+            ("timing".into(), JsonValue::Array(timing_rows)),
+        ]);
+        rasa_bench::update_bench_section(path, "run_all", section)?;
+        println!("perf document section 'run_all' written to {path}");
     }
 
     if options.skip_serial_check || !suite.runner().is_parallel() {
@@ -415,6 +558,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_fig7_max_batch(options.fig7_max_batch)
         .with_streaming(options.stream)
         .with_segment_size(options.segment_size)
+        .with_speculation(options.speculation)
+        .with_spec_depth(options.spec_depth)
         .with_layer_filter(options.layers.clone())
         .serial()
         .build()?;

@@ -154,9 +154,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         wall_seconds
     );
     println!(
-        "latency p50 {:.3} ms | p99 {:.3} ms | max {:.3} ms (queue p99 {:.3} ms, simulate p99 {:.3} ms)",
+        "latency p50 {:.3} ms | p99 {:.3} ms | p99.9 {:.3} ms | max {:.3} ms (queue p99 {:.3} ms, simulate p99 {:.3} ms)",
         latency.p50_seconds * 1e3,
         latency.p99_seconds * 1e3,
+        latency.p999_seconds * 1e3,
         latency.max_seconds * 1e3,
         queue_latency.p99_seconds * 1e3,
         simulate_latency.p99_seconds * 1e3,
@@ -257,6 +258,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ]);
         rasa_bench::write_verified_json(path, &document)?;
         println!("results written to {path} (round-trip verified)");
+    }
+
+    if let Some(path) = &options.bench_path {
+        let section = JsonValue::Object(vec![
+            (
+                "throughput_requests_per_second".into(),
+                JsonValue::number_from_f64(throughput),
+            ),
+            (
+                "p50_seconds".into(),
+                JsonValue::number_from_f64(latency.p50_seconds),
+            ),
+            (
+                "p99_seconds".into(),
+                JsonValue::number_from_f64(latency.p99_seconds),
+            ),
+            (
+                "p999_seconds".into(),
+                JsonValue::number_from_f64(latency.p999_seconds),
+            ),
+            (
+                "max_seconds".into(),
+                JsonValue::number_from_f64(latency.max_seconds),
+            ),
+            (
+                "mean_batch_size".into(),
+                JsonValue::number_from_f64(serving.mean_batch_size()),
+            ),
+        ]);
+        rasa_bench::update_bench_section(path, "serve_soak", section)?;
+        println!("perf document section 'serve_soak' written to {path}");
     }
     Ok(())
 }

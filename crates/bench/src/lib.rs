@@ -95,6 +95,17 @@ pub struct BinOptions {
     pub stream: bool,
     /// Target streamed-segment size in instructions (`--segment-size`).
     pub segment_size: usize,
+    /// Run streamed cells through the speculative fork/join segment
+    /// scheduler (`--speculation on`, the default) or sequentially
+    /// (`--speculation off`). Simulated statistics are bit-identical
+    /// either way.
+    pub speculation: bool,
+    /// Speculative workers per fork/join wave (`--spec-depth`).
+    pub spec_depth: usize,
+    /// For `run_all` / `design_search` / `serve_soak`: write the
+    /// machine-readable perf document (throughputs, speculation rates,
+    /// serve latencies) here (`--bench PATH`).
+    pub bench_path: Option<String>,
     /// For `run_all`: restrict the evaluation to the Table I layers
     /// matching this filter (comma-separated substrings or 1-based
     /// indices).
@@ -135,6 +146,9 @@ impl Default for BinOptions {
             no_timing: false,
             stream: true,
             segment_size: rasa_sim::DEFAULT_SEGMENT_SIZE,
+            speculation: true,
+            spec_depth: rasa_sim::DEFAULT_SPEC_DEPTH,
+            bench_path: None,
             layers: None,
             strategy: "grid".to_string(),
             population: 16,
@@ -151,8 +165,10 @@ impl BinOptions {
     /// `--no-serial-check` (skip `run_all`'s serial cross-check),
     /// `--json PATH` (write the JSON results document), the streaming
     /// pipeline knobs `--no-stream` (materialized A/B path),
-    /// `--segment-size N` and `--layers FILTER` (comma-separated
-    /// substrings or 1-based Table I indices), the `run_all` knobs
+    /// `--segment-size N`, `--speculation on|off`, `--spec-depth N` and
+    /// `--layers FILTER` (comma-separated
+    /// substrings or 1-based Table I indices), `--bench PATH` (write the
+    /// machine-readable perf document), the `run_all` knobs
     /// `--warm-start PATH`, `--timing-layer NAME` and `--timing-only`, and
     /// the `serve_soak` knobs `--clients N`, `--requests N`, `--workers N`,
     /// `--batch N`, `--cache-capacity N`, `--queue-capacity N`,
@@ -231,6 +247,17 @@ impl BinOptions {
                         options.segment_size = value;
                     }
                 }
+                "--speculation" => match args.next().as_deref() {
+                    Some("on") => options.speculation = true,
+                    Some("off") => options.speculation = false,
+                    _ => {}
+                },
+                "--spec-depth" => {
+                    if let Some(value) = numeric(&mut args) {
+                        options.spec_depth = value;
+                    }
+                }
+                "--bench" => options.bench_path = args.next(),
                 "--layers" => options.layers = args.next(),
                 "--timing-layer" => {
                     if let Some(value) = args.next() {
@@ -314,6 +341,8 @@ impl BinOptions {
             .with_parallel(self.parallel)
             .with_streaming(self.stream)
             .with_segment_size(self.segment_size)
+            .with_speculation(self.speculation)
+            .with_spec_depth(self.spec_depth)
             .with_layer_filter(self.layers.clone())
             .build()
     }
@@ -353,6 +382,43 @@ pub fn write_verified_json(
 /// Returns I/O errors and JSON parse errors.
 pub fn read_json(path: &str) -> Result<rasa_sim::JsonValue, Box<dyn std::error::Error>> {
     Ok(rasa_sim::JsonValue::parse(&std::fs::read_to_string(path)?)?)
+}
+
+/// Replaces (or inserts) the `section` member of the machine-readable perf
+/// document at `path` and writes it back, creating the document if absent.
+///
+/// Each binary owns one section (`"run_all"`, `"design_search"`,
+/// `"serve_soak"`), so a perf-trajectory point like `BENCH_6.json` is
+/// assembled by running the binaries in sequence with the same `--bench`
+/// path. Unlike the golden results documents, the perf document records
+/// wall-clock observations: it is machine-dependent by design and compared
+/// only within a noise band (see the `bench_check` binary).
+///
+/// # Errors
+///
+/// Returns I/O errors, JSON parse errors, and an error when the existing
+/// file is not a JSON object.
+pub fn update_bench_section(
+    path: &str,
+    section: &str,
+    value: rasa_sim::JsonValue,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use rasa_sim::JsonValue;
+    let mut members = match std::fs::read_to_string(path) {
+        Ok(text) => match JsonValue::parse(&text)? {
+            JsonValue::Object(members) => members,
+            _ => return Err(format!("perf document {path} is not a JSON object").into()),
+        },
+        Err(error) if error.kind() == std::io::ErrorKind::NotFound => {
+            vec![("schema".into(), JsonValue::string("rasa-bench/1"))]
+        }
+        Err(error) => return Err(error.into()),
+    };
+    match members.iter_mut().find(|(name, _)| name == section) {
+        Some((_, existing)) => *existing = value,
+        None => members.push((section.to_string(), value)),
+    }
+    write_verified_json(path, &JsonValue::Object(members))
 }
 
 /// Formats a `measured vs paper` comparison line used by the binaries.
@@ -499,6 +565,32 @@ mod tests {
     }
 
     #[test]
+    fn parse_speculation_flags() {
+        let o = BinOptions::parse(std::iter::empty());
+        assert!(o.speculation, "speculation is the default");
+        assert_eq!(o.spec_depth, rasa_sim::DEFAULT_SPEC_DEPTH);
+        assert_eq!(o.bench_path, None);
+        let args = [
+            "--speculation",
+            "off",
+            "--spec-depth",
+            "3",
+            "--bench",
+            "b.json",
+        ];
+        let o = BinOptions::parse(args.iter().map(ToString::to_string));
+        assert!(!o.speculation);
+        assert_eq!(o.spec_depth, 3);
+        assert_eq!(o.bench_path.as_deref(), Some("b.json"));
+        let s = o.suite().unwrap();
+        assert!(!s.runner().is_speculative());
+        assert_eq!(s.runner().spec_depth(), 3);
+        // Unknown values keep the default.
+        let o = BinOptions::parse(["--speculation".to_string(), "banana".to_string()]);
+        assert!(o.speculation);
+    }
+
+    #[test]
     fn parse_search_flags_and_build_strategies() {
         let o = BinOptions::parse(std::iter::empty());
         assert_eq!(o.strategy, "grid");
@@ -554,6 +646,25 @@ mod tests {
         // The on-disk bytes re-serialize identically.
         let bytes = std::fs::read_to_string(path).unwrap();
         assert_eq!(reloaded.to_string_pretty(), bytes);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bench_sections_accumulate_and_replace() {
+        use rasa_sim::JsonValue;
+        let path = std::env::temp_dir().join("rasa_bench_sections_test.json");
+        let path = path.to_str().unwrap();
+        std::fs::remove_file(path).ok();
+        update_bench_section(path, "run_all", JsonValue::number_from_u64(1)).unwrap();
+        update_bench_section(path, "serve_soak", JsonValue::number_from_u64(2)).unwrap();
+        update_bench_section(path, "run_all", JsonValue::number_from_u64(3)).unwrap();
+        let doc = read_json(path).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(JsonValue::as_str),
+            Some("rasa-bench/1")
+        );
+        assert_eq!(doc.get("run_all").and_then(JsonValue::as_u64), Some(3));
+        assert_eq!(doc.get("serve_soak").and_then(JsonValue::as_u64), Some(2));
         std::fs::remove_file(path).ok();
     }
 

@@ -12,7 +12,7 @@ use std::collections::{HashMap, VecDeque};
 const NUM_VEC_REGS: usize = 32;
 
 /// A reorder-buffer entry.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct RobEntry {
     kind: InstructionKind,
     issued: bool,
@@ -52,7 +52,7 @@ struct RsEntry {
 
 /// Events handed to the matrix engine in program order: tile-register
 /// writes (for dirty-bit maintenance) and `rasa_mm` submissions.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EngineEvent {
     Write(TileReg),
     Matmul {
@@ -179,6 +179,21 @@ impl CoreRun {
         self.retired
     }
 
+    /// Current core cycle of the paused run (speculation support).
+    pub(crate) const fn current_cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Next rename sequence of the paused run (speculation support).
+    pub(crate) const fn next_sequence(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Core cycles per engine cycle for this run (speculation support).
+    pub(crate) const fn clock_ratio(&self) -> u64 {
+        self.clock_ratio
+    }
+
     /// Delivers every completion event due by `now`: each popped event
     /// wakes the instructions subscribed to that producer, moving
     /// fully-resolved reservation-station entries into the ready pool.
@@ -197,6 +212,24 @@ impl CoreRun {
             }
         }
     }
+}
+
+/// Compares two ROB windows for scheduling equivalence at `cycle`: exact
+/// equality except that the `complete_cycle` of *dead* entries (issued,
+/// complete by `cycle`, waiters drained) is normalized away — its only
+/// remaining use is a `complete_cycle <= cycle` test that stays true
+/// forever, so any two dead timestamps are interchangeable.
+fn rob_eq(a: &VecDeque<RobEntry>, b: &VecDeque<RobEntry>, cycle: u64) -> bool {
+    let dead = |e: &RobEntry| e.issued && e.complete_cycle <= cycle && e.waiters.is_empty();
+    a.len() == b.len()
+        && a.iter().zip(b.iter()).all(|(x, y)| {
+            x.kind == y.kind
+                && x.issued == y.issued
+                && x.retired == y.retired
+                && x.pending == y.pending
+                && x.waiters == y.waiters
+                && (x.complete_cycle == y.complete_cycle || (dead(x) && dead(y)))
+        })
 }
 
 /// Registers `seq` as a waiter on `producer` if the producer has not
@@ -438,6 +471,156 @@ impl CpuCore {
             stats.engine = *self.engine.stats();
         }
         Ok(stats)
+    }
+
+    // ---- Speculation support (used by `crate::SpeculativeRun`) ---------
+
+    /// Takes the statistics a paused run accumulated since the last take
+    /// (or since `begin_run`), leaving the run's counters — and the hosted
+    /// engine's — zeroed so the next interval accumulates from scratch.
+    ///
+    /// Folding the returned intervals in order with the `accumulate`
+    /// methods reproduces the unsegmented counters bit for bit; this is
+    /// what lets a speculative execution adopt a forked run (whose counters
+    /// cover only its own segment) without double-counting.
+    pub(crate) fn take_interval_stats(
+        &mut self,
+        run: &mut CoreRun,
+    ) -> (CpuStats, SchedStats, StreamStats) {
+        debug_assert!(
+            self.check_run(run).is_ok(),
+            "interval take on a foreign run"
+        );
+        let mut cpu = std::mem::take(&mut run.stats);
+        cpu.engine = *self.engine.stats();
+        self.engine.reset_stats();
+        let sched = std::mem::take(&mut run.sched);
+        let stream = std::mem::take(&mut run.stream);
+        self.sched = run.sched;
+        self.stream = run.stream;
+        (cpu, sched, stream)
+    }
+
+    /// Shifts the paused boundary state of `(self, run)` forward by
+    /// `cycles` core cycles, `seqs` rename sequences and `matmuls` engine
+    /// submissions — the state a perfectly periodic execution would reach
+    /// after that much more identical work. This is the state *predictor*
+    /// of the speculative scheduler: predictions are validated bit for bit
+    /// at join ([`CpuCore::boundary_matches`]), so a wrong shift can only
+    /// cost a replay, never correctness.
+    ///
+    /// Time-valued fields move by `cycles` (the `u64::MAX` not-yet-issued
+    /// sentinel excepted), sequence-valued fields by `seqs`, and the hosted
+    /// engine by the corresponding engine-clock deltas. Requires a starved-
+    /// rename pause boundary (empty fetch buffer) and a cycle delta that is
+    /// a whole number of engine cycles.
+    pub(crate) fn shift_boundary(
+        &mut self,
+        run: &mut CoreRun,
+        cycles: u64,
+        seqs: u64,
+        matmuls: u64,
+    ) {
+        debug_assert!(
+            run.pending.is_empty(),
+            "shift only at a starved-rename boundary"
+        );
+        debug_assert_eq!(
+            cycles % run.clock_ratio,
+            0,
+            "cycle delta must be whole engine cycles"
+        );
+        fn shift_writers(writers: &mut [Option<u64>], seqs: u64) {
+            for seq in writers.iter_mut().flatten() {
+                *seq += seqs;
+            }
+        }
+        shift_writers(&mut run.tile_writer, seqs);
+        shift_writers(&mut run.gpr_writer, seqs);
+        shift_writers(&mut run.vec_writer, seqs);
+        for entry in &mut run.rob {
+            if entry.complete_cycle != u64::MAX {
+                entry.complete_cycle += cycles;
+            }
+            for waiter in &mut entry.waiters {
+                *waiter += seqs;
+            }
+        }
+        run.rob_base += seqs;
+        run.next_seq += seqs;
+        for (seq, _) in &mut run.rs_slots {
+            *seq += seqs;
+        }
+        for event in &mut run.engine_events {
+            if let EngineEvent::Matmul { rob_seq, .. } = event {
+                *rob_seq += seqs;
+            }
+        }
+        run.events.shift(cycles, seqs);
+        run.fed += seqs as usize;
+        run.retired += seqs as usize;
+        run.cycle += cycles;
+        self.engine.shift_state(cycles / run.clock_ratio, matmuls);
+    }
+
+    /// Whether `(self, run)` and `(other, other_run)` are paused at exactly
+    /// the same pipeline boundary: equal *dynamics* — everything that can
+    /// influence any future scheduling decision — with statistics excluded.
+    ///
+    /// Two classes of semantically dead values are normalized rather than
+    /// compared exactly:
+    ///
+    /// * writer-map slots whose producer has retired — `None` and any
+    ///   retired sequence are interchangeable, because rename treats both
+    ///   as "operand complete" and nothing else ever reads them;
+    /// * the `complete_cycle` of a ROB entry that has issued, completed by
+    ///   the current cycle and drained its waiters — every future read is
+    ///   a `complete_cycle <= cycle` test that is invariantly true, so the
+    ///   exact timestamp (often dating from a long-gone pipeline-fill
+    ///   transient) cannot influence anything.
+    ///
+    /// The event heaps are compared through their canonical sorted view
+    /// (heap layout is insertion-order dependent and has no semantic
+    /// meaning).
+    pub(crate) fn boundary_matches(
+        &self,
+        run: &CoreRun,
+        other: &CpuCore,
+        other_run: &CoreRun,
+    ) -> bool {
+        fn writers_eq<const N: usize>(
+            a: &[Option<u64>; N],
+            b: &[Option<u64>; N],
+            rob_base: u64,
+        ) -> bool {
+            a.iter().zip(b.iter()).all(|(x, y)| {
+                let complete = |slot: &Option<u64>| match slot {
+                    None => true,
+                    Some(seq) => *seq < rob_base,
+                };
+                x == y || (complete(x) && complete(y))
+            })
+        }
+        run.cycle == other_run.cycle
+            && run.rob_base == other_run.rob_base
+            && run.next_seq == other_run.next_seq
+            && run.fed == other_run.fed
+            && run.retired == other_run.retired
+            && run.phase == other_run.phase
+            && run.finalized == other_run.finalized
+            && run.done == other_run.done
+            && run.pending.is_empty()
+            && other_run.pending.is_empty()
+            && run.rs_ready == other_run.rs_ready
+            && run.rs_unsorted == other_run.rs_unsorted
+            && run.rs_slots == other_run.rs_slots
+            && rob_eq(&run.rob, &other_run.rob, run.cycle)
+            && run.engine_events == other_run.engine_events
+            && run.events.sorted_events() == other_run.events.sorted_events()
+            && writers_eq(&run.tile_writer, &other_run.tile_writer, run.rob_base)
+            && writers_eq(&run.gpr_writer, &other_run.gpr_writer, run.rob_base)
+            && writers_eq(&run.vec_writer, &other_run.vec_writer, run.rob_base)
+            && self.engine.scheduling_state_eq(&other.engine)
     }
 
     /// The streaming pipeline loop: simulates cycles until the run

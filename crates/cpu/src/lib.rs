@@ -60,10 +60,12 @@ mod config;
 mod core;
 mod error;
 mod sched;
+mod spec;
 mod stats;
 
 pub use config::CpuConfig;
 pub use core::{CoreRun, CpuCore};
 pub use error::CpuError;
 pub use sched::SchedStats;
+pub use spec::{SpecCheckpoint, SpecDelta, SpeculativeRun, SpeculativeWorker};
 pub use stats::{CpuStats, StreamStats};

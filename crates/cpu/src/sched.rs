@@ -44,6 +44,15 @@ pub struct SchedStats {
 }
 
 impl SchedStats {
+    /// Folds the counters of a later execution interval into this one (all
+    /// counters are additive).
+    pub fn accumulate(&mut self, interval: &SchedStats) {
+        self.visited_cycles += interval.visited_cycles;
+        self.skipped_cycles += interval.skipped_cycles;
+        self.completion_events += interval.completion_events;
+        self.wakeups += interval.wakeups;
+    }
+
     /// Fraction of the covered timeline that was skipped rather than
     /// stepped (0 when nothing ran).
     #[must_use]
@@ -83,6 +92,26 @@ impl EventHeap {
     /// The earliest scheduled wake time, if any event is pending.
     pub fn next_time(&self) -> Option<u64> {
         self.heap.peek().map(|Reverse((time, _))| *time)
+    }
+
+    /// The pending events as a `(time, sequence)`-sorted list.
+    ///
+    /// Two heaps holding the same events can differ in internal layout
+    /// (insertion-order dependent), so state comparison must go through
+    /// this canonical view rather than the raw heap.
+    pub fn sorted_events(&self) -> Vec<(u64, u64)> {
+        let mut events: Vec<(u64, u64)> = self.heap.iter().map(|Reverse(event)| *event).collect();
+        events.sort_unstable();
+        events
+    }
+
+    /// Rebuilds the heap with every event displaced `cycles` later and
+    /// `seqs` sequences further along the instruction stream.
+    pub fn shift(&mut self, cycles: u64, seqs: u64) {
+        let events: Vec<(u64, u64)> = self.heap.drain().map(|Reverse(event)| event).collect();
+        for (time, seq) in events {
+            self.heap.push(Reverse((time + cycles, seq + seqs)));
+        }
     }
 }
 

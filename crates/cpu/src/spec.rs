@@ -1,0 +1,510 @@
+//! Speculative segment-parallel execution of a streaming core run.
+//!
+//! A [`crate::CoreRun`] is `Clone` and pauses at exact pipeline boundaries,
+//! which makes the following scheme sound: checkpoint the authoritative
+//! execution at a segment boundary, *predict* the architectural state a
+//! fixed amount of further work will reach (see
+//! [`CpuCore::shift_boundary`](crate::CpuCore)), fork speculative workers
+//! seeded with those predicted states, simulate their segments in parallel,
+//! and validate at join — a worker whose predicted entry state matches the
+//! authoritative predecessor's exit state **bit for bit** proves (by
+//! determinism of the core model) that its execution is exactly what the
+//! sequential execution would have produced, so its state and statistics
+//! commit; otherwise the segment replays sequentially.
+//!
+//! The predictor exploits the periodicity of GEMM traces: the interior of a
+//! tiled GEMM is a long run of identical instruction blocks, so in steady
+//! state the boundary state advances by a constant `(cycles, sequences,
+//! matmuls)` increment per block stride ([`SpecDelta`]). Correctness never
+//! depends on the prediction being right — only commit/replay rates do.
+//!
+//! [`SpeculativeRun`] owns the authoritative `(CpuCore, CoreRun)` pair and
+//! the fold-in-order statistics accumulators; [`SpeculativeWorker`] is a
+//! forked pair plus its frozen entry snapshot. The orchestration policy
+//! (stride sizing, wave depth, delta search) lives in the simulator crate;
+//! this module provides the mechanism and its accounting.
+
+use crate::core::{CoreRun, CpuCore};
+use crate::{CpuError, CpuStats, SchedStats, StreamStats};
+use rasa_isa::{Instruction, IsaConfig, ProgramSegment};
+
+/// A cloned boundary state of a speculative execution, usable as a
+/// speculation seed. Taking a checkpoint folds the authoritative interval
+/// statistics into the run's accumulators, so the checkpoint itself always
+/// carries zeroed counters — a worker forked from it accumulates exactly
+/// its own segment's statistics.
+#[derive(Debug, Clone)]
+pub struct SpecCheckpoint {
+    core: CpuCore,
+    run: CoreRun,
+}
+
+impl SpecCheckpoint {
+    /// `(core cycle, rename sequence, engine submissions)` position of the
+    /// checkpointed boundary.
+    fn position(&self) -> (u64, u64, u64) {
+        (
+            self.run.current_cycle(),
+            self.run.next_sequence(),
+            self.core.engine().submitted(),
+        )
+    }
+
+    /// Whether advancing this checkpoint by `delta` reproduces `other`'s
+    /// boundary state bit for bit — the periodicity test a probe runs
+    /// before trusting a delta.
+    ///
+    /// When this holds, `other` is an exact translation of `self`; and
+    /// because the core model's scheduling is translation-covariant,
+    /// feeding both the same uniform work keeps them translated copies —
+    /// so every speculative fork predicted with `delta` will validate at
+    /// join for as long as the trace stays uniform. A probe that gates on
+    /// this check therefore buys a deterministic ~100% commit rate instead
+    /// of a heuristic one.
+    #[must_use]
+    pub fn shifted_matches(&self, delta: &SpecDelta, other: &SpecCheckpoint) -> bool {
+        let mut core = self.core.clone();
+        let mut run = self.run.clone();
+        core.shift_boundary(&mut run, delta.cycles, delta.instructions, delta.matmuls);
+        core.boundary_matches(&run, &other.core, &other.run)
+    }
+}
+
+/// The constant per-stride state increment of a periodic steady-state
+/// execution: how far the boundary state advances per fixed chunk of
+/// identical work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecDelta {
+    /// Core cycles per stride.
+    pub cycles: u64,
+    /// Rename sequences (instructions) per stride.
+    pub instructions: u64,
+    /// Engine submissions (`rasa_mm`s) per stride.
+    pub matmuls: u64,
+}
+
+impl SpecDelta {
+    /// The positional increment from `from` to `to`, or `None` when the
+    /// pair cannot seed a prediction: `to` must be strictly later in both
+    /// time and sequence, and the cycle delta must be a whole number of
+    /// engine cycles (otherwise engine-clock state cannot shift exactly).
+    #[must_use]
+    pub fn between(from: &SpecCheckpoint, to: &SpecCheckpoint) -> Option<SpecDelta> {
+        debug_assert_eq!(
+            from.run.clock_ratio(),
+            to.run.clock_ratio(),
+            "checkpoints of the same run share a clock ratio"
+        );
+        let (from_cycle, from_seq, from_mm) = from.position();
+        let (to_cycle, to_seq, to_mm) = to.position();
+        if to_cycle <= from_cycle || to_seq <= from_seq || to_mm < from_mm {
+            return None;
+        }
+        let cycles = to_cycle - from_cycle;
+        if cycles % from.run.clock_ratio() != 0 {
+            return None;
+        }
+        Some(SpecDelta {
+            cycles,
+            instructions: to_seq - from_seq,
+            matmuls: to_mm - from_mm,
+        })
+    }
+}
+
+/// A forked speculative execution: a `(core, run)` pair seeded with a
+/// predicted boundary state, plus the frozen entry snapshot the join step
+/// validates against. Workers are independent (`Send`) and are meant to be
+/// fed their segment's instructions on worker threads.
+#[derive(Debug)]
+pub struct SpeculativeWorker {
+    entry: SpecCheckpoint,
+    core: CpuCore,
+    run: CoreRun,
+}
+
+impl SpeculativeWorker {
+    /// Feeds one validated segment into the speculative execution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CpuCore::feed_segment`] errors.
+    pub fn feed_segment(&mut self, segment: &ProgramSegment) -> Result<(), CpuError> {
+        self.core.feed_segment(&mut self.run, segment)
+    }
+
+    /// Feeds raw instructions into the speculative execution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CpuCore::feed_instructions`] errors.
+    pub fn feed_instructions(&mut self, instructions: &[Instruction]) -> Result<(), CpuError> {
+        self.core.feed_instructions(&mut self.run, instructions)
+    }
+}
+
+/// The authoritative side of a speculative segment-parallel execution.
+///
+/// Drives a single logical [`CoreRun`] whose architectural statistics are
+/// **bit-identical** to feeding the same instruction stream sequentially —
+/// however many forked segments commit or replay. See the module docs for
+/// the protocol; see the simulator crate for the scheduling policy.
+#[derive(Debug)]
+pub struct SpeculativeRun {
+    core: CpuCore,
+    run: CoreRun,
+    cpu: CpuStats,
+    sched: SchedStats,
+    stream: StreamStats,
+    force_mispredict: bool,
+}
+
+impl SpeculativeRun {
+    /// Opens a speculative streaming run on `core` against `isa`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CpuCore::begin_run`] errors.
+    pub fn begin(mut core: CpuCore, isa: &IsaConfig) -> Result<Self, CpuError> {
+        let run = core.begin_run(isa)?;
+        Ok(SpeculativeRun {
+            core,
+            run,
+            cpu: CpuStats::default(),
+            sched: SchedStats::default(),
+            stream: StreamStats::default(),
+            force_mispredict: false,
+        })
+    }
+
+    /// Test hook: poison every subsequently forked worker's predicted entry
+    /// state (displacing it by one engine cycle) so that validation at join
+    /// is guaranteed to fail and every forked segment replays. Used to
+    /// prove that the replay path restores bit-identity on its own.
+    pub fn set_force_mispredict(&mut self, force: bool) {
+        self.force_mispredict = force;
+    }
+
+    /// Streaming statistics accumulated so far, including the speculation
+    /// counters (forks/commits/replays).
+    #[must_use]
+    pub const fn stream_stats(&self) -> &StreamStats {
+        &self.stream
+    }
+
+    /// Feeds one validated segment into the authoritative execution (the
+    /// sequential path: warm-up, probes and replays).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CpuCore::feed_segment`] errors.
+    pub fn feed_segment(&mut self, segment: &ProgramSegment) -> Result<(), CpuError> {
+        self.core.feed_segment(&mut self.run, segment)
+    }
+
+    /// Feeds raw instructions into the authoritative execution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CpuCore::feed_instructions`] errors.
+    pub fn feed_instructions(&mut self, instructions: &[Instruction]) -> Result<(), CpuError> {
+        self.core.feed_instructions(&mut self.run, instructions)
+    }
+
+    /// Folds the authoritative interval statistics into the accumulators.
+    fn fold_interval(&mut self) {
+        let (cpu, sched, stream) = self.core.take_interval_stats(&mut self.run);
+        self.cpu.accumulate(&cpu);
+        self.sched.accumulate(&sched);
+        self.stream.accumulate(&stream);
+    }
+
+    /// Captures the current boundary as a speculation seed (folding the
+    /// pending interval statistics first, so the seed carries zeroed
+    /// counters).
+    pub fn checkpoint(&mut self) -> SpecCheckpoint {
+        self.fold_interval();
+        SpecCheckpoint {
+            core: self.core.clone(),
+            run: self.run.clone(),
+        }
+    }
+
+    /// Forks a speculative worker predicted to start `strides` strides
+    /// after `seed`, where one stride advances the state by `delta`. A
+    /// zero-stride fork predicts the seed state itself (the leading worker
+    /// of a wave, which validates trivially).
+    pub fn fork(
+        &mut self,
+        seed: &SpecCheckpoint,
+        delta: &SpecDelta,
+        strides: u64,
+    ) -> SpeculativeWorker {
+        self.stream.spec_forks += 1;
+        let mut core = seed.core.clone();
+        let mut run = seed.run.clone();
+        core.shift_boundary(
+            &mut run,
+            delta.cycles * strides,
+            delta.instructions * strides,
+            delta.matmuls * strides,
+        );
+        if self.force_mispredict {
+            let ratio = run.clock_ratio();
+            core.shift_boundary(&mut run, ratio, 0, 0);
+        }
+        SpeculativeWorker {
+            entry: SpecCheckpoint {
+                core: core.clone(),
+                run: run.clone(),
+            },
+            core,
+            run,
+        }
+    }
+
+    /// Validates a finished worker against the authoritative state and
+    /// either commits it (adopting its exit state and folding its interval
+    /// statistics) or reports a mispredict, in which case the caller must
+    /// replay the worker's segment sequentially through
+    /// [`SpeculativeRun::feed_segment`] / `feed_instructions`.
+    ///
+    /// Commit is sound because the core model is deterministic: identical
+    /// boundary dynamics plus identical future feeds yield identical
+    /// executions, so a bit-for-bit entry match proves the worker computed
+    /// exactly the sequential continuation.
+    pub fn try_commit(&mut self, worker: SpeculativeWorker) -> bool {
+        let matches = self
+            .core
+            .boundary_matches(&self.run, &worker.entry.core, &worker.entry.run);
+        if matches {
+            self.fold_interval();
+            self.core = worker.core;
+            self.run = worker.run;
+            self.stream.spec_commits += 1;
+            true
+        } else {
+            self.stream.spec_replays += 1;
+            false
+        }
+    }
+
+    /// Finalizes the run, drains the pipeline to quiescence and returns the
+    /// accumulated `(CpuStats, SchedStats, StreamStats)` — bit-identical to
+    /// the sequential streamed execution of the same instruction stream
+    /// (architectural and scheduler counters; the stream counters
+    /// additionally carry the speculation accounting).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CpuCore::run_to_quiescence`] errors.
+    pub fn finish(mut self) -> Result<(CpuStats, SchedStats, StreamStats), CpuError> {
+        let tail = self.core.run_to_quiescence(self.run)?;
+        self.cpu.accumulate(&tail);
+        self.sched.accumulate(self.core.sched_stats());
+        self.stream.accumulate(self.core.stream_stats());
+        Ok((self.cpu, self.sched, self.stream))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CpuConfig;
+    use rasa_isa::{IsaConfig, MemRef, ProgramBuilder, TileReg};
+    use rasa_systolic::{ControlScheme, MatrixEngine, PeVariant, SystolicConfig};
+
+    fn treg(i: u8) -> TileReg {
+        TileReg::new(i).unwrap()
+    }
+
+    fn core(pe: PeVariant, scheme: ControlScheme) -> CpuCore {
+        let engine = MatrixEngine::new(SystolicConfig::paper(pe, scheme).unwrap());
+        CpuCore::new(CpuConfig::skylake_like(), engine)
+    }
+
+    /// `total` instruction blocks: k-steps of the Algorithm-1 micro-kernel
+    /// (4 tile loads + 4 matmuls touching the same registers every
+    /// iteration — the periodic steady state speculation relies on). The
+    /// first block additionally loads the four accumulators; all later
+    /// blocks are identical up to addresses, which carry no timing.
+    fn trace_blocks(total: usize) -> Vec<Vec<Instruction>> {
+        let mut b = ProgramBuilder::new(IsaConfig::amx_like());
+        let mut out = Vec::new();
+        for k in 0..total {
+            if k == 0 {
+                for i in 0..4u8 {
+                    b.tile_load(treg(i), MemRef::tile(u64::from(i) * 0x400, 64));
+                }
+            }
+            let base = 0x10_000 + (k as u64) * 0x2000;
+            b.tile_load(treg(4), MemRef::tile(base, 64));
+            b.tile_load(treg(6), MemRef::tile(base + 0x400, 64));
+            b.matmul(treg(0), treg(6), treg(4));
+            b.tile_load(treg(7), MemRef::tile(base + 0x800, 64));
+            b.matmul(treg(1), treg(7), treg(4));
+            b.tile_load(treg(5), MemRef::tile(base + 0xc00, 64));
+            b.matmul(treg(2), treg(6), treg(5));
+            b.matmul(treg(3), treg(7), treg(5));
+            out.push(b.finish_segment().unwrap().instructions().to_vec());
+        }
+        out
+    }
+
+    fn sequential_golden(
+        pe: PeVariant,
+        scheme: ControlScheme,
+        blocks: &[Vec<Instruction>],
+    ) -> (CpuStats, SchedStats) {
+        let mut c = core(pe, scheme);
+        let isa = IsaConfig::amx_like();
+        let mut run = c.begin_run(&isa).unwrap();
+        for block in blocks {
+            c.feed_instructions(&mut run, block).unwrap();
+        }
+        let stats = c.run_to_quiescence(run).unwrap();
+        (stats, *c.sched_stats())
+    }
+
+    /// Warm up `warm` blocks, then slide a window over consecutive block
+    /// boundaries until one boundary is an exact one-block translation of
+    /// its predecessor ([`SpecCheckpoint::shifted_matches`]) — the steady
+    /// state has been reached and the delta is trustworthy. Returns the
+    /// seed at the confirmed boundary, the per-block delta, the stride (in
+    /// blocks) and the next unfed block index.
+    fn probe(
+        spec: &mut SpeculativeRun,
+        blocks: &[Vec<Instruction>],
+        warm: usize,
+        max_probe: usize,
+    ) -> (SpecCheckpoint, SpecDelta, usize, usize) {
+        for block in &blocks[..warm] {
+            spec.feed_instructions(block).unwrap();
+        }
+        let mut prev = spec.checkpoint();
+        let mut next = warm;
+        for _ in 0..max_probe {
+            spec.feed_instructions(&blocks[next]).unwrap();
+            next += 1;
+            let cp = spec.checkpoint();
+            if let Some(delta) = SpecDelta::between(&prev, &cp) {
+                if prev.shifted_matches(&delta, &cp) {
+                    return (cp, delta, 1, next);
+                }
+            }
+            prev = cp;
+        }
+        panic!("no periodic delta found within {max_probe} probe blocks");
+    }
+
+    #[test]
+    fn committed_waves_reproduce_sequential_stats_bit_for_bit() {
+        for (pe, scheme) in [
+            (PeVariant::Baseline, ControlScheme::Base),
+            (PeVariant::Dmdb, ControlScheme::Wls),
+        ] {
+            let total_blocks = 64;
+            let blocks = trace_blocks(total_blocks);
+            let (golden_cpu, golden_sched) = sequential_golden(pe, scheme, &blocks);
+
+            let mut spec = SpeculativeRun::begin(core(pe, scheme), &IsaConfig::amx_like()).unwrap();
+            let (mut seed, delta, stride, mut next) = probe(&mut spec, &blocks, 8, 8);
+            let depth = 3usize;
+            while next + depth * stride <= total_blocks {
+                let mut workers: Vec<(usize, SpeculativeWorker)> = (0..depth)
+                    .map(|j| (next + j * stride, spec.fork(&seed, &delta, j as u64)))
+                    .collect();
+                for (lo, worker) in &mut workers {
+                    for block in &blocks[*lo..*lo + stride] {
+                        worker.feed_instructions(block).unwrap();
+                    }
+                }
+                for (lo, worker) in workers {
+                    if !spec.try_commit(worker) {
+                        for block in &blocks[lo..lo + stride] {
+                            spec.feed_instructions(block).unwrap();
+                        }
+                    }
+                }
+                next += depth * stride;
+                seed = spec.checkpoint();
+            }
+            for block in &blocks[next..] {
+                spec.feed_instructions(block).unwrap();
+            }
+            let (cpu, sched, stream) = spec.finish().unwrap();
+            assert_eq!(cpu, golden_cpu, "{pe:?}/{scheme:?}");
+            assert_eq!(sched, golden_sched, "{pe:?}/{scheme:?}");
+            assert!(stream.spec_forks > 0);
+            // The steady state of a uniform block stream is periodic, so
+            // the waves must actually commit (worker 0 at minimum).
+            assert!(
+                stream.spec_commits > stream.spec_replays,
+                "commits {} vs replays {} on {pe:?}/{scheme:?}",
+                stream.spec_commits,
+                stream.spec_replays
+            );
+            let total_instructions: usize = blocks.iter().map(Vec::len).sum();
+            assert_eq!(stream.fed_instructions, total_instructions as u64);
+        }
+    }
+
+    #[test]
+    fn forced_mispredict_replays_and_restores_bit_identity() {
+        let (pe, scheme) = (PeVariant::Db, ControlScheme::Wls);
+        let total_blocks = 40;
+        let blocks = trace_blocks(total_blocks);
+        let (golden_cpu, golden_sched) = sequential_golden(pe, scheme, &blocks);
+
+        let mut spec = SpeculativeRun::begin(core(pe, scheme), &IsaConfig::amx_like()).unwrap();
+        let (seed, delta, stride, mut next) = probe(&mut spec, &blocks, 8, 8);
+        spec.set_force_mispredict(true);
+        let depth = 3usize;
+        let mut workers: Vec<(usize, SpeculativeWorker)> = (0..depth)
+            .map(|j| (next + j * stride, spec.fork(&seed, &delta, j as u64)))
+            .collect();
+        for (lo, worker) in &mut workers {
+            for block in &blocks[*lo..*lo + stride] {
+                worker.feed_instructions(block).unwrap();
+            }
+        }
+        for (lo, worker) in workers {
+            assert!(!spec.try_commit(worker), "poisoned entry must not match");
+            for block in &blocks[lo..lo + stride] {
+                spec.feed_instructions(block).unwrap();
+            }
+        }
+        next += depth * stride;
+        for block in &blocks[next..] {
+            spec.feed_instructions(block).unwrap();
+        }
+        let (cpu, sched, stream) = spec.finish().unwrap();
+        assert_eq!(cpu, golden_cpu, "replay restores the sequential stats");
+        assert_eq!(sched, golden_sched);
+        assert_eq!(stream.spec_commits, 0);
+        assert_eq!(stream.spec_replays, depth as u64);
+        assert_eq!(stream.spec_forks, depth as u64);
+    }
+
+    #[test]
+    fn delta_between_rejects_non_advancing_or_ragged_pairs() {
+        let blocks = trace_blocks(2);
+        let mut spec = SpeculativeRun::begin(
+            core(PeVariant::Baseline, ControlScheme::Base),
+            &IsaConfig::amx_like(),
+        )
+        .unwrap();
+        spec.feed_instructions(&blocks[0]).unwrap();
+        let a = spec.checkpoint();
+        // Same checkpoint twice: no advance, no delta.
+        assert!(SpecDelta::between(&a, &a.clone()).is_none());
+        spec.feed_instructions(&blocks[1]).unwrap();
+        let b = spec.checkpoint();
+        // Reversed order is rejected.
+        assert!(SpecDelta::between(&b, &a).is_none());
+        if let Some(delta) = SpecDelta::between(&a, &b) {
+            assert!(delta.cycles > 0 && delta.instructions > 0);
+            assert_eq!(delta.cycles % 4, 0, "paper configs run a 4:1 clock ratio");
+        }
+    }
+}

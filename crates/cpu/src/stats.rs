@@ -52,6 +52,23 @@ impl CpuStats {
         }
         self.cycles as f64 / (clock_ghz * 1.0e9)
     }
+
+    /// Folds the counters of a later execution interval into this one.
+    ///
+    /// Additive counters add; `cycles` is a timeline position (zero for
+    /// intervals harvested mid-run, final for the quiescence interval) and
+    /// takes the maximum, as does the engine horizon inside
+    /// [`EngineStats::accumulate`]. Folding per-interval statistics in order
+    /// reproduces an unsegmented run's counters exactly.
+    pub fn accumulate(&mut self, interval: &CpuStats) {
+        self.cycles = self.cycles.max(interval.cycles);
+        self.retired_instructions += interval.retired_instructions;
+        self.retired_matmuls += interval.retired_matmuls;
+        self.retired_tile_memory_ops += interval.retired_tile_memory_ops;
+        self.rob_full_stalls += interval.rob_full_stalls;
+        self.rs_full_stalls += interval.rs_full_stalls;
+        self.engine.accumulate(&interval.engine);
+    }
 }
 
 /// Feed-side statistics of a streaming ([`crate::CoreRun`]) execution.
@@ -76,6 +93,42 @@ pub struct StreamStats {
     /// feed ends in one such pause — including the single feed of a
     /// one-shot run — so this counts at least one per segment.
     pub pauses: u64,
+    /// Speculative segment executions forked by a
+    /// [`crate::SpeculativeRun`] (zero for purely sequential runs).
+    pub spec_forks: u64,
+    /// Forked segments whose predicted entry state matched the
+    /// authoritative predecessor's exit state bit for bit, letting their
+    /// statistics commit without re-execution.
+    pub spec_commits: u64,
+    /// Forked segments whose prediction missed; their work was discarded
+    /// and the segment replayed sequentially on the authoritative state.
+    pub spec_replays: u64,
+}
+
+impl StreamStats {
+    /// Folds the counters of a later execution interval into this one
+    /// (`peak_resident` is a high-water mark and takes the maximum; the
+    /// rest add).
+    pub fn accumulate(&mut self, interval: &StreamStats) {
+        self.segments += interval.segments;
+        self.fed_instructions += interval.fed_instructions;
+        self.peak_resident = self.peak_resident.max(interval.peak_resident);
+        self.pauses += interval.pauses;
+        self.spec_forks += interval.spec_forks;
+        self.spec_commits += interval.spec_commits;
+        self.spec_replays += interval.spec_replays;
+    }
+
+    /// Fraction of forked speculative segments that committed (0 when no
+    /// speculation ran).
+    #[must_use]
+    pub fn spec_commit_rate(&self) -> f64 {
+        if self.spec_forks == 0 {
+            0.0
+        } else {
+            self.spec_commits as f64 / self.spec_forks as f64
+        }
+    }
 }
 
 impl fmt::Display for CpuStats {

@@ -110,6 +110,8 @@ impl ExperimentSuite {
             .with_parallel(self.runner.is_parallel())
             .with_streaming(self.runner.is_streaming())
             .with_segment_size(self.runner.segment_size())
+            .with_speculation(self.runner.is_speculative())
+            .with_spec_depth(self.runner.spec_depth())
             .with_layer_filter(self.layer_filter.clone())
             .build()
             .expect("matmul cap must be at least 1 (or None for uncapped)")
@@ -257,6 +259,8 @@ pub struct ExperimentSuiteBuilder {
     parallel: Option<bool>,
     streaming: Option<bool>,
     segment_size: Option<usize>,
+    speculation: Option<bool>,
+    spec_depth: Option<usize>,
     layer_filter: Option<String>,
 }
 
@@ -304,6 +308,21 @@ impl ExperimentSuiteBuilder {
         self
     }
 
+    /// Enables (default) or disables the speculative fork/join segment
+    /// scheduler for streamed cells.
+    #[must_use]
+    pub fn with_speculation(mut self, speculation: bool) -> Self {
+        self.speculation = Some(speculation);
+        self
+    }
+
+    /// Overrides the number of speculative workers per fork/join wave.
+    #[must_use]
+    pub fn with_spec_depth(mut self, spec_depth: usize) -> Self {
+        self.spec_depth = Some(spec_depth);
+        self
+    }
+
     /// Restricts the matrix experiments to the Table I layers matching
     /// `filter`: comma-separated tokens, each a 1-based Table I index or a
     /// case-insensitive substring of a layer name (`"DLRM"`, `"BERT-2"`,
@@ -330,6 +349,12 @@ impl ExperimentSuiteBuilder {
         }
         if let Some(segment_size) = self.segment_size {
             runner_builder = runner_builder.with_segment_size(segment_size);
+        }
+        if let Some(speculation) = self.speculation {
+            runner_builder = runner_builder.with_speculation(speculation);
+        }
+        if let Some(spec_depth) = self.spec_depth {
+            runner_builder = runner_builder.with_spec_depth(spec_depth);
         }
         let runner = runner_builder.build()?;
         let all_layers = WorkloadSuite::mlperf().layers().to_vec();

@@ -751,6 +751,18 @@ impl ToJson for PipelineStats {
                 "peak_resident_instructions".into(),
                 JsonValue::number_from_u64(self.peak_resident_instructions),
             ),
+            (
+                "spec_forks".into(),
+                JsonValue::number_from_u64(self.spec_forks),
+            ),
+            (
+                "spec_commits".into(),
+                JsonValue::number_from_u64(self.spec_commits),
+            ),
+            (
+                "spec_replays".into(),
+                JsonValue::number_from_u64(self.spec_replays),
+            ),
         ])
     }
 }
@@ -760,11 +772,17 @@ impl FromJson for PipelineStats {
         let streamed = member(value, "streamed")?
             .as_bool()
             .ok_or_else(|| JsonError::decode("field 'streamed' is not a bool"))?;
+        // The speculation counters are absent in documents written before
+        // the fork/join scheduler existed; default them to zero.
+        let optional = |key: &str| value.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
         Ok(PipelineStats {
             streamed,
             segments: u64_member(value, "segments")?,
             fed_instructions: u64_member(value, "fed_instructions")?,
             peak_resident_instructions: u64_member(value, "peak_resident_instructions")?,
+            spec_forks: optional("spec_forks"),
+            spec_commits: optional("spec_commits"),
+            spec_replays: optional("spec_replays"),
         })
     }
 }
@@ -953,6 +971,18 @@ impl ToJson for SimSummary {
                 "peak_resident_instructions".into(),
                 JsonValue::number_from_u64(self.peak_resident_instructions),
             ),
+            (
+                "spec_forks".into(),
+                JsonValue::number_from_u64(self.spec_forks),
+            ),
+            (
+                "spec_commits".into(),
+                JsonValue::number_from_u64(self.spec_commits),
+            ),
+            (
+                "spec_replays".into(),
+                JsonValue::number_from_u64(self.spec_replays),
+            ),
         ])
     }
 }
@@ -980,6 +1010,18 @@ impl FromJson for SimSummary {
                 .unwrap_or(0),
             peak_resident_instructions: value
                 .get("peak_resident_instructions")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0),
+            spec_forks: value
+                .get("spec_forks")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0),
+            spec_commits: value
+                .get("spec_commits")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0),
+            spec_replays: value
+                .get("spec_replays")
                 .and_then(JsonValue::as_u64)
                 .unwrap_or(0),
         })

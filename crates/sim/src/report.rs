@@ -25,6 +25,15 @@ pub struct PipelineStats {
     /// one. The streaming pipeline's memory headroom is the ratio of the
     /// two.
     pub peak_resident_instructions: u64,
+    /// Speculative segment executions forked by the fork/join scheduler
+    /// (zero when speculation was off or not applicable).
+    pub spec_forks: u64,
+    /// Forked segments whose predicted entry state validated bit for bit
+    /// at join, so their statistics committed without re-execution.
+    pub spec_commits: u64,
+    /// Forked segments whose prediction missed and were replayed
+    /// sequentially on the authoritative state.
+    pub spec_replays: u64,
 }
 
 impl PipelineStats {
@@ -36,6 +45,17 @@ impl PipelineStats {
             0.0
         } else {
             self.peak_resident_instructions as f64 / self.fed_instructions as f64
+        }
+    }
+
+    /// Fraction of forked speculative segments that committed (0 when no
+    /// speculation ran).
+    #[must_use]
+    pub fn spec_commit_rate(&self) -> f64 {
+        if self.spec_forks == 0 {
+            0.0
+        } else {
+            self.spec_commits as f64 / self.spec_forks as f64
         }
     }
 }
@@ -53,7 +73,15 @@ impl fmt::Display for PipelineStats {
             self.segments,
             self.peak_resident_instructions,
             self.fed_instructions
-        )
+        )?;
+        if self.spec_forks > 0 {
+            write!(
+                f,
+                ", {} speculative segments ({} committed, {} replayed)",
+                self.spec_forks, self.spec_commits, self.spec_replays
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -134,6 +162,9 @@ impl SimReport {
             visited_cycles: self.sched.visited_cycles,
             segments: self.pipeline.segments,
             peak_resident_instructions: self.pipeline.peak_resident_instructions,
+            spec_forks: self.pipeline.spec_forks,
+            spec_commits: self.pipeline.spec_commits,
+            spec_replays: self.pipeline.spec_replays,
         }
     }
 }
@@ -189,20 +220,26 @@ pub struct SimSummary {
     pub segments: u64,
     /// Peak instructions resident in the core's fetch buffer.
     pub peak_resident_instructions: u64,
+    /// Speculative segments forked by the fork/join scheduler.
+    pub spec_forks: u64,
+    /// Speculative segments whose prediction validated and committed.
+    pub spec_commits: u64,
+    /// Speculative segments that mispredicted and replayed sequentially.
+    pub spec_replays: u64,
 }
 
 impl SimSummary {
     /// The CSV header matching [`SimSummary::to_csv_row`].
     #[must_use]
     pub fn csv_header() -> &'static str {
-        "design,workload,core_cycles,simulated_matmuls,total_matmuls,runtime_seconds,ipc,engine_bypass_rate,area_mm2,energy_joules,sched_events,visited_cycles,segments,peak_resident_instructions"
+        "design,workload,core_cycles,simulated_matmuls,total_matmuls,runtime_seconds,ipc,engine_bypass_rate,area_mm2,energy_joules,sched_events,visited_cycles,segments,peak_resident_instructions,spec_forks,spec_commits,spec_replays"
     }
 
     /// One CSV row (no trailing newline).
     #[must_use]
     pub fn to_csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{:.6e},{:.4},{:.4},{:.4},{:.6e},{},{},{},{}",
+            "{},{},{},{},{},{:.6e},{:.4},{:.4},{:.4},{:.6e},{},{},{},{},{},{},{}",
             self.design,
             self.workload,
             self.core_cycles,
@@ -216,7 +253,10 @@ impl SimSummary {
             self.sched_events,
             self.visited_cycles,
             self.segments,
-            self.peak_resident_instructions
+            self.peak_resident_instructions,
+            self.spec_forks,
+            self.spec_commits,
+            self.spec_replays
         )
     }
 }
@@ -281,18 +321,26 @@ mod tests {
             segments: 10,
             fed_instructions: 1000,
             peak_resident_instructions: 120,
+            spec_forks: 8,
+            spec_commits: 6,
+            spec_replays: 2,
         };
         assert!((streamed.residency() - 0.12).abs() < 1e-12);
         assert!(streamed.to_string().contains("streamed"));
+        assert!(streamed.to_string().contains("8 speculative segments"));
+        assert!((streamed.spec_commit_rate() - 0.75).abs() < 1e-12);
         let materialized = PipelineStats {
             streamed: false,
             segments: 1,
             fed_instructions: 1000,
             peak_resident_instructions: 1000,
+            ..PipelineStats::default()
         };
         assert!((materialized.residency() - 1.0).abs() < 1e-12);
         assert!(materialized.to_string().contains("materialized"));
+        assert!(!materialized.to_string().contains("speculative"));
         assert_eq!(PipelineStats::default().residency(), 0.0);
+        assert_eq!(PipelineStats::default().spec_commit_rate(), 0.0);
     }
 
     #[test]

@@ -27,7 +27,7 @@
 
 use crate::cache::{InsertOutcome, LruCache};
 use crate::json::{FromJson, JsonValue, ToJson};
-use crate::simulator::DEFAULT_MATMUL_CAP;
+use crate::simulator::{DEFAULT_MATMUL_CAP, DEFAULT_SPEC_DEPTH};
 use crate::{DesignPoint, SimError, SimReport, Simulator, WorkloadRun};
 use rasa_trace::GemmKernelConfig;
 use rasa_workloads::LayerSpec;
@@ -166,6 +166,8 @@ pub struct ExperimentRunner {
     parallel: bool,
     streaming: bool,
     segment_size: usize,
+    speculation: bool,
+    spec_depth: usize,
     cache: Mutex<LruCache<String, Arc<SimReport>>>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -212,6 +214,21 @@ impl ExperimentRunner {
     #[must_use]
     pub const fn segment_size(&self) -> usize {
         self.segment_size
+    }
+
+    /// Whether streamed cells may use the speculative fork/join segment
+    /// scheduler (default). Like the transport settings, speculation never
+    /// changes a simulated statistic — mispredicted segments replay
+    /// sequentially — so this only trades wall-clock time for cores.
+    #[must_use]
+    pub const fn is_speculative(&self) -> bool {
+        self.speculation
+    }
+
+    /// Speculative workers per fork/join wave.
+    #[must_use]
+    pub const fn spec_depth(&self) -> usize {
+        self.spec_depth
     }
 
     /// Cache effectiveness counters since construction (or the last
@@ -290,9 +307,9 @@ impl ExperimentRunner {
     /// cap), so cells dumped under a different fidelity simply never match
     /// this runner's lookups: warm-starting is always safe, never wrong.
     ///
-    /// The trace-transport settings (streaming on/off, segment size) are
-    /// deliberately *not* part of the key — the simulated statistics are
-    /// bit-identical across transports. A warmed cell therefore keeps the
+    /// The trace-transport settings (streaming on/off, segment size,
+    /// speculation on/off and depth) are deliberately *not* part of the
+    /// key — the simulated statistics are bit-identical across transports. A warmed cell therefore keeps the
     /// [`crate::PipelineStats`] diagnostics of the execution that
     /// originally produced it, which may describe a different transport
     /// than this runner's; every architectural metric is exact.
@@ -395,6 +412,8 @@ impl ExperimentRunner {
                 .with_kernel(kernel)?
                 .with_streaming(self.streaming)
                 .with_segment_size(self.segment_size)?
+                .with_speculation(self.speculation)
+                .with_spec_depth(self.spec_depth)?
                 .run_layer(&job.workload)?,
         );
         let outcome = self
@@ -485,6 +504,8 @@ pub struct ExperimentRunnerBuilder {
     parallel: Option<bool>,
     streaming: Option<bool>,
     segment_size: Option<usize>,
+    speculation: Option<bool>,
+    spec_depth: Option<usize>,
     cache_capacity: Option<usize>,
 }
 
@@ -526,6 +547,21 @@ impl ExperimentRunnerBuilder {
         self
     }
 
+    /// Enables (default) or disables the speculative fork/join segment
+    /// scheduler for streamed cells.
+    #[must_use]
+    pub fn with_speculation(mut self, speculation: bool) -> Self {
+        self.speculation = Some(speculation);
+        self
+    }
+
+    /// Overrides the number of speculative workers per fork/join wave.
+    #[must_use]
+    pub fn with_spec_depth(mut self, spec_depth: usize) -> Self {
+        self.spec_depth = Some(spec_depth);
+        self
+    }
+
     /// Bounds the memoization cache to `capacity` resident cells (default
     /// [`DEFAULT_CACHE_CAPACITY`]); least-recently-used cells are evicted.
     #[must_use]
@@ -561,11 +597,19 @@ impl ExperimentRunnerBuilder {
                 reason: "segment size must be at least one instruction".to_string(),
             });
         }
+        let spec_depth = self.spec_depth.unwrap_or(DEFAULT_SPEC_DEPTH);
+        if spec_depth == 0 {
+            return Err(SimError::InvalidExperiment {
+                reason: "speculation depth must be at least one worker".to_string(),
+            });
+        }
         Ok(ExperimentRunner {
             matmul_cap,
             parallel: self.parallel.unwrap_or(true),
             streaming: self.streaming.unwrap_or(true),
             segment_size,
+            speculation: self.speculation.unwrap_or(true),
+            spec_depth,
             cache: Mutex::new(LruCache::new(cache_capacity)),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -603,6 +647,24 @@ mod tests {
         assert!(!serial.is_parallel());
         assert!(matches!(
             ExperimentRunner::builder().with_matmul_cap(Some(0)).build(),
+            Err(SimError::InvalidExperiment { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_plumbs_speculation_settings() {
+        let runner = ExperimentRunner::new();
+        assert!(runner.is_speculative());
+        assert_eq!(runner.spec_depth(), DEFAULT_SPEC_DEPTH);
+        let tuned = ExperimentRunner::builder()
+            .with_speculation(false)
+            .with_spec_depth(3)
+            .build()
+            .unwrap();
+        assert!(!tuned.is_speculative());
+        assert_eq!(tuned.spec_depth(), 3);
+        assert!(matches!(
+            ExperimentRunner::builder().with_spec_depth(0).build(),
             Err(SimError::InvalidExperiment { .. })
         ));
     }

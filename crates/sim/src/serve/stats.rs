@@ -78,6 +78,8 @@ pub struct LatencySummary {
     pub p90_seconds: f64,
     /// 99th percentile.
     pub p99_seconds: f64,
+    /// 99.9th percentile.
+    pub p999_seconds: f64,
     /// Largest sample.
     pub max_seconds: f64,
 }
@@ -104,6 +106,7 @@ impl LatencySummary {
             p50_seconds: nearest_rank(&sorted, 50.0),
             p90_seconds: nearest_rank(&sorted, 90.0),
             p99_seconds: nearest_rank(&sorted, 99.0),
+            p999_seconds: nearest_rank(&sorted, 99.9),
             max_seconds: *sorted.last().expect("non-empty"),
         })
     }
@@ -114,7 +117,10 @@ impl LatencySummary {
 /// `p = 0` returns the minimum and any `p ≥ 100` returns the maximum.
 fn nearest_rank(sorted: &[f64], p: f64) -> f64 {
     debug_assert!(!sorted.is_empty(), "nearest_rank needs samples");
-    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    // The epsilon guards the ceil against representation error: p/100 · n
+    // that is mathematically integral (e.g. 99.9% of 1000) must not round
+    // a hair above the integer and claim the next rank.
+    let rank = (p / 100.0 * sorted.len() as f64 - 1e-9).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
@@ -137,6 +143,10 @@ impl ToJson for LatencySummary {
             (
                 "p99_seconds".into(),
                 JsonValue::number_from_f64(self.p99_seconds),
+            ),
+            (
+                "p999_seconds".into(),
+                JsonValue::number_from_f64(self.p999_seconds),
             ),
             (
                 "max_seconds".into(),
@@ -176,6 +186,21 @@ mod tests {
         assert_eq!(nearest_rank(&sorted, 150.0), 0.3, "out-of-range clamps");
         assert_eq!(nearest_rank(&[0.7], 50.0), 0.7);
         assert_eq!(nearest_rank(&[0.7], 99.0), 0.7);
+        // p99.9 clamps exactly like every other extreme percentile: below
+        // 1000 samples it reports the maximum, never reads out of bounds.
+        assert_eq!(nearest_rank(&sorted, 99.9), 0.3);
+        assert_eq!(nearest_rank(&[0.7], 99.9), 0.7);
+    }
+
+    #[test]
+    fn p999_distinguishes_the_extreme_tail() {
+        // 1..=1000 milliseconds: p99 = 990ms, p99.9 = 999ms, max = 1000ms.
+        let samples: Vec<f64> = (1..=1000).map(|i| i as f64 * 1e-3).collect();
+        let s = LatencySummary::from_samples(&samples).unwrap();
+        assert!((s.p99_seconds - 0.990).abs() < 1e-12);
+        assert!((s.p999_seconds - 0.999).abs() < 1e-12);
+        assert!((s.max_seconds - 1.000).abs() < 1e-12);
+        assert!(s.p99_seconds < s.p999_seconds && s.p999_seconds < s.max_seconds);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 use crate::{DesignPoint, PipelineStats, SimError, SimReport};
-use rasa_cpu::{CpuCore, CpuStats, SchedStats, StreamStats};
+use rasa_cpu::{CpuCore, CpuStats, SchedStats, SpecDelta, SpeculativeRun, StreamStats};
 use rasa_isa::{Program, ProgramSegment};
-use rasa_numeric::GemmShape;
+use rasa_numeric::{GemmShape, TileGrid};
 use rasa_power::{EngineActivitySummary, PowerReport};
 use rasa_systolic::MatrixEngine;
 use rasa_trace::{
@@ -29,6 +29,29 @@ const STREAM_CHANNEL_SEGMENTS: usize = 4;
 /// cell may itself be one job of an already-parallel experiment matrix.
 const SHARD_WAVE: usize = 4;
 
+/// Default speculative workers per fork/join wave (worker 0 is the
+/// authoritative continuation; the rest are predicted). The value is part
+/// of the deterministic schedule — pipeline statistics must not depend on
+/// the machine's core count — so it is a constant, not a CPU probe.
+pub const DEFAULT_SPEC_DEPTH: usize = 6;
+
+/// Strides the speculative scheduler probes for a confirmed periodic state
+/// delta before giving up and running the cell sequentially.
+const SPEC_PROBE_STRIDES: usize = 8;
+
+/// The deterministic fork/join schedule of a speculative run: how many
+/// register blocks one speculative segment spans and where the uniform
+/// (periodic) region of the block walk ends.
+#[derive(Debug, Clone, Copy)]
+struct SpecPlan {
+    /// Register blocks per speculative segment — a multiple of the block
+    /// walk's structural period, so every segment carries identical work.
+    stride_blocks: usize,
+    /// Blocks `>= uniform_end` (a ragged final block column) never
+    /// speculate; they are fed sequentially after the last wave.
+    uniform_end: usize,
+}
+
 /// End-to-end simulator for one design point.
 ///
 /// A `Simulator` owns the trace generator and the CPU/engine configuration;
@@ -50,6 +73,8 @@ pub struct Simulator {
     generator: TraceGenerator,
     streaming: bool,
     segment_size: usize,
+    speculation: bool,
+    spec_depth: usize,
 }
 
 impl Simulator {
@@ -68,6 +93,8 @@ impl Simulator {
             generator,
             streaming: true,
             segment_size: DEFAULT_SEGMENT_SIZE,
+            speculation: true,
+            spec_depth: DEFAULT_SPEC_DEPTH,
         })
     }
 
@@ -125,6 +152,44 @@ impl Simulator {
         }
         self.segment_size = segment_size;
         Ok(self)
+    }
+
+    /// Enables (default) or disables the speculative fork/join segment
+    /// scheduler for streamed, uncapped runs. Speculation is a wall-clock
+    /// optimization only: the simulated statistics are bit-identical either
+    /// way (mispredicted segments replay sequentially), which the parity
+    /// tests and CI enforce.
+    #[must_use]
+    pub const fn with_speculation(mut self, speculation: bool) -> Self {
+        self.speculation = speculation;
+        self
+    }
+
+    /// Overrides the number of speculative workers per fork/join wave.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidExperiment`] for a zero depth.
+    pub fn with_spec_depth(mut self, spec_depth: usize) -> Result<Self, SimError> {
+        if spec_depth == 0 {
+            return Err(SimError::InvalidExperiment {
+                reason: "speculation depth must be at least one worker".to_string(),
+            });
+        }
+        self.spec_depth = spec_depth;
+        Ok(self)
+    }
+
+    /// Whether runs may use the speculative fork/join segment scheduler.
+    #[must_use]
+    pub const fn is_speculative(&self) -> bool {
+        self.speculation
+    }
+
+    /// Speculative workers per fork/join wave.
+    #[must_use]
+    pub const fn spec_depth(&self) -> usize {
+        self.spec_depth
     }
 
     /// The design point being simulated.
@@ -195,6 +260,9 @@ impl Simulator {
     fn run_shape(&self, shape: GemmShape, name: &str) -> Result<SimReport, SimError> {
         let total = self.generator.matmul_count(shape)? as u64;
         if self.streaming {
+            if let Some(plan) = self.spec_plan(shape)? {
+                return self.run_speculative(shape, name, total, plan);
+            }
             self.run_streamed(shape, name, total)
         } else {
             let program = self.generator.gemm(shape, name)?;
@@ -239,6 +307,7 @@ impl Simulator {
             segments: 1,
             fed_instructions: program.len() as u64,
             peak_resident_instructions: program.len() as u64,
+            ..PipelineStats::default()
         };
         Ok(self.report(cpu_stats, sched, pipeline, total_matmuls, workload))
     }
@@ -304,6 +373,173 @@ impl Simulator {
             segments: stream.segments,
             fed_instructions: stream.fed_instructions,
             peak_resident_instructions: stream.peak_resident as u64,
+            ..PipelineStats::default()
+        };
+        Ok(self.report(cpu_stats, sched, pipeline, total_matmuls, name))
+    }
+
+    /// The deterministic fork/join schedule for speculating `shape`, or
+    /// `None` when the cell must run sequentially: speculation is off, the
+    /// trace is capped (the cap is a sequential prefix property), or the
+    /// uniform block region is too short to amortize a probe and a wave.
+    fn spec_plan(&self, shape: GemmShape) -> Result<Option<SpecPlan>, SimError> {
+        if !self.speculation || self.generator.kernel().max_matmuls.is_some() {
+            return Ok(None);
+        }
+        let grid = TileGrid::new(shape, self.generator.kernel().tiling)?;
+        let (mt, kt, nt) = (grid.m_tiles(), grid.k_tiles(), grid.n_tiles());
+        let blocks = self.generator.block_count(shape)?;
+        let mb_count = mt.div_ceil(2);
+        // The block walk is n-major: a column of `mb_count` row blocks per
+        // 2-wide tile-column. An odd `mt` makes the last block of every
+        // column ragged — the walk is still periodic, with period one
+        // column instead of one block. An odd `nt` makes the entire last
+        // column ragged; it is excluded from speculation outright.
+        let base_period = if mt % 2 == 1 { mb_count } else { 1 };
+        let uniform_end = if nt % 2 == 1 {
+            blocks - mb_count
+        } else {
+            blocks
+        };
+        // One stride spans a couple of segments' worth of blocks (the same
+        // scale as the shard-parallel producer), rounded up to a whole
+        // number of structural periods.
+        let block_len = 8 + 12 * kt;
+        let target = (2 * self.segment_size).div_ceil(block_len).max(1);
+        let stride_blocks = target.div_ceil(base_period) * base_period;
+        // Worth it only when the uniform region holds the warm-up stride,
+        // a couple of probe strides and at least one full wave.
+        if uniform_end < stride_blocks * (3 + self.spec_depth) {
+            return Ok(None);
+        }
+        Ok(Some(SpecPlan {
+            stride_blocks,
+            uniform_end,
+        }))
+    }
+
+    /// Generates blocks `[lo, hi)` of `shape` and feeds them into the
+    /// authoritative speculative run.
+    fn feed_blocks(
+        &self,
+        spec: &mut SpeculativeRun,
+        shape: GemmShape,
+        name: &str,
+        lo: usize,
+        hi: usize,
+    ) -> Result<(), SimError> {
+        let mut shard = self
+            .generator
+            .gemm_blocks(shape, name, lo..hi, self.segment_size)?;
+        while let Some(segment) = shard.next_segment()? {
+            spec.feed_segment(&segment)?;
+        }
+        Ok(())
+    }
+
+    /// The speculative fork/join pipeline for streamed, uncapped cells.
+    ///
+    /// Protocol (mechanism in `rasa_cpu::SpeculativeRun`): warm up one
+    /// stride, slide a probe until one block-stride boundary is an exact
+    /// translation of its predecessor (a *confirmed* periodic
+    /// [`SpecDelta`]), then repeatedly fork `spec_depth` workers seeded
+    /// with predicted states `j · delta` ahead, simulate their strides in
+    /// parallel on the rayon pool (each worker generating its own trace
+    /// shard), and join in order — committing validated workers, replaying
+    /// mispredicted ones sequentially. The ragged tail past the uniform
+    /// region feeds sequentially.
+    ///
+    /// The schedule (stride, depth, wave boundaries) derives only from the
+    /// shape, segment size and configured depth — never from thread timing
+    /// — so the statistics, including the speculation counters, are
+    /// deterministic and machine-independent; and the architectural
+    /// statistics are bit-identical to the sequential streamed path by the
+    /// commit-validation argument.
+    fn run_speculative(
+        &self,
+        shape: GemmShape,
+        name: &str,
+        total_matmuls: u64,
+        plan: SpecPlan,
+    ) -> Result<SimReport, SimError> {
+        let engine = MatrixEngine::new(*self.design.systolic());
+        let core = CpuCore::new(*self.design.cpu(), engine);
+        let blocks = self.generator.block_count(shape)?;
+        let stride = plan.stride_blocks;
+        let mut spec = SpeculativeRun::begin(core, self.generator.isa())?;
+
+        // Warm-up: one stride to move the pipeline off the cold-start
+        // transient before probing.
+        self.feed_blocks(&mut spec, shape, name, 0, stride)?;
+        let mut next = stride;
+
+        // Probe: slide stride by stride until a boundary is an exact
+        // translation of its predecessor. The structural check is what
+        // buys the deterministic commit rate — see
+        // `SpecCheckpoint::shifted_matches`.
+        let mut seed = spec.checkpoint();
+        let mut delta: Option<SpecDelta> = None;
+        for _ in 0..SPEC_PROBE_STRIDES {
+            if next + stride > plan.uniform_end {
+                break;
+            }
+            self.feed_blocks(&mut spec, shape, name, next, next + stride)?;
+            next += stride;
+            let cp = spec.checkpoint();
+            if let Some(candidate) = SpecDelta::between(&seed, &cp) {
+                if seed.shifted_matches(&candidate, &cp) {
+                    delta = Some(candidate);
+                    seed = cp;
+                    break;
+                }
+            }
+            seed = cp;
+        }
+
+        // Fork/join waves across the uniform region.
+        if let Some(delta) = delta {
+            let depth = self.spec_depth;
+            while next + depth * stride <= plan.uniform_end {
+                let mut workers: Vec<(usize, rasa_cpu::SpeculativeWorker)> = (0..depth)
+                    .map(|j| (next + j * stride, spec.fork(&seed, &delta, j as u64)))
+                    .collect();
+                workers
+                    .par_iter_mut()
+                    .try_for_each(|(lo, worker)| -> Result<(), SimError> {
+                        let mut shard = self.generator.gemm_blocks(
+                            shape,
+                            name,
+                            *lo..*lo + stride,
+                            self.segment_size,
+                        )?;
+                        while let Some(segment) = shard.next_segment()? {
+                            worker.feed_segment(&segment)?;
+                        }
+                        Ok(())
+                    })?;
+                for (lo, worker) in workers {
+                    if !spec.try_commit(worker) {
+                        self.feed_blocks(&mut spec, shape, name, lo, lo + stride)?;
+                    }
+                }
+                next += depth * stride;
+                seed = spec.checkpoint();
+            }
+        }
+
+        // Sequential tail: the uniform remainder plus any ragged column.
+        if next < blocks {
+            self.feed_blocks(&mut spec, shape, name, next, blocks)?;
+        }
+        let (cpu_stats, sched, stream) = spec.finish()?;
+        let pipeline = PipelineStats {
+            streamed: true,
+            segments: stream.segments,
+            fed_instructions: stream.fed_instructions,
+            peak_resident_instructions: stream.peak_resident as u64,
+            spec_forks: stream.spec_forks,
+            spec_commits: stream.spec_commits,
+            spec_replays: stream.spec_replays,
         };
         Ok(self.report(cpu_stats, sched, pipeline, total_matmuls, name))
     }
@@ -548,6 +784,92 @@ mod tests {
                 materialized.pipeline.peak_resident_instructions
             );
         }
+    }
+
+    #[test]
+    fn speculative_path_is_bit_identical_and_commits() {
+        // The tentpole invariant: the speculative fork/join scheduler
+        // produces architectural and scheduler statistics bit-identical to
+        // the sequential streamed path and the materialized path, while
+        // actually committing speculative segments.
+        let shape = GemmShape::new(256, 64, 512);
+        for design in [DesignPoint::baseline(), DesignPoint::rasa_dmdb_wls()] {
+            let sim = Simulator::new(design)
+                .unwrap()
+                .with_matmul_cap(None)
+                .unwrap()
+                .with_segment_size(128)
+                .unwrap();
+            let speculative = sim.run_gemm(shape).unwrap();
+            let sequential = sim.clone().with_speculation(false).run_gemm(shape).unwrap();
+            let materialized = sim.with_streaming(false).run_gemm(shape).unwrap();
+            assert_eq!(speculative.cpu, sequential.cpu);
+            assert_eq!(speculative.sched, sequential.sched);
+            assert_eq!(speculative.cpu, materialized.cpu);
+            assert_eq!(speculative.core_cycles, sequential.core_cycles);
+            assert_eq!(
+                speculative.pipeline.fed_instructions,
+                sequential.pipeline.fed_instructions
+            );
+            // The scheduler engaged and the confirmed-delta probe makes
+            // every predicted worker commit on this uniform trace.
+            assert!(speculative.pipeline.spec_forks > 0);
+            assert_eq!(
+                speculative.pipeline.spec_commits,
+                speculative.pipeline.spec_forks
+            );
+            assert_eq!(speculative.pipeline.spec_replays, 0);
+            assert_eq!(sequential.pipeline.spec_forks, 0);
+        }
+    }
+
+    #[test]
+    fn speculative_runs_are_deterministic() {
+        // The fork/join schedule derives from the shape, segment size and
+        // depth alone — never from thread timing — so the speculation
+        // counters themselves are reproducible.
+        let sim = Simulator::new(DesignPoint::rasa_wlbp())
+            .unwrap()
+            .with_matmul_cap(None)
+            .unwrap()
+            .with_segment_size(128)
+            .unwrap()
+            .with_spec_depth(3)
+            .unwrap();
+        let shape = GemmShape::new(256, 64, 256);
+        let a = sim.run_gemm(shape).unwrap();
+        let b = sim.run_gemm(shape).unwrap();
+        assert_eq!(a, b);
+        assert!(a.pipeline.spec_forks > 0);
+    }
+
+    #[test]
+    fn capped_runs_never_speculate() {
+        // A matmul cap is a sequential-prefix property, so the planner
+        // must refuse to fork no matter how large the trace is.
+        let sim = Simulator::new(DesignPoint::baseline()).unwrap();
+        assert!(sim.is_speculative());
+        let plan = sim.spec_plan(GemmShape::new(1024, 1024, 1024)).unwrap();
+        assert!(plan.is_none());
+    }
+
+    #[test]
+    fn short_traces_fall_back_to_sequential_streaming() {
+        let sim = Simulator::new(DesignPoint::baseline())
+            .unwrap()
+            .with_matmul_cap(None)
+            .unwrap();
+        let report = sim.run_gemm(GemmShape::new(64, 64, 64)).unwrap();
+        assert_eq!(report.pipeline.spec_forks, 0);
+    }
+
+    #[test]
+    fn zero_spec_depth_is_rejected() {
+        let sim = Simulator::new(DesignPoint::baseline()).unwrap();
+        assert!(matches!(
+            sim.with_spec_depth(0),
+            Err(SimError::InvalidExperiment { .. })
+        ));
     }
 
     #[test]

@@ -189,6 +189,64 @@ impl MatrixEngine {
         self.pending_completions.clear();
     }
 
+    /// Zeroes the accumulated statistics without touching any scheduling
+    /// state. Used by segmented hosts that harvest per-interval counters and
+    /// fold them externally via [`EngineStats::accumulate`].
+    pub fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
+    }
+
+    /// Number of `rasa_mm` instructions submitted so far (the sequence the
+    /// next submission will be assigned).
+    #[must_use]
+    pub const fn submitted(&self) -> u64 {
+        self.sequence
+    }
+
+    /// Shifts the engine's scheduling state `engine_cycles` later in time
+    /// and `sequences` further along the instruction stream — the state a
+    /// perfectly periodic execution would reach after that much more work.
+    ///
+    /// Time-valued fields move by `engine_cycles`; sequence-valued fields by
+    /// `sequences`. The weight-load channel timestamp is only meaningful
+    /// once a prefetch has used it, so a zero (never-used) channel stays
+    /// zero. Statistics, configuration and register-identity state (the
+    /// installed weight plane and dirty bits) are untouched.
+    pub fn shift_state(&mut self, engine_cycles: u64, sequences: u64) {
+        self.sequence += sequences;
+        if let Some(prev) = self.prev {
+            self.prev = Some(prev.shifted(engine_cycles, sequences));
+        }
+        if self.wl_channel_free != 0 {
+            self.wl_channel_free += engine_cycles;
+        }
+        for completion in &mut self.in_flight {
+            *completion += engine_cycles;
+        }
+        for event in &mut self.pending_completions {
+            event.sequence += sequences;
+            event.complete_cycle += engine_cycles;
+        }
+    }
+
+    /// Whether another engine is in exactly the same *scheduling* state as
+    /// this one: same position in the instruction stream, same resolved
+    /// previous schedule, weight-plane installation, dirty bits, channel and
+    /// in-flight occupancy, and same undrained completion events.
+    /// Accumulated statistics are deliberately excluded — two engines that
+    /// agree on this predicate schedule all future submissions identically.
+    #[must_use]
+    pub fn scheduling_state_eq(&self, other: &Self) -> bool {
+        self.config == other.config
+            && self.sequence == other.sequence
+            && self.prev == other.prev
+            && self.installed_weights == other.installed_weights
+            && self.dirty == other.dirty
+            && self.wl_channel_free == other.wl_channel_free
+            && self.in_flight == other.in_flight
+            && self.pending_completions == other.pending_completions
+    }
+
     /// Drains the completion events recorded since the last call, in
     /// submission order.
     ///
@@ -597,6 +655,56 @@ mod tests {
             e.take_completions().is_empty(),
             "reset drops undrained events"
         );
+    }
+
+    #[test]
+    fn shifted_engine_schedules_shifted_work_identically() {
+        for (pe, scheme) in [
+            (PeVariant::Baseline, ControlScheme::Base),
+            (PeVariant::Baseline, ControlScheme::Pipe),
+            (PeVariant::Baseline, ControlScheme::Wlbp),
+            (PeVariant::Db, ControlScheme::Wls),
+            (PeVariant::Dmdb, ControlScheme::Wls),
+        ] {
+            let mut original = engine(pe, scheme);
+            run_pattern(&mut original, 8, &[4, 5], 2);
+            original.take_completions();
+            let mut shifted = original.clone();
+            shifted.shift_state(1000, 7);
+            // A request stream offset by the same time delta must resolve to
+            // the same schedule offset by that delta (and sequence delta).
+            for i in 0..6u64 {
+                let reg = treg(4 + (i as u8 / 2) % 2);
+                let base = original
+                    .submit(MmRequest::ready_at(reg, FULL, 5000 + i * 20))
+                    .unwrap();
+                let moved = shifted
+                    .submit(MmRequest::ready_at(reg, FULL, 6000 + i * 20))
+                    .unwrap();
+                assert_eq!(
+                    moved.timing,
+                    base.timing.shifted(1000, 7),
+                    "{pe:?}/{scheme:?}"
+                );
+                assert_eq!(moved.complete_cycle, base.complete_cycle + 1000);
+            }
+        }
+    }
+
+    #[test]
+    fn scheduling_state_eq_ignores_stats_only() {
+        let mut a = engine(PeVariant::Dmdb, ControlScheme::Wls);
+        run_pattern(&mut a, 6, &[4, 5], 2);
+        let mut b = a.clone();
+        assert!(a.scheduling_state_eq(&b));
+        // Statistics are excluded: zeroing them does not break equality.
+        b.reset_stats();
+        assert!(a.scheduling_state_eq(&b));
+        assert_eq!(*b.stats(), EngineStats::default());
+        // Any scheduling divergence does break it.
+        b.submit(MmRequest::ready_at(treg(4), FULL, 0)).unwrap();
+        assert!(!a.scheduling_state_eq(&b));
+        assert_eq!(b.submitted(), a.submitted() + 1);
     }
 
     #[test]

@@ -92,6 +92,16 @@ impl StageWindow {
     pub const fn overlaps(&self, other: &StageWindow) -> bool {
         self.start < other.end && other.start < self.end
     }
+
+    /// The same window displaced `by` engine cycles later. A skipped window
+    /// stays skipped (both endpoints move together).
+    #[must_use]
+    pub const fn shifted(self, by: u64) -> Self {
+        StageWindow {
+            start: self.start + by,
+            end: self.end + by,
+        }
+    }
 }
 
 impl fmt::Display for StageWindow {
@@ -182,6 +192,22 @@ impl MatmulTiming {
     #[must_use]
     pub const fn latency(&self) -> u64 {
         self.complete_cycle() - self.start_cycle()
+    }
+
+    /// The same schedule displaced `cycles` engine cycles and `sequences`
+    /// issue slots later — the timing a perfectly periodic execution would
+    /// assign to the corresponding instruction one period on.
+    #[must_use]
+    pub const fn shifted(self, cycles: u64, sequences: u64) -> Self {
+        MatmulTiming {
+            sequence: self.sequence + sequences,
+            wl: self.wl.shifted(cycles),
+            ff: self.ff.shifted(cycles),
+            fs: self.fs.shifted(cycles),
+            dr: self.dr.shifted(cycles),
+            weight_bypassed: self.weight_bypassed,
+            weight_prefetched: self.weight_prefetched,
+        }
     }
 
     /// Window of a given sub-stage.

@@ -36,6 +36,25 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
+    /// Folds the counters of a later execution interval into this one.
+    ///
+    /// Additive counters add; `last_completion_cycle` is a horizon and takes
+    /// the maximum. Folding the per-interval statistics of a segmented run
+    /// in order reproduces the counters of the unsegmented run exactly.
+    pub fn accumulate(&mut self, interval: &EngineStats) {
+        self.matmuls += interval.matmuls;
+        self.weight_bypasses += interval.weight_bypasses;
+        self.weight_prefetches += interval.weight_prefetches;
+        self.full_weight_loads += interval.full_weight_loads;
+        self.occupancy_cycles += interval.occupancy_cycles;
+        self.last_completion_cycle = self
+            .last_completion_cycle
+            .max(interval.last_completion_cycle);
+        self.total_macs += interval.total_macs;
+        self.operand_stall_cycles += interval.operand_stall_cycles;
+        self.structural_stall_cycles += interval.structural_stall_cycles;
+    }
+
     /// Fraction of `rasa_mm` instructions that skipped Weight Load via the
     /// dirty-bit bypass.
     #[must_use]

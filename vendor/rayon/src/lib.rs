@@ -22,7 +22,10 @@ pub fn current_num_threads() -> usize {
 
 /// The glob-imported prelude, mirroring `rayon::prelude::*`.
 pub mod prelude {
-    pub use crate::{FromParallelVec, IntoParallelRefIterator, ParIter, ParMap};
+    pub use crate::{
+        FromParallelVec, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter, ParIterMut,
+        ParMap,
+    };
 }
 
 /// Types whose references can be iterated in parallel (`.par_iter()`).
@@ -45,6 +48,113 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     type Item = T;
     fn par_iter(&'a self) -> ParIter<'a, T> {
         ParIter { items: self }
+    }
+}
+
+/// Types whose elements can be mutated in parallel (`.par_iter_mut()`).
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Element type yielded by the iterator.
+    type Item: Send + 'a;
+
+    /// Returns a parallel iterator over mutable references to the elements.
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+/// A parallel iterator over mutable slice elements.
+pub struct ParIterMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Runs `f` on every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let unit: Result<(), std::convert::Infallible> = self.try_for_each(|item| {
+            f(item);
+            Ok(())
+        });
+        unit.expect("infallible closure failed");
+    }
+
+    /// Runs `f` on every element in parallel, stopping at the first error.
+    ///
+    /// Like rayon, completion of other in-flight elements is not
+    /// interrupted; unlike rayon's nondeterministic choice, the error for
+    /// the lowest-index failing element is returned, so callers see a
+    /// deterministic outcome.
+    pub fn try_for_each<E, F>(self, f: F) -> Result<(), E>
+    where
+        E: Send,
+        F: Fn(&mut T) -> Result<(), E> + Sync,
+    {
+        let n = self.items.len();
+        let workers = current_num_threads().min(n);
+        if workers <= 1 {
+            for item in self.items.iter_mut() {
+                f(item)?;
+            }
+            return Ok(());
+        }
+
+        // Threads claim indices through a shared atomic cursor; every index
+        // is claimed exactly once, so the unsafe pointer offsets hand out
+        // disjoint `&mut` borrows.
+        struct SyncPtr<T>(*mut T);
+        unsafe impl<T: Send> Sync for SyncPtr<T> {}
+        let base = SyncPtr(self.items.as_mut_ptr());
+        let cursor = AtomicUsize::new(0);
+        let failures: Vec<Option<(usize, E)>> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let base = &base;
+                    let cursor = &cursor;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut first_failure: Option<(usize, E)> = None;
+                        loop {
+                            let index = cursor.fetch_add(1, Ordering::Relaxed);
+                            if index >= n {
+                                break;
+                            }
+                            let item = unsafe { &mut *base.0.add(index) };
+                            if let Err(error) = f(item) {
+                                first_failure = Some((index, error));
+                                break;
+                            }
+                        }
+                        first_failure
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel worker panicked"))
+                .collect()
+        });
+        match failures
+            .into_iter()
+            .flatten()
+            .min_by_key(|(index, _)| *index)
+        {
+            Some((_, error)) => Err(error),
+            None => Ok(()),
+        }
     }
 }
 
