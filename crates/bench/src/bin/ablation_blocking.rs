@@ -2,7 +2,7 @@
 //! RASA-Control schemes.
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let suite = rasa_bench::BinOptions::from_env().suite()?;
+    let suite = rasa_bench::BinOptions::from_env_or_usage("ablation_blocking").suite()?;
     let result = suite.ablation_blocking()?;
     println!("{result}");
     println!("The paper's reported WLBP reduction (30.9%) lies between the weight-paired");

@@ -2,7 +2,7 @@
 //! RASA-DMDB-WLS runtime reduction.
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let suite = rasa_bench::BinOptions::from_env().suite()?;
+    let suite = rasa_bench::BinOptions::from_env_or_usage("ablation_cpu").suite()?;
     let result = suite.ablation_cpu()?;
     println!("{result}");
     Ok(())

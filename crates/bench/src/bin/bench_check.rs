@@ -88,6 +88,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     noise = value;
                 }
             }
+            "--help" | "-h" => {
+                println!("Usage: bench_check [FLAGS]");
+                println!();
+                println!("Flags (unknown arguments are ignored):");
+                println!(
+                    "  --baseline PATH            checked-in perf baseline (default BENCH_6.json)"
+                );
+                println!("  --candidate PATH           freshly generated perf document (default bench.json)");
+                println!(
+                    "  --noise FRACTION           allowed regression band (default 0.35 = 35%)"
+                );
+                println!("  --help, -h                 print this flag table and exit");
+                return Ok(());
+            }
             _ => {}
         }
     }

@@ -22,7 +22,7 @@ use rasa_workloads::WorkloadSuite;
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let options = rasa_bench::BinOptions::from_env();
+    let options = rasa_bench::BinOptions::from_env_or_usage("design_search");
     let suite = WorkloadSuite::mlperf();
     let Some(layer) = suite.layer(&options.workload) else {
         return Err(format!(

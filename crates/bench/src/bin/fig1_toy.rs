@@ -1,7 +1,7 @@
 //! Regenerates Fig. 1: the 2×2 weight-stationary walkthrough.
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let suite = rasa_bench::BinOptions::from_env().suite()?;
+    let suite = rasa_bench::BinOptions::from_env_or_usage("fig1_toy").suite()?;
     let result = suite.fig1_toy()?;
     println!("{result}");
     println!(

@@ -1,7 +1,7 @@
 //! Regenerates Fig. 2: PE utilization vs TM for several array sizes.
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let suite = rasa_bench::BinOptions::from_env().suite()?;
+    let suite = rasa_bench::BinOptions::from_env_or_usage("fig2_utilization").suite()?;
     let result = suite.fig2_utilization();
     println!("{result}");
     Ok(())

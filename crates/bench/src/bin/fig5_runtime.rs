@@ -5,7 +5,7 @@
 use rasa_workloads::WorkloadSuite;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let options = rasa_bench::BinOptions::from_env();
+    let options = rasa_bench::BinOptions::from_env_or_usage("fig5_runtime");
     let suite = options.suite()?;
 
     println!("Table I — layer dimensions (lowered GEMMs)");

@@ -1,7 +1,7 @@
 //! Regenerates Fig. 6: performance per area of the RASA-Data designs.
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let suite = rasa_bench::BinOptions::from_env().suite()?;
+    let suite = rasa_bench::BinOptions::from_env_or_usage("fig6_ppa").suite()?;
     let fig5 = suite.fig5_runtime()?;
     let fig6 = suite.fig6_from(&fig5);
     println!("{fig6}");

@@ -1,7 +1,7 @@
 //! Regenerates Fig. 7: batch-size sensitivity of RASA-DMDB-WLS.
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let suite = rasa_bench::BinOptions::from_env().suite()?;
+    let suite = rasa_bench::BinOptions::from_env_or_usage("fig7_batch").suite()?;
     let start = std::time::Instant::now();
     let result = suite.fig7_batch()?;
     let elapsed = start.elapsed();

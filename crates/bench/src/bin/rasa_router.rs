@@ -1,0 +1,53 @@
+//! `rasa-router` — the consistent-hashing front of the distributed
+//! serving tier.
+//!
+//! Binds a frame server (see `docs/WIRE_PROTOCOL.md`) and forwards every
+//! request to the shard worker that owns its semantic shape key, with
+//! per-shard bounded in-flight windows and dead-shard failover (see
+//! [`rasa_sim::net::Router`]). Shard backends are passed as repeated
+//! `--shard ADDR` flags in shard-id order; `--cap` must match the value
+//! the shards run with, or routing keys stop matching the shards'
+//! memoization keys and every shard runs cache-cold.
+//!
+//! Like `rasa-shardd`, the process prints `LISTENING <addr>` as its first
+//! stdout line and runs until stdin reaches EOF.
+
+use rasa_sim::net::{Router, RouterConfig};
+use std::io::{Read, Write};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let options = rasa_bench::BinOptions::from_env_or_usage("rasa-router");
+    if options.shard_addrs.is_empty() {
+        eprintln!("rasa-router: no shard backends; pass --shard ADDR at least once");
+        std::process::exit(2);
+    }
+    let config = RouterConfig {
+        vnodes: options.vnodes,
+        inflight_per_shard: options.inflight,
+        admission: options.admission,
+        matmul_cap: options.matmul_cap,
+    };
+    let router = Router::bind(&options.listen, &options.shard_addrs, config)?;
+    let addr = router
+        .local_addr()
+        .expect("bind always attaches a listener");
+
+    println!("LISTENING {addr}");
+    std::io::stdout().flush()?;
+
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+
+    let stats = router.stats();
+    eprintln!(
+        "rasa-router routed={} failovers={} dead_marked={} window_blocked={} window_rejected={} per_shard={:?}",
+        stats.routed,
+        stats.failovers,
+        stats.dead_marked,
+        stats.window_blocked,
+        stats.window_rejected,
+        stats.per_shard,
+    );
+    router.shutdown();
+    Ok(())
+}

@@ -418,7 +418,7 @@ fn results_document(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let options = rasa_bench::BinOptions::from_env();
+    let options = rasa_bench::BinOptions::from_env_or_usage("run_all");
     if options.timing_only {
         let timing_rows = timing_comparison(&options.timing_layer, &options)?;
         if let Some(path) = &options.bench_path {

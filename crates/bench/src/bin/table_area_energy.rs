@@ -1,7 +1,7 @@
 //! Regenerates the §V area-overhead and energy-efficiency comparison.
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let suite = rasa_bench::BinOptions::from_env().suite()?;
+    let suite = rasa_bench::BinOptions::from_env_or_usage("table_area_energy").suite()?;
     let table = suite.area_energy()?;
     println!("{table}");
 

@@ -122,6 +122,31 @@ pub struct BinOptions {
     pub samples: usize,
     /// For `design_search`: the Table I layer candidates are evaluated on.
     pub workload: String,
+    /// For `serve_soak`: drive a spawned router + worker-process tier over
+    /// TCP instead of the in-process server (`--distributed`).
+    pub distributed: bool,
+    /// For `serve_soak --distributed`: number of worker processes.
+    pub shards: usize,
+    /// For `serve_soak --distributed`: kill one worker mid-run and prove
+    /// zero lost requests (`--kill-worker`).
+    pub kill_worker: bool,
+    /// For `rasa-shardd` / `rasa-router`: the address to bind
+    /// (`--listen`; port 0 picks an ephemeral port, the resolved address
+    /// is printed on stdout).
+    pub listen: String,
+    /// For `rasa-router`: shard backend addresses in shard-id order
+    /// (`--shard ADDR`, repeatable).
+    pub shard_addrs: Vec<String>,
+    /// For `rasa-router` / `serve_soak --distributed`: per-shard bound on
+    /// in-flight requests (`--inflight`).
+    pub inflight: usize,
+    /// For `rasa-router` / `serve_soak --distributed`: virtual nodes per
+    /// shard on the consistent-hash ring (`--vnodes`).
+    pub vnodes: usize,
+    /// For `rasa-shardd`: this worker's shard id (`--shard-id`).
+    pub shard_id: u32,
+    /// `--help` / `-h` was given: print the binary's flag table and exit.
+    pub help: bool,
 }
 
 impl Default for BinOptions {
@@ -155,6 +180,15 @@ impl Default for BinOptions {
             generations: 8,
             samples: 48,
             workload: "DLRM-2".to_string(),
+            distributed: false,
+            shards: 4,
+            kill_worker: false,
+            listen: "127.0.0.1:0".to_string(),
+            shard_addrs: Vec::new(),
+            inflight: 32,
+            vnodes: 64,
+            shard_id: 0,
+            help: false,
         }
     }
 }
@@ -174,9 +208,14 @@ impl BinOptions {
     /// `--batch N`, `--cache-capacity N`, `--queue-capacity N`,
     /// `--admission block|reject` and `--seed N`, and the `design_search`
     /// knobs `--strategy grid|random|evolve`, `--population N`,
-    /// `--generations N`, `--samples N` and `--workload NAME`. Unknown
-    /// arguments are ignored so the binaries can be run under criterion or
-    /// other wrappers.
+    /// `--generations N`, `--samples N` and `--workload NAME`, the
+    /// distributed-serving knobs `--distributed`, `--shards N`,
+    /// `--kill-worker`, `--inflight N` and `--vnodes N`, and the
+    /// `rasa-shardd` / `rasa-router` knobs `--listen ADDR`,
+    /// `--shard ADDR` (repeatable) and `--shard-id N`. `--help` / `-h`
+    /// sets [`BinOptions::help`] so a binary can print its flag table (see
+    /// [`usage`]). Unknown arguments are ignored so the binaries can be
+    /// run under criterion or other wrappers.
     #[must_use]
     pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
         fn numeric<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>) -> Option<T> {
@@ -291,6 +330,39 @@ impl BinOptions {
                         options.workload = value;
                     }
                 }
+                "--distributed" => options.distributed = true,
+                "--shards" => {
+                    if let Some(value) = numeric(&mut args) {
+                        options.shards = value;
+                    }
+                }
+                "--kill-worker" => options.kill_worker = true,
+                "--listen" => {
+                    if let Some(value) = args.next() {
+                        options.listen = value;
+                    }
+                }
+                "--shard" => {
+                    if let Some(value) = args.next() {
+                        options.shard_addrs.push(value);
+                    }
+                }
+                "--inflight" => {
+                    if let Some(value) = numeric(&mut args) {
+                        options.inflight = value;
+                    }
+                }
+                "--vnodes" => {
+                    if let Some(value) = numeric(&mut args) {
+                        options.vnodes = value;
+                    }
+                }
+                "--shard-id" => {
+                    if let Some(value) = numeric(&mut args) {
+                        options.shard_id = value;
+                    }
+                }
+                "--help" | "-h" => options.help = true,
                 _ => {}
             }
         }
@@ -301,6 +373,19 @@ impl BinOptions {
     #[must_use]
     pub fn from_env() -> Self {
         BinOptions::parse(std::env::args().skip(1))
+    }
+
+    /// Parses the current process arguments and, when `--help` / `-h` was
+    /// given, prints `binary`'s flag table (see [`usage`]) to stdout and
+    /// exits with status 0. Every experiment binary starts with this.
+    #[must_use]
+    pub fn from_env_or_usage(binary: &str) -> Self {
+        let options = BinOptions::from_env();
+        if options.help {
+            print!("{}", usage(binary));
+            std::process::exit(0);
+        }
+        options
     }
 
     /// Builds the boxed [`SearchStrategy`] these options select for the
@@ -346,6 +431,296 @@ impl BinOptions {
             .with_layer_filter(self.layers.clone())
             .build()
     }
+}
+
+/// One command-line flag of the experiment binaries: its spelling, value
+/// placeholder, one-line description and the binaries that honour it.
+/// [`usage`] renders the per-binary `--help` table from this registry, and
+/// the README's flag table is regenerated from the same output, so the
+/// three can never drift apart independently.
+#[derive(Debug, Clone, Copy)]
+pub struct FlagSpec {
+    /// The flag itself, e.g. `--cap`.
+    pub flag: &'static str,
+    /// The value placeholder (`"N"`, `"PATH"`, …); empty for bare flags.
+    pub value: &'static str,
+    /// One-line description shown in `--help`.
+    pub description: &'static str,
+    /// Names of the binaries that honour the flag.
+    pub binaries: &'static [&'static str],
+}
+
+/// The binaries that run an [`ExperimentSuite`] and therefore honour the
+/// shared simulation flags (`--cap`, `--serial`, the streaming knobs…).
+pub const SUITE_BINARIES: &[&str] = &[
+    "fig1_toy",
+    "fig2_utilization",
+    "fig5_runtime",
+    "fig6_ppa",
+    "fig7_batch",
+    "table_area_energy",
+    "ablation_blocking",
+    "ablation_cpu",
+    "run_all",
+    "design_search",
+];
+
+/// Every flag of every experiment binary (except `bench_check`, which has
+/// its own three-flag CLI documented in its `--help`).
+pub const FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        flag: "--cap",
+        value: "N",
+        description: "cap simulated rasa_mm instructions per cell (default 4096)",
+        binaries: SUITE_BINARIES,
+    },
+    FlagSpec {
+        flag: "--full",
+        value: "",
+        description: "remove the matmul cap (simulate every tile)",
+        binaries: SUITE_BINARIES,
+    },
+    FlagSpec {
+        flag: "--serial",
+        value: "",
+        description: "run the experiment matrix single-threaded",
+        binaries: SUITE_BINARIES,
+    },
+    FlagSpec {
+        flag: "--no-stream",
+        value: "",
+        description: "use the materialized trace path instead of streaming",
+        binaries: SUITE_BINARIES,
+    },
+    FlagSpec {
+        flag: "--segment-size",
+        value: "N",
+        description: "target streamed-segment size in instructions",
+        binaries: SUITE_BINARIES,
+    },
+    FlagSpec {
+        flag: "--speculation",
+        value: "on|off",
+        description: "speculative fork/join segment scheduling (default on)",
+        binaries: SUITE_BINARIES,
+    },
+    FlagSpec {
+        flag: "--spec-depth",
+        value: "N",
+        description: "speculative workers per fork/join wave",
+        binaries: SUITE_BINARIES,
+    },
+    FlagSpec {
+        flag: "--layers",
+        value: "FILTER",
+        description: "restrict Table I layers (comma-separated substrings or 1-based indices)",
+        binaries: SUITE_BINARIES,
+    },
+    FlagSpec {
+        flag: "--max-batch",
+        value: "N",
+        description: "largest batch size of the Fig. 7 sweep",
+        binaries: &["fig7_batch", "run_all"],
+    },
+    FlagSpec {
+        flag: "--no-serial-check",
+        value: "",
+        description: "skip the serial re-run that cross-checks the parallel results",
+        binaries: &["run_all"],
+    },
+    FlagSpec {
+        flag: "--warm-start",
+        value: "PATH",
+        description: "pre-load the cell cache from a previous --json document",
+        binaries: &["run_all"],
+    },
+    FlagSpec {
+        flag: "--timing-layer",
+        value: "NAME",
+        description: "Table I layer for the event-driven vs reference timing comparison",
+        binaries: &["run_all"],
+    },
+    FlagSpec {
+        flag: "--timing-only",
+        value: "",
+        description: "run only the timing comparison, skip the evaluation",
+        binaries: &["run_all"],
+    },
+    FlagSpec {
+        flag: "--no-timing",
+        value: "",
+        description: "skip the timing comparison",
+        binaries: &["run_all"],
+    },
+    FlagSpec {
+        flag: "--json",
+        value: "PATH",
+        description: "write the machine-readable results document",
+        binaries: &["run_all", "design_search", "serve_soak"],
+    },
+    FlagSpec {
+        flag: "--bench",
+        value: "PATH",
+        description: "write/update the machine-readable perf document",
+        binaries: &["run_all", "design_search", "serve_soak"],
+    },
+    FlagSpec {
+        flag: "--seed",
+        value: "N",
+        description: "base seed of the deterministic traffic / sampling",
+        binaries: &["design_search", "serve_soak"],
+    },
+    FlagSpec {
+        flag: "--strategy",
+        value: "grid|random|evolve",
+        description: "design-space search strategy",
+        binaries: &["design_search"],
+    },
+    FlagSpec {
+        flag: "--population",
+        value: "N",
+        description: "individuals per generation (--strategy evolve)",
+        binaries: &["design_search"],
+    },
+    FlagSpec {
+        flag: "--generations",
+        value: "N",
+        description: "breeding generations (--strategy evolve)",
+        binaries: &["design_search"],
+    },
+    FlagSpec {
+        flag: "--samples",
+        value: "N",
+        description: "seeded draws (--strategy random)",
+        binaries: &["design_search"],
+    },
+    FlagSpec {
+        flag: "--workload",
+        value: "NAME",
+        description: "Table I layer candidates are evaluated on",
+        binaries: &["design_search"],
+    },
+    FlagSpec {
+        flag: "--clients",
+        value: "N",
+        description: "concurrent closed-loop clients",
+        binaries: &["serve_soak"],
+    },
+    FlagSpec {
+        flag: "--requests",
+        value: "N",
+        description: "requests each client submits",
+        binaries: &["serve_soak"],
+    },
+    FlagSpec {
+        flag: "--workers",
+        value: "N",
+        description: "worker threads per design pool",
+        binaries: &["serve_soak", "rasa-shardd"],
+    },
+    FlagSpec {
+        flag: "--batch",
+        value: "N",
+        description: "maximum requests coalesced into one batch",
+        binaries: &["serve_soak", "rasa-shardd"],
+    },
+    FlagSpec {
+        flag: "--cache-capacity",
+        value: "N",
+        description: "LRU bound on the memoization cell cache",
+        binaries: &["serve_soak", "rasa-shardd"],
+    },
+    FlagSpec {
+        flag: "--queue-capacity",
+        value: "N",
+        description: "bound on queued requests per design pool",
+        binaries: &["serve_soak", "rasa-shardd"],
+    },
+    FlagSpec {
+        flag: "--admission",
+        value: "block|reject",
+        description: "behaviour when a queue or in-flight window is full",
+        binaries: &["serve_soak", "rasa-shardd", "rasa-router"],
+    },
+    FlagSpec {
+        flag: "--cap",
+        value: "N",
+        description: "matmul cap per cell — must match across router and shards",
+        binaries: &["serve_soak", "rasa-shardd", "rasa-router"],
+    },
+    FlagSpec {
+        flag: "--full",
+        value: "",
+        description: "remove the matmul cap — must match across router and shards",
+        binaries: &["rasa-shardd", "rasa-router"],
+    },
+    FlagSpec {
+        flag: "--distributed",
+        value: "",
+        description: "spawn a router + worker-process tier and drive it over TCP",
+        binaries: &["serve_soak"],
+    },
+    FlagSpec {
+        flag: "--shards",
+        value: "N",
+        description: "worker processes in --distributed mode (default 4)",
+        binaries: &["serve_soak"],
+    },
+    FlagSpec {
+        flag: "--kill-worker",
+        value: "",
+        description: "kill one worker mid-run and prove zero lost requests",
+        binaries: &["serve_soak"],
+    },
+    FlagSpec {
+        flag: "--inflight",
+        value: "N",
+        description: "per-shard bound on in-flight requests at the router",
+        binaries: &["serve_soak", "rasa-router"],
+    },
+    FlagSpec {
+        flag: "--vnodes",
+        value: "N",
+        description: "virtual nodes per shard on the consistent-hash ring",
+        binaries: &["serve_soak", "rasa-router"],
+    },
+    FlagSpec {
+        flag: "--listen",
+        value: "ADDR",
+        description: "bind address (port 0 = ephemeral; resolved address printed on stdout)",
+        binaries: &["rasa-shardd", "rasa-router"],
+    },
+    FlagSpec {
+        flag: "--shard",
+        value: "ADDR",
+        description: "shard backend address in shard-id order (repeatable)",
+        binaries: &["rasa-router"],
+    },
+    FlagSpec {
+        flag: "--shard-id",
+        value: "N",
+        description: "this worker's shard id, echoed in responses and health frames",
+        binaries: &["rasa-shardd"],
+    },
+];
+
+/// Renders `binary`'s `--help` text from the [`FLAGS`] registry.
+#[must_use]
+pub fn usage(binary: &str) -> String {
+    let mut out = format!("Usage: {binary} [FLAGS]\n\nFlags (unknown arguments are ignored):\n");
+    for spec in FLAGS {
+        if !spec.binaries.contains(&binary) {
+            continue;
+        }
+        let mut left = spec.flag.to_string();
+        if !spec.value.is_empty() {
+            left.push(' ');
+            left.push_str(spec.value);
+        }
+        out.push_str(&format!("  {left:<26} {}\n", spec.description));
+    }
+    out.push_str("  --help, -h                 print this flag table and exit\n");
+    out
 }
 
 /// Serializes `document` (pretty, trailing newline), proves the bytes
@@ -629,6 +1004,96 @@ mod tests {
             o.search_strategy(),
             Err(rasa_sim::SimError::InvalidExperiment { .. })
         ));
+    }
+
+    #[test]
+    fn parse_distributed_flags() {
+        let o = BinOptions::parse(std::iter::empty());
+        assert!(!o.distributed);
+        assert_eq!(o.shards, 4);
+        assert!(!o.kill_worker);
+        assert_eq!(o.listen, "127.0.0.1:0");
+        assert!(o.shard_addrs.is_empty());
+        assert_eq!(o.inflight, 32);
+        assert_eq!(o.vnodes, 64);
+        assert_eq!(o.shard_id, 0);
+        assert!(!o.help);
+
+        let args = [
+            "--distributed",
+            "--shards",
+            "6",
+            "--kill-worker",
+            "--listen",
+            "127.0.0.1:9000",
+            "--shard",
+            "127.0.0.1:9001",
+            "--shard",
+            "127.0.0.1:9002",
+            "--inflight",
+            "8",
+            "--vnodes",
+            "16",
+            "--shard-id",
+            "3",
+        ];
+        let o = BinOptions::parse(args.iter().map(ToString::to_string));
+        assert!(o.distributed);
+        assert_eq!(o.shards, 6);
+        assert!(o.kill_worker);
+        assert_eq!(o.listen, "127.0.0.1:9000");
+        assert_eq!(o.shard_addrs, vec!["127.0.0.1:9001", "127.0.0.1:9002"]);
+        assert_eq!(o.inflight, 8);
+        assert_eq!(o.vnodes, 16);
+        assert_eq!(o.shard_id, 3);
+        assert!(BinOptions::parse(["--help".to_string()]).help);
+        assert!(BinOptions::parse(["-h".to_string()]).help);
+    }
+
+    #[test]
+    fn usage_lists_only_the_binarys_flags() {
+        let soak = usage("serve_soak");
+        assert!(soak.contains("--distributed"));
+        assert!(soak.contains("--kill-worker"));
+        assert!(soak.contains("--clients"));
+        assert!(!soak.contains("--listen"), "--listen is a daemon flag");
+        assert!(soak.contains("--cap"), "the soak honours the matmul cap");
+
+        let shardd = usage("rasa-shardd");
+        assert!(shardd.contains("--listen"));
+        assert!(shardd.contains("--shard-id"));
+        assert!(!shardd.contains("--distributed"));
+
+        let router = usage("rasa-router");
+        assert!(router.contains("--shard ADDR"));
+        assert!(router.contains("--vnodes"));
+        assert!(!router.contains("--shard-id"));
+
+        let fig5 = usage("fig5_runtime");
+        assert!(fig5.contains("--cap"));
+        assert!(fig5.contains("--speculation"));
+        assert!(!fig5.contains("--clients"));
+        // Every usage ends with the --help line itself.
+        for text in [&soak, &shardd, &router, &fig5] {
+            assert!(text.contains("--help, -h"));
+        }
+    }
+
+    #[test]
+    fn every_flag_spec_names_a_real_binary() {
+        let known: Vec<&str> = SUITE_BINARIES
+            .iter()
+            .copied()
+            .chain(["serve_soak", "rasa-shardd", "rasa-router"])
+            .collect();
+        for spec in FLAGS {
+            assert!(!spec.binaries.is_empty(), "{} has no binaries", spec.flag);
+            for binary in spec.binaries {
+                assert!(known.contains(binary), "{}: unknown {binary}", spec.flag);
+            }
+            assert!(spec.flag.starts_with("--"));
+            assert!(!spec.description.is_empty());
+        }
     }
 
     #[test]

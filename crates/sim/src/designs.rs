@@ -102,6 +102,17 @@ impl DesignPoint {
         ]
     }
 
+    /// Resolves one of the eight named paper designs from its Fig. 5 name
+    /// (e.g. `"RASA-DMDB-WLS"`). The wire protocol ships designs by name,
+    /// so this is how a shard worker reconstructs the design point a
+    /// remote request asks for; custom design points are not resolvable.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<DesignPoint> {
+        DesignPoint::paper_designs()
+            .into_iter()
+            .find(|design| design.name() == name)
+    }
+
     /// The three RASA-Data design points compared in Fig. 6 (each paired
     /// with its best-performing control scheme, as in the paper).
     #[must_use]

@@ -41,6 +41,12 @@ pub enum SimError {
         /// The configured queue capacity that was hit.
         capacity: usize,
     },
+    /// The networked serving tier failed (framing, transport or a remote
+    /// error frame). See `rasa_sim::net` for the underlying error type.
+    Net {
+        /// Human-readable description of the network failure.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -59,6 +65,7 @@ impl fmt::Display for SimError {
                 f,
                 "server overloaded: queue for design '{design}' is at capacity {capacity}"
             ),
+            SimError::Net { reason } => write!(f, "network serving error: {reason}"),
         }
     }
 }
@@ -73,7 +80,8 @@ impl Error for SimError {
             SimError::InvalidExperiment { .. }
             | SimError::Json { .. }
             | SimError::Serve { .. }
-            | SimError::Overloaded { .. } => None,
+            | SimError::Overloaded { .. }
+            | SimError::Net { .. } => None,
         }
     }
 }

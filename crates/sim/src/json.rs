@@ -24,8 +24,11 @@
 
 use crate::{CacheStats, PipelineStats, SimError, SimReport, SimSummary};
 use rasa_cpu::{CpuStats, SchedStats};
+use rasa_numeric::{ConvShape, TilingConfig};
 use rasa_power::{AreaBreakdown, EnergyBreakdown, PowerReport};
 use rasa_systolic::EngineStats;
+use rasa_trace::{GemmKernelConfig, MatmulOrder};
+use rasa_workloads::{LayerKind, LayerSpec};
 use std::fmt;
 
 /// A parse or decode error, with a byte offset for parse errors.
@@ -78,8 +81,8 @@ impl From<JsonError> for SimError {
 /// A JSON document node.
 ///
 /// Numbers are stored as their literal token text (see the module docs for
-/// why); use [`JsonValue::number_from_u64`] / [`number_from_f64`]
-/// (`Self::number_from_f64`) to build them from Rust values and
+/// why); use [`JsonValue::number_from_u64`] /
+/// [`number_from_f64`](JsonValue::number_from_f64) to build them from Rust values and
 /// [`as_u64`](Self::as_u64) / [`as_f64`](Self::as_f64) to read them back.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JsonValue {
@@ -1025,6 +1028,135 @@ impl FromJson for SimSummary {
                 .and_then(JsonValue::as_u64)
                 .unwrap_or(0),
         })
+    }
+}
+
+impl ToJson for LayerSpec {
+    fn to_json(&self) -> JsonValue {
+        let mut members = vec![("name".into(), JsonValue::string(self.name()))];
+        match self.kind() {
+            LayerKind::Fc {
+                batch,
+                input_neurons,
+                output_neurons,
+            } => {
+                members.push(("kind".into(), JsonValue::string("fc")));
+                members.push(("batch".into(), JsonValue::number_from_usize(*batch)));
+                members.push((
+                    "input_neurons".into(),
+                    JsonValue::number_from_usize(*input_neurons),
+                ));
+                members.push((
+                    "output_neurons".into(),
+                    JsonValue::number_from_usize(*output_neurons),
+                ));
+            }
+            LayerKind::Conv(conv) => {
+                members.push(("kind".into(), JsonValue::string("conv")));
+                members.push(("n".into(), JsonValue::number_from_usize(conv.n)));
+                members.push(("c".into(), JsonValue::number_from_usize(conv.c)));
+                members.push(("y".into(), JsonValue::number_from_usize(conv.y)));
+                members.push(("x".into(), JsonValue::number_from_usize(conv.x)));
+                members.push(("k".into(), JsonValue::number_from_usize(conv.k)));
+                members.push(("r".into(), JsonValue::number_from_usize(conv.r)));
+                members.push(("s".into(), JsonValue::number_from_usize(conv.s)));
+                members.push(("stride".into(), JsonValue::number_from_usize(conv.stride)));
+                members.push(("pad".into(), JsonValue::number_from_usize(conv.pad)));
+            }
+        }
+        JsonValue::Object(members)
+    }
+}
+
+impl FromJson for LayerSpec {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        let name = string_member(value, "name")?;
+        match member(value, "kind")?.as_str() {
+            Some("fc") => Ok(LayerSpec::fc(
+                name,
+                usize_member(value, "batch")?,
+                usize_member(value, "input_neurons")?,
+                usize_member(value, "output_neurons")?,
+            )),
+            Some("conv") => Ok(LayerSpec::conv(
+                name,
+                ConvShape::new(
+                    usize_member(value, "n")?,
+                    usize_member(value, "c")?,
+                    usize_member(value, "y")?,
+                    usize_member(value, "x")?,
+                    usize_member(value, "k")?,
+                    usize_member(value, "r")?,
+                    usize_member(value, "s")?,
+                    usize_member(value, "stride")?,
+                    usize_member(value, "pad")?,
+                ),
+            )),
+            Some(other) => Err(JsonError::decode(format!("unknown layer kind '{other}'"))),
+            None => Err(JsonError::decode("field 'kind' is not a string")),
+        }
+    }
+}
+
+impl ToJson for GemmKernelConfig {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("tm".into(), JsonValue::number_from_usize(self.tiling.tm)),
+            ("tk".into(), JsonValue::number_from_usize(self.tiling.tk)),
+            ("tn".into(), JsonValue::number_from_usize(self.tiling.tn)),
+            (
+                "emit_scalar_overhead".into(),
+                JsonValue::Bool(self.emit_scalar_overhead),
+            ),
+            (
+                "max_matmuls".into(),
+                self.max_matmuls
+                    .map_or(JsonValue::Null, JsonValue::number_from_usize),
+            ),
+            (
+                "matmul_order".into(),
+                JsonValue::string(self.matmul_order.label()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for GemmKernelConfig {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        let tiling = TilingConfig::new(
+            usize_member(value, "tm")?,
+            usize_member(value, "tk")?,
+            usize_member(value, "tn")?,
+        )
+        .map_err(|e| JsonError::decode(format!("invalid tiling: {e}")))?;
+        let emit_scalar_overhead = member(value, "emit_scalar_overhead")?
+            .as_bool()
+            .ok_or_else(|| JsonError::decode("field 'emit_scalar_overhead' is not a bool"))?;
+        let max_matmuls = match member(value, "max_matmuls")? {
+            JsonValue::Null => None,
+            node => Some(
+                node.as_usize()
+                    .ok_or_else(|| JsonError::decode("field 'max_matmuls' is not a usize"))?,
+            ),
+        };
+        let matmul_order = match member(value, "matmul_order")?.as_str() {
+            Some("weight-paired") => MatmulOrder::WeightPaired,
+            Some("interleaved") => MatmulOrder::Interleaved,
+            Some(other) => {
+                return Err(JsonError::decode(format!("unknown matmul order '{other}'")))
+            }
+            None => return Err(JsonError::decode("field 'matmul_order' is not a string")),
+        };
+        let kernel = GemmKernelConfig {
+            tiling,
+            emit_scalar_overhead,
+            max_matmuls,
+            matmul_order,
+        };
+        kernel
+            .validate()
+            .map_err(|e| JsonError::decode(format!("invalid kernel: {e}")))?;
+        Ok(kernel)
     }
 }
 

@@ -36,6 +36,7 @@ mod designs;
 mod error;
 mod experiments;
 pub mod json;
+pub mod net;
 mod report;
 mod runner;
 pub mod search;
@@ -51,6 +52,7 @@ pub use experiments::{
     Fig2Result, Fig5Result, Fig5Row, Fig6Result, Fig6Row, Fig7Result, Fig7Row,
 };
 pub use json::{FromJson, JsonError, JsonValue, ToJson};
+pub use net::{NetClient, NetError, Router, ShardServer, WireRequest, WireResponse};
 pub use report::{PipelineStats, SimReport, SimSummary, WorkloadRun};
 pub use runner::{
     CacheStats, ExperimentRunner, ExperimentRunnerBuilder, ExperimentSpec, SimJob,

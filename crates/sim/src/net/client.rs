@@ -1,0 +1,337 @@
+//! A blocking client for shards and routers, with bounded retry/backoff.
+//!
+//! [`NetClient`] keeps one connection to one of its configured endpoints
+//! (normally a single router; a list of shard addresses also works for
+//! router-less deployments). On a transport failure it reconnects —
+//! rotating to the next endpoint — and transparently retries the request
+//! with exponential backoff, up to [`ClientConfig::max_retries`] times.
+//! Only **retryable** failures are retried (transport errors, `overloaded`
+//! and `unavailable` remote codes — see [`NetError::is_retryable`]); a
+//! simulation error or protocol violation is returned immediately.
+//!
+//! Retrying a simulation request is always safe: the answer is a pure
+//! function of the request, so a duplicate execution can change nothing
+//! but cache temperature. This is what lets the distributed soak lose a
+//! worker mid-run and still complete every request.
+
+use crate::json::JsonValue;
+use crate::json::{FromJson, ToJson};
+use crate::net::wire::{Frame, FrameKind, WireFailure, WireRequest, WireResponse};
+use crate::net::NetError;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Configuration of a [`NetClient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Transparent retries per request after the first attempt.
+    pub max_retries: usize,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base_backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            max_retries: 4,
+            base_backoff: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Monotonic counters of one [`NetClient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClientStats {
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Transparent retry attempts (each is one extra exchange).
+    pub retries: u64,
+    /// Connections (re-)established.
+    pub connects: u64,
+    /// Requests that failed even after all retries.
+    pub failed: u64,
+}
+
+/// A blocking wire-protocol client with endpoint rotation and retry.
+pub struct NetClient {
+    endpoints: Vec<String>,
+    next_endpoint: usize,
+    conn: Option<TcpStream>,
+    config: ClientConfig,
+    stats: ClientStats,
+}
+
+impl NetClient {
+    /// A client over the given endpoints with default retry behaviour.
+    /// Connections are established lazily on the first request.
+    ///
+    /// # Panics
+    ///
+    /// When `endpoints` is empty.
+    #[must_use]
+    pub fn new(endpoints: Vec<String>) -> NetClient {
+        NetClient::with_config(endpoints, ClientConfig::default())
+    }
+
+    /// A client with explicit retry configuration.
+    ///
+    /// # Panics
+    ///
+    /// When `endpoints` is empty.
+    #[must_use]
+    pub fn with_config(endpoints: Vec<String>, config: ClientConfig) -> NetClient {
+        assert!(
+            !endpoints.is_empty(),
+            "a client needs at least one endpoint"
+        );
+        NetClient {
+            endpoints,
+            next_endpoint: 0,
+            conn: None,
+            config,
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// A point-in-time snapshot of the client's counters.
+    #[must_use]
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Sends one simulation request and blocks for its answer, retrying
+    /// retryable failures with exponential backoff and endpoint rotation.
+    ///
+    /// # Errors
+    ///
+    /// The last failure once retries are exhausted, or immediately for
+    /// non-retryable failures ([`NetError::Remote`] simulation errors,
+    /// protocol violations, version mismatches).
+    pub fn request(&mut self, request: &WireRequest) -> Result<WireResponse, NetError> {
+        let frame = Frame::json(FrameKind::Request, &request.to_json());
+        let reply = self.exchange_with_retry(&frame)?;
+        match reply.kind {
+            FrameKind::Response => {
+                let response = WireResponse::from_json(&reply.payload_json()?).map_err(|e| {
+                    NetError::Frame {
+                        reason: format!("undecodable response payload: {e}"),
+                    }
+                })?;
+                if response.id != request.id {
+                    return Err(NetError::Protocol {
+                        reason: format!(
+                            "response id {} does not match request id {}",
+                            response.id, request.id
+                        ),
+                    });
+                }
+                self.stats.completed += 1;
+                Ok(response)
+            }
+            FrameKind::Error => {
+                let failure = WireFailure::from_json(&reply.payload_json()?).map_err(|e| {
+                    NetError::Frame {
+                        reason: format!("undecodable error payload: {e}"),
+                    }
+                })?;
+                self.stats.failed += 1;
+                Err(NetError::Remote {
+                    code: failure.code,
+                    message: failure.message,
+                })
+            }
+            FrameKind::Request | FrameKind::Health => Err(NetError::Protocol {
+                reason: format!("peer answered a request with a {:?} frame", reply.kind),
+            }),
+        }
+    }
+
+    /// Sends a health probe and returns the raw JSON payload of the reply
+    /// — a `HealthStatus` document when the peer is a shard, a
+    /// `RouterHealth` document when it is a router.
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol failures, after the same retry policy as
+    /// [`request`](Self::request).
+    pub fn health(&mut self) -> Result<JsonValue, NetError> {
+        let reply = self.exchange_with_retry(&Frame::health_probe())?;
+        match reply.kind {
+            FrameKind::Health => reply.payload_json(),
+            other => Err(NetError::Protocol {
+                reason: format!("peer answered a probe with a {other:?} frame"),
+            }),
+        }
+    }
+
+    /// One exchange with the retry/backoff/rotation policy applied to
+    /// **transport** failures and retryable error frames. Error frames
+    /// are returned (not unwrapped) so the caller keeps the typed code.
+    fn exchange_with_retry(&mut self, frame: &Frame) -> Result<Frame, NetError> {
+        let mut backoff = self.config.base_backoff;
+        let mut last = None;
+        for attempt in 0..=self.config.max_retries {
+            if attempt > 0 {
+                self.stats.retries += 1;
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+            }
+            match self.exchange_once(frame) {
+                Ok(reply) => {
+                    // A retryable error frame (e.g. overloaded) is retried
+                    // like a transport failure; any other reply returns.
+                    if reply.kind == FrameKind::Error {
+                        if let Ok(json) = reply.payload_json() {
+                            if let Ok(failure) = WireFailure::from_json(&json) {
+                                if failure.code.is_retryable() && attempt < self.config.max_retries
+                                {
+                                    last = Some(NetError::Remote {
+                                        code: failure.code,
+                                        message: failure.message,
+                                    });
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+                    return Ok(reply);
+                }
+                Err(error) if error.is_retryable() => {
+                    last = Some(error);
+                }
+                Err(error) => return Err(error),
+            }
+        }
+        self.stats.failed += 1;
+        Err(NetError::Unavailable {
+            reason: match last {
+                Some(error) => format!(
+                    "{} attempts exhausted; last failure: {error}",
+                    self.config.max_retries + 1
+                ),
+                None => "no attempt could be made".to_string(),
+            },
+        })
+    }
+
+    /// One request/response exchange on the current connection, dialing
+    /// (with endpoint rotation) when there is none. Any failure drops the
+    /// connection so the next attempt redials.
+    fn exchange_once(&mut self, frame: &Frame) -> Result<Frame, NetError> {
+        if self.conn.is_none() {
+            let endpoint = &self.endpoints[self.next_endpoint % self.endpoints.len()];
+            self.next_endpoint = (self.next_endpoint + 1) % self.endpoints.len();
+            let stream = TcpStream::connect(endpoint).map_err(|e| NetError::Io {
+                kind: e.kind(),
+                reason: format!("connect {endpoint}: {e}"),
+            })?;
+            self.stats.connects += 1;
+            self.conn = Some(stream);
+        }
+        let stream = self.conn.as_mut().expect("connection just ensured");
+        let outcome = frame
+            .write_to(stream)
+            .and_then(|()| Frame::read_from(stream));
+        if outcome.is_err() {
+            self.conn = None;
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::shard::{ShardConfig, ShardServer};
+    use crate::serve::ServeConfig;
+    use crate::DesignPoint;
+    use rasa_workloads::LayerSpec;
+
+    fn spawn_shard(shard_id: u32) -> ShardServer {
+        ShardServer::bind(
+            "127.0.0.1:0",
+            ShardConfig {
+                shard_id,
+                serve: ServeConfig {
+                    workers_per_design: 1,
+                    matmul_cap: Some(8),
+                    ..ServeConfig::default()
+                },
+            },
+            &[DesignPoint::baseline()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn client_requests_and_probes() {
+        let shard = spawn_shard(3);
+        let mut client = NetClient::new(vec![shard.local_addr().to_string()]);
+        let request = WireRequest::new(11, "BASELINE", LayerSpec::fc("DLRM-1", 64, 128, 128));
+        let response = client.request(&request).unwrap();
+        assert_eq!(response.id, 11);
+        assert_eq!(response.shard, 3);
+        let health = client.health().unwrap();
+        assert_eq!(health.get("shard").and_then(JsonValue::as_u64), Some(3));
+        let stats = client.stats();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.connects, 1, "both exchanges share one connection");
+        assert_eq!(stats.retries, 0);
+        shard.shutdown();
+    }
+
+    #[test]
+    fn client_rotates_endpoints_past_a_dead_peer() {
+        let shard = spawn_shard(0);
+        // A port from a just-dropped listener: connecting to it fails.
+        let dead_addr = {
+            let dead = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            dead.local_addr().unwrap().to_string()
+        };
+        let mut client = NetClient::with_config(
+            vec![dead_addr, shard.local_addr().to_string()],
+            ClientConfig {
+                max_retries: 2,
+                base_backoff: Duration::ZERO,
+            },
+        );
+        let request = WireRequest::new(1, "BASELINE", LayerSpec::fc("DLRM-1", 64, 128, 128));
+        let response = client.request(&request).unwrap();
+        assert_eq!(response.id, 1);
+        assert!(client.stats().retries >= 1, "first endpoint was dead");
+        shard.shutdown();
+    }
+
+    #[test]
+    fn client_reports_non_retryable_errors_immediately() {
+        let shard = spawn_shard(0);
+        let mut client = NetClient::new(vec![shard.local_addr().to_string()]);
+        let request = WireRequest::new(2, "NO-SUCH", LayerSpec::fc("DLRM-1", 64, 128, 128));
+        let err = client.request(&request).unwrap_err();
+        assert!(matches!(err, NetError::Remote { .. }));
+        assert_eq!(client.stats().retries, 0, "unknown design is not retried");
+        assert_eq!(client.stats().failed, 1);
+        shard.shutdown();
+    }
+
+    #[test]
+    fn client_exhausts_retries_against_a_dead_world() {
+        let dead_addr = {
+            let dead = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            dead.local_addr().unwrap().to_string()
+        };
+        let mut client = NetClient::with_config(
+            vec![dead_addr],
+            ClientConfig {
+                max_retries: 1,
+                base_backoff: Duration::ZERO,
+            },
+        );
+        let request = WireRequest::new(3, "BASELINE", LayerSpec::fc("DLRM-1", 64, 128, 128));
+        let err = client.request(&request).unwrap_err();
+        assert!(matches!(err, NetError::Unavailable { .. }), "{err}");
+        assert_eq!(client.stats().failed, 1);
+    }
+}

@@ -1,0 +1,212 @@
+//! Deterministic consistent hashing for shard-warm routing.
+//!
+//! The router places every shard on a ring at `vnodes` pseudo-random
+//! positions (FNV-1a 64 of `"{shard}#{replica}"`, passed through a 64-bit
+//! avalanche finalizer) and routes a request's
+//! semantic shape key (see [`SimJob::semantic_key`](crate::SimJob::semantic_key))
+//! to the first shard clockwise from the key's hash. Two properties make
+//! this the right structure here:
+//!
+//! - **Warm caches:** the same shape key always hashes to the same shard,
+//!   so a shard's bounded LRU cell cache sees a stable subset of shapes
+//!   and its hit rate survives traffic skew.
+//! - **Minimal churn on failure:** when a shard dies, only the keys that
+//!   mapped to it move (to the next shard clockwise); every other key
+//!   keeps its warm shard. [`HashRing::preference_order`] exposes exactly
+//!   that clockwise failover order.
+//!
+//! Everything is deterministic — no randomness, no per-process seeds — so
+//! a router restart (or a second router) routes identically.
+
+use std::collections::BTreeMap;
+
+/// FNV-1a 64-bit hash of `bytes` — small, dependency-free and stable
+/// across platforms and processes, which is all the ring needs (this is a
+/// placement hash, not a cryptographic one).
+#[must_use]
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET_BASIS;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// A 64-bit avalanche finalizer (the murmur3 `fmix64` constants). FNV-1a
+/// of short, similar strings ("0#1", "0#2", …) differs mostly in its low
+/// bits; ring positions are compared as full integers (high bits first),
+/// so without this mix the virtual nodes cluster and some shards end up
+/// owning almost none of the key space.
+#[must_use]
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^= x >> 33;
+    x
+}
+
+/// The ring position of an arbitrary byte string.
+fn ring_point(bytes: &[u8]) -> u64 {
+    mix64(fnv1a_64(bytes))
+}
+
+/// A consistent-hash ring over shard ids with virtual nodes.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Ring position → shard id. A `BTreeMap` gives the clockwise scan.
+    ring: BTreeMap<u64, u32>,
+    /// Number of distinct shards on the ring.
+    shards: usize,
+}
+
+impl HashRing {
+    /// Builds a ring for shard ids `0..shards`, each at `vnodes` positions.
+    ///
+    /// `vnodes` is clamped to at least 1. With tens of virtual nodes per
+    /// shard the key space splits roughly evenly even for small shard
+    /// counts; the routers default to 64.
+    #[must_use]
+    pub fn new(shards: usize, vnodes: usize) -> HashRing {
+        let vnodes = vnodes.max(1);
+        let mut ring = BTreeMap::new();
+        for shard in 0..shards {
+            let shard = u32::try_from(shard).expect("shard count fits in u32");
+            for replica in 0..vnodes {
+                let point = ring_point(format!("{shard}#{replica}").as_bytes());
+                // On the astronomically unlikely collision the lower shard
+                // id wins, deterministically, on every router.
+                ring.entry(point).or_insert(shard);
+            }
+        }
+        HashRing { ring, shards }
+    }
+
+    /// Number of distinct shards the ring was built over.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The home shard for `key`: the first ring position clockwise from
+    /// the key's hash. `None` only for an empty ring.
+    #[must_use]
+    pub fn route(&self, key: &str) -> Option<u32> {
+        let point = ring_point(key.as_bytes());
+        self.ring
+            .range(point..)
+            .next()
+            .or_else(|| self.ring.iter().next())
+            .map(|(_, &shard)| shard)
+    }
+
+    /// The home shard for `key`, skipping shards for which `alive` returns
+    /// false — the clockwise failover scan. `None` when every shard is
+    /// dead (or the ring is empty).
+    #[must_use]
+    pub fn route_alive(&self, key: &str, alive: impl Fn(u32) -> bool) -> Option<u32> {
+        self.preference_order(key).into_iter().find(|&s| alive(s))
+    }
+
+    /// Every distinct shard in clockwise order from `key`'s hash: the
+    /// first entry is the home shard, each subsequent entry is the next
+    /// failover target. Deterministic for a given ring and key.
+    #[must_use]
+    pub fn preference_order(&self, key: &str) -> Vec<u32> {
+        let point = ring_point(key.as_bytes());
+        let mut order = Vec::with_capacity(self.shards);
+        for (_, &shard) in self.ring.range(point..).chain(self.ring.range(..point)) {
+            if !order.contains(&shard) {
+                order.push(shard);
+                if order.len() == self.shards {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+        // The finalizer is a bijection that must not fix small inputs.
+        assert_ne!(mix64(1), 1);
+        assert_ne!(mix64(mix64(7)), mix64(7));
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let ring = HashRing::new(4, 64);
+        let again = HashRing::new(4, 64);
+        for i in 0..200 {
+            let key = format!("design-{i}|shape-{}", i % 7);
+            let shard = ring.route(&key).unwrap();
+            assert!(shard < 4);
+            assert_eq!(again.route(&key), Some(shard), "rebuilt ring must agree");
+        }
+        assert!(HashRing::new(0, 64).route("anything").is_none());
+    }
+
+    #[test]
+    fn vnodes_spread_keys_across_shards() {
+        let ring = HashRing::new(4, 64);
+        let mut counts = [0usize; 4];
+        for i in 0..1000 {
+            counts[ring.route(&format!("key-{i}")).unwrap() as usize] += 1;
+        }
+        for (shard, &count) in counts.iter().enumerate() {
+            assert!(
+                count > 100,
+                "shard {shard} got {count}/1000 keys — ring is badly unbalanced: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn preference_order_lists_every_shard_once() {
+        let ring = HashRing::new(5, 32);
+        for i in 0..50 {
+            let order = ring.preference_order(&format!("key-{i}"));
+            assert_eq!(order.len(), 5);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 5, "duplicates in {order:?}");
+            assert_eq!(order[0], ring.route(&format!("key-{i}")).unwrap());
+        }
+    }
+
+    #[test]
+    fn killing_a_shard_moves_only_its_keys() {
+        let ring = HashRing::new(4, 64);
+        let keys: Vec<String> = (0..500).map(|i| format!("key-{i}")).collect();
+        let before: Vec<u32> = keys.iter().map(|k| ring.route(k).unwrap()).collect();
+        let dead = 2u32;
+        for (key, &home) in keys.iter().zip(&before) {
+            let rerouted = ring.route_alive(key, |s| s != dead).unwrap();
+            if home == dead {
+                assert_ne!(rerouted, dead);
+                assert_eq!(
+                    rerouted,
+                    ring.preference_order(key)[1],
+                    "clockwise failover"
+                );
+            } else {
+                assert_eq!(rerouted, home, "surviving shards keep their keys");
+            }
+        }
+        assert!(ring.route_alive("key-0", |_| false).is_none());
+    }
+}

@@ -1,0 +1,159 @@
+//! Internal blocking frame-server loop shared by [`ShardServer`] and
+//! [`Router`]: bind, accept, one handler thread per connection, prompt
+//! join on shutdown.
+//!
+//! [`ShardServer`]: crate::net::ShardServer
+//! [`Router`]: crate::net::Router
+
+use crate::json::ToJson;
+use crate::net::wire::{ErrorCode, Frame, WireFailure};
+use crate::net::NetError;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// How long a connection handler waits in `read` before re-checking the
+/// shutdown flag. Small enough for prompt shutdown, large enough to stay
+/// off the scheduler between requests.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// The frame→frame request handler a server plugs into the loop.
+pub(crate) type FrameHandler = Arc<dyn Fn(&Frame) -> Frame + Send + Sync>;
+
+/// A bound TCP listener answering every inbound frame through a handler.
+pub(crate) struct FrameListener {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+}
+
+impl FrameListener {
+    /// Binds `addr` and starts accepting. `name` labels the threads.
+    pub(crate) fn bind(addr: &str, name: &str, handler: FrameHandler) -> Result<Self, NetError> {
+        let listener = TcpListener::bind(addr).map_err(|e| NetError::Io {
+            kind: e.kind(),
+            reason: format!("bind {addr}: {e}"),
+        })?;
+        let local = listener.local_addr().map_err(NetError::from)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(Mutex::new(Vec::new()));
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_connections = Arc::clone(&connections);
+        let thread_name = name.to_string();
+        let accept_thread = thread::Builder::new()
+            .name(format!("{name}-accept"))
+            .spawn(move || {
+                accept_loop(
+                    &listener,
+                    &thread_name,
+                    &accept_shutdown,
+                    &accept_connections,
+                    &handler,
+                );
+            })
+            .map_err(NetError::from)?;
+        Ok(FrameListener {
+            addr: local,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            connections,
+        })
+    }
+
+    /// The bound address (with the resolved port when binding port 0).
+    pub(crate) fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins every thread. Idempotent; called from the
+    /// owning server's `Drop`.
+    pub(crate) fn stop_and_join(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop blocks in accept(); a dummy connection to our own
+        // listener wakes it so it can observe the flag and exit.
+        let _wake = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        let handles = std::mem::take(&mut *self.connections.lock().expect("listener conn lock"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for FrameListener {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    name: &str,
+    shutdown: &Arc<AtomicBool>,
+    connections: &Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+    handler: &FrameHandler,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        let Ok((stream, _)) = listener.accept() else {
+            continue;
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let conn_shutdown = Arc::clone(shutdown);
+        let conn_handler = Arc::clone(handler);
+        let Ok(handle) = thread::Builder::new()
+            .name(format!("{name}-conn"))
+            .spawn(move || handle_connection(stream, &conn_shutdown, conn_handler.as_ref()))
+        else {
+            continue;
+        };
+        connections.lock().expect("listener conn lock").push(handle);
+    }
+}
+
+/// Serves one connection until the peer hangs up or the server shuts down.
+fn handle_connection(stream: TcpStream, shutdown: &AtomicBool, handler: &dyn Fn(&Frame) -> Frame) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let mut reader = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    loop {
+        match Frame::read_from(&mut reader) {
+            Ok(frame) => {
+                if handler(&frame).write_to(&mut writer).is_err() {
+                    return;
+                }
+            }
+            // A poll timeout between frames: check the flag and keep
+            // listening. (read_exact maps timeouts to either kind,
+            // depending on platform.)
+            Err(NetError::Io { kind, .. })
+                if kind == io::ErrorKind::WouldBlock || kind == io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            // EOF, transport failure or an unparseable frame: answer what
+            // can be answered, then drop the connection (framing is byte
+            // oriented — after a bad frame the stream cannot be resynced).
+            Err(error) => {
+                if !matches!(&error, NetError::Io { .. }) {
+                    let failure = WireFailure::new(0, ErrorCode::BadRequest, error.to_string());
+                    let _ = Frame::json(crate::net::wire::FrameKind::Error, &failure.to_json())
+                        .write_to(&mut writer);
+                }
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! One TCP shard worker: a [`GemmServer`] behind a blocking accept loop.
+//!
+//! A [`ShardServer`] binds a listener, answers every connection on its own
+//! thread, and translates wire frames to [`GemmServer::submit`] calls. It
+//! inherits the server's whole serving stack unchanged — per-design worker
+//! pools, shape coalescing, admission control, the bounded LRU cell cache
+//! — which is what makes a shard "warm": the router keeps sending the same
+//! shape keys here, and they keep hitting this shard's cache.
+//!
+//! The `rasa-shardd` binary is a thin wrapper over this type.
+
+use crate::json::{FromJson, ToJson};
+use crate::net::listener::FrameListener;
+use crate::net::wire::{
+    ErrorCode, Frame, FrameKind, HealthStatus, WireFailure, WireRequest, WireResponse,
+};
+use crate::net::NetError;
+use crate::serve::{GemmRequest, GemmServer, ServeConfig};
+use crate::{DesignPoint, SimError};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Configuration of a [`ShardServer`].
+#[derive(Debug, Clone, Default)]
+pub struct ShardConfig {
+    /// This shard's id, echoed in responses and health frames so clients
+    /// can attribute answers and cache churn per shard.
+    pub shard_id: u32,
+    /// Configuration of the wrapped [`GemmServer`].
+    pub serve: ServeConfig,
+}
+
+struct ShardShared {
+    server: GemmServer,
+    shard_id: u32,
+    /// Frames answered over the wire (requests, probes, error replies).
+    served: AtomicU64,
+}
+
+/// A running TCP shard worker. Dropping it (or calling
+/// [`shutdown`](ShardServer::shutdown)) stops the accept loop, joins every
+/// connection handler and shuts the wrapped server down.
+pub struct ShardServer {
+    shared: Arc<ShardShared>,
+    listener: FrameListener,
+}
+
+impl std::fmt::Debug for ShardServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardServer")
+            .field("shard_id", &self.shared.shard_id)
+            .field("addr", &self.local_addr())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// serving the given designs.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Net`] when the bind fails, or any error of
+    /// [`GemmServer::new`] (e.g. a zero worker count).
+    pub fn bind(
+        addr: &str,
+        config: ShardConfig,
+        designs: &[DesignPoint],
+    ) -> Result<ShardServer, SimError> {
+        let server = GemmServer::new(config.serve, designs)?;
+        let shared = Arc::new(ShardShared {
+            server,
+            shard_id: config.shard_id,
+            served: AtomicU64::new(0),
+        });
+        let handler_shared = Arc::clone(&shared);
+        let listener = FrameListener::bind(
+            addr,
+            &format!("rasa-shard-{}", config.shard_id),
+            Arc::new(move |frame| {
+                handler_shared.served.fetch_add(1, Ordering::SeqCst);
+                answer(frame, &handler_shared)
+            }),
+        )
+        .map_err(SimError::from)?;
+        Ok(ShardServer { shared, listener })
+    }
+
+    /// The bound address (with the resolved port when binding port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr()
+    }
+
+    /// This shard's id.
+    #[must_use]
+    pub fn shard_id(&self) -> u32 {
+        self.shared.shard_id
+    }
+
+    /// A point-in-time health snapshot, identical to what a health frame
+    /// reports over the wire.
+    #[must_use]
+    pub fn health(&self) -> HealthStatus {
+        self.shared.health()
+    }
+
+    /// Stops accepting, joins every connection handler and shuts the
+    /// wrapped server down (the explicit form of drop).
+    pub fn shutdown(mut self) {
+        self.listener.stop_and_join();
+    }
+}
+
+impl ShardShared {
+    fn health(&self) -> HealthStatus {
+        HealthStatus {
+            shard: self.shard_id,
+            designs: self.server.designs().to_vec(),
+            served: self.served.load(Ordering::SeqCst),
+            serve: self.server.stats(),
+            cache: self.server.cache_stats(),
+        }
+    }
+}
+
+/// Builds the reply frame for one inbound frame. Never panics: every
+/// failure becomes an error frame.
+fn answer(frame: &Frame, shared: &Arc<ShardShared>) -> Frame {
+    match frame.kind {
+        FrameKind::Health => Frame::json(FrameKind::Health, &shared.health().to_json()),
+        FrameKind::Request => match decode_request(frame) {
+            Ok(request) => answer_request(&request, shared),
+            Err(failure) => Frame::json(FrameKind::Error, &failure.to_json()),
+        },
+        // A shard only ever receives requests and probes.
+        FrameKind::Response | FrameKind::Error => Frame::json(
+            FrameKind::Error,
+            &WireFailure::new(
+                0,
+                ErrorCode::BadRequest,
+                format!("unexpected {:?} frame on a shard", frame.kind),
+            )
+            .to_json(),
+        ),
+    }
+}
+
+fn decode_request(frame: &Frame) -> Result<WireRequest, WireFailure> {
+    let json = frame
+        .payload_json()
+        .map_err(|e| WireFailure::new(0, ErrorCode::BadRequest, e.to_string()))?;
+    WireRequest::from_json(&json)
+        .map_err(|e| WireFailure::new(0, ErrorCode::BadRequest, e.to_string()))
+}
+
+fn answer_request(request: &WireRequest, shared: &Arc<ShardShared>) -> Frame {
+    let job = match request.to_job() {
+        Ok(job) => job,
+        Err(NetError::Remote { code, message }) => {
+            return Frame::json(
+                FrameKind::Error,
+                &WireFailure::new(request.id, code, message).to_json(),
+            );
+        }
+        Err(other) => {
+            return Frame::json(
+                FrameKind::Error,
+                &WireFailure::new(request.id, ErrorCode::Internal, other.to_string()).to_json(),
+            );
+        }
+    };
+    let mut gemm = GemmRequest::new(job.design, job.workload);
+    if let Some(kernel) = job.kernel {
+        gemm = gemm.with_kernel(kernel);
+    }
+    let outcome = shared
+        .server
+        .submit(gemm)
+        .and_then(crate::serve::ResponseHandle::wait);
+    match outcome {
+        Ok(response) => Frame::json(
+            FrameKind::Response,
+            &WireResponse {
+                id: request.id,
+                shard: shared.shard_id,
+                batch_size: response.batch_size,
+                report: (*response.report).clone(),
+            }
+            .to_json(),
+        ),
+        Err(SimError::Overloaded { design, capacity }) => Frame::json(
+            FrameKind::Error,
+            &WireFailure::new(
+                request.id,
+                ErrorCode::Overloaded,
+                format!("queue for design '{design}' is at capacity {capacity}"),
+            )
+            .to_json(),
+        ),
+        Err(error) => Frame::json(
+            FrameKind::Error,
+            &WireFailure::new(request.id, ErrorCode::Simulation, error.to_string()).to_json(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+    use rasa_workloads::LayerSpec;
+    use std::net::TcpStream;
+
+    fn tiny_config() -> ShardConfig {
+        ShardConfig {
+            shard_id: 7,
+            serve: ServeConfig {
+                workers_per_design: 1,
+                matmul_cap: Some(8),
+                ..ServeConfig::default()
+            },
+        }
+    }
+
+    fn request_over(stream: &mut TcpStream, frame: &Frame) -> Frame {
+        frame.write_to(stream).unwrap();
+        Frame::read_from(stream).unwrap()
+    }
+
+    #[test]
+    fn shard_answers_requests_health_and_errors() {
+        let designs = vec![DesignPoint::baseline()];
+        let shard = ShardServer::bind("127.0.0.1:0", tiny_config(), &designs).unwrap();
+        let mut conn = TcpStream::connect(shard.local_addr()).unwrap();
+
+        // A real request round-trips with the shard id and echoed id.
+        let request = WireRequest::new(42, "BASELINE", LayerSpec::fc("DLRM-1", 64, 128, 128));
+        let reply = request_over(
+            &mut conn,
+            &Frame::json(FrameKind::Request, &request.to_json()),
+        );
+        assert_eq!(reply.kind, FrameKind::Response);
+        let response = WireResponse::from_json(&reply.payload_json().unwrap()).unwrap();
+        assert_eq!(response.id, 42);
+        assert_eq!(response.shard, 7);
+        assert_eq!(response.report.workload, "DLRM-1");
+
+        // A health probe reports the same snapshot as the local call.
+        let reply = request_over(&mut conn, &Frame::health_probe());
+        assert_eq!(reply.kind, FrameKind::Health);
+        let health = HealthStatus::from_json(&reply.payload_json().unwrap()).unwrap();
+        assert_eq!(health.shard, 7);
+        assert_eq!(health.designs, vec!["BASELINE".to_string()]);
+        assert!(health.served >= 1);
+        assert_eq!(health.serve.completed, 1);
+
+        // An unknown design is a typed error frame, and the connection
+        // survives it.
+        let bad = WireRequest::new(43, "NO-SUCH", LayerSpec::fc("DLRM-1", 64, 128, 128));
+        let reply = request_over(&mut conn, &Frame::json(FrameKind::Request, &bad.to_json()));
+        assert_eq!(reply.kind, FrameKind::Error);
+        let failure = WireFailure::from_json(&reply.payload_json().unwrap()).unwrap();
+        assert_eq!(failure.id, 43);
+        assert_eq!(failure.code, ErrorCode::UnknownDesign);
+
+        // A structurally broken request is BadRequest.
+        let reply = request_over(
+            &mut conn,
+            &Frame::json(FrameKind::Request, &JsonValue::parse("{}").unwrap()),
+        );
+        assert_eq!(reply.kind, FrameKind::Error);
+        let failure = WireFailure::from_json(&reply.payload_json().unwrap()).unwrap();
+        assert_eq!(failure.code, ErrorCode::BadRequest);
+
+        shard.shutdown();
+    }
+
+    #[test]
+    fn shard_shutdown_joins_with_open_connections() {
+        let designs = vec![DesignPoint::baseline()];
+        let shard = ShardServer::bind("127.0.0.1:0", tiny_config(), &designs).unwrap();
+        // An idle connection must not wedge shutdown.
+        let idle = TcpStream::connect(shard.local_addr()).unwrap();
+        shard.shutdown();
+        drop(idle);
+    }
+}

@@ -1,0 +1,762 @@
+//! The length-prefixed framed wire protocol of the networked serving tier.
+//!
+//! Every message on a connection is one **frame**:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     body length, big-endian u32 (= 2 + payload length)
+//! 4       1     protocol version byte (WIRE_VERSION, currently 0x01)
+//! 5       1     frame kind (Request 0x01 / Response 0x02 / Error 0x03 /
+//!               Health 0x04)
+//! 6       n     payload: a `rasa_sim::json` document, UTF-8
+//! ```
+//!
+//! The length prefix counts the version and kind bytes plus the payload,
+//! so the smallest legal frame declares a length of 2 (an empty payload —
+//! a health probe). A reader rejects frames whose declared payload exceeds
+//! [`MAX_FRAME_LEN`] *before* allocating, so a corrupt or hostile peer
+//! cannot make a shard balloon its memory, and rejects any version byte it
+//! does not speak with [`NetError::BadVersion`] — the version is the first
+//! byte after the length precisely so that future protocol revisions can
+//! be detected before any payload parsing. The full byte-level spec with a
+//! worked hex example lives in `docs/WIRE_PROTOCOL.md`.
+
+use crate::json::{FromJson, JsonError, JsonValue, ToJson};
+use crate::net::NetError;
+use crate::serve::ServeStats;
+use crate::{CacheStats, DesignPoint, SimJob, SimReport};
+use rasa_trace::GemmKernelConfig;
+use rasa_workloads::LayerSpec;
+use std::io::{Read, Write};
+
+/// The protocol version this build speaks (the frame's fifth byte).
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on a frame's payload in bytes. A declared length above this
+/// is rejected before any allocation happens.
+pub const MAX_FRAME_LEN: usize = 8 * 1024 * 1024;
+
+/// Bytes of framing before the payload: length prefix + version + kind.
+pub const HEADER_LEN: usize = 6;
+
+/// What a frame carries; the sixth byte of the frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A client/router → shard simulation request ([`WireRequest`]).
+    Request,
+    /// A shard → client/router answer ([`WireResponse`]).
+    Response,
+    /// A failure answer ([`WireFailure`]) — the peer stays connected.
+    Error,
+    /// A health probe (empty payload) or its reply ([`HealthStatus`]).
+    Health,
+}
+
+impl FrameKind {
+    /// The on-wire byte of this kind.
+    #[must_use]
+    pub const fn as_byte(self) -> u8 {
+        match self {
+            FrameKind::Request => 0x01,
+            FrameKind::Response => 0x02,
+            FrameKind::Error => 0x03,
+            FrameKind::Health => 0x04,
+        }
+    }
+
+    /// Decodes a kind byte.
+    #[must_use]
+    pub const fn from_byte(byte: u8) -> Option<FrameKind> {
+        match byte {
+            0x01 => Some(FrameKind::Request),
+            0x02 => Some(FrameKind::Response),
+            0x03 => Some(FrameKind::Error),
+            0x04 => Some(FrameKind::Health),
+            _ => None,
+        }
+    }
+}
+
+/// One framed message: a kind plus an opaque JSON payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// What the payload is.
+    pub kind: FrameKind,
+    /// The payload bytes (a `rasa_sim::json` document; empty for health
+    /// probes).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A frame wrapping a JSON document of the given kind.
+    #[must_use]
+    pub fn json(kind: FrameKind, document: &JsonValue) -> Frame {
+        Frame {
+            kind,
+            payload: document.to_string_compact().into_bytes(),
+        }
+    }
+
+    /// An empty-payload health probe.
+    #[must_use]
+    pub fn health_probe() -> Frame {
+        Frame {
+            kind: FrameKind::Health,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Serializes the frame: 4-byte big-endian length, version byte, kind
+    /// byte, payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let body_len = 2 + self.payload.len();
+        let mut out = Vec::with_capacity(4 + body_len);
+        out.extend_from_slice(
+            &u32::try_from(body_len)
+                .expect("frame fits in u32")
+                .to_be_bytes(),
+        );
+        out.push(WIRE_VERSION);
+        out.push(self.kind.as_byte());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Decodes one frame from the start of `bytes`, returning the frame
+    /// and the number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Frame`] for a truncated buffer, an impossible declared
+    /// length or an unknown kind byte; [`NetError::FrameTooLarge`] when
+    /// the declared payload exceeds [`MAX_FRAME_LEN`];
+    /// [`NetError::BadVersion`] for any version byte other than
+    /// [`WIRE_VERSION`].
+    pub fn decode(bytes: &[u8]) -> Result<(Frame, usize), NetError> {
+        if bytes.len() < 4 {
+            return Err(NetError::Frame {
+                reason: format!("truncated length prefix: {} of 4 bytes", bytes.len()),
+            });
+        }
+        let body_len = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        Frame::check_body_len(body_len)?;
+        let total = 4 + body_len;
+        if bytes.len() < total {
+            return Err(NetError::Frame {
+                reason: format!("truncated frame: {} of {} bytes", bytes.len(), total),
+            });
+        }
+        let (version, kind) = (bytes[4], bytes[5]);
+        Frame::check_version(version)?;
+        let kind = FrameKind::from_byte(kind).ok_or_else(|| NetError::Frame {
+            reason: format!("unknown frame kind byte 0x{kind:02x}"),
+        })?;
+        Ok((
+            Frame {
+                kind,
+                payload: bytes[HEADER_LEN..total].to_vec(),
+            },
+            total,
+        ))
+    }
+
+    /// Reads exactly one frame from a stream.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] when the stream ends or fails mid-frame, plus the
+    /// same validation errors as [`decode`](Self::decode).
+    pub fn read_from(reader: &mut impl Read) -> Result<Frame, NetError> {
+        let mut header = [0u8; 4];
+        reader.read_exact(&mut header).map_err(NetError::from)?;
+        let body_len = u32::from_be_bytes(header) as usize;
+        Frame::check_body_len(body_len)?;
+        let mut body = vec![0u8; body_len];
+        reader.read_exact(&mut body).map_err(NetError::from)?;
+        Frame::check_version(body[0])?;
+        let kind = FrameKind::from_byte(body[1]).ok_or_else(|| NetError::Frame {
+            reason: format!("unknown frame kind byte 0x{:02x}", body[1]),
+        })?;
+        body.drain(..2);
+        Ok(Frame {
+            kind,
+            payload: body,
+        })
+    }
+
+    /// Writes the frame to a stream and flushes it.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] on any transport failure.
+    pub fn write_to(&self, writer: &mut impl Write) -> Result<(), NetError> {
+        writer.write_all(&self.encode()).map_err(NetError::from)?;
+        writer.flush().map_err(NetError::from)
+    }
+
+    /// Parses the payload as a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Frame`] when the payload is not UTF-8 JSON.
+    pub fn payload_json(&self) -> Result<JsonValue, NetError> {
+        let text = std::str::from_utf8(&self.payload).map_err(|_| NetError::Frame {
+            reason: "frame payload is not UTF-8".to_string(),
+        })?;
+        JsonValue::parse(text).map_err(|e| NetError::Frame {
+            reason: format!("frame payload is not JSON: {e}"),
+        })
+    }
+
+    fn check_body_len(body_len: usize) -> Result<(), NetError> {
+        if body_len < 2 {
+            return Err(NetError::Frame {
+                reason: format!("declared body length {body_len} is below the 2-byte header"),
+            });
+        }
+        if body_len - 2 > MAX_FRAME_LEN {
+            return Err(NetError::FrameTooLarge {
+                len: body_len - 2,
+                max: MAX_FRAME_LEN,
+            });
+        }
+        Ok(())
+    }
+
+    fn check_version(version: u8) -> Result<(), NetError> {
+        if version == WIRE_VERSION {
+            Ok(())
+        } else {
+            Err(NetError::BadVersion { got: version })
+        }
+    }
+}
+
+/// Machine-readable failure categories carried by error frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request payload did not decode.
+    BadRequest,
+    /// The request named a design the shard does not serve.
+    UnknownDesign,
+    /// Admission control turned the request away; retrying later is safe.
+    Overloaded,
+    /// The simulation itself failed.
+    Simulation,
+    /// No shard is reachable for the request's shape.
+    Unavailable,
+    /// Any other server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The stable string carried on the wire.
+    #[must_use]
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownDesign => "unknown_design",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Simulation => "simulation",
+            ErrorCode::Unavailable => "unavailable",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Decodes the wire string; unknown codes map to `Internal` so that a
+    /// newer peer's codes degrade gracefully instead of failing decode.
+    #[must_use]
+    pub fn from_str_lossy(s: &str) -> ErrorCode {
+        match s {
+            "bad_request" => ErrorCode::BadRequest,
+            "unknown_design" => ErrorCode::UnknownDesign,
+            "overloaded" => ErrorCode::Overloaded,
+            "simulation" => ErrorCode::Simulation,
+            "unavailable" => ErrorCode::Unavailable,
+            _ => ErrorCode::Internal,
+        }
+    }
+
+    /// Whether a client may transparently retry after this code.
+    #[must_use]
+    pub const fn is_retryable(self) -> bool {
+        matches!(self, ErrorCode::Overloaded | ErrorCode::Unavailable)
+    }
+}
+
+/// A simulation request as shipped over the wire.
+///
+/// Designs travel **by name** (resolved against the eight named paper
+/// designs via [`DesignPoint::by_name`] on the shard); the workload and
+/// the optional kernel override travel structurally. `id` is echoed back
+/// in the response so a client can detect protocol desync.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRequest {
+    /// Client-chosen correlation id, echoed in the answer.
+    pub id: u64,
+    /// Name of one of the paper design points (e.g. `RASA-DMDB-WLS`).
+    pub design: String,
+    /// The workload to simulate.
+    pub workload: LayerSpec,
+    /// Kernel override (`None` = the shard's default kernel and cap).
+    pub kernel: Option<GemmKernelConfig>,
+}
+
+impl WireRequest {
+    /// A request for `workload` on the design named `design`.
+    #[must_use]
+    pub fn new(id: u64, design: impl Into<String>, workload: LayerSpec) -> Self {
+        WireRequest {
+            id,
+            design: design.into(),
+            workload,
+            kernel: None,
+        }
+    }
+
+    /// Overrides the kernel configuration.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: GemmKernelConfig) -> Self {
+        self.kernel = Some(kernel);
+        self
+    }
+
+    /// Resolves the named design and builds the corresponding [`SimJob`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Remote`] with [`ErrorCode::UnknownDesign`] when the
+    /// name matches none of the paper designs.
+    pub fn to_job(&self) -> Result<SimJob, NetError> {
+        let design = DesignPoint::by_name(&self.design).ok_or_else(|| NetError::Remote {
+            code: ErrorCode::UnknownDesign,
+            message: format!("'{}' is not a paper design point", self.design),
+        })?;
+        let mut job = SimJob::new(design, self.workload.clone());
+        if let Some(kernel) = self.kernel {
+            job = job.with_kernel(kernel);
+        }
+        Ok(job)
+    }
+
+    /// The semantic shape key the router consistent-hashes on — identical
+    /// to the cell key the shard's runner memoizes under (see
+    /// [`SimJob::semantic_key`]), so a shape always lands on the shard
+    /// whose LRU cell cache is warm for it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`to_job`](Self::to_job).
+    pub fn shape_key(&self, default_matmul_cap: Option<usize>) -> Result<String, NetError> {
+        Ok(self.to_job()?.semantic_key(default_matmul_cap))
+    }
+}
+
+impl ToJson for WireRequest {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("id".into(), JsonValue::number_from_u64(self.id)),
+            ("design".into(), JsonValue::string(&self.design)),
+            ("workload".into(), self.workload.to_json()),
+            (
+                "kernel".into(),
+                self.kernel
+                    .as_ref()
+                    .map_or(JsonValue::Null, ToJson::to_json),
+            ),
+        ])
+    }
+}
+
+impl FromJson for WireRequest {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        let kernel = match value.get("kernel") {
+            None | Some(JsonValue::Null) => None,
+            Some(node) => Some(GemmKernelConfig::from_json(node)?),
+        };
+        Ok(WireRequest {
+            id: value
+                .get("id")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| JsonError::decode("field 'id' is not a u64"))?,
+            design: value
+                .get("design")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| JsonError::decode("field 'design' is not a string"))?
+                .to_string(),
+            workload: LayerSpec::from_json(
+                value
+                    .get("workload")
+                    .ok_or_else(|| JsonError::decode("missing field 'workload'"))?,
+            )?,
+            kernel,
+        })
+    }
+}
+
+/// A successful answer to a [`WireRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireResponse {
+    /// The request's correlation id, echoed back.
+    pub id: u64,
+    /// Which shard simulated (or recalled) the cell.
+    pub shard: u32,
+    /// How many coalesced requests shared the simulation on the shard.
+    pub batch_size: usize,
+    /// The simulation result.
+    pub report: SimReport,
+}
+
+impl ToJson for WireResponse {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("id".into(), JsonValue::number_from_u64(self.id)),
+            (
+                "shard".into(),
+                JsonValue::number_from_u64(self.shard.into()),
+            ),
+            (
+                "batch_size".into(),
+                JsonValue::number_from_usize(self.batch_size),
+            ),
+            ("report".into(), self.report.to_json()),
+        ])
+    }
+}
+
+impl FromJson for WireResponse {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        let shard_u64 = value
+            .get("shard")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| JsonError::decode("field 'shard' is not a u64"))?;
+        Ok(WireResponse {
+            id: value
+                .get("id")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| JsonError::decode("field 'id' is not a u64"))?,
+            shard: u32::try_from(shard_u64)
+                .map_err(|_| JsonError::decode("field 'shard' exceeds u32"))?,
+            batch_size: value
+                .get("batch_size")
+                .and_then(JsonValue::as_usize)
+                .ok_or_else(|| JsonError::decode("field 'batch_size' is not a usize"))?,
+            report: SimReport::from_json(
+                value
+                    .get("report")
+                    .ok_or_else(|| JsonError::decode("missing field 'report'"))?,
+            )?,
+        })
+    }
+}
+
+/// The payload of an error frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireFailure {
+    /// The failed request's correlation id (0 when the request could not
+    /// even be decoded).
+    pub id: u64,
+    /// Machine-readable failure category.
+    pub code: ErrorCode,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl WireFailure {
+    /// Builds a failure answer.
+    #[must_use]
+    pub fn new(id: u64, code: ErrorCode, message: impl Into<String>) -> Self {
+        WireFailure {
+            id,
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl ToJson for WireFailure {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("id".into(), JsonValue::number_from_u64(self.id)),
+            ("code".into(), JsonValue::string(self.code.as_str())),
+            ("message".into(), JsonValue::string(&self.message)),
+        ])
+    }
+}
+
+impl FromJson for WireFailure {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        Ok(WireFailure {
+            id: value
+                .get("id")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| JsonError::decode("field 'id' is not a u64"))?,
+            code: ErrorCode::from_str_lossy(
+                value
+                    .get("code")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| JsonError::decode("field 'code' is not a string"))?,
+            ),
+            message: value
+                .get("message")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| JsonError::decode("field 'message' is not a string"))?
+                .to_string(),
+        })
+    }
+}
+
+/// The payload of a health reply: one shard's identity and counters (the
+/// router aggregates these across shards for its own health answers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthStatus {
+    /// The shard's id (routers report `u32::MAX`).
+    pub shard: u32,
+    /// The designs the shard serves, in pool order.
+    pub designs: Vec<String>,
+    /// Requests answered over the wire since start.
+    pub served: u64,
+    /// The wrapped server's serving counters.
+    pub serve: ServeStats,
+    /// The wrapped server's cell-cache counters (hits, misses, evictions —
+    /// the per-shard cache-churn numbers the distributed soak reports).
+    pub cache: CacheStats,
+}
+
+impl ToJson for HealthStatus {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "shard".into(),
+                JsonValue::number_from_u64(self.shard.into()),
+            ),
+            (
+                "designs".into(),
+                JsonValue::Array(self.designs.iter().map(JsonValue::string).collect()),
+            ),
+            ("served".into(), JsonValue::number_from_u64(self.served)),
+            ("serve".into(), self.serve.to_json()),
+            ("cache".into(), self.cache.to_json()),
+        ])
+    }
+}
+
+impl FromJson for HealthStatus {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        let shard_u64 = value
+            .get("shard")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| JsonError::decode("field 'shard' is not a u64"))?;
+        let designs = value
+            .get("designs")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| JsonError::decode("field 'designs' is not an array"))?
+            .iter()
+            .map(|d| {
+                d.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| JsonError::decode("design entry is not a string"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(HealthStatus {
+            shard: u32::try_from(shard_u64)
+                .map_err(|_| JsonError::decode("field 'shard' exceeds u32"))?,
+            designs,
+            served: value
+                .get("served")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| JsonError::decode("field 'served' is not a u64"))?,
+            serve: ServeStats::from_json(
+                value
+                    .get("serve")
+                    .ok_or_else(|| JsonError::decode("missing field 'serve'"))?,
+            )?,
+            cache: CacheStats::from_json(
+                value
+                    .get("cache")
+                    .ok_or_else(|| JsonError::decode("missing field 'cache'"))?,
+            )?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rasa_numeric::ConvShape;
+
+    #[test]
+    fn frame_encode_decode_round_trips() {
+        for (kind, payload) in [
+            (FrameKind::Request, b"{\"id\":1}".to_vec()),
+            (FrameKind::Response, vec![0xceu8, 0xbb]), // UTF-8 "λ"
+            (FrameKind::Error, Vec::new()),
+            (FrameKind::Health, Vec::new()),
+        ] {
+            let frame = Frame { kind, payload };
+            let bytes = frame.encode();
+            let (decoded, consumed) = Frame::decode(&bytes).unwrap();
+            assert_eq!(decoded, frame);
+            assert_eq!(consumed, bytes.len());
+        }
+    }
+
+    #[test]
+    fn frame_layout_is_the_documented_bytes() {
+        let frame = Frame {
+            kind: FrameKind::Health,
+            payload: b"ok".to_vec(),
+        };
+        assert_eq!(frame.encode(), vec![0, 0, 0, 4, 0x01, 0x04, b'o', b'k']);
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let bytes = Frame::health_probe().encode();
+        for cut in 0..bytes.len() {
+            let err = Frame::decode(&bytes[..cut]).unwrap_err();
+            assert!(matches!(err, NetError::Frame { .. }), "cut at {cut}: {err}");
+        }
+        // Stream form: the reader must also fail cleanly on a short read.
+        for cut in 0..bytes.len() {
+            let mut reader = &bytes[..cut];
+            let err = Frame::read_from(&mut reader).unwrap_err();
+            assert!(matches!(err, NetError::Io { .. }), "cut at {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn undersized_and_oversized_lengths_are_rejected() {
+        // Declared body length below the 2-byte version+kind header.
+        for body_len in [0u32, 1] {
+            let mut bytes = body_len.to_be_bytes().to_vec();
+            bytes.extend_from_slice(&[WIRE_VERSION, 0x04]);
+            assert!(matches!(Frame::decode(&bytes), Err(NetError::Frame { .. })));
+        }
+        // Declared payload above MAX_FRAME_LEN — rejected before allocation.
+        let huge = u32::try_from(MAX_FRAME_LEN + 3).unwrap();
+        let mut bytes = huge.to_be_bytes().to_vec();
+        bytes.extend_from_slice(&[WIRE_VERSION, 0x04]);
+        let err = Frame::decode(&bytes).unwrap_err();
+        assert!(matches!(err, NetError::FrameTooLarge { .. }), "{err}");
+        let mut reader = bytes.as_slice();
+        let err = Frame::read_from(&mut reader).unwrap_err();
+        assert!(matches!(err, NetError::FrameTooLarge { .. }), "{err}");
+    }
+
+    #[test]
+    fn bad_version_and_bad_kind_are_rejected() {
+        let mut bytes = Frame::health_probe().encode();
+        bytes[4] = 2; // future version
+        let err = Frame::decode(&bytes).unwrap_err();
+        assert!(matches!(err, NetError::BadVersion { got: 2 }), "{err}");
+
+        let mut bytes = Frame::health_probe().encode();
+        bytes[5] = 0x7f; // unknown kind
+        let err = Frame::decode(&bytes).unwrap_err();
+        assert!(matches!(err, NetError::Frame { .. }), "{err}");
+        assert!(err.to_string().contains("0x7f"));
+    }
+
+    #[test]
+    fn frames_round_trip_through_streams() {
+        let request = WireRequest::new(7, "BASELINE", LayerSpec::fc("DLRM-1", 512, 1024, 1024));
+        let frame = Frame::json(FrameKind::Request, &request.to_json());
+        let mut buffer = Vec::new();
+        frame.write_to(&mut buffer).unwrap();
+        let mut reader = buffer.as_slice();
+        let back = Frame::read_from(&mut reader).unwrap();
+        assert_eq!(back, frame);
+        let decoded = WireRequest::from_json(&back.payload_json().unwrap()).unwrap();
+        assert_eq!(decoded, request);
+    }
+
+    #[test]
+    fn wire_request_json_round_trips_fc_conv_and_kernel() {
+        let fc = WireRequest::new(1, "RASA-DMDB-WLS", LayerSpec::fc("BERT-1", 256, 768, 3072));
+        let conv = WireRequest::new(
+            2,
+            "BASELINE",
+            LayerSpec::conv("ResNet50-2", ConvShape::new(32, 64, 56, 56, 64, 3, 3, 1, 1)),
+        )
+        .with_kernel(GemmKernelConfig::amx_like().with_max_matmuls(64));
+        for request in [fc, conv] {
+            let text = request.to_json().to_string_compact();
+            let back = WireRequest::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, request);
+            assert_eq!(
+                back.workload.gemm_shape(),
+                request.workload.gemm_shape(),
+                "lowered shape must survive the wire"
+            );
+        }
+    }
+
+    #[test]
+    fn request_resolves_designs_by_name_only() {
+        let ok = WireRequest::new(1, "RASA-DB-WLS", LayerSpec::fc("DLRM-1", 512, 1024, 1024));
+        assert_eq!(ok.to_job().unwrap().design.name(), "RASA-DB-WLS");
+        let bad = WireRequest::new(1, "NOT-A-DESIGN", LayerSpec::fc("DLRM-1", 512, 1024, 1024));
+        let err = bad.to_job().unwrap_err();
+        assert!(matches!(
+            err,
+            NetError::Remote {
+                code: ErrorCode::UnknownDesign,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn shape_key_matches_the_runners_cell_key() {
+        let request = WireRequest::new(9, "BASELINE", LayerSpec::fc("DLRM-1", 512, 1024, 1024));
+        let runner = crate::ExperimentRunner::builder()
+            .with_matmul_cap(Some(64))
+            .build()
+            .unwrap();
+        let key = request.shape_key(Some(64)).unwrap();
+        assert_eq!(key, runner.job_key(&request.to_job().unwrap()));
+        // Re-batched layers at the same lowered shape share the key — the
+        // property shard-warm routing relies on.
+        let rebatched = WireRequest::new(
+            10,
+            "BASELINE",
+            LayerSpec::fc("DLRM-1", 512, 1024, 1024).with_batch(512),
+        );
+        assert_eq!(rebatched.shape_key(Some(64)).unwrap(), key);
+    }
+
+    #[test]
+    fn failure_and_health_payloads_round_trip() {
+        let failure = WireFailure::new(3, ErrorCode::Overloaded, "queue full");
+        let text = failure.to_json().to_string_compact();
+        let back = WireFailure::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, failure);
+        assert!(failure.code.is_retryable());
+        assert!(!ErrorCode::Simulation.is_retryable());
+        assert_eq!(ErrorCode::from_str_lossy("warp_drive"), ErrorCode::Internal);
+
+        let health = HealthStatus {
+            shard: 2,
+            designs: vec!["BASELINE".into(), "RASA-DMDB-WLS".into()],
+            served: 41,
+            serve: ServeStats {
+                submitted: 41,
+                completed: 41,
+                batches: 40,
+                ..ServeStats::default()
+            },
+            cache: CacheStats {
+                hits: 30,
+                misses: 11,
+                entries: 11,
+                evictions: 0,
+                capacity: 64,
+            },
+        };
+        let text = health.to_json().to_string_compact();
+        let back = HealthStatus::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, health);
+    }
+}

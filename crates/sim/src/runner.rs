@@ -72,6 +72,36 @@ impl SimJob {
         self.kernel = Some(kernel);
         self
     }
+
+    /// The kernel this job resolves to under a given default matmul cap:
+    /// its explicit override, or the default AMX-like kernel carrying the
+    /// cap.
+    #[must_use]
+    pub fn resolved_kernel(&self, default_matmul_cap: Option<usize>) -> GemmKernelConfig {
+        self.kernel.unwrap_or_else(|| {
+            let mut kernel = GemmKernelConfig::amx_like();
+            kernel.max_matmuls = default_matmul_cap;
+            kernel
+        })
+    }
+
+    /// The semantic identity of this job's simulation cell under a given
+    /// default matmul cap: design + lowered GEMM shape + resolved kernel.
+    ///
+    /// This is the key [`ExperimentRunner`] memoizes under and the serving
+    /// layer coalesces by, computable without a runner — the network
+    /// router uses it to consistent-hash a request onto the shard whose
+    /// cell cache is warm for the shape.
+    #[must_use]
+    pub fn semantic_key(&self, default_matmul_cap: Option<usize>) -> String {
+        let kernel = self.resolved_kernel(default_matmul_cap);
+        format!(
+            "{:?}|{:?}|{:?}",
+            self.design,
+            self.workload.gemm_shape(),
+            kernel
+        )
+    }
 }
 
 /// A declarative experiment: the (workload × design) matrix to simulate and
@@ -153,7 +183,7 @@ impl CacheStats {
 }
 
 /// Parallel, memoizing executor for (workload × design) simulation
-/// matrices. See the [module docs](self) for the motivation.
+/// matrices. See the [crate docs](crate) for the motivation.
 ///
 /// The runner is `Sync`: one runner can be shared by concurrent experiment
 /// calls, and all of them share the cell cache. Two threads racing on the
@@ -358,11 +388,7 @@ impl ExperimentRunner {
     /// The kernel a job resolves to: its explicit override, or the default
     /// kernel carrying the runner's matmul cap.
     fn resolve_kernel(&self, job: &SimJob) -> GemmKernelConfig {
-        job.kernel.unwrap_or_else(|| {
-            let mut kernel = GemmKernelConfig::amx_like();
-            kernel.max_matmuls = self.matmul_cap;
-            kernel
-        })
+        job.resolved_kernel(self.matmul_cap)
     }
 
     /// The semantic cache key of a job's simulation cell.
@@ -377,13 +403,7 @@ impl ExperimentRunner {
     /// requests coalesced into one batch share one simulation.
     #[must_use]
     pub fn job_key(&self, job: &SimJob) -> String {
-        let kernel = self.resolve_kernel(job);
-        format!(
-            "{:?}|{:?}|{:?}",
-            job.design,
-            job.workload.gemm_shape(),
-            kernel
-        )
+        job.semantic_key(self.matmul_cap)
     }
 
     /// Runs (or recalls) one cell.

@@ -1,6 +1,6 @@
 //! Serving-side counters and latency aggregation.
 
-use crate::json::{JsonValue, ToJson};
+use crate::json::{FromJson, JsonError, JsonValue, ToJson};
 
 /// Monotonic counters of a [`GemmServer`](crate::serve::GemmServer).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -59,6 +59,26 @@ impl ToJson for ServeStats {
             ("rejected".into(), JsonValue::number_from_u64(self.rejected)),
             ("blocked".into(), JsonValue::number_from_u64(self.blocked)),
         ])
+    }
+}
+
+impl FromJson for ServeStats {
+    fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| JsonError::decode(format!("field '{name}' is not a u64")))
+        };
+        Ok(ServeStats {
+            submitted: field("submitted")?,
+            completed: field("completed")?,
+            batches: field("batches")?,
+            coalesced: field("coalesced")?,
+            largest_batch: field("largest_batch")?,
+            rejected: field("rejected")?,
+            blocked: field("blocked")?,
+        })
     }
 }
 
@@ -246,6 +266,8 @@ mod tests {
         assert!(json.contains("\"coalesced\":6"));
         assert!(json.contains("\"rejected\":3"));
         assert!(json.contains("\"blocked\":2"));
+        let back = ServeStats::from_json(&JsonValue::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, stats);
         let lat = LatencySummary::from_samples(&[0.1]).unwrap();
         assert!(lat.to_json().to_string_compact().contains("\"count\":1"));
     }

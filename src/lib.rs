@@ -47,6 +47,7 @@ pub mod prelude {
     };
     pub use rasa_numeric::{gemm_bf16_fp32, gemm_f32, Bf16, ConvShape, GemmShape, Matrix};
     pub use rasa_power::{AreaModel, EnergyModel, PowerReport};
+    pub use rasa_sim::net::{NetClient, Router, RouterConfig, ShardServer, WireRequest};
     pub use rasa_sim::search::{
         DesignSearch, Evolutionary, ExhaustiveGrid, ParetoFrontier, RandomSampling, SearchOutcome,
         SearchSpace, SearchStrategy,
