@@ -36,6 +36,7 @@ const METRICS: &[(&str, Better)] = &[
     ("run_all.instructions_per_second", Better::Higher),
     ("run_all.visited_cycle_skip_rate", Better::Higher),
     ("design_search.cells_per_second", Better::Higher),
+    ("design_search_joint.cells_per_second", Better::Higher),
     ("serve_soak.throughput_requests_per_second", Better::Higher),
     ("serve_soak.p50_seconds", Better::Lower),
     ("serve_soak.p99_seconds", Better::Lower),

@@ -10,6 +10,11 @@
 //! * `--strategy evolve --population N --generations G --seed S` — seeded
 //!   evolutionary loop (tournament selection + per-axis mutation).
 //!
+//! `--kernel-axes` additionally crosses every hardware point with the
+//! kernel-scheme axes (register-block shape, matmul order, loop order,
+//! unroll) that survive the cost-model pre-filter, searching the joint
+//! hardware × kernel space.
+//!
 //! Candidates are evaluated in parallel through the memoizing
 //! `ExperimentRunner`, so revisited genotypes are cell-cache hits. The run
 //! is fully deterministic for a fixed seed: `--json PATH` writes a
@@ -40,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_speculation(options.speculation)
         .with_spec_depth(options.spec_depth)
         .build()?;
-    let space = SearchSpace::explorer();
+    let space = if options.kernel_axes {
+        SearchSpace::explorer_joint()
+    } else {
+        SearchSpace::explorer()
+    };
     println!(
         "searching {space} on {} ({}, cap {:?}, seed {})",
         layer.name(),
@@ -72,34 +81,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Only configuration-determined data enters the document (the
         // cache counters above vary with thread scheduling and stay out),
         // so a repeated run with the same seed rewrites identical bytes.
+        let mut option_members = vec![
+            ("strategy".into(), JsonValue::string(&options.strategy)),
+            ("workload".into(), JsonValue::string(&options.workload)),
+            ("seed".into(), JsonValue::number_from_u64(options.seed)),
+            (
+                "population".into(),
+                JsonValue::number_from_usize(options.population),
+            ),
+            (
+                "generations".into(),
+                JsonValue::number_from_usize(options.generations),
+            ),
+            (
+                "samples".into(),
+                JsonValue::number_from_usize(options.samples),
+            ),
+            (
+                "matmul_cap".into(),
+                options
+                    .matmul_cap
+                    .map_or(JsonValue::Null, JsonValue::number_from_usize),
+            ),
+        ];
+        if options.kernel_axes {
+            // Gated so the default hardware-only document — and the pinned
+            // golden/search.json — keeps its exact bytes.
+            option_members.push(("kernel_axes".into(), JsonValue::Bool(true)));
+        }
         let document = JsonValue::Object(vec![
             ("schema".into(), JsonValue::string("rasa-design-search/1")),
-            (
-                "options".into(),
-                JsonValue::Object(vec![
-                    ("strategy".into(), JsonValue::string(&options.strategy)),
-                    ("workload".into(), JsonValue::string(&options.workload)),
-                    ("seed".into(), JsonValue::number_from_u64(options.seed)),
-                    (
-                        "population".into(),
-                        JsonValue::number_from_usize(options.population),
-                    ),
-                    (
-                        "generations".into(),
-                        JsonValue::number_from_usize(options.generations),
-                    ),
-                    (
-                        "samples".into(),
-                        JsonValue::number_from_usize(options.samples),
-                    ),
-                    (
-                        "matmul_cap".into(),
-                        options
-                            .matmul_cap
-                            .map_or(JsonValue::Null, JsonValue::number_from_usize),
-                    ),
-                ]),
-            ),
+            ("options".into(), JsonValue::Object(option_members)),
             ("search".into(), outcome.to_json()),
         ]);
         rasa_bench::write_verified_json(path, &document)?;
@@ -127,8 +139,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 JsonValue::number_from_f64(stats.hit_rate()),
             ),
         ]);
-        rasa_bench::update_bench_section(path, "design_search", section)?;
-        println!("perf document section 'design_search' written to {path}");
+        let section_name = if options.kernel_axes {
+            "design_search_joint"
+        } else {
+            "design_search"
+        };
+        rasa_bench::update_bench_section(path, section_name, section)?;
+        println!("perf document section '{section_name}' written to {path}");
     }
     Ok(())
 }

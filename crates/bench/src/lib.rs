@@ -122,6 +122,10 @@ pub struct BinOptions {
     pub samples: usize,
     /// For `design_search`: the Table I layer candidates are evaluated on.
     pub workload: String,
+    /// For `design_search`: cross the hardware axes with the kernel axes
+    /// (register-block shape, matmul order, loop order, unroll) and search
+    /// the joint space (`--kernel-axes`).
+    pub kernel_axes: bool,
     /// For `serve_soak`: drive a spawned router + worker-process tier over
     /// TCP instead of the in-process server (`--distributed`).
     pub distributed: bool,
@@ -180,6 +184,7 @@ impl Default for BinOptions {
             generations: 8,
             samples: 48,
             workload: "DLRM-2".to_string(),
+            kernel_axes: false,
             distributed: false,
             shards: 4,
             kill_worker: false,
@@ -208,7 +213,8 @@ impl BinOptions {
     /// `--batch N`, `--cache-capacity N`, `--queue-capacity N`,
     /// `--admission block|reject` and `--seed N`, and the `design_search`
     /// knobs `--strategy grid|random|evolve`, `--population N`,
-    /// `--generations N`, `--samples N` and `--workload NAME`, the
+    /// `--generations N`, `--samples N`, `--workload NAME` and
+    /// `--kernel-axes` (joint hardware × kernel search), the
     /// distributed-serving knobs `--distributed`, `--shards N`,
     /// `--kill-worker`, `--inflight N` and `--vnodes N`, and the
     /// `rasa-shardd` / `rasa-router` knobs `--listen ADDR`,
@@ -330,6 +336,7 @@ impl BinOptions {
                         options.workload = value;
                     }
                 }
+                "--kernel-axes" => options.kernel_axes = true,
                 "--distributed" => options.distributed = true,
                 "--shards" => {
                     if let Some(value) = numeric(&mut args) {
@@ -598,6 +605,12 @@ pub const FLAGS: &[FlagSpec] = &[
         flag: "--workload",
         value: "NAME",
         description: "Table I layer candidates are evaluated on",
+        binaries: &["design_search"],
+    },
+    FlagSpec {
+        flag: "--kernel-axes",
+        value: "",
+        description: "search the joint hardware x kernel space",
         binaries: &["design_search"],
     },
     FlagSpec {
@@ -973,6 +986,7 @@ mod tests {
         assert_eq!(o.generations, 8);
         assert_eq!(o.samples, 48);
         assert_eq!(o.workload, "DLRM-2");
+        assert!(!o.kernel_axes, "hardware-only search is the default");
         assert_eq!(o.search_strategy().unwrap().name(), "grid");
 
         let args = [
@@ -988,6 +1002,7 @@ mod tests {
             "BERT-1",
             "--seed",
             "7",
+            "--kernel-axes",
         ];
         let o = BinOptions::parse(args.iter().map(ToString::to_string));
         assert_eq!(o.strategy, "evolve");
@@ -995,6 +1010,7 @@ mod tests {
         assert_eq!(o.generations, 4);
         assert_eq!(o.samples, 20);
         assert_eq!(o.workload, "BERT-1");
+        assert!(o.kernel_axes);
         assert_eq!(o.search_strategy().unwrap().name(), "evolve");
 
         let o = BinOptions::parse(["--strategy".to_string(), "random".to_string()]);

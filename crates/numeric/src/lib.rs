@@ -43,4 +43,4 @@ pub use error::NumericError;
 pub use gemm::{gemm_bf16_fp32, gemm_f32, max_abs_diff, GemmShape};
 pub use im2col::{im2col, lower_conv_to_gemm, ConvShape};
 pub use matrix::{random_matrix, Matrix};
-pub use tiling::{TileCoord, TileGrid, TilingConfig};
+pub use tiling::{RegisterBlock, TileCoord, TileGrid, TilingConfig};

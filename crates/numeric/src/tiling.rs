@@ -55,6 +55,75 @@ impl fmt::Display for TilingConfig {
     }
 }
 
+/// The register-block shape of a micro-kernel: how many A tiles (`m`) and B
+/// tiles (`n`) are held live at once, accumulating into an `m × n` grid of C
+/// tiles.
+///
+/// The paper's Algorithm 1 uses a 2×2 block (four accumulators, two A tiles,
+/// two B tiles — eight tile registers). Other shapes trade register pressure
+/// against operand-load traffic: a block needs `m·n + m + n` tile registers
+/// and issues `m + n` operand loads per K step for `m·n` matmuls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegisterBlock {
+    /// A-tile rows of the block (accumulator grid height).
+    pub m: usize,
+    /// B-tile columns of the block (accumulator grid width).
+    pub n: usize,
+}
+
+impl RegisterBlock {
+    /// Creates a register-block shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidTiling`] if either dimension is zero.
+    pub fn new(m: usize, n: usize) -> Result<Self, NumericError> {
+        if m == 0 || n == 0 {
+            return Err(NumericError::InvalidTiling {
+                reason: format!("register block dimensions must be non-zero, got {m}x{n}"),
+            });
+        }
+        Ok(RegisterBlock { m, n })
+    }
+
+    /// The paper's Algorithm-1 block: 2 A tiles × 2 B tiles.
+    #[must_use]
+    pub const fn algorithm_one() -> Self {
+        RegisterBlock { m: 2, n: 2 }
+    }
+
+    /// Tile registers the block occupies: `m·n` accumulators plus `n` weight
+    /// tiles plus `m` activation tiles.
+    #[must_use]
+    pub const fn tile_regs_needed(&self) -> usize {
+        self.m * self.n + self.m + self.n
+    }
+
+    /// Number of blocks along M for a grid of `m_tiles` register tiles.
+    #[must_use]
+    pub const fn m_blocks(&self, m_tiles: usize) -> usize {
+        m_tiles.div_ceil(self.m)
+    }
+
+    /// Number of blocks along N for a grid of `n_tiles` register tiles.
+    #[must_use]
+    pub const fn n_blocks(&self, n_tiles: usize) -> usize {
+        n_tiles.div_ceil(self.n)
+    }
+}
+
+impl Default for RegisterBlock {
+    fn default() -> Self {
+        RegisterBlock::algorithm_one()
+    }
+}
+
+impl fmt::Display for RegisterBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.m, self.n)
+    }
+}
+
 /// The coordinates of one register tile inside the tiled GEMM iteration
 /// space, together with its actual (possibly clipped) extents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -228,6 +297,20 @@ impl TileGrid {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn register_block_defaults_and_footprint() {
+        let b = RegisterBlock::default();
+        assert_eq!(b, RegisterBlock::algorithm_one());
+        assert_eq!(b.tile_regs_needed(), 8);
+        assert_eq!(b.to_string(), "2x2");
+        assert_eq!(b.m_blocks(5), 3);
+        assert_eq!(b.n_blocks(4), 2);
+        let tall = RegisterBlock::new(3, 1).unwrap();
+        assert_eq!(tall.tile_regs_needed(), 7);
+        assert!(RegisterBlock::new(0, 2).is_err());
+        assert!(RegisterBlock::new(2, 0).is_err());
+    }
 
     #[test]
     fn amx_tiling_defaults() {

@@ -88,7 +88,7 @@ pub(super) fn run_blocking(runner: &ExperimentRunner) -> Result<BlockingAblation
     // baseline.
     let mut rows = Vec::new();
     for order in orders {
-        let mut kernel = GemmKernelConfig::amx_like().with_matmul_order(order);
+        let mut kernel = GemmKernelConfig::default().with_matmul_order(order);
         kernel.max_matmuls = runner.matmul_cap();
         let mut designs = vec![DesignPoint::baseline()];
         designs.extend(blocking_designs());

@@ -74,14 +74,13 @@ impl SimJob {
     }
 
     /// The kernel this job resolves to under a given default matmul cap:
-    /// its explicit override, or the default AMX-like kernel carrying the
-    /// cap.
+    /// its explicit override, or the scheme-derived default kernel carrying
+    /// the cap.
     #[must_use]
     pub fn resolved_kernel(&self, default_matmul_cap: Option<usize>) -> GemmKernelConfig {
-        self.kernel.unwrap_or_else(|| {
-            let mut kernel = GemmKernelConfig::amx_like();
-            kernel.max_matmuls = default_matmul_cap;
-            kernel
+        self.kernel.unwrap_or_else(|| GemmKernelConfig {
+            max_matmuls: default_matmul_cap,
+            ..GemmKernelConfig::default()
         })
     }
 
@@ -92,6 +91,12 @@ impl SimJob {
     /// layer coalesces by, computable without a runner — the network
     /// router uses it to consistent-hash a request onto the shard whose
     /// cell cache is warm for the shape.
+    ///
+    /// The kernel half of the key is the kernel's `Debug` rendering, which
+    /// covers every scheme axis (two kernels differing only in register
+    /// block, loop order, scalar model or segment hint render differently)
+    /// while default-scheme kernels keep the pre-scheme legacy text, so
+    /// pinned golden cache dumps stay byte-stable.
     #[must_use]
     pub fn semantic_key(&self, default_matmul_cap: Option<usize>) -> String {
         let kernel = self.resolved_kernel(default_matmul_cap);

@@ -4,10 +4,14 @@
 //! the simulation stack into an automated exploration engine over the full
 //! parameterized space:
 //!
-//! * [`SearchSpace`] — four axes over [`rasa_systolic::SystolicConfig`]
-//!   parameters (PE variant, control scheme, logical-K × column geometry,
-//!   engine in-flight depth) with validity filtering and deterministic
-//!   candidate enumeration;
+//! * [`SearchSpace`] — four hardware axes over
+//!   [`rasa_systolic::SystolicConfig`] parameters (PE variant, control
+//!   scheme, logical-K × column geometry, engine in-flight depth),
+//!   optionally crossed with the [`KernelAxes`] of the generated
+//!   micro-kernel (register-block shape, matmul order, loop order,
+//!   unroll) for joint hardware × kernel search, with validity filtering,
+//!   a cost-model pre-filter that discards dominated kernel combinations
+//!   before any simulation, and deterministic candidate enumeration;
 //! * [`SearchStrategy`] implementations — [`ExhaustiveGrid`], seeded
 //!   [`RandomSampling`] and a seeded [`Evolutionary`] loop (per-axis
 //!   mutation + tournament selection);
@@ -35,5 +39,5 @@ mod strategy;
 pub use outcome::{GenerationRecord, SearchOutcome};
 pub use pareto::{EvaluatedDesign, FrontierInsert, Objectives, ParetoFrontier};
 pub use session::{DesignSearch, SearchSession};
-pub use space::{Genotype, SearchSpace, SearchSpaceBuilder};
+pub use space::{Genotype, KernelAxes, KernelGenotype, SearchSpace, SearchSpaceBuilder};
 pub use strategy::{Evolutionary, ExhaustiveGrid, RandomSampling, SearchStrategy};

@@ -118,7 +118,7 @@ impl fmt::Display for SearchOutcome {
 
 impl ToJson for EvaluatedDesign {
     fn to_json(&self) -> JsonValue {
-        JsonValue::Object(vec![
+        let mut members = vec![
             ("name".into(), JsonValue::string(&self.name)),
             ("pe".into(), JsonValue::string(self.genotype.pe.label())),
             (
@@ -141,6 +141,34 @@ impl ToJson for EvaluatedDesign {
                 "max_in_flight".into(),
                 JsonValue::number_from_usize(self.genotype.max_in_flight),
             ),
+        ];
+        // Joint-space designs carry their kernel axes; hardware-only
+        // documents (including every pinned golden) stay byte-identical.
+        if let Some(kernel) = self.genotype.kernel {
+            members.push((
+                "kernel".into(),
+                JsonValue::Object(vec![
+                    (
+                        "block_m".into(),
+                        JsonValue::number_from_usize(kernel.block.m),
+                    ),
+                    (
+                        "block_n".into(),
+                        JsonValue::number_from_usize(kernel.block.n),
+                    ),
+                    (
+                        "matmul_order".into(),
+                        JsonValue::string(kernel.matmul_order.label()),
+                    ),
+                    (
+                        "loop_order".into(),
+                        JsonValue::string(kernel.loop_order.label()),
+                    ),
+                    ("unroll".into(), JsonValue::Bool(kernel.unroll)),
+                ]),
+            ));
+        }
+        members.extend([
             (
                 "core_cycles".into(),
                 JsonValue::number_from_u64(self.core_cycles),
@@ -157,13 +185,14 @@ impl ToJson for EvaluatedDesign {
                 "energy_joules".into(),
                 JsonValue::number_from_f64(self.objectives.energy_joules),
             ),
-        ])
+        ]);
+        JsonValue::Object(members)
     }
 }
 
 impl ToJson for SearchSpace {
     fn to_json(&self) -> JsonValue {
-        JsonValue::Object(vec![
+        let mut members = vec![
             (
                 "pe_variants".into(),
                 JsonValue::Array(
@@ -209,11 +238,69 @@ impl ToJson for SearchSpace {
                 "clock_ratio".into(),
                 JsonValue::number_from_u64(u64::from(self.clock_ratio())),
             ),
-            (
-                "candidates".into(),
-                JsonValue::number_from_usize(self.len()),
-            ),
-        ])
+        ];
+        // The kernel axes appear only for joint spaces, so hardware-only
+        // search documents (and the pinned golden) keep their exact bytes.
+        if let Some(axes) = self.kernel_axes() {
+            members.push((
+                "kernel_axes".into(),
+                JsonValue::Object(vec![
+                    (
+                        "blocks".into(),
+                        JsonValue::Array(
+                            axes.blocks
+                                .iter()
+                                .map(|block| {
+                                    JsonValue::Array(vec![
+                                        JsonValue::number_from_usize(block.m),
+                                        JsonValue::number_from_usize(block.n),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "matmul_orders".into(),
+                        JsonValue::Array(
+                            axes.matmul_orders
+                                .iter()
+                                .map(|order| JsonValue::string(order.label()))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "loop_orders".into(),
+                        JsonValue::Array(
+                            axes.loop_orders
+                                .iter()
+                                .map(|order| JsonValue::string(order.label()))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "unroll".into(),
+                        JsonValue::Array(axes.unroll.iter().map(|&u| JsonValue::Bool(u)).collect()),
+                    ),
+                    (
+                        "combinations".into(),
+                        JsonValue::number_from_usize(axes.combinations()),
+                    ),
+                    (
+                        "cost_pruned".into(),
+                        JsonValue::number_from_usize(self.kernel_cost_pruned()),
+                    ),
+                    (
+                        "survivors".into(),
+                        JsonValue::number_from_usize(self.kernel_candidates().len()),
+                    ),
+                ]),
+            ));
+        }
+        members.push((
+            "candidates".into(),
+            JsonValue::number_from_usize(self.len()),
+        ));
+        JsonValue::Object(members)
     }
 }
 
@@ -310,6 +397,52 @@ mod tests {
             .unwrap();
         assert_eq!(frontier.len(), outcome.frontier.len());
         assert!(frontier[0].get("normalized_runtime").is_some());
+    }
+
+    #[test]
+    fn kernel_members_appear_only_for_joint_documents() {
+        // Hardware-only documents must not gain any kernel member — the
+        // pinned golden/search.json depends on that — while joint documents
+        // must describe both the axes and each design's chosen kernel.
+        let hardware_only = grid_outcome().to_json().to_string_pretty();
+        assert!(!hardware_only.contains("\"kernel\""));
+        assert!(!hardware_only.contains("\"kernel_axes\""));
+
+        let runner = ExperimentRunner::builder()
+            .with_matmul_cap(Some(32))
+            .build()
+            .unwrap();
+        let layer = LayerSpec::fc("TINY-FC", 32, 64, 64);
+        let space = SearchSpace::builder()
+            .with_geometries(vec![(32, 16)])
+            .with_in_flight_depths(vec![2])
+            .with_kernel_axes()
+            .build()
+            .unwrap();
+        let outcome = DesignSearch::new(&runner, space, layer)
+            .run(&ExhaustiveGrid)
+            .unwrap();
+        let json = outcome.to_json();
+        let axes = json
+            .get("space")
+            .and_then(|s| s.get("kernel_axes"))
+            .unwrap();
+        assert_eq!(
+            axes.get("combinations").and_then(JsonValue::as_u64),
+            Some(40)
+        );
+        assert_eq!(axes.get("survivors").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(
+            axes.get("cost_pruned").and_then(JsonValue::as_u64),
+            Some(38)
+        );
+        let frontier = json.get("frontier").and_then(JsonValue::as_array).unwrap();
+        let first_kernel = frontier[0].get("kernel").unwrap();
+        assert_eq!(
+            first_kernel.get("loop_order").and_then(JsonValue::as_str),
+            Some("k-innermost")
+        );
+        assert_eq!(first_kernel.get("unroll"), Some(&JsonValue::Bool(true)));
     }
 
     #[test]

@@ -218,6 +218,7 @@ mod tests {
                 cols: 16,
                 max_in_flight: depth,
                 clock_ratio: 4,
+                kernel: None,
             },
             name: name.to_string(),
             core_cycles: (runtime * 1000.0) as u64,

@@ -120,6 +120,7 @@ impl<'a> SearchSession<'a> {
             cols: rasa_systolic::SystolicConfig::paper_baseline().max_tn(),
             max_in_flight: rasa_systolic::SystolicConfig::paper_baseline().max_in_flight(),
             clock_ratio: rasa_systolic::SystolicConfig::paper_baseline().clock_ratio(),
+            kernel: None,
         };
         let baseline = EvaluatedDesign {
             genotype: baseline_genotype,
@@ -197,7 +198,17 @@ impl<'a> SearchSession<'a> {
         }
         let jobs = batch
             .iter()
-            .map(|genotype| Ok(SimJob::new(genotype.materialize()?, self.workload.clone())))
+            .map(|genotype| {
+                let mut job = SimJob::new(genotype.materialize()?, self.workload.clone());
+                // Joint-space candidates carry an explicit kernel (under
+                // the runner's cap, so joint and hardware-only cells stay
+                // comparable); hardware-only candidates keep the runner's
+                // default kernel and its legacy cache keys.
+                if let Some(kernel) = genotype.kernel_config(self.runner.matmul_cap())? {
+                    job = job.with_kernel(kernel);
+                }
+                Ok(job)
+            })
             .collect::<Result<Vec<SimJob>, SimError>>()?;
         let reports = self.runner.run_jobs(&jobs)?;
         for (genotype, report) in batch.iter().zip(&reports) {

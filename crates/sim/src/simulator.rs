@@ -86,8 +86,10 @@ impl Simulator {
     /// Returns [`SimError::Trace`] if the kernel configuration is invalid
     /// for the ISA (it never is for the built-in design points).
     pub fn new(design: DesignPoint) -> Result<Self, SimError> {
+        // The scheme-derived default kernel (capped): every layer that needs
+        // "the" kernel goes through `GemmKernelConfig::default()`.
         let generator = TraceGenerator::amx_like()
-            .with_kernel(GemmKernelConfig::amx_like().with_max_matmuls(DEFAULT_MATMUL_CAP))?;
+            .with_kernel(GemmKernelConfig::default().with_max_matmuls(DEFAULT_MATMUL_CAP))?;
         Ok(Simulator {
             design,
             generator,
@@ -327,7 +329,7 @@ impl Simulator {
         let engine = MatrixEngine::new(*self.design.systolic());
         let mut core = CpuCore::new(*self.design.cpu(), engine);
         let generator = &self.generator;
-        let segment_size = self.segment_size;
+        let segment_size = self.effective_segment_size();
         let blocks = generator.block_count(shape)?;
         // Shards only pay off when the trace is uncapped (the cap is a
         // sequential prefix property) and wide enough to split.
@@ -386,17 +388,21 @@ impl Simulator {
         if !self.speculation || self.generator.kernel().max_matmuls.is_some() {
             return Ok(None);
         }
-        let grid = TileGrid::new(shape, self.generator.kernel().tiling)?;
+        let kernel = self.generator.kernel();
+        let grid = TileGrid::new(shape, kernel.tiling)?;
         let (mt, kt, nt) = (grid.m_tiles(), grid.k_tiles(), grid.n_tiles());
         let blocks = self.generator.block_count(shape)?;
-        let mb_count = mt.div_ceil(2);
+        let block = kernel.scheme.block;
+        let mb_count = block.m_blocks(mt);
         // The block walk is n-major: a column of `mb_count` row blocks per
-        // 2-wide tile-column. An odd `mt` makes the last block of every
-        // column ragged — the walk is still periodic, with period one
-        // column instead of one block. An odd `nt` makes the entire last
-        // column ragged; it is excluded from speculation outright.
-        let base_period = if mt % 2 == 1 { mb_count } else { 1 };
-        let uniform_end = if nt % 2 == 1 {
+        // block-width tile-column. An `mt` that does not divide by the
+        // block height makes the last block of every column ragged — the
+        // walk is still periodic, with period one column instead of one
+        // block. An `nt` that does not divide by the block width makes the
+        // entire last column ragged; it is excluded from speculation
+        // outright.
+        let base_period = if mt % block.m != 0 { mb_count } else { 1 };
+        let uniform_end = if nt % block.n != 0 {
             blocks - mb_count
         } else {
             blocks
@@ -404,8 +410,10 @@ impl Simulator {
         // One stride spans a couple of segments' worth of blocks (the same
         // scale as the shard-parallel producer), rounded up to a whole
         // number of structural periods.
-        let block_len = 8 + 12 * kt;
-        let target = (2 * self.segment_size).div_ceil(block_len).max(1);
+        let block_len = kernel.block_len_estimate(kt);
+        let target = (2 * self.effective_segment_size())
+            .div_ceil(block_len)
+            .max(1);
         let stride_blocks = target.div_ceil(base_period) * base_period;
         // Worth it only when the uniform region holds the warm-up stride,
         // a couple of probe strides and at least one full wave.
@@ -550,11 +558,21 @@ impl Simulator {
     /// on the machine's parallelism).
     fn blocks_per_shard(&self, shape: GemmShape, segment_size: usize) -> Result<usize, SimError> {
         let kt = rasa_numeric::TileGrid::new(shape, self.generator.kernel().tiling)?.k_tiles();
-        // Upper bound on one full 2×2 block: 4 accumulator loads and
-        // stores, plus per K-step up to 4 operand loads, 4 matmuls and 4
-        // scalar/branch overhead instructions.
-        let block_len = 8 + 12 * kt;
+        // The scheme's own estimate of one full register block — the single
+        // source of truth shared with the speculative fork points.
+        let block_len = self.generator.kernel().block_len_estimate(kt);
         Ok((2 * segment_size).div_ceil(block_len).max(1))
+    }
+
+    /// The segment size streams actually use: a kernel scheme carrying a
+    /// segment-size hint overrides the simulator's configured size, so the
+    /// shard and speculation schedules must be derived from the same value.
+    fn effective_segment_size(&self) -> usize {
+        self.generator
+            .kernel()
+            .scheme
+            .segment_size
+            .unwrap_or(self.segment_size)
     }
 
     fn report(
@@ -821,6 +839,50 @@ mod tests {
             assert_eq!(speculative.pipeline.spec_replays, 0);
             assert_eq!(sequential.pipeline.spec_forks, 0);
         }
+    }
+
+    #[test]
+    fn four_paths_are_bit_identical_on_a_non_default_kernel_scheme() {
+        // Satellite of the kernel-scheme refactor: the speculative,
+        // sequential-streamed, materialized and cycle-stepping reference
+        // paths must agree bit for bit even when the kernel is nothing like
+        // Algorithm 1 — a 1×3 block, interleaved matmuls, accumulators
+        // spilled around every K step and a lean scalar model.
+        use rasa_trace::{KernelSchemeBuilder, LoopOrder};
+        let kernel = KernelSchemeBuilder::new()
+            .with_block(1, 3)
+            .with_matmul_order(rasa_trace::MatmulOrder::Interleaved)
+            .with_loop_order(LoopOrder::NInnermost)
+            .with_scalar_ops_per_step(1)
+            .build()
+            .unwrap();
+        let layer = rasa_workloads::LayerSpec::fc("scheme-parity", 256, 64, 512);
+        let sim = Simulator::new(DesignPoint::rasa_dmdb_wls())
+            .unwrap()
+            .with_kernel(kernel)
+            .unwrap()
+            .with_segment_size(128)
+            .unwrap();
+        let speculative = sim.run_layer(&layer).unwrap();
+        let sequential = sim
+            .clone()
+            .with_speculation(false)
+            .run_layer(&layer)
+            .unwrap();
+        let materialized = sim.clone().with_streaming(false).run_layer(&layer).unwrap();
+        let reference = sim.run_layer_reference(&layer).unwrap();
+        assert_eq!(speculative.cpu, sequential.cpu);
+        assert_eq!(speculative.cpu, materialized.cpu);
+        assert_eq!(speculative.cpu, reference.cpu);
+        assert_eq!(speculative.core_cycles, reference.core_cycles);
+        assert_eq!(speculative.sched, sequential.sched);
+        // The non-default scheme still speculates (the plan generalizes
+        // beyond the 2×2 walk) and commits on this uniform trace.
+        assert!(speculative.pipeline.spec_forks > 0);
+        assert_eq!(
+            speculative.pipeline.spec_commits,
+            speculative.pipeline.spec_forks
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use crate::{GemmKernelConfig, MatmulOrder, TraceError};
+use crate::{GemmKernelConfig, LoopOrder, MatmulOrder, TraceError};
 use rasa_isa::{GprReg, IsaConfig, MemRef, Program, ProgramBuilder, TileReg};
 use rasa_numeric::{ConvShape, GemmShape, TileGrid};
 
@@ -40,9 +40,10 @@ impl TraceGenerator {
     /// # Errors
     ///
     /// Returns [`TraceError::InvalidKernel`] when the kernel configuration is
-    /// invalid or its tile dimensions exceed what the ISA's tile registers
-    /// can hold, or when the ISA has fewer than the eight registers the 2×2
-    /// register blocking needs.
+    /// invalid, its tile dimensions exceed what the ISA's tile registers can
+    /// hold, or the ISA has fewer tile registers than the kernel's register
+    /// block occupies (`m·n` accumulators + `n` weight + `m` activation
+    /// tiles — eight for the default 2×2 blocking).
     pub fn new(isa: IsaConfig, kernel: GemmKernelConfig) -> Result<Self, TraceError> {
         kernel.validate()?;
         if kernel.tiling.tm > isa.tm() || kernel.tiling.tk > isa.tk() || kernel.tiling.tn > isa.tn()
@@ -57,10 +58,13 @@ impl TraceGenerator {
                 ),
             });
         }
-        if isa.num_tile_regs() < 8 {
+        let regs_needed = kernel.scheme.tile_regs_needed();
+        if isa.num_tile_regs() < regs_needed {
             return Err(TraceError::InvalidKernel {
                 reason: format!(
-                    "the 2x2 register-blocked kernel needs 8 tile registers, the isa has {}",
+                    "the {} register-blocked kernel needs {} tile registers, the isa has {}",
+                    kernel.scheme.block,
+                    regs_needed,
                     isa.num_tile_regs()
                 ),
             });
@@ -118,23 +122,28 @@ impl TraceGenerator {
         Ok((grid.m_tiles(), grid.k_tiles(), grid.n_tiles()))
     }
 
-    /// The number of 2×2 register blocks a trace of `shape` walks (the unit
+    /// The number of register blocks a trace of `shape` walks (the unit
     /// both the cap check and the streaming segmenter operate on). Blocks
-    /// are ordered n-block-major: linear index `nb * mb_count + mb`.
+    /// are ordered n-block-major: linear index `nb * mb_count + mb`, with
+    /// the block shape taken from the kernel scheme (2×2 by default).
     ///
     /// # Errors
     ///
     /// Returns [`TraceError::Shape`] for an empty GEMM.
     pub fn block_count(&self, shape: GemmShape) -> Result<usize, TraceError> {
         let (mt, _, nt) = self.tile_dims(shape)?;
-        Ok(nt.div_ceil(2) * mt.div_ceil(2))
+        let block = self.kernel.scheme.block;
+        Ok(block.n_blocks(nt) * block.m_blocks(mt))
     }
 
-    /// Emits one 2×2 register block (accumulator loads, the K reduction
-    /// loop, accumulator stores) for the block at `(nb, mb)`, bumping
-    /// `emitted` by the number of `rasa_mm` instructions produced. Shared by
-    /// the materialized [`TraceGenerator::gemm`] path and the streaming
-    /// segmenter, so both emit the identical instruction sequence.
+    /// Emits one register block (accumulator loads, the K reduction loop,
+    /// accumulator stores) for the block at `(nb, mb)`, bumping `emitted` by
+    /// the number of `rasa_mm` instructions produced. The block shape, loop
+    /// order and scalar-overhead model all come from the kernel scheme; the
+    /// default scheme reproduces the pre-scheme 2×2 Algorithm-1 sequence
+    /// byte for byte. Shared by the materialized [`TraceGenerator::gemm`]
+    /// path and the streaming segmenter, so both emit the identical
+    /// instruction sequence.
     pub(crate) fn emit_register_block(
         &self,
         b: &mut ProgramBuilder,
@@ -143,113 +152,122 @@ impl TraceGenerator {
         mb: usize,
         emitted: &mut usize,
     ) {
-        // Register allocation mirroring Algorithm 1.
-        let c_regs = [0u8, 1, 2, 3];
-        let b_regs = [4u8, 5];
-        let a_regs = [6u8, 7];
-        let treg = |i: u8| TileReg::new(i).expect("register indices 0..8 are valid");
+        // Register allocation generalizing Algorithm 1: accumulators first,
+        // then the weight (B) tiles, then the activation (A) tiles — for the
+        // default 2×2 block exactly C=treg0..3, B=treg4..5, A=treg6..7.
+        let block = self.kernel.scheme.block;
+        let acc = block.m * block.n;
+        let c_regs: Vec<usize> = (0..acc).collect();
+        let b_regs: Vec<usize> = (acc..acc + block.n).collect();
+        let a_regs: Vec<usize> = (acc + block.n..acc + block.n + block.m).collect();
+        let treg =
+            |i: usize| TileReg::new(i as u8).expect("validated register blocks fit the tile file");
         let a_ptr = GprReg::new(1).expect("valid gpr");
         let b_ptr = GprReg::new(2).expect("valid gpr");
         let k_counter = GprReg::new(3).expect("valid gpr");
+        let scalar_regs = [a_ptr, b_ptr, k_counter];
 
-        let n_here: Vec<usize> = (2 * nb..(2 * nb + 2).min(nt)).collect();
-        let m_here: Vec<usize> = (2 * mb..(2 * mb + 2).min(mt)).collect();
+        let n_here: Vec<usize> = (block.n * nb..(block.n * nb + block.n).min(nt)).collect();
+        let m_here: Vec<usize> = (block.m * mb..(block.m * mb + block.m).min(mt)).collect();
         let c_reg_of = |m_idx: usize, n_idx: usize| treg(c_regs[m_idx * n_here.len() + n_idx]);
 
-        // Load the accumulator tiles for this register block.
-        for (m_idx, &mi) in m_here.iter().enumerate() {
-            for (n_idx, &ni) in n_here.iter().enumerate() {
-                b.tile_load(
-                    c_reg_of(m_idx, n_idx),
-                    MemRef::tile(self.c_addr(mi, ni, nt), TILE_STRIDE),
-                );
-            }
-        }
+        // Accumulator-residency windows: K-innermost keeps the block's C
+        // tiles live across the whole reduction (one window); N-innermost
+        // spills and reloads them around every K step (kt one-step windows).
+        let windows: Vec<(usize, usize)> = match self.kernel.scheme.loop_order {
+            LoopOrder::KInnermost => vec![(0, kt)],
+            LoopOrder::NInnermost => (0..kt).map(|k| (k, k + 1)).collect(),
+        };
 
-        // Reduction loop: each iteration consumes one K tile.
-        for ki in 0..kt {
-            match self.kernel.matmul_order {
-                MatmulOrder::WeightPaired => {
-                    // Algorithm 1: each weight register feeds two
-                    // consecutive rasa_mm instructions.
+        for (k_begin, k_end) in windows {
+            // Load the accumulator tiles for this residency window.
+            for (m_idx, &mi) in m_here.iter().enumerate() {
+                for (n_idx, &ni) in n_here.iter().enumerate() {
                     b.tile_load(
-                        treg(b_regs[0]),
-                        MemRef::tile(self.b_addr(ki, n_here[0], nt), TILE_STRIDE),
+                        c_reg_of(m_idx, n_idx),
+                        MemRef::tile(self.c_addr(mi, ni, nt), TILE_STRIDE),
                     );
-                    b.tile_load(
-                        treg(a_regs[0]),
-                        MemRef::tile(self.a_addr(m_here[0], ki, kt), TILE_STRIDE),
-                    );
-                    b.matmul(c_reg_of(0, 0), treg(a_regs[0]), treg(b_regs[0]));
-                    *emitted += 1;
-                    if m_here.len() > 1 {
-                        b.tile_load(
-                            treg(a_regs[1]),
-                            MemRef::tile(self.a_addr(m_here[1], ki, kt), TILE_STRIDE),
-                        );
-                        b.matmul(c_reg_of(1, 0), treg(a_regs[1]), treg(b_regs[0]));
-                        *emitted += 1;
-                    }
-                    // Second weight tile, reusing the loaded A tiles.
-                    if n_here.len() > 1 {
-                        b.tile_load(
-                            treg(b_regs[1]),
-                            MemRef::tile(self.b_addr(ki, n_here[1], nt), TILE_STRIDE),
-                        );
-                        b.matmul(c_reg_of(0, 1), treg(a_regs[0]), treg(b_regs[1]));
-                        *emitted += 1;
-                        if m_here.len() > 1 {
-                            b.matmul(c_reg_of(1, 1), treg(a_regs[1]), treg(b_regs[1]));
-                            *emitted += 1;
-                        }
-                    }
                 }
-                MatmulOrder::Interleaved => {
-                    // Load every operand tile up front, then emit the
-                    // rasa_mm instructions alternating weight
-                    // registers (no consecutive reuse).
-                    for (n_idx, &ni) in n_here.iter().enumerate() {
-                        b.tile_load(
-                            treg(b_regs[n_idx]),
-                            MemRef::tile(self.b_addr(ki, ni, nt), TILE_STRIDE),
-                        );
-                    }
-                    for (m_idx, &mi) in m_here.iter().enumerate() {
-                        b.tile_load(
-                            treg(a_regs[m_idx]),
-                            MemRef::tile(self.a_addr(mi, ki, kt), TILE_STRIDE),
-                        );
-                        #[allow(clippy::needless_range_loop)]
-                        // b_regs and c_reg_of share the index
-                        for n_idx in 0..n_here.len() {
-                            b.matmul(
-                                c_reg_of(m_idx, n_idx),
-                                treg(a_regs[m_idx]),
+            }
+
+            // Reduction loop: each iteration consumes one K tile.
+            for ki in k_begin..k_end {
+                match self.kernel.matmul_order {
+                    MatmulOrder::WeightPaired => {
+                        // Algorithm 1: each weight register feeds a run of
+                        // consecutive rasa_mm instructions, and the A tiles
+                        // loaded under the first weight are reused by all
+                        // later weights.
+                        for (n_idx, &ni) in n_here.iter().enumerate() {
+                            b.tile_load(
                                 treg(b_regs[n_idx]),
+                                MemRef::tile(self.b_addr(ki, ni, nt), TILE_STRIDE),
                             );
-                            *emitted += 1;
+                            for (m_idx, &mi) in m_here.iter().enumerate() {
+                                if n_idx == 0 {
+                                    b.tile_load(
+                                        treg(a_regs[m_idx]),
+                                        MemRef::tile(self.a_addr(mi, ki, kt), TILE_STRIDE),
+                                    );
+                                }
+                                b.matmul(
+                                    c_reg_of(m_idx, n_idx),
+                                    treg(a_regs[m_idx]),
+                                    treg(b_regs[n_idx]),
+                                );
+                                *emitted += 1;
+                            }
+                        }
+                    }
+                    MatmulOrder::Interleaved => {
+                        // Load every operand tile up front, then emit the
+                        // rasa_mm instructions alternating weight
+                        // registers (no consecutive reuse).
+                        for (n_idx, &ni) in n_here.iter().enumerate() {
+                            b.tile_load(
+                                treg(b_regs[n_idx]),
+                                MemRef::tile(self.b_addr(ki, ni, nt), TILE_STRIDE),
+                            );
+                        }
+                        for (m_idx, &mi) in m_here.iter().enumerate() {
+                            b.tile_load(
+                                treg(a_regs[m_idx]),
+                                MemRef::tile(self.a_addr(mi, ki, kt), TILE_STRIDE),
+                            );
+                            #[allow(clippy::needless_range_loop)]
+                            // b_regs and c_reg_of share the index
+                            for n_idx in 0..n_here.len() {
+                                b.matmul(
+                                    c_reg_of(m_idx, n_idx),
+                                    treg(a_regs[m_idx]),
+                                    treg(b_regs[n_idx]),
+                                );
+                                *emitted += 1;
+                            }
                         }
                     }
                 }
+
+                if self.kernel.emit_scalar_overhead {
+                    // Pointer bumps for the A/B streams and the loop
+                    // bookkeeping of the K loop, sized by the scheme's
+                    // scalar-overhead model.
+                    for op in 0..self.kernel.scheme.scalar_ops_per_step as usize {
+                        let r = scalar_regs[op % scalar_regs.len()];
+                        b.scalar_alu(r, &[r]);
+                    }
+                    b.branch(ki + 1 != kt);
+                }
             }
 
-            if self.kernel.emit_scalar_overhead {
-                // Pointer bumps for the A/B streams and the loop
-                // bookkeeping of the K loop.
-                b.scalar_alu(a_ptr, &[a_ptr]);
-                b.scalar_alu(b_ptr, &[b_ptr]);
-                b.scalar_alu(k_counter, &[k_counter]);
-                b.branch(ki + 1 != kt);
-            }
-        }
-
-        // Write the finished accumulators back.
-        for (m_idx, &mi) in m_here.iter().enumerate() {
-            for (n_idx, &ni) in n_here.iter().enumerate() {
-                b.tile_store(
-                    MemRef::tile(self.c_addr(mi, ni, nt), TILE_STRIDE),
-                    c_reg_of(m_idx, n_idx),
-                );
+            // Write the window's accumulators back.
+            for (m_idx, &mi) in m_here.iter().enumerate() {
+                for (n_idx, &ni) in n_here.iter().enumerate() {
+                    b.tile_store(
+                        MemRef::tile(self.c_addr(mi, ni, nt), TILE_STRIDE),
+                        c_reg_of(m_idx, n_idx),
+                    );
+                }
             }
         }
     }
@@ -257,9 +275,9 @@ impl TraceGenerator {
     /// Emits the tiled GEMM trace for `shape`.
     ///
     /// The loop nest is `for n-block { for m-block { load C; for k { … };
-    /// store C } }` with 2×2 register blocking, which keeps each B tile
-    /// register live across two consecutive `rasa_mm` instructions — the
-    /// reuse pattern WLBP and WLS exploit.
+    /// store C } }` with the scheme's register blocking (2×2 by default),
+    /// which keeps each B tile register live across consecutive `rasa_mm`
+    /// instructions — the reuse pattern WLBP and WLS exploit.
     ///
     /// The streaming counterpart, [`TraceGenerator::gemm_stream`], emits the
     /// identical instruction sequence as bounded
@@ -278,9 +296,10 @@ impl TraceGenerator {
         let mut b = ProgramBuilder::new(self.isa);
         b.set_name(name);
 
+        let block = self.kernel.scheme.block;
         let mut emitted = 0usize;
-        'outer: for nb in 0..nt.div_ceil(2) {
-            for mb in 0..mt.div_ceil(2) {
+        'outer: for nb in 0..block.n_blocks(nt) {
+            for mb in 0..block.m_blocks(mt) {
                 self.emit_register_block(&mut b, dims, nb, mb, &mut emitted);
                 if emitted >= cap {
                     break 'outer;
@@ -461,6 +480,7 @@ mod tests {
             emit_scalar_overhead: false,
             max_matmuls: None,
             matmul_order: Default::default(),
+            scheme: Default::default(),
         };
         assert!(TraceGenerator::new(IsaConfig::amx_like(), too_big).is_err());
         // Too few registers for the 2×2 blocking.
@@ -488,6 +508,109 @@ mod tests {
         // …but only the Algorithm-1 order exposes consecutive weight reuse.
         assert!(paired.weight_reuse_pairs() * 2 >= paired.count_matmuls() - 8);
         assert_eq!(interleaved.weight_reuse_pairs(), 0);
+    }
+
+    #[test]
+    fn register_block_shapes_preserve_work_and_change_traffic() {
+        use crate::KernelSchemeBuilder;
+        let shape = GemmShape::new(96, 64, 96);
+        let default = TraceGenerator::amx_like().gemm(shape, "blk22").unwrap();
+        for (m, n) in [(1, 1), (1, 2), (2, 1), (3, 1), (1, 3)] {
+            let kernel = KernelSchemeBuilder::new().with_block(m, n).build().unwrap();
+            let g = TraceGenerator::new(IsaConfig::amx_like(), kernel).unwrap();
+            let p = g.gemm(shape, "blk").unwrap();
+            // Every block shape performs the identical multiply work…
+            assert_eq!(p.count_matmuls(), default.count_matmuls(), "block {m}x{n}");
+            // …while narrower blocks re-load operands more often.
+            if (m, n) != (2, 2) {
+                assert!(
+                    p.stats().tile_loads > default.stats().tile_loads,
+                    "block {m}x{n} should load more tiles than 2x2"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_register_block_rejected_by_the_isa() {
+        use crate::KernelSchemeBuilder;
+        // 3×2 needs 6 + 3 + 2 = 11 tile registers; the AMX-like ISA has 8.
+        let kernel = KernelSchemeBuilder::new().with_block(3, 2).build().unwrap();
+        assert!(TraceGenerator::new(IsaConfig::amx_like(), kernel).is_err());
+    }
+
+    #[test]
+    fn n_innermost_spills_accumulators_every_k_step() {
+        use crate::{KernelSchemeBuilder, LoopOrder};
+        let shape = GemmShape::new(64, 128, 64);
+        let resident = TraceGenerator::amx_like().gemm(shape, "kin").unwrap();
+        let spilled = TraceGenerator::new(
+            IsaConfig::amx_like(),
+            KernelSchemeBuilder::new()
+                .with_loop_order(LoopOrder::NInnermost)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+        .gemm(shape, "nin")
+        .unwrap();
+        assert_eq!(resident.count_matmuls(), spilled.count_matmuls());
+        // 4 K tiles per block: the spilled order stores accumulators once
+        // per K step instead of once per block.
+        assert_eq!(
+            spilled.stats().tile_stores,
+            4 * resident.stats().tile_stores
+        );
+        assert!(spilled.stats().tile_loads > resident.stats().tile_loads);
+    }
+
+    #[test]
+    fn scalar_overhead_model_scales_with_ops_per_step() {
+        use crate::KernelSchemeBuilder;
+        let shape = GemmShape::new(64, 64, 64);
+        let lean = TraceGenerator::new(
+            IsaConfig::amx_like(),
+            KernelSchemeBuilder::new()
+                .with_scalar_ops_per_step(1)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+        .gemm(shape, "lean")
+        .unwrap();
+        let default = TraceGenerator::amx_like().gemm(shape, "fat").unwrap();
+        assert_eq!(default.stats().scalar_ops, 3 * lean.stats().scalar_ops);
+        assert_eq!(default.stats().branches, lean.stats().branches);
+    }
+
+    #[test]
+    fn block_len_estimate_is_exact_for_interior_blocks() {
+        use crate::{KernelSchemeBuilder, LoopOrder};
+        // Shapes that divide evenly: every block is interior, so the whole
+        // trace length is blocks × estimate.
+        let shape = GemmShape::new(64, 64, 64);
+        for kernel in [
+            GemmKernelConfig::amx_like(),
+            KernelSchemeBuilder::new().with_block(1, 2).build().unwrap(),
+            KernelSchemeBuilder::new()
+                .with_loop_order(LoopOrder::NInnermost)
+                .build()
+                .unwrap(),
+            KernelSchemeBuilder::new()
+                .without_scalar_overhead()
+                .build()
+                .unwrap(),
+        ] {
+            let g = TraceGenerator::new(IsaConfig::amx_like(), kernel).unwrap();
+            let p = g.gemm(shape, "estimate").unwrap();
+            let (_, kt, _) = g.tile_dims(shape).unwrap();
+            let blocks = g.block_count(shape).unwrap();
+            assert_eq!(
+                p.len(),
+                blocks * kernel.block_len_estimate(kt),
+                "kernel {kernel}"
+            );
+        }
     }
 
     #[test]

@@ -39,9 +39,11 @@ mod avx;
 mod config;
 mod error;
 mod generator;
+mod scheme;
 mod stream;
 
 pub use config::{GemmKernelConfig, MatmulOrder};
 pub use error::TraceError;
 pub use generator::TraceGenerator;
+pub use scheme::{KernelScheme, KernelSchemeBuilder, LoopOrder};
 pub use stream::{GemmTraceStream, ProgramSource, DEFAULT_SEGMENT_SIZE};

@@ -97,6 +97,13 @@ impl GemmTraceStream {
                 reason: "segment size must be at least one instruction".to_string(),
             });
         }
+        // A kernel scheme may pin its preferred streaming granularity;
+        // otherwise the caller's segment size applies.
+        let segment_size = generator
+            .kernel()
+            .scheme
+            .segment_size
+            .unwrap_or(segment_size);
         let dims = generator.tile_dims(shape)?;
         let (mt, _, _) = dims;
         let total_blocks = generator.block_count(shape)?;
@@ -113,7 +120,7 @@ impl GemmTraceStream {
             generator: generator.clone(),
             name: name.to_string(),
             dims,
-            mb_count: mt.div_ceil(2),
+            mb_count: generator.kernel().scheme.block.m_blocks(mt),
             blocks,
             emitted: 0,
             cap: generator.kernel().max_matmuls.unwrap_or(usize::MAX),
@@ -205,7 +212,8 @@ impl TraceGenerator {
     /// Opens a streaming trace of `shape`: the same instruction sequence as
     /// [`TraceGenerator::gemm`] (including matmul-cap truncation), emitted
     /// as validated segments of roughly `segment_size` instructions instead
-    /// of one materialized program.
+    /// of one materialized program. A kernel scheme carrying a segment-size
+    /// hint overrides `segment_size`.
     ///
     /// # Errors
     ///
@@ -375,6 +383,51 @@ mod tests {
         assert_eq!(streamed, program.count_matmuls());
         assert!((64..64 + 4).contains(&streamed));
         assert!(streamed < predicted);
+    }
+
+    #[test]
+    fn stream_parity_holds_for_non_default_schemes() {
+        use crate::{KernelSchemeBuilder, LoopOrder, MatmulOrder};
+        let shape = GemmShape::new(80, 70, 60);
+        for kernel in [
+            KernelSchemeBuilder::new().with_block(1, 2).build().unwrap(),
+            KernelSchemeBuilder::new().with_block(3, 1).build().unwrap(),
+            KernelSchemeBuilder::new()
+                .with_loop_order(LoopOrder::NInnermost)
+                .with_matmul_order(MatmulOrder::Interleaved)
+                .build()
+                .unwrap(),
+        ] {
+            let g = TraceGenerator::amx_like().with_kernel(kernel).unwrap();
+            let program = g.gemm(shape, "scheme-parity").unwrap();
+            for segment_size in [1, 96, 1 << 20] {
+                let stream = g.gemm_stream(shape, "scheme-parity", segment_size).unwrap();
+                let rebuilt = reassemble(stream, "scheme-parity");
+                assert_eq!(rebuilt, program, "kernel {kernel} @ {segment_size}");
+            }
+        }
+    }
+
+    #[test]
+    fn scheme_segment_hint_overrides_the_caller() {
+        use crate::KernelSchemeBuilder;
+        let kernel = KernelSchemeBuilder::new()
+            .with_segment_size(64)
+            .build()
+            .unwrap();
+        let g = TraceGenerator::amx_like().with_kernel(kernel).unwrap();
+        let stream = g
+            .gemm_stream(GemmShape::new(64, 64, 64), "hinted", 1 << 20)
+            .unwrap();
+        assert_eq!(stream.segment_size(), 64);
+        // The hint only changes segmentation, never the sequence.
+        let rebuilt = reassemble(stream, "hinted");
+        let plain = TraceGenerator::amx_like()
+            .with_kernel(KernelSchemeBuilder::new().build().unwrap())
+            .unwrap()
+            .gemm(GemmShape::new(64, 64, 64), "hinted")
+            .unwrap();
+        assert_eq!(rebuilt, plain);
     }
 
     #[test]

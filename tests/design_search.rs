@@ -136,6 +136,58 @@ fn sampled_frontiers_are_consistent_with_the_exhaustive_grid() {
     }
 }
 
+/// Joint hardware × kernel search is deterministic (two fresh runs —
+/// one parallel, one serial — produce byte-identical JSON) and pays off:
+/// the joint frontier contains a co-designed point that strictly
+/// dominates a point on the hardware-only frontier over the same
+/// hardware axes, which is the whole argument for searching the two
+/// spaces together.
+#[test]
+fn joint_search_is_deterministic_and_dominates_hardware_only_points() {
+    let layer = tiny_layer();
+    let first = DesignSearch::new(
+        &capped_runner(true),
+        SearchSpace::explorer_joint(),
+        layer.clone(),
+    )
+    .run(&ExhaustiveGrid)
+    .unwrap();
+    let second = DesignSearch::new(
+        &capped_runner(false),
+        SearchSpace::explorer_joint(),
+        layer.clone(),
+    )
+    .run(&ExhaustiveGrid)
+    .unwrap();
+    assert_eq!(first, second);
+    assert_eq!(
+        first.to_json().to_string_pretty(),
+        second.to_json().to_string_pretty(),
+        "joint-search JSON must be byte-identical across runs"
+    );
+
+    let hardware_only = DesignSearch::new(&capped_runner(true), SearchSpace::explorer(), layer)
+        .run(&ExhaustiveGrid)
+        .unwrap();
+    let dominating = first.frontier.iter().find(|joint| {
+        joint.genotype.kernel.is_some_and(|k| !k.is_default())
+            && hardware_only
+                .frontier
+                .iter()
+                .any(|hw| joint.objectives.dominates(&hw.objectives))
+    });
+    assert!(
+        dominating.is_some(),
+        "no co-designed frontier point dominates the hardware-only frontier: {:?}",
+        first.frontier_names()
+    );
+    // Every joint candidate carries its kernel in the document.
+    assert!(first
+        .frontier
+        .iter()
+        .all(|member| member.genotype.kernel.is_some()));
+}
+
 /// The JSON document written by the `design_search` binary path is
 /// parse→reserialize stable (the property `write_verified_json` checks on
 /// every write).

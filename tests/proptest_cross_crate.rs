@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use rasa::prelude::*;
 use rasa::systolic::{base_latency, steady_state_interval, ControlScheme, PeVariant, TileDims};
-use rasa::trace::GemmKernelConfig;
+use rasa::trace::{GemmKernelConfig, KernelSchemeBuilder, LoopOrder, MatmulOrder};
 
 fn arb_design() -> impl Strategy<Value = DesignPoint> {
     prop_oneof![
@@ -301,6 +301,73 @@ proptest! {
             // every wave — the deterministic-commit-rate guarantee.
             prop_assert_eq!(stream.spec_replays, 0);
         }
+    }
+
+    /// Two jobs that differ only in their kernel scheme must never alias —
+    /// not in the runner's semantic cell key (the LRU memoization key) and
+    /// not in the serving tier's shape key (the consistent-hash routing
+    /// key, which is defined to be the same string). A default-kernel wire
+    /// request additionally stays byte-stable: its JSON carries no scheme
+    /// member at all.
+    #[test]
+    fn kernel_schemes_never_alias_cell_or_shape_keys(
+        design in arb_design(),
+        block_a in 0usize..5,
+        block_b in 0usize..5,
+        interleaved_a in any::<bool>(),
+        interleaved_b in any::<bool>(),
+        n_innermost_a in any::<bool>(),
+        n_innermost_b in any::<bool>(),
+        unroll_a in any::<bool>(),
+        unroll_b in any::<bool>(),
+    ) {
+        let kernel = |block: usize, interleaved: bool, n_innermost: bool, unroll: bool| {
+            let (bm, bn) = [(2, 2), (1, 2), (2, 1), (1, 3), (3, 1)][block];
+            let mut builder = KernelSchemeBuilder::new()
+                .with_block(bm, bn)
+                .with_matmul_order(if interleaved {
+                    MatmulOrder::Interleaved
+                } else {
+                    MatmulOrder::WeightPaired
+                })
+                .with_loop_order(if n_innermost {
+                    LoopOrder::NInnermost
+                } else {
+                    LoopOrder::KInnermost
+                });
+            if unroll {
+                builder = builder.without_scalar_overhead();
+            }
+            builder.build().unwrap()
+        };
+        let a = kernel(block_a, interleaved_a, n_innermost_a, unroll_a);
+        let b = kernel(block_b, interleaved_b, n_innermost_b, unroll_b);
+        prop_assume!(a != b);
+
+        let layer = LayerSpec::fc("KEY-PROP", 64, 64, 64);
+        let job_a = SimJob::new(design.clone(), layer.clone()).with_kernel(a);
+        let job_b = SimJob::new(design.clone(), layer.clone()).with_kernel(b);
+        for cap in [None, Some(256)] {
+            prop_assert_ne!(job_a.semantic_key(cap), job_b.semantic_key(cap));
+        }
+
+        let request_a = WireRequest::new(1, design.name(), layer.clone()).with_kernel(a);
+        let request_b = WireRequest::new(1, design.name(), layer.clone()).with_kernel(b);
+        prop_assert_ne!(
+            request_a.shape_key(Some(256)).unwrap(),
+            request_b.shape_key(Some(256)).unwrap()
+        );
+
+        // The default-kernel wire encoding predates kernel schemes and must
+        // keep its exact shape: no scheme member, and the default kernel's
+        // explicit encoding round-trips to the same key as omitting it.
+        let default_request = WireRequest::new(1, design.name(), layer.clone())
+            .with_kernel(GemmKernelConfig::amx_like());
+        prop_assert!(!default_request.to_json().to_string_pretty().contains("\"scheme\""));
+        prop_assert_eq!(
+            request_a.to_json().to_string_pretty().contains("\"scheme\""),
+            !a.scheme.is_default()
+        );
     }
 
     /// Functional correctness of the systolic array holds for random
