@@ -38,9 +38,15 @@ const METRICS: &[(&str, Better)] = &[
     ("design_search.cells_per_second", Better::Higher),
     ("design_search_joint.cells_per_second", Better::Higher),
     ("serve_soak.throughput_requests_per_second", Better::Higher),
+    (
+        "serve_soak.steady_state_requests_per_second",
+        Better::Higher,
+    ),
     ("serve_soak.p50_seconds", Better::Lower),
     ("serve_soak.p99_seconds", Better::Lower),
     ("serve_soak.p999_seconds", Better::Lower),
+    ("allocs_per_request", Better::Lower),
+    ("router_cache_hit_rate", Better::Higher),
 ];
 
 /// Per-design metrics inside every `run_all.timing` row.

@@ -26,6 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         inflight_per_shard: options.inflight,
         admission: options.admission,
         matmul_cap: options.matmul_cap,
+        result_cache_capacity: options.router_cache,
     };
     let router = Router::bind(&options.listen, &options.shard_addrs, config)?;
     let addr = router
@@ -40,12 +41,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let stats = router.stats();
     eprintln!(
-        "rasa-router routed={} failovers={} dead_marked={} window_blocked={} window_rejected={} per_shard={:?}",
+        "rasa-router routed={} failovers={} dead_marked={} window_blocked={} window_rejected={} cache_hits={} cache_misses={} per_shard={:?}",
         stats.routed,
         stats.failovers,
         stats.dead_marked,
         stats.window_blocked,
         stats.window_rejected,
+        stats.cache_hits,
+        stats.cache_misses,
         stats.per_shard,
     );
     router.shutdown();

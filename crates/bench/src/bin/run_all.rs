@@ -560,7 +560,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_segment_size(options.segment_size)
         .with_speculation(options.speculation)
         .with_spec_depth(options.spec_depth)
-        .with_layer_filter(options.layers.clone())
+        .with_layer_filter(options.layers)
         .serial()
         .build()?;
     let serial_start = Instant::now();

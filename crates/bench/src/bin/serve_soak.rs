@@ -24,8 +24,11 @@
 //! serialized document must reload and re-serialize to byte-identical
 //! output (the property the CI regression harness relies on).
 
-use rasa_bench::BinOptions;
-use rasa_sim::net::{ClientStats, NetClient, RouterHealth, WireRequest};
+use rasa_bench::{prof, BinOptions};
+use rasa_sim::net::{
+    ClientStats, NetClient, Router, RouterConfig, RouterHealth, ShardConfig, ShardServer,
+    WireRequest,
+};
 use rasa_sim::serve::{AdmissionControl, GemmRequest, GemmServer, LatencySummary, ServeConfig};
 use rasa_sim::{DesignPoint, FromJson, JsonValue, SimError, SimSummary, ToJson};
 use rasa_workloads::{bert_layers, dlrm_layers, LayerSpec, TrafficGenerator};
@@ -44,7 +47,25 @@ struct Completion {
     total_seconds: f64,
     queue_seconds: f64,
     simulate_seconds: f64,
+    /// Seconds from soak start to this completion — the steady-state
+    /// throughput window is cut on these.
+    finished_seconds: f64,
     summary: SimSummary,
+}
+
+/// Throughput over the steady-state window: the first `warmup_percent` of
+/// completions (cold caches, cold pools) are excluded, and the remainder
+/// is divided by the time from the last warmup completion to the end.
+/// Falls back to the whole-run rate when the warmup swallows everything.
+fn steady_state_throughput(finish_times: &mut [f64], warmup_percent: usize) -> f64 {
+    let total = finish_times.len();
+    finish_times.sort_by(f64::total_cmp);
+    let warm = total * warmup_percent.min(100) / 100;
+    let last = *finish_times.last().expect("at least one completion");
+    if warm == 0 || warm >= total || last - finish_times[warm - 1] < 1e-9 {
+        return total as f64 / last.max(1e-9);
+    }
+    (total - warm) as f64 / (last - finish_times[warm - 1])
 }
 
 /// One client's view of a completed distributed request. The wire carries
@@ -162,6 +183,56 @@ fn traffic_universe() -> (Vec<LayerSpec>, [usize; 3]) {
     (layers, [1usize, 8, 64])
 }
 
+/// Replays the soak's deterministic traffic through a loopback tier — two
+/// in-process TCP shard servers fronted by a [`Router`] with its result
+/// cache enabled — and returns the router's counters. This is how the
+/// local bench measures an honest `router_cache_hit_rate` (and populates
+/// the frame encode/decode profiling stages) without spawning processes.
+fn loopback_router_stats(
+    options: &BinOptions,
+) -> Result<rasa_sim::net::RouterStats, Box<dyn std::error::Error>> {
+    let designs = [DesignPoint::baseline(), DesignPoint::rasa_dmdb_wls()];
+    let (layers, batch_sizes) = traffic_universe();
+    let mut shards = Vec::new();
+    let mut addrs = Vec::new();
+    for shard_id in 0..2u32 {
+        let shard = ShardServer::bind(
+            "127.0.0.1:0",
+            ShardConfig {
+                shard_id,
+                serve: serve_config(options),
+            },
+            &designs,
+        )?;
+        addrs.push(shard.local_addr().to_string());
+        shards.push(shard);
+    }
+    let router = Router::new(
+        &addrs,
+        RouterConfig {
+            matmul_cap: options.matmul_cap,
+            result_cache_capacity: options.router_cache,
+            ..RouterConfig::default()
+        },
+    )?;
+    for client in 0..options.clients {
+        let mut traffic =
+            TrafficGenerator::new(&layers, &batch_sizes, options.seed + client as u64)
+                .expect("non-empty traffic universe");
+        for request_index in 0..options.requests_per_client {
+            let workload = traffic.next_request();
+            let design = designs[(client + request_index) % designs.len()].name();
+            let id = ((client as u64) << 32) | request_index as u64;
+            router.route(&WireRequest::new(id, design, workload))?;
+        }
+    }
+    let stats = router.stats();
+    for shard in shards {
+        shard.shutdown();
+    }
+    Ok(stats)
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let options = rasa_bench::BinOptions::from_env_or_usage("serve_soak");
     if options.clients == 0 || options.requests_per_client == 0 {
@@ -201,6 +272,9 @@ fn run_local(options: &BinOptions) -> Result<(), Box<dyn std::error::Error>> {
     // Client-side retries after an admission-control rejection (reject
     // mode only; block mode clients park inside `submit` instead).
     let retries = AtomicU64::new(0);
+    prof::reset();
+    prof::set_enabled(true);
+    let allocs_before = prof::allocations();
     let soak_start = Instant::now();
     let completions: Vec<Completion> = std::thread::scope(|scope| {
         let mut clients = Vec::new();
@@ -209,6 +283,7 @@ fn run_local(options: &BinOptions) -> Result<(), Box<dyn std::error::Error>> {
             let layers = &layers;
             let designs = &designs;
             let retries = &retries;
+            let soak_start = &soak_start;
             clients.push(
                 scope.spawn(move || -> Result<Vec<Completion>, rasa_sim::SimError> {
                     // Each client gets its own deterministic traffic stream.
@@ -241,6 +316,7 @@ fn run_local(options: &BinOptions) -> Result<(), Box<dyn std::error::Error>> {
                             total_seconds: response.latency.total_seconds,
                             queue_seconds: response.latency.queue_seconds,
                             simulate_seconds: response.latency.simulate_seconds,
+                            finished_seconds: soak_start.elapsed().as_secs_f64(),
                             summary: response.report.summary(),
                         });
                     }
@@ -255,6 +331,7 @@ fn run_local(options: &BinOptions) -> Result<(), Box<dyn std::error::Error>> {
             .map(|all| all.into_iter().flatten().collect())
     })?;
     let wall_seconds = soak_start.elapsed().as_secs_f64();
+    let soak_allocs = prof::allocations() - allocs_before;
 
     let serving = server.stats();
     let cache = server.cache_stats();
@@ -267,6 +344,9 @@ fn run_local(options: &BinOptions) -> Result<(), Box<dyn std::error::Error>> {
     let queue_latency = LatencySummary::from_samples(&queues).expect("non-empty");
     let simulate_latency = LatencySummary::from_samples(&simulates).expect("non-empty");
     let throughput = completions.len() as f64 / wall_seconds.max(1e-9);
+    let mut finish_times: Vec<f64> = completions.iter().map(|c| c.finished_seconds).collect();
+    let steady_throughput = steady_state_throughput(&mut finish_times, options.warmup_percent);
+    let allocs_per_request = soak_allocs as f64 / completions.len() as f64;
 
     // Distinct simulated cells in deterministic (design, workload) order —
     // these numbers are seed-reproducible even though latencies are not.
@@ -276,9 +356,10 @@ fn run_local(options: &BinOptions) -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     println!(
-        "completed {} requests in {:.2} s ({throughput:.0} req/s)",
+        "completed {} requests in {:.2} s ({throughput:.0} req/s; steady-state {steady_throughput:.0} req/s past the first {}%; {allocs_per_request:.0} allocs/request)",
         totals.len(),
-        wall_seconds
+        wall_seconds,
+        options.warmup_percent,
     );
     println!(
         "latency p50 {:.3} ms | p99 {:.3} ms | p99.9 {:.3} ms | max {:.3} ms (queue p99 {:.3} ms, simulate p99 {:.3} ms)",
@@ -394,6 +475,14 @@ fn run_local(options: &BinOptions) -> Result<(), Box<dyn std::error::Error>> {
                 JsonValue::number_from_f64(throughput),
             ),
             (
+                "steady_state_requests_per_second".into(),
+                JsonValue::number_from_f64(steady_throughput),
+            ),
+            (
+                "warmup_percent".into(),
+                JsonValue::number_from_usize(options.warmup_percent),
+            ),
+            (
                 "p50_seconds".into(),
                 JsonValue::number_from_f64(latency.p50_seconds),
             ),
@@ -415,7 +504,53 @@ fn run_local(options: &BinOptions) -> Result<(), Box<dyn std::error::Error>> {
             ),
         ]);
         rasa_bench::update_bench_section(path, "serve_soak", section)?;
-        println!("perf document section 'serve_soak' written to {path}");
+        rasa_bench::update_bench_section(
+            path,
+            "allocs_per_request",
+            JsonValue::number_from_f64(allocs_per_request),
+        )?;
+
+        // The router-side result cache is measured on a loopback tier
+        // (in-process TCP shards behind a real Router) driven by the same
+        // deterministic traffic — the hit rate is seed-reproducible.
+        let router_stats = loopback_router_stats(options)?;
+        println!(
+            "loopback router: {} routed, {} cache hits / {} misses ({:.0}% hit rate)",
+            router_stats.routed,
+            router_stats.cache_hits,
+            router_stats.cache_misses,
+            router_stats.cache_hit_rate() * 100.0,
+        );
+        rasa_bench::update_bench_section(
+            path,
+            "router_cache_hit_rate",
+            JsonValue::number_from_f64(router_stats.cache_hit_rate()),
+        )?;
+
+        // The prof section is snapshotted last so it attributes the whole
+        // process: the soak itself plus the loopback wire phase (the only
+        // part of a local run that exercises frame encode/decode).
+        let section = JsonValue::Object(
+            prof::snapshot()
+                .iter()
+                .map(|stage| {
+                    (
+                        stage.stage.name().to_string(),
+                        JsonValue::Object(vec![
+                            ("count".into(), JsonValue::number_from_u64(stage.count)),
+                            (
+                                "seconds".into(),
+                                JsonValue::number_from_f64(stage.seconds()),
+                            ),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        rasa_bench::update_bench_section(path, "prof", section)?;
+        println!(
+            "perf document sections 'serve_soak', 'allocs_per_request', 'router_cache_hit_rate' and 'prof' written to {path}"
+        );
     }
     Ok(())
 }
@@ -470,6 +605,8 @@ fn run_distributed(options: &BinOptions) -> Result<(), Box<dyn std::error::Error
         options.vnodes.to_string(),
         "--inflight".into(),
         options.inflight.to_string(),
+        "--router-cache".into(),
+        options.router_cache.to_string(),
         "--admission".into(),
         admission.into(),
     ];
@@ -673,7 +810,7 @@ fn run_distributed(options: &BinOptions) -> Result<(), Box<dyn std::error::Error
 
     // Probe the router once for the aggregate health picture: per-shard
     // cache churn plus the routing counters.
-    let mut probe = NetClient::new(vec![router_addr.clone()]);
+    let mut probe = NetClient::new(vec![router_addr]);
     let health_json = probe
         .health()
         .map_err(|error| format!("router health probe: {error}"))?;
@@ -697,12 +834,15 @@ fn run_distributed(options: &BinOptions) -> Result<(), Box<dyn std::error::Error
         println!("dead shards: {:?}", health.dead);
     }
     println!(
-        "router: {} routed, {} failovers, {} marked dead, {} window-blocked, {} window-rejected, per-shard {:?}",
+        "router: {} routed, {} failovers, {} marked dead, {} window-blocked, {} window-rejected, result cache {} hits / {} misses ({:.0}% hit rate), per-shard {:?}",
         health.stats.routed,
         health.stats.failovers,
         health.stats.dead_marked,
         health.stats.window_blocked,
         health.stats.window_rejected,
+        health.stats.cache_hits,
+        health.stats.cache_misses,
+        health.stats.cache_hit_rate() * 100.0,
         health.stats.per_shard,
     );
     if options.kill_worker && health.stats.dead_marked == 0 {
@@ -890,6 +1030,10 @@ fn run_distributed(options: &BinOptions) -> Result<(), Box<dyn std::error::Error
             (
                 "mean_batch_size".into(),
                 JsonValue::number_from_f64(mean_batch),
+            ),
+            (
+                "router_cache_hit_rate".into(),
+                JsonValue::number_from_f64(health.stats.cache_hit_rate()),
             ),
         ]);
         rasa_bench::update_bench_section(path, "serve_soak_distributed", section)?;

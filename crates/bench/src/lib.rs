@@ -17,6 +17,8 @@
 
 #![deny(missing_docs)]
 
+pub mod prof;
+
 use rasa_sim::search::{Evolutionary, ExhaustiveGrid, RandomSampling, SearchStrategy};
 use rasa_sim::serve::AdmissionControl;
 use rasa_sim::ExperimentSuite;
@@ -147,6 +149,14 @@ pub struct BinOptions {
     /// For `rasa-router` / `serve_soak --distributed`: virtual nodes per
     /// shard on the consistent-hash ring (`--vnodes`).
     pub vnodes: usize,
+    /// For `rasa-router` / `serve_soak`: bound on the router's own result
+    /// cache, probed before any shard is contacted (`--router-cache`;
+    /// 0 disables it).
+    pub router_cache: usize,
+    /// For `serve_soak`: percentage of each run's requests treated as
+    /// cache/pool warmup and excluded from the steady-state throughput
+    /// metric (`--warmup PCT`).
+    pub warmup_percent: usize,
     /// For `rasa-shardd`: this worker's shard id (`--shard-id`).
     pub shard_id: u32,
     /// `--help` / `-h` was given: print the binary's flag table and exit.
@@ -192,6 +202,8 @@ impl Default for BinOptions {
             shard_addrs: Vec::new(),
             inflight: 32,
             vnodes: 64,
+            router_cache: rasa_sim::net::DEFAULT_RESULT_CACHE_CAPACITY,
+            warmup_percent: 20,
             shard_id: 0,
             help: false,
         }
@@ -216,7 +228,8 @@ impl BinOptions {
     /// `--generations N`, `--samples N`, `--workload NAME` and
     /// `--kernel-axes` (joint hardware × kernel search), the
     /// distributed-serving knobs `--distributed`, `--shards N`,
-    /// `--kill-worker`, `--inflight N` and `--vnodes N`, and the
+    /// `--kill-worker`, `--inflight N`, `--vnodes N`, `--router-cache N`
+    /// and `--warmup PCT`, and the
     /// `rasa-shardd` / `rasa-router` knobs `--listen ADDR`,
     /// `--shard ADDR` (repeatable) and `--shard-id N`. `--help` / `-h`
     /// sets [`BinOptions::help`] so a binary can print its flag table (see
@@ -362,6 +375,16 @@ impl BinOptions {
                 "--vnodes" => {
                     if let Some(value) = numeric(&mut args) {
                         options.vnodes = value;
+                    }
+                }
+                "--router-cache" => {
+                    if let Some(value) = numeric(&mut args) {
+                        options.router_cache = value;
+                    }
+                }
+                "--warmup" => {
+                    if let Some(value) = numeric(&mut args) {
+                        options.warmup_percent = value;
                     }
                 }
                 "--shard-id" => {
@@ -696,6 +719,18 @@ pub const FLAGS: &[FlagSpec] = &[
         value: "N",
         description: "virtual nodes per shard on the consistent-hash ring",
         binaries: &["serve_soak", "rasa-router"],
+    },
+    FlagSpec {
+        flag: "--router-cache",
+        value: "N",
+        description: "LRU bound on the router-side result cache (0 disables it)",
+        binaries: &["serve_soak", "rasa-router"],
+    },
+    FlagSpec {
+        flag: "--warmup",
+        value: "PCT",
+        description: "percent of requests excluded from steady-state throughput (default 20)",
+        binaries: &["serve_soak"],
     },
     FlagSpec {
         flag: "--listen",

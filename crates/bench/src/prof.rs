@@ -1,0 +1,75 @@
+//! Profiling facade for the bench binaries.
+//!
+//! Re-exports the scoped-timer/counter registry from [`rasa_sim::prof`]
+//! (the instrumented hot paths live in `rasa-sim`) and adds the one piece
+//! only a binary crate can contribute: a **counting global allocator**.
+//! Every bench binary links this crate, so every bench process counts heap
+//! allocations for free — [`allocations`] reads the process-wide total and
+//! a bench phase reports `allocs_per_request` as a before/after delta
+//! divided by the requests served. The counter is a single relaxed atomic
+//! increment per allocation, cheap enough to leave on permanently.
+
+pub use rasa_sim::prof::*;
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// The system allocator wrapped with an allocation counter. Installed as
+/// the global allocator of every bench binary (deallocations are not
+/// counted: the metric of interest is allocation pressure on the hot
+/// path, not live bytes).
+pub struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System` unchanged; the counter is
+// a relaxed atomic and cannot fail or reenter the allocator.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Heap allocations performed by this process so far. Subtract two
+/// readings to attribute allocations to a phase (single-threaded phases
+/// attribute exactly; concurrent phases attribute the process-wide total,
+/// which is the honest number for a serving soak anyway).
+#[must_use]
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_counter_advances() {
+        let before = allocations();
+        let grown: Vec<u64> = (0..1024).collect();
+        assert!(grown.len() == 1024);
+        let after = allocations();
+        assert!(
+            after > before,
+            "allocating a Vec must advance the counter ({before} -> {after})"
+        );
+    }
+}

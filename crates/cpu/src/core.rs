@@ -88,7 +88,7 @@ enum RunPhase {
 /// together with its core (which owns the matrix engine) snapshots the
 /// whole execution; both copies can then be driven independently and
 /// produce identical results for identical remaining feeds.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CoreRun {
     isa: IsaConfig,
     /// The core run id this run was opened under (see `CpuCore::run_id`).
@@ -118,6 +118,72 @@ pub struct CoreRun {
     stats: CpuStats,
     sched: SchedStats,
     stream: StreamStats,
+}
+
+// Manual impl so `clone_from` reuses the target's heap buffers (ROB,
+// reservation station, event heap, pending window) instead of allocating
+// fresh ones — the derived impl would allocate-and-replace. Speculation
+// forks checkpoint state every wave, so this is a hot path.
+impl Clone for CoreRun {
+    fn clone(&self) -> Self {
+        CoreRun {
+            isa: self.isa,
+            run_id: self.run_id,
+            config: self.config,
+            full_tile: self.full_tile,
+            clock_ratio: self.clock_ratio,
+            tile_writer: self.tile_writer,
+            gpr_writer: self.gpr_writer,
+            vec_writer: self.vec_writer,
+            rob: self.rob.clone(),
+            rob_base: self.rob_base,
+            next_seq: self.next_seq,
+            rs_slots: self.rs_slots.clone(),
+            rs_unsorted: self.rs_unsorted,
+            rs_ready: self.rs_ready,
+            engine_events: self.engine_events.clone(),
+            events: self.events.clone(),
+            pending: self.pending.clone(),
+            fed: self.fed,
+            retired: self.retired,
+            cycle: self.cycle,
+            phase: self.phase,
+            finalized: self.finalized,
+            done: self.done,
+            stats: self.stats,
+            sched: self.sched,
+            stream: self.stream,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.isa = source.isa;
+        self.run_id = source.run_id;
+        self.config = source.config;
+        self.full_tile = source.full_tile;
+        self.clock_ratio = source.clock_ratio;
+        self.tile_writer = source.tile_writer;
+        self.gpr_writer = source.gpr_writer;
+        self.vec_writer = source.vec_writer;
+        self.rob.clone_from(&source.rob);
+        self.rob_base = source.rob_base;
+        self.next_seq = source.next_seq;
+        self.rs_slots.clone_from(&source.rs_slots);
+        self.rs_unsorted = source.rs_unsorted;
+        self.rs_ready = source.rs_ready;
+        self.engine_events.clone_from(&source.engine_events);
+        self.events.clone_from(&source.events);
+        self.pending.clone_from(&source.pending);
+        self.fed = source.fed;
+        self.retired = source.retired;
+        self.cycle = source.cycle;
+        self.phase = source.phase;
+        self.finalized = source.finalized;
+        self.done = source.done;
+        self.stats = source.stats;
+        self.sched = source.sched;
+        self.stream = source.stream;
+    }
 }
 
 impl CoreRun {
@@ -616,7 +682,7 @@ impl CpuCore {
             && run.rs_slots == other_run.rs_slots
             && rob_eq(&run.rob, &other_run.rob, run.cycle)
             && run.engine_events == other_run.engine_events
-            && run.events.sorted_events() == other_run.events.sorted_events()
+            && run.events.events_eq(&other_run.events)
             && writers_eq(&run.tile_writer, &other_run.tile_writer, run.rob_base)
             && writers_eq(&run.gpr_writer, &other_run.gpr_writer, run.rob_base)
             && writers_eq(&run.vec_writer, &other_run.vec_writer, run.rob_base)

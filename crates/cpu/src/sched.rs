@@ -69,9 +69,24 @@ impl SchedStats {
 /// A min-heap of `(wake cycle, ROB sequence)` completion events.
 ///
 /// Sequences break timestamp ties so pop order is fully deterministic.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub(crate) struct EventHeap {
     heap: BinaryHeap<Reverse<(u64, u64)>>,
+}
+
+// Manual impl so `clone_from` reaches `BinaryHeap`'s buffer-reusing
+// override (a derived impl would fall back to allocate-and-replace),
+// which is what lets speculation checkpoints recycle their event heaps.
+impl Clone for EventHeap {
+    fn clone(&self) -> Self {
+        EventHeap {
+            heap: self.heap.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.heap.clone_from(&source.heap);
+    }
 }
 
 impl EventHeap {
@@ -105,13 +120,26 @@ impl EventHeap {
         events
     }
 
+    /// Whether two heaps hold exactly the same event set, compared through
+    /// the canonical sorted view. Length and earliest-event mismatches
+    /// short-circuit before any sorted view is materialized.
+    pub fn events_eq(&self, other: &EventHeap) -> bool {
+        self.heap.len() == other.heap.len()
+            && self.next_time() == other.next_time()
+            && self.sorted_events() == other.sorted_events()
+    }
+
     /// Rebuilds the heap with every event displaced `cycles` later and
-    /// `seqs` sequences further along the instruction stream.
+    /// `seqs` sequences further along the instruction stream. In place:
+    /// the heap's own buffer is shifted and re-heapified, no intermediate
+    /// event list is allocated.
     pub fn shift(&mut self, cycles: u64, seqs: u64) {
-        let events: Vec<(u64, u64)> = self.heap.drain().map(|Reverse(event)| event).collect();
-        for (time, seq) in events {
-            self.heap.push(Reverse((time + cycles, seq + seqs)));
+        let mut events = std::mem::take(&mut self.heap).into_vec();
+        for Reverse((time, seq)) in &mut events {
+            *time += cycles;
+            *seq += seqs;
         }
+        self.heap = BinaryHeap::from(events);
     }
 }
 

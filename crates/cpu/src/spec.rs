@@ -28,6 +28,11 @@ use crate::core::{CoreRun, CpuCore};
 use crate::{CpuError, CpuStats, SchedStats, StreamStats};
 use rasa_isa::{Instruction, IsaConfig, ProgramSegment};
 
+/// Retired `(core, run)` pairs kept for reuse, bounded so a pathological
+/// wave cannot pin unbounded state. A depth-`d` wave has at most `2d`
+/// pairs in flight (worker state + frozen entry each).
+const SPARE_POOL_CAP: usize = 16;
+
 /// A cloned boundary state of a speculative execution, usable as a
 /// speculation seed. Taking a checkpoint folds the authoritative interval
 /// statistics into the run's accumulators, so the checkpoint itself always
@@ -157,6 +162,11 @@ pub struct SpeculativeRun {
     sched: SchedStats,
     stream: StreamStats,
     force_mispredict: bool,
+    /// Scratch arena: `(core, run)` pairs retired by commits, mispredicts
+    /// and consumed entry snapshots. Forks and checkpoints `clone_from`
+    /// into them, recycling the ROB/reservation-station/event-heap buffers
+    /// instead of allocating fresh ones every wave.
+    spares: Vec<(CpuCore, CoreRun)>,
 }
 
 impl SpeculativeRun {
@@ -174,7 +184,29 @@ impl SpeculativeRun {
             sched: SchedStats::default(),
             stream: StreamStats::default(),
             force_mispredict: false,
+            spares: Vec::new(),
         })
+    }
+
+    /// A `(core, run)` pair cloned from `source`, reusing a retired
+    /// pair's buffers when the arena has one.
+    fn fresh_pair(&mut self, source_core: &CpuCore, source_run: &CoreRun) -> (CpuCore, CoreRun) {
+        match self.spares.pop() {
+            Some((mut core, mut run)) => {
+                core.clone_from(source_core);
+                run.clone_from(source_run);
+                (core, run)
+            }
+            None => (source_core.clone(), source_run.clone()),
+        }
+    }
+
+    /// Returns a retired `(core, run)` pair to the arena (dropped once the
+    /// arena is full).
+    fn recycle(&mut self, core: CpuCore, run: CoreRun) {
+        if self.spares.len() < SPARE_POOL_CAP {
+            self.spares.push((core, run));
+        }
     }
 
     /// Test hook: poison every subsequently forked worker's predicted entry
@@ -224,9 +256,16 @@ impl SpeculativeRun {
     /// counters).
     pub fn checkpoint(&mut self) -> SpecCheckpoint {
         self.fold_interval();
-        SpecCheckpoint {
-            core: self.core.clone(),
-            run: self.run.clone(),
+        match self.spares.pop() {
+            Some((mut core, mut run)) => {
+                core.clone_from(&self.core);
+                run.clone_from(&self.run);
+                SpecCheckpoint { core, run }
+            }
+            None => SpecCheckpoint {
+                core: self.core.clone(),
+                run: self.run.clone(),
+            },
         }
     }
 
@@ -241,8 +280,7 @@ impl SpeculativeRun {
         strides: u64,
     ) -> SpeculativeWorker {
         self.stream.spec_forks += 1;
-        let mut core = seed.core.clone();
-        let mut run = seed.run.clone();
+        let (mut core, mut run) = self.fresh_pair(&seed.core, &seed.run);
         core.shift_boundary(
             &mut run,
             delta.cycles * strides,
@@ -253,10 +291,11 @@ impl SpeculativeRun {
             let ratio = run.clock_ratio();
             core.shift_boundary(&mut run, ratio, 0, 0);
         }
+        let (entry_core, entry_run) = self.fresh_pair(&core, &run);
         SpeculativeWorker {
             entry: SpecCheckpoint {
-                core: core.clone(),
-                run: run.clone(),
+                core: entry_core,
+                run: entry_run,
             },
             core,
             run,
@@ -274,16 +313,20 @@ impl SpeculativeRun {
     /// executions, so a bit-for-bit entry match proves the worker computed
     /// exactly the sequential continuation.
     pub fn try_commit(&mut self, worker: SpeculativeWorker) -> bool {
+        let SpeculativeWorker { entry, core, run } = worker;
         let matches = self
             .core
-            .boundary_matches(&self.run, &worker.entry.core, &worker.entry.run);
+            .boundary_matches(&self.run, &entry.core, &entry.run);
+        self.recycle(entry.core, entry.run);
         if matches {
             self.fold_interval();
-            self.core = worker.core;
-            self.run = worker.run;
+            let old_core = std::mem::replace(&mut self.core, core);
+            let old_run = std::mem::replace(&mut self.run, run);
+            self.recycle(old_core, old_run);
             self.stream.spec_commits += 1;
             true
         } else {
+            self.recycle(core, run);
             self.stream.spec_replays += 1;
             false
         }

@@ -199,8 +199,14 @@ impl JsonValue {
     #[must_use]
     pub fn to_string_compact(&self) -> String {
         let mut out = String::new();
-        self.write(&mut out, None, 0);
+        self.write_compact(&mut out);
         out
+    }
+
+    /// Appends the compact serialization to `out`, reusing the string's
+    /// capacity — the allocation-free path pooled wire buffers take.
+    pub fn write_compact(&self, out: &mut String) {
+        self.write(out, None, 0);
     }
 
     /// Serializes with two-space indentation and a trailing newline — the

@@ -36,7 +36,9 @@ mod designs;
 mod error;
 mod experiments;
 pub mod json;
+mod key;
 pub mod net;
+pub mod prof;
 mod report;
 mod runner;
 pub mod search;
@@ -52,6 +54,7 @@ pub use experiments::{
     Fig2Result, Fig5Result, Fig5Row, Fig6Result, Fig6Row, Fig7Result, Fig7Row,
 };
 pub use json::{FromJson, JsonError, JsonValue, ToJson};
+pub use key::CellKey;
 pub use net::{NetClient, NetError, Router, ShardServer, WireRequest, WireResponse};
 pub use report::{PipelineStats, SimReport, SimSummary, WorkloadRun};
 pub use runner::{

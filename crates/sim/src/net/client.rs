@@ -59,6 +59,12 @@ pub struct NetClient {
     conn: Option<TcpStream>,
     config: ClientConfig,
     stats: ClientStats,
+    /// Recycled request-serialization buffer: each request frame is
+    /// encoded into the previous one's allocation.
+    encode_buf: Vec<u8>,
+    /// Recycled reply buffer: each reply frame is decoded into the
+    /// previous one's allocation.
+    decode_buf: Vec<u8>,
 }
 
 impl NetClient {
@@ -90,6 +96,8 @@ impl NetClient {
             conn: None,
             config,
             stats: ClientStats::default(),
+            encode_buf: Vec::new(),
+            decode_buf: Vec::new(),
         }
     }
 
@@ -108,14 +116,21 @@ impl NetClient {
     /// non-retryable failures ([`NetError::Remote`] simulation errors,
     /// protocol violations, version mismatches).
     pub fn request(&mut self, request: &WireRequest) -> Result<WireResponse, NetError> {
-        let frame = Frame::json(FrameKind::Request, &request.to_json());
-        let reply = self.exchange_with_retry(&frame)?;
-        match reply.kind {
+        let frame = Frame::json_pooled(
+            FrameKind::Request,
+            &request.to_json(),
+            std::mem::take(&mut self.encode_buf),
+        );
+        let outcome = self.exchange_with_retry(&frame);
+        self.encode_buf = frame.into_payload();
+        let reply = outcome?;
+        let kind = reply.kind;
+        let json = reply.payload_json();
+        self.decode_buf = reply.into_payload();
+        match kind {
             FrameKind::Response => {
-                let response = WireResponse::from_json(&reply.payload_json()?).map_err(|e| {
-                    NetError::Frame {
-                        reason: format!("undecodable response payload: {e}"),
-                    }
+                let response = WireResponse::from_json(&json?).map_err(|e| NetError::Frame {
+                    reason: format!("undecodable response payload: {e}"),
                 })?;
                 if response.id != request.id {
                     return Err(NetError::Protocol {
@@ -129,10 +144,8 @@ impl NetClient {
                 Ok(response)
             }
             FrameKind::Error => {
-                let failure = WireFailure::from_json(&reply.payload_json()?).map_err(|e| {
-                    NetError::Frame {
-                        reason: format!("undecodable error payload: {e}"),
-                    }
+                let failure = WireFailure::from_json(&json?).map_err(|e| NetError::Frame {
+                    reason: format!("undecodable error payload: {e}"),
                 })?;
                 self.stats.failed += 1;
                 Err(NetError::Remote {
@@ -141,7 +154,7 @@ impl NetClient {
                 })
             }
             FrameKind::Request | FrameKind::Health => Err(NetError::Protocol {
-                reason: format!("peer answered a request with a {:?} frame", reply.kind),
+                reason: format!("peer answered a request with a {kind:?} frame"),
             }),
         }
     }
@@ -156,8 +169,11 @@ impl NetClient {
     /// [`request`](Self::request).
     pub fn health(&mut self) -> Result<JsonValue, NetError> {
         let reply = self.exchange_with_retry(&Frame::health_probe())?;
-        match reply.kind {
-            FrameKind::Health => reply.payload_json(),
+        let kind = reply.kind;
+        let json = reply.payload_json();
+        self.decode_buf = reply.into_payload();
+        match kind {
+            FrameKind::Health => json,
             other => Err(NetError::Protocol {
                 reason: format!("peer answered a probe with a {other:?} frame"),
             }),
@@ -231,9 +247,10 @@ impl NetClient {
             self.conn = Some(stream);
         }
         let stream = self.conn.as_mut().expect("connection just ensured");
-        let outcome = frame
-            .write_to(stream)
-            .and_then(|()| Frame::read_from(stream));
+        let outcome = match frame.write_to(stream) {
+            Ok(()) => Frame::read_from_pooled(stream, &mut self.decode_buf),
+            Err(error) => Err(error),
+        };
         if outcome.is_err() {
             self.conn = None;
         }

@@ -41,7 +41,7 @@ pub fn fnv1a_64(bytes: &[u8]) -> u64 {
 /// so without this mix the virtual nodes cluster and some shards end up
 /// owning almost none of the key space.
 #[must_use]
-fn mix64(mut x: u64) -> u64 {
+pub fn mix64(mut x: u64) -> u64 {
     x ^= x >> 33;
     x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
     x ^= x >> 33;
@@ -50,8 +50,13 @@ fn mix64(mut x: u64) -> u64 {
     x
 }
 
-/// The ring position of an arbitrary byte string.
-fn ring_point(bytes: &[u8]) -> u64 {
+/// The ring position of an arbitrary byte string: `mix64(fnv1a_64(bytes))`.
+///
+/// This is also the 64-bit hash an interned [`CellKey`](crate::CellKey)
+/// precomputes, so a key rendered once can probe every cache *and* the
+/// ring without being re-hashed.
+#[must_use]
+pub fn ring_point(bytes: &[u8]) -> u64 {
     mix64(fnv1a_64(bytes))
 }
 
@@ -96,7 +101,13 @@ impl HashRing {
     /// the key's hash. `None` only for an empty ring.
     #[must_use]
     pub fn route(&self, key: &str) -> Option<u32> {
-        let point = ring_point(key.as_bytes());
+        self.route_point(ring_point(key.as_bytes()))
+    }
+
+    /// [`route`](Self::route) for a precomputed [`ring_point`] — the
+    /// zero-rehash path an interned [`CellKey`](crate::CellKey) takes.
+    #[must_use]
+    pub fn route_point(&self, point: u64) -> Option<u32> {
         self.ring
             .range(point..)
             .next()
@@ -117,7 +128,13 @@ impl HashRing {
     /// failover target. Deterministic for a given ring and key.
     #[must_use]
     pub fn preference_order(&self, key: &str) -> Vec<u32> {
-        let point = ring_point(key.as_bytes());
+        self.preference_order_point(ring_point(key.as_bytes()))
+    }
+
+    /// [`preference_order`](Self::preference_order) for a precomputed
+    /// [`ring_point`] — the zero-rehash failover scan.
+    #[must_use]
+    pub fn preference_order_point(&self, point: u64) -> Vec<u32> {
         let mut order = Vec::with_capacity(self.shards);
         for (_, &shard) in self.ring.range(point..).chain(self.ring.range(..point)) {
             if !order.contains(&shard) {

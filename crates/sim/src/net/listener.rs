@@ -126,10 +126,16 @@ fn handle_connection(stream: TcpStream, shutdown: &AtomicBool, handler: &dyn Fn(
         Err(_) => return,
     };
     let mut writer = stream;
+    // The connection's decode buffer: the previous request frame's payload
+    // is recycled into the next read, so steady-state serving decodes
+    // every frame into the same allocation.
+    let mut decode_buf = Vec::new();
     loop {
-        match Frame::read_from(&mut reader) {
+        match Frame::read_from_pooled(&mut reader, &mut decode_buf) {
             Ok(frame) => {
-                if handler(&frame).write_to(&mut writer).is_err() {
+                let reply = handler(&frame);
+                decode_buf = frame.into_payload();
+                if reply.write_to(&mut writer).is_err() {
                     return;
                 }
             }

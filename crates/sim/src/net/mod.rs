@@ -34,7 +34,7 @@ pub mod wire;
 
 pub use client::{ClientConfig, ClientStats, NetClient};
 pub use hash::HashRing;
-pub use router::{Router, RouterConfig, RouterHealth, RouterStats};
+pub use router::{Router, RouterConfig, RouterHealth, RouterStats, DEFAULT_RESULT_CACHE_CAPACITY};
 pub use shard::{ShardConfig, ShardServer};
 pub use wire::{
     ErrorCode, Frame, FrameKind, HealthStatus, WireFailure, WireRequest, WireResponse,

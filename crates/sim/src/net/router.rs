@@ -30,13 +30,16 @@
 //! [`HealthStatus`] — the per-shard cache-churn view the distributed soak
 //! reports.
 
+use crate::cache::LruCache;
 use crate::json::{FromJson, JsonError, JsonValue, ToJson};
+use crate::key::CellKey;
 use crate::net::hash::HashRing;
 use crate::net::listener::FrameListener;
 use crate::net::wire::{
     ErrorCode, Frame, FrameKind, HealthStatus, WireFailure, WireRequest, WireResponse,
 };
 use crate::net::NetError;
+use crate::prof::{self, Stage};
 use crate::serve::AdmissionControl;
 use crate::SimError;
 use std::net::{SocketAddr, TcpStream};
@@ -57,7 +60,15 @@ pub struct RouterConfig {
     /// [`ServeConfig::matmul_cap`](crate::serve::ServeConfig::matmul_cap)
     /// so the routing key equals the shard's memoization key.
     pub matmul_cap: Option<usize>,
+    /// Bound on the router's own result cache (LRU over cell keys), probed
+    /// before any shard is contacted. `0` disables the cache. Cells are
+    /// deterministic pure functions of their key (see DETERMINISM.md), so
+    /// cached results never need invalidation.
+    pub result_cache_capacity: usize,
 }
+
+/// Default bound on the router-side result cache.
+pub const DEFAULT_RESULT_CACHE_CAPACITY: usize = 256;
 
 impl Default for RouterConfig {
     fn default() -> Self {
@@ -66,6 +77,7 @@ impl Default for RouterConfig {
             inflight_per_shard: 32,
             admission: AdmissionControl::Block,
             matmul_cap: crate::serve::ServeConfig::default().matmul_cap,
+            result_cache_capacity: DEFAULT_RESULT_CACHE_CAPACITY,
         }
     }
 }
@@ -87,8 +99,28 @@ pub struct RouterStats {
     pub window_blocked: u64,
     /// Requests turned away by a full in-flight window (reject mode).
     pub window_rejected: u64,
+    /// Requests answered from the router's own result cache — no shard
+    /// was contacted (these still count as `routed`).
+    pub cache_hits: u64,
+    /// Requests that missed the router's result cache (or found it
+    /// disabled) and went to a shard.
+    pub cache_misses: u64,
     /// Responses attributed to each shard, by shard id.
     pub per_shard: Vec<u64>,
+}
+
+impl RouterStats {
+    /// Fraction of routed requests answered from the router's result
+    /// cache; `0.0` when nothing was probed.
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let probes = self.cache_hits + self.cache_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / probes as f64
+        }
+    }
 }
 
 impl ToJson for RouterStats {
@@ -115,6 +147,14 @@ impl ToJson for RouterStats {
             (
                 "window_rejected".into(),
                 JsonValue::number_from_u64(self.window_rejected),
+            ),
+            (
+                "cache_hits".into(),
+                JsonValue::number_from_u64(self.cache_hits),
+            ),
+            (
+                "cache_misses".into(),
+                JsonValue::number_from_u64(self.cache_misses),
             ),
             (
                 "per_shard".into(),
@@ -155,6 +195,8 @@ impl FromJson for RouterStats {
             revived: field("revived")?,
             window_blocked: field("window_blocked")?,
             window_rejected: field("window_rejected")?,
+            cache_hits: field("cache_hits")?,
+            cache_misses: field("cache_misses")?,
             per_shard,
         })
     }
@@ -277,11 +319,18 @@ struct Backend {
     /// Idle connections to the shard. A request pops one (or dials a new
     /// one), uses it exclusively, and returns it on clean completion.
     pool: Mutex<Vec<TcpStream>>,
+    /// Retired reply-payload buffers, recycled into the next exchange's
+    /// decode. Like the connection pool, its size is bounded by the
+    /// number of concurrent exchanges (itself bounded by the in-flight
+    /// window).
+    scratch: Mutex<Vec<Vec<u8>>>,
     routed: AtomicU64,
 }
 
 impl Backend {
-    /// One request/response exchange on a pooled or fresh connection.
+    /// One request/response exchange on a pooled or fresh connection,
+    /// decoding the reply into a recycled buffer. Hand the reply back via
+    /// [`reclaim`](Self::reclaim) once parsed.
     fn exchange(&self, frame: &Frame) -> Result<Frame, NetError> {
         let pooled = self.pool.lock().expect("router pool lock").pop();
         let mut stream = match pooled {
@@ -292,9 +341,23 @@ impl Backend {
             })?,
         };
         frame.write_to(&mut stream)?;
-        let reply = Frame::read_from(&mut stream)?;
+        let mut buf = self
+            .scratch
+            .lock()
+            .expect("router scratch lock")
+            .pop()
+            .unwrap_or_default();
+        let reply = Frame::read_from_pooled(&mut stream, &mut buf)?;
         self.pool.lock().expect("router pool lock").push(stream);
         Ok(reply)
+    }
+
+    /// Returns a parsed reply's payload buffer to the scratch pool.
+    fn reclaim(&self, reply: Frame) {
+        self.scratch
+            .lock()
+            .expect("router scratch lock")
+            .push(reply.into_payload());
     }
 }
 
@@ -306,6 +369,8 @@ struct Counters {
     revived: AtomicU64,
     window_blocked: AtomicU64,
     window_rejected: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
 }
 
 struct RouterCore {
@@ -313,6 +378,9 @@ struct RouterCore {
     ring: HashRing,
     backends: Vec<Backend>,
     counters: Counters,
+    /// The router's own result cache, probed before any shard. `None`
+    /// when disabled by configuration.
+    result_cache: Option<Mutex<LruCache<CellKey, Arc<WireResponse>>>>,
 }
 
 /// A consistent-hashing request router over N shard backends.
@@ -355,9 +423,11 @@ impl Router {
                 alive: AtomicBool::new(true),
                 window: Window::new(config.inflight_per_shard),
                 pool: Mutex::new(Vec::new()),
+                scratch: Mutex::new(Vec::new()),
                 routed: AtomicU64::new(0),
             })
             .collect();
+        let config_cache_capacity = config.result_cache_capacity;
         Ok(Router {
             core: Arc::new(RouterCore {
                 config,
@@ -371,7 +441,11 @@ impl Router {
                     revived: AtomicU64::new(0),
                     window_blocked: AtomicU64::new(0),
                     window_rejected: AtomicU64::new(0),
+                    cache_hits: AtomicU64::new(0),
+                    cache_misses: AtomicU64::new(0),
                 },
+                result_cache: (config_cache_capacity > 0)
+                    .then(|| Mutex::new(LruCache::new(config_cache_capacity))),
             }),
             listener: None,
         })
@@ -431,7 +505,7 @@ impl Router {
         Ok(self
             .core
             .ring
-            .route(&key)
+            .route_point(key.hash64())
             .expect("constructor guarantees a non-empty ring"))
     }
 
@@ -467,7 +541,13 @@ impl Router {
 impl RouterCore {
     fn route(&self, request: &WireRequest) -> Result<WireResponse, NetError> {
         let key = request.shape_key(self.config.matmul_cap)?;
-        let order = self.ring.preference_order(&key);
+        if let Some(cached) = self.probe_result_cache(&key, request) {
+            return Ok(cached);
+        }
+        let order = self.ring.preference_order_point(key.hash64());
+        // Serialized once: the frame is identical across failover
+        // attempts, so re-encoding it per attempt would be pure waste.
+        let request_frame = Frame::json(FrameKind::Request, &request.to_json());
         let mut last_io: Option<NetError> = None;
         for (attempt, &shard) in order.iter().enumerate() {
             let backend = &self.backends[shard as usize];
@@ -490,14 +570,17 @@ impl RouterCore {
                     });
                 }
             }
-            let outcome = backend.exchange(&Frame::json(FrameKind::Request, &request.to_json()));
+            let outcome = backend.exchange(&request_frame);
             backend.window.release();
             match outcome {
                 Ok(reply) => {
                     if attempt > 0 {
                         self.counters.failovers.fetch_add(1, Ordering::SeqCst);
                     }
-                    return self.parse_reply(&reply, request, backend);
+                    let response = self.parse_reply(&reply, request, backend)?;
+                    backend.reclaim(reply);
+                    self.store_result(&key, &response);
+                    return Ok(response);
                 }
                 // Transport failure: the shard is gone (or unreachable).
                 // Mark it dead and fail over clockwise. The request never
@@ -523,6 +606,50 @@ impl RouterCore {
                 None => "every shard is marked dead".to_string(),
             },
         })
+    }
+
+    /// Probes the router-side result cache. A hit replays the cached
+    /// response restamped for this request — the id becomes the caller's
+    /// and the report is relabelled to the requested workload name,
+    /// exactly what a shard with a warm cell would have answered — so no
+    /// shard is contacted at all.
+    fn probe_result_cache(&self, key: &CellKey, request: &WireRequest) -> Option<WireResponse> {
+        let cache = self.result_cache.as_ref()?;
+        let probe = prof::time(Stage::CacheProbe);
+        let cached = cache
+            .lock()
+            .expect("router result cache lock")
+            .get(key)
+            .map(Arc::clone);
+        drop(probe);
+        match cached {
+            Some(response) => {
+                self.counters.cache_hits.fetch_add(1, Ordering::SeqCst);
+                self.counters.routed.fetch_add(1, Ordering::SeqCst);
+                let mut replay = (*response).clone();
+                replay.id = request.id;
+                if replay.report.workload != request.workload.name() {
+                    replay.report.workload = request.workload.name().to_string();
+                }
+                Some(replay)
+            }
+            None => {
+                self.counters.cache_misses.fetch_add(1, Ordering::SeqCst);
+                None
+            }
+        }
+    }
+
+    /// Records a shard's answer in the result cache (the id and workload
+    /// label are restamped per request on replay, so storing one
+    /// exemplar per cell key is enough).
+    fn store_result(&self, key: &CellKey, response: &WireResponse) {
+        if let Some(cache) = &self.result_cache {
+            cache
+                .lock()
+                .expect("router result cache lock")
+                .insert(key.clone(), Arc::new(response.clone()));
+        }
     }
 
     fn parse_reply(
@@ -592,6 +719,8 @@ impl RouterCore {
             revived: self.counters.revived.load(Ordering::SeqCst),
             window_blocked: self.counters.window_blocked.load(Ordering::SeqCst),
             window_rejected: self.counters.window_rejected.load(Ordering::SeqCst),
+            cache_hits: self.counters.cache_hits.load(Ordering::SeqCst),
+            cache_misses: self.counters.cache_misses.load(Ordering::SeqCst),
             per_shard: self
                 .backends
                 .iter()
@@ -738,11 +867,70 @@ mod tests {
             let response = router.route(&request).unwrap();
             assert_eq!(response.id, i);
             assert_eq!(response.shard, home, "request must land on its home shard");
+            assert_eq!(response.report.workload, format!("L{i}"), "relabelled");
         }
         let stats = router.stats();
         assert_eq!(stats.routed, 6);
         assert_eq!(stats.failovers, 0);
-        assert_eq!(stats.per_shard.iter().sum::<u64>(), 6);
+        // The three repeated shapes (i = 3, 4, 5 reuse the shapes of
+        // i = 0, 1, 2) are answered from the router's result cache and
+        // never reach a shard.
+        assert_eq!(stats.cache_misses, 3);
+        assert_eq!(stats.cache_hits, 3);
+        assert!((stats.cache_hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(stats.per_shard.iter().sum::<u64>(), 3);
+        for shard in shards {
+            shard.shutdown();
+        }
+    }
+
+    #[test]
+    fn result_cache_hits_replay_shard_identical_bytes() {
+        let (shards, addrs) = spawn_shards(2);
+        let caching = Router::new(&addrs, router_config()).unwrap();
+        let direct = Router::new(
+            &addrs,
+            RouterConfig {
+                result_cache_capacity: 0,
+                ..router_config()
+            },
+        )
+        .unwrap();
+
+        // Warm the caching router, then compare a cache hit against a real
+        // shard round trip for the same request: byte-identical JSON.
+        let request = WireRequest::new(11, "BASELINE", LayerSpec::fc("DLRM-1", 64, 128, 128));
+        let warm = caching.route(&request).unwrap();
+        let hit = caching.route(&request).unwrap();
+        let round_trip = direct.route(&request).unwrap();
+        assert_eq!(caching.stats().cache_hits, 1);
+        assert_eq!(direct.stats().cache_hits, 0, "disabled cache never hits");
+        assert_eq!(
+            direct.stats().cache_misses,
+            0,
+            "disabled cache never probes"
+        );
+        assert_eq!(
+            hit.to_json().to_string_compact(),
+            round_trip.to_json().to_string_compact(),
+            "a cache hit must be indistinguishable from a shard round trip"
+        );
+        assert_eq!(
+            warm.to_json().to_string_compact(),
+            hit.to_json().to_string_compact()
+        );
+
+        // A same-shape request under a different workload name and id is
+        // still a hit, restamped exactly as the shard would have.
+        let relabelled =
+            WireRequest::new(12, "BASELINE", LayerSpec::fc("DLRM-1-alias", 64, 128, 128));
+        let hit = caching.route(&relabelled).unwrap();
+        let round_trip = direct.route(&relabelled).unwrap();
+        assert_eq!(caching.stats().cache_hits, 2);
+        assert_eq!(
+            hit.to_json().to_string_compact(),
+            round_trip.to_json().to_string_compact()
+        );
         for shard in shards {
             shard.shutdown();
         }
@@ -751,7 +939,17 @@ mod tests {
     #[test]
     fn router_fails_over_and_revives() {
         let (mut shards, addrs) = spawn_shards(2);
-        let router = Router::new(&addrs, router_config()).unwrap();
+        // The same request is routed repeatedly and must reach a shard
+        // every time for the failover machinery to engage — disable the
+        // result cache, which would otherwise answer the replays itself.
+        let router = Router::new(
+            &addrs,
+            RouterConfig {
+                result_cache_capacity: 0,
+                ..router_config()
+            },
+        )
+        .unwrap();
         let request = WireRequest::new(1, "BASELINE", LayerSpec::fc("DLRM-1", 64, 128, 128));
         let home = router.home_shard(&request).unwrap();
 

@@ -22,12 +22,14 @@
 //! worked hex example lives in `docs/WIRE_PROTOCOL.md`.
 
 use crate::json::{FromJson, JsonError, JsonValue, ToJson};
+use crate::key::CellKey;
 use crate::net::NetError;
+use crate::prof::{self, Stage};
 use crate::serve::ServeStats;
 use crate::{CacheStats, DesignPoint, SimJob, SimReport};
 use rasa_trace::GemmKernelConfig;
 use rasa_workloads::LayerSpec;
-use std::io::{Read, Write};
+use std::io::{IoSlice, Read, Write};
 
 /// The protocol version this build speaks (the frame's fifth byte).
 pub const WIRE_VERSION: u8 = 1;
@@ -91,10 +93,33 @@ impl Frame {
     /// A frame wrapping a JSON document of the given kind.
     #[must_use]
     pub fn json(kind: FrameKind, document: &JsonValue) -> Frame {
+        Frame::json_pooled(kind, document, Vec::new())
+    }
+
+    /// [`json`](Self::json) serializing into a recycled payload buffer
+    /// (its contents are discarded, its capacity is reused). Connection
+    /// loops pass the previous frame's payload back in via
+    /// [`into_payload`](Self::into_payload), so steady-state serving
+    /// allocates no fresh frame buffers.
+    #[must_use]
+    pub fn json_pooled(kind: FrameKind, document: &JsonValue, recycled: Vec<u8>) -> Frame {
+        let serialize = prof::time(Stage::JsonSerialize);
+        // Round-trip through String to reuse the recycled capacity; the
+        // payload was produced by this serializer, so it is valid UTF-8.
+        let mut text = String::from_utf8(recycled).unwrap_or_default();
+        text.clear();
+        document.write_compact(&mut text);
+        drop(serialize);
         Frame {
             kind,
-            payload: document.to_string_compact().into_bytes(),
+            payload: text.into_bytes(),
         }
+    }
+
+    /// Consumes the frame, handing its payload buffer back for reuse.
+    #[must_use]
+    pub fn into_payload(self) -> Vec<u8> {
+        self.payload
     }
 
     /// An empty-payload health probe.
@@ -168,31 +193,70 @@ impl Frame {
     /// [`NetError::Io`] when the stream ends or fails mid-frame, plus the
     /// same validation errors as [`decode`](Self::decode).
     pub fn read_from(reader: &mut impl Read) -> Result<Frame, NetError> {
-        let mut header = [0u8; 4];
+        Frame::read_from_pooled(reader, &mut Vec::new())
+    }
+
+    /// [`read_from`](Self::read_from) decoding into a recycled payload
+    /// buffer sized by the length prefix (contents discarded, capacity
+    /// reused). On success the buffer moves into the returned frame (take
+    /// it back with [`into_payload`](Self::into_payload)); on error —
+    /// including the idle-poll timeouts connection loops ride on — the
+    /// buffer stays with the caller, so pooling survives errors. The
+    /// [`MAX_FRAME_LEN`] guard still runs *before* the buffer grows.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`read_from`](Self::read_from).
+    pub fn read_from_pooled(
+        reader: &mut impl Read,
+        recycled: &mut Vec<u8>,
+    ) -> Result<Frame, NetError> {
+        // The 6 framing bytes are read in one exact read, then the payload
+        // lands directly in the pooled buffer — no post-hoc drain shuffle.
+        let mut header = [0u8; HEADER_LEN];
         reader.read_exact(&mut header).map_err(NetError::from)?;
-        let body_len = u32::from_be_bytes(header) as usize;
+        let decode = prof::time(Stage::FrameDecode);
+        let body_len = u32::from_be_bytes([header[0], header[1], header[2], header[3]]) as usize;
         Frame::check_body_len(body_len)?;
-        let mut body = vec![0u8; body_len];
-        reader.read_exact(&mut body).map_err(NetError::from)?;
-        Frame::check_version(body[0])?;
-        let kind = FrameKind::from_byte(body[1]).ok_or_else(|| NetError::Frame {
-            reason: format!("unknown frame kind byte 0x{:02x}", body[1]),
+        Frame::check_version(header[4])?;
+        let kind = FrameKind::from_byte(header[5]).ok_or_else(|| NetError::Frame {
+            reason: format!("unknown frame kind byte 0x{:02x}", header[5]),
         })?;
-        body.drain(..2);
+        recycled.clear();
+        recycled.resize(body_len - 2, 0);
+        reader.read_exact(recycled).map_err(NetError::from)?;
+        drop(decode);
         Ok(Frame {
             kind,
-            payload: body,
+            payload: std::mem::take(recycled),
         })
     }
 
-    /// Writes the frame to a stream and flushes it.
+    /// Writes the frame to a stream and flushes it. The 6 framing bytes
+    /// and the payload go out in a single vectored write — no
+    /// concatenated copy of the frame is ever built.
     ///
     /// # Errors
     ///
     /// [`NetError::Io`] on any transport failure.
     pub fn write_to(&self, writer: &mut impl Write) -> Result<(), NetError> {
-        writer.write_all(&self.encode()).map_err(NetError::from)?;
-        writer.flush().map_err(NetError::from)
+        let encode = prof::time(Stage::FrameEncode);
+        let body_len = 2 + self.payload.len();
+        let len = u32::try_from(body_len)
+            .expect("frame fits in u32")
+            .to_be_bytes();
+        let header = [
+            len[0],
+            len[1],
+            len[2],
+            len[3],
+            WIRE_VERSION,
+            self.kind.as_byte(),
+        ];
+        write_all_vectored(writer, &header, &self.payload).map_err(NetError::from)?;
+        writer.flush().map_err(NetError::from)?;
+        drop(encode);
+        Ok(())
     }
 
     /// Parses the payload as a JSON document.
@@ -231,6 +295,37 @@ impl Frame {
             Err(NetError::BadVersion { got: version })
         }
     }
+}
+
+/// Writes `header` then `payload` completely, preferring a single
+/// vectored write per iteration so the kernel sees one contiguous frame
+/// without us building a concatenated copy.
+fn write_all_vectored(
+    writer: &mut impl Write,
+    header: &[u8],
+    payload: &[u8],
+) -> std::io::Result<()> {
+    let mut header_done = 0;
+    let mut payload_done = 0;
+    while header_done < header.len() || payload_done < payload.len() {
+        let bufs = [
+            IoSlice::new(&header[header_done..]),
+            IoSlice::new(&payload[payload_done..]),
+        ];
+        let mut wrote = writer.write_vectored(&bufs)?;
+        if wrote == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                "failed to write whole frame",
+            ));
+        }
+        let header_left = header.len() - header_done;
+        let from_header = wrote.min(header_left);
+        header_done += from_header;
+        wrote -= from_header;
+        payload_done += wrote.min(payload.len() - payload_done);
+    }
+    Ok(())
 }
 
 /// Machine-readable failure categories carried by error frames.
@@ -340,16 +435,18 @@ impl WireRequest {
         Ok(job)
     }
 
-    /// The semantic shape key the router consistent-hashes on — identical
-    /// to the cell key the shard's runner memoizes under (see
-    /// [`SimJob::semantic_key`]), so a shape always lands on the shard
-    /// whose LRU cell cache is warm for it.
+    /// The interned semantic shape key the router consistent-hashes on —
+    /// identical to the cell key the shard's runner memoizes under (see
+    /// [`SimJob::cell_key`]), so a shape always lands on the shard whose
+    /// LRU cell cache is warm for it. The key carries its precomputed
+    /// 64-bit ring point ([`CellKey::hash64`]), so routing never re-hashes
+    /// the rendered text.
     ///
     /// # Errors
     ///
     /// Same as [`to_job`](Self::to_job).
-    pub fn shape_key(&self, default_matmul_cap: Option<usize>) -> Result<String, NetError> {
-        Ok(self.to_job()?.semantic_key(default_matmul_cap))
+    pub fn shape_key(&self, default_matmul_cap: Option<usize>) -> Result<CellKey, NetError> {
+        Ok(self.to_job()?.cell_key(default_matmul_cap))
     }
 }
 

@@ -27,6 +27,8 @@
 
 use crate::cache::{InsertOutcome, LruCache};
 use crate::json::{FromJson, JsonValue, ToJson};
+use crate::key::CellKey;
+use crate::prof::{self, Stage};
 use crate::simulator::{DEFAULT_MATMUL_CAP, DEFAULT_SPEC_DEPTH};
 use crate::{DesignPoint, SimError, SimReport, Simulator, WorkloadRun};
 use rasa_trace::GemmKernelConfig;
@@ -100,13 +102,29 @@ impl SimJob {
     #[must_use]
     pub fn semantic_key(&self, default_matmul_cap: Option<usize>) -> String {
         let kernel = self.resolved_kernel(default_matmul_cap);
-        format!(
-            "{:?}|{:?}|{:?}",
-            self.design,
-            self.workload.gemm_shape(),
-            kernel
-        )
+        render_semantic_key(&self.design, &self.workload, &kernel)
     }
+
+    /// The interned form of [`semantic_key`](Self::semantic_key): the same
+    /// bytes, rendered and hashed exactly once. This is what the runner
+    /// memoizes under, the serving layer coalesces by and the router
+    /// consistent-hashes — one rendering per request end-to-end.
+    #[must_use]
+    pub fn cell_key(&self, default_matmul_cap: Option<usize>) -> CellKey {
+        CellKey::new(self.semantic_key(default_matmul_cap))
+    }
+}
+
+/// Renders the semantic cell key text from borrowed parts — the single
+/// definition of the key format, shared by [`SimJob::semantic_key`] and
+/// the serving layer (which keys from a borrowed request without cloning
+/// it into a job first).
+pub(crate) fn render_semantic_key(
+    design: &DesignPoint,
+    workload: &LayerSpec,
+    kernel: &GemmKernelConfig,
+) -> String {
+    format!("{design:?}|{:?}|{kernel:?}", workload.gemm_shape())
 }
 
 /// A declarative experiment: the (workload × design) matrix to simulate and
@@ -203,7 +221,7 @@ pub struct ExperimentRunner {
     segment_size: usize,
     speculation: bool,
     spec_depth: usize,
-    cache: Mutex<LruCache<String, Arc<SimReport>>>,
+    cache: Mutex<LruCache<CellKey, Arc<SimReport>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -306,7 +324,7 @@ impl ExperimentRunner {
     #[must_use]
     pub fn dump_cache_json(&self) -> JsonValue {
         let cache = self.cache.lock().expect("cache lock");
-        let mut cells: Vec<(String, JsonValue)> = cache
+        let mut cells: Vec<(CellKey, JsonValue)> = cache
             .keys_by_recency()
             .into_iter()
             .map(|key| {
@@ -315,13 +333,15 @@ impl ExperimentRunner {
             })
             .collect();
         drop(cache);
-        cells.sort_by(|a, b| a.0.cmp(&b.0));
+        // Keys serialize as their interned string form, so the document
+        // is byte-identical to the pre-interning encoding.
+        cells.sort_by(|a, b| a.0.as_str().cmp(b.0.as_str()));
         JsonValue::Array(
             cells
                 .into_iter()
                 .map(|(key, report)| {
                     JsonValue::Object(vec![
-                        ("key".into(), JsonValue::string(key)),
+                        ("key".into(), JsonValue::string(key.as_str())),
                         ("report".into(), report),
                     ])
                 })
@@ -381,7 +401,7 @@ impl ExperimentRunner {
                 .cache
                 .lock()
                 .expect("cache lock")
-                .insert(key, Arc::new(report));
+                .insert(CellKey::new(key), Arc::new(report));
             if matches!(outcome, InsertOutcome::Evicted(..)) {
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
@@ -406,32 +426,46 @@ impl ExperimentRunner {
     /// round-trip precision), so the key is a complete identity of the
     /// cell. The serving layer batches requests by this same key, so
     /// requests coalesced into one batch share one simulation.
+    ///
+    /// The key comes back interned ([`CellKey`]): rendered and hashed
+    /// once, reusable for cache probes, coalescing comparisons and ring
+    /// placement without re-hashing.
     #[must_use]
-    pub fn job_key(&self, job: &SimJob) -> String {
-        job.semantic_key(self.matmul_cap)
+    pub fn job_key(&self, job: &SimJob) -> CellKey {
+        job.cell_key(self.matmul_cap)
     }
 
-    /// Runs (or recalls) one cell.
+    /// Runs (or recalls) one cell under a key the caller already interned
+    /// (`key` must be `self.job_key(job)`); the serving layer uses this to
+    /// reuse the key it coalesced the batch by.
     ///
     /// # Errors
     ///
     /// Propagates simulation errors from the underlying [`Simulator`].
-    pub fn run_job(&self, job: &SimJob) -> Result<Arc<SimReport>, SimError> {
+    pub fn run_job_keyed(&self, job: &SimJob, key: &CellKey) -> Result<Arc<SimReport>, SimError> {
+        debug_assert_eq!(key, &self.job_key(job), "key must belong to the job");
         let kernel = self.resolve_kernel(job);
-        let key = self.job_key(job);
-        if let Some(report) = self.cache.lock().expect("cache lock").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            // Same numbers, possibly a different label: restamp the
-            // workload name the caller asked for.
-            return Ok(if report.workload == job.workload.name() {
-                Arc::clone(report)
-            } else {
-                let mut relabelled = (**report).clone();
-                relabelled.workload = job.workload.name().to_string();
-                Arc::new(relabelled)
-            });
+        {
+            let probe = prof::time(Stage::CacheProbe);
+            let mut cache = self.cache.lock().expect("cache lock");
+            let hit = cache.get(key).map(Arc::clone);
+            drop(cache);
+            drop(probe);
+            if let Some(report) = hit {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                // Same numbers, possibly a different label: restamp the
+                // workload name the caller asked for.
+                return Ok(if report.workload == job.workload.name() {
+                    report
+                } else {
+                    let mut relabelled = (*report).clone();
+                    relabelled.workload = job.workload.name().to_string();
+                    Arc::new(relabelled)
+                });
+            }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        let simulate = prof::time(Stage::Simulate);
         let report = Arc::new(
             Simulator::new(job.design.clone())?
                 .with_kernel(kernel)?
@@ -441,15 +475,25 @@ impl ExperimentRunner {
                 .with_spec_depth(self.spec_depth)?
                 .run_layer(&job.workload)?,
         );
+        drop(simulate);
         let outcome = self
             .cache
             .lock()
             .expect("cache lock")
-            .insert(key, Arc::clone(&report));
+            .insert(key.clone(), Arc::clone(&report));
         if matches!(outcome, InsertOutcome::Evicted(..)) {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
         Ok(report)
+    }
+
+    /// Runs (or recalls) one cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors from the underlying [`Simulator`].
+    pub fn run_job(&self, job: &SimJob) -> Result<Arc<SimReport>, SimError> {
+        self.run_job_keyed(job, &self.job_key(job))
     }
 
     /// Runs a batch of cells, in parallel when the runner is parallel, and

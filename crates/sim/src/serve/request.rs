@@ -1,5 +1,6 @@
 //! Request/response types of the serving layer.
 
+use crate::key::CellKey;
 use crate::{DesignPoint, SimError, SimJob, SimReport};
 use rasa_trace::GemmKernelConfig;
 use rasa_workloads::LayerSpec;
@@ -44,6 +45,35 @@ impl GemmRequest {
             workload: self.workload,
             kernel: self.kernel,
         }
+    }
+
+    /// The simulation job this request resolves to, leaving the request
+    /// intact (used by the dispatch path, which still owns the request for
+    /// relabelling the response).
+    #[must_use]
+    pub fn to_job(&self) -> SimJob {
+        SimJob {
+            design: self.design.clone(),
+            workload: self.workload.clone(),
+            kernel: self.kernel,
+        }
+    }
+
+    /// The interned cell key this request coalesces under — identical to
+    /// `self.to_job().cell_key(default_matmul_cap)` but rendered from
+    /// borrowed fields, so submission never clones the request just to
+    /// compute its key.
+    #[must_use]
+    pub fn cell_key(&self, default_matmul_cap: Option<usize>) -> CellKey {
+        let kernel = self.kernel.unwrap_or_else(|| GemmKernelConfig {
+            max_matmuls: default_matmul_cap,
+            ..GemmKernelConfig::default()
+        });
+        CellKey::new(crate::runner::render_semantic_key(
+            &self.design,
+            &self.workload,
+            &kernel,
+        ))
     }
 }
 

@@ -1,6 +1,7 @@
 //! The batching GEMM server: per-design queues, worker pools and the
 //! shape-coalescing dispatch loop.
 
+use crate::key::CellKey;
 use crate::serve::{GemmRequest, GemmResponse, RequestLatency, ResponseHandle, ServeStats};
 use crate::simulator::DEFAULT_MATMUL_CAP;
 use crate::{CacheStats, DesignPoint, ExperimentRunner, SimError, SimReport};
@@ -59,8 +60,9 @@ impl Default for ServeConfig {
 /// One queued request, waiting for a worker.
 struct Pending {
     request: GemmRequest,
-    /// The runner's semantic cell key — the coalescing identity.
-    key: String,
+    /// The runner's interned cell key — the coalescing identity, rendered
+    /// and hashed once at submission and reused by the dispatch lookup.
+    key: CellKey,
     submitted: Instant,
     reply: mpsc::Sender<Result<GemmResponse, SimError>>,
 }
@@ -273,7 +275,7 @@ impl GemmServer {
                 ),
             });
         };
-        let key = self.shared.runner.job_key(&request.clone().into_job());
+        let key = request.cell_key(self.shared.runner.matmul_cap());
         let (reply, receiver) = mpsc::channel();
         let pending = Pending {
             request,
@@ -450,8 +452,8 @@ fn dispatch(shared: &Shared, batch: Vec<Pending>) {
         .largest_batch
         .fetch_max(batch_size as u64, Ordering::Relaxed);
 
-    let job = batch[0].request.clone().into_job();
-    let result = shared.runner.run_job(&job);
+    let job = batch[0].request.to_job();
+    let result = shared.runner.run_job_keyed(&job, &batch[0].key);
     let simulate_seconds = dispatched.elapsed().as_secs_f64();
 
     for pending in batch {
@@ -506,7 +508,7 @@ mod tests {
                 DesignPoint::baseline(),
                 suite.layer("DLRM-1").unwrap().clone(),
             ),
-            key: key.to_string(),
+            key: CellKey::new(key),
             submitted: Instant::now(),
             reply,
         }

@@ -1,3 +1,4 @@
+use crate::prof::{self, Stage};
 use crate::{DesignPoint, PipelineStats, SimError, SimReport};
 use rasa_cpu::{CpuCore, CpuStats, SchedStats, SpecDelta, SpeculativeRun, StreamStats};
 use rasa_isa::{Program, ProgramSegment};
@@ -252,7 +253,9 @@ impl Simulator {
     /// Propagates trace-generation and CPU errors.
     pub fn run_layer_reference(&self, layer: &LayerSpec) -> Result<SimReport, SimError> {
         let shape = layer.gemm_shape();
+        let gen = prof::time(Stage::TraceGen);
         let program = self.generator.gemm(shape, layer.name())?;
+        drop(gen);
         let total = self.generator.matmul_count(shape)?;
         self.run_program_on(&program, total as u64, layer.name(), true)
     }
@@ -267,7 +270,9 @@ impl Simulator {
             }
             self.run_streamed(shape, name, total)
         } else {
+            let gen = prof::time(Stage::TraceGen);
             let program = self.generator.gemm(shape, name)?;
+            drop(gen);
             self.run_program_on(&program, total, name, false)
         }
     }
@@ -627,12 +632,17 @@ fn produce_segments(
 ) -> Result<(), TraceError> {
     let Some(shard_blocks) = shard_blocks else {
         let mut stream = generator.gemm_stream(shape, name, segment_size)?;
-        while let Some(segment) = stream.next_segment()? {
+        loop {
+            let gen = prof::time(Stage::TraceGen);
+            let segment = stream.next_segment()?;
+            drop(gen);
+            let Some(segment) = segment else {
+                return Ok(());
+            };
             if tx.send(Ok(segment)).is_err() {
                 return Ok(());
             }
         }
-        return Ok(());
     };
 
     // Wave-parallel sharding: generate SHARD_WAVE shards concurrently,
@@ -649,6 +659,7 @@ fn produce_segments(
             .filter(|r| !r.is_empty())
             .collect();
         start = (start + SHARD_WAVE * shard_blocks).min(blocks);
+        let gen = prof::time(Stage::TraceGen);
         let wave: Result<Vec<Vec<ProgramSegment>>, TraceError> = ranges
             .par_iter()
             .map(|range| {
@@ -657,6 +668,7 @@ fn produce_segments(
                     .collect()
             })
             .collect();
+        drop(gen);
         for shard in wave? {
             for segment in shard {
                 if tx.send(Ok(segment)).is_err() {

@@ -156,6 +156,10 @@ fn distributed_serving_is_byte_identical_and_survives_a_shard_death() {
             inflight_per_shard: 4,
             admission: AdmissionControl::Block,
             matmul_cap: serve.matmul_cap,
+            // The post-kill pass must actually reach the shards to prove
+            // failover re-simulation; a result cache would answer the
+            // replays without touching a socket.
+            result_cache_capacity: 0,
         },
     )
     .unwrap();

@@ -361,13 +361,78 @@ proptest! {
         // The default-kernel wire encoding predates kernel schemes and must
         // keep its exact shape: no scheme member, and the default kernel's
         // explicit encoding round-trips to the same key as omitting it.
-        let default_request = WireRequest::new(1, design.name(), layer.clone())
-            .with_kernel(GemmKernelConfig::amx_like());
+        let default_request =
+            WireRequest::new(1, design.name(), layer).with_kernel(GemmKernelConfig::amx_like());
         prop_assert!(!default_request.to_json().to_string_pretty().contains("\"scheme\""));
         prop_assert_eq!(
             request_a.to_json().to_string_pretty().contains("\"scheme\""),
             !a.scheme.is_default()
         );
+    }
+
+    /// Interning cell keys is a pure optimization, never a semantic
+    /// change: for any design × workload × kernel × cap, the interned
+    /// key's text is byte-identical to the legacy string key, its
+    /// precomputed hash is exactly the consistent-hash ring point of that
+    /// text (so router placement is unchanged on any ring), the wire
+    /// request renders the identical key, and interning is aliasing-free —
+    /// equal text means equal keys, perturbed text never compares equal.
+    #[test]
+    fn interned_cell_keys_match_legacy_string_keys_everywhere(
+        design in arb_design(),
+        m in 1usize..128,
+        k in 1usize..128,
+        n in 1usize..128,
+        block in 0usize..5,
+        interleaved in any::<bool>(),
+        unroll in any::<bool>(),
+        cap in prop_oneof![Just(None), (1usize..512).prop_map(Some)],
+        shards in 1usize..6,
+        vnodes in 1usize..48,
+    ) {
+        use rasa::sim::net::hash::ring_point;
+        use rasa::sim::net::HashRing;
+        use rasa::sim::CellKey;
+
+        let (bm, bn) = [(2, 2), (1, 2), (2, 1), (1, 3), (3, 1)][block];
+        let mut builder = KernelSchemeBuilder::new()
+            .with_block(bm, bn)
+            .with_matmul_order(if interleaved {
+                MatmulOrder::Interleaved
+            } else {
+                MatmulOrder::WeightPaired
+            });
+        if unroll {
+            builder = builder.without_scalar_overhead();
+        }
+        let kernel = builder.build().unwrap();
+        let layer = LayerSpec::fc(format!("KEY-{m}x{k}x{n}"), m, k, n);
+        let job = SimJob::new(design.clone(), layer.clone()).with_kernel(kernel);
+
+        // Byte-identity with the legacy string rendering, at every cap.
+        let legacy = job.semantic_key(cap);
+        let interned = job.cell_key(cap);
+        prop_assert_eq!(interned.as_str(), legacy.as_str());
+        prop_assert_eq!(interned.to_string(), legacy.as_str());
+
+        // The precomputed hash is the ring point of the text, so the
+        // zero-rehash router path places the key exactly where hashing
+        // the string again would, on any ring shape.
+        prop_assert_eq!(interned.hash64(), ring_point(legacy.as_bytes()));
+        let ring = HashRing::new(shards, vnodes);
+        prop_assert_eq!(ring.route(&legacy), ring.route_point(interned.hash64()));
+
+        // The serving tier renders the same key from the wire form.
+        let request = WireRequest::new(7, design.name(), layer).with_kernel(kernel);
+        prop_assert_eq!(&request.shape_key(cap).unwrap(), &interned);
+
+        // Aliasing-freedom: re-interning the same text compares equal with
+        // the same hash; any perturbation of the text never aliases.
+        let again = CellKey::from(legacy.clone());
+        prop_assert_eq!(&again, &interned);
+        prop_assert_eq!(again.hash64(), interned.hash64());
+        let perturbed = CellKey::new(format!("{legacy}|x"));
+        prop_assert_ne!(&perturbed, &interned);
     }
 
     /// Functional correctness of the systolic array holds for random
