@@ -77,6 +77,9 @@ struct DistCompletion {
     workload: String,
     layer: LayerSpec,
     total_seconds: f64,
+    /// Seconds from soak start to this completion — the steady-state
+    /// throughput window is cut on these, exactly as in-process.
+    finished_seconds: f64,
     summary: SimSummary,
     summary_json: String,
 }
@@ -738,6 +741,7 @@ fn run_distributed(options: &BinOptions) -> Result<(), Box<dyn std::error::Error
                             workload: response.report.workload.clone(),
                             layer: workload,
                             total_seconds: start.elapsed().as_secs_f64(),
+                            finished_seconds: soak_start.elapsed().as_secs_f64(),
                             summary_json: summary.to_json().to_string(),
                             summary,
                         });
@@ -785,6 +789,12 @@ fn run_distributed(options: &BinOptions) -> Result<(), Box<dyn std::error::Error
     let totals: Vec<f64> = completions.iter().map(|c| c.total_seconds).collect();
     let latency = LatencySummary::from_samples(&totals).expect("at least one completion");
     let throughput = completions.len() as f64 / wall_seconds.max(1e-9);
+    let mut finish_times: Vec<f64> = completions.iter().map(|c| c.finished_seconds).collect();
+    let steady_throughput = steady_state_throughput(&mut finish_times, options.warmup_percent);
+    println!(
+        "steady-state throughput {steady_throughput:.0} req/s over {} concurrent client connections",
+        options.clients,
+    );
     println!(
         "throughput {throughput:.0} req/s | latency p50 {:.3} ms | p99 {:.3} ms | p99.9 {:.3} ms | max {:.3} ms",
         latency.p50_seconds * 1e3,
@@ -956,6 +966,14 @@ fn run_distributed(options: &BinOptions) -> Result<(), Box<dyn std::error::Error
                 "throughput_requests_per_second".into(),
                 JsonValue::number_from_f64(throughput),
             ),
+            (
+                "steady_state_requests_per_second".into(),
+                JsonValue::number_from_f64(steady_throughput),
+            ),
+            (
+                "concurrent_client_connections".into(),
+                JsonValue::number_from_usize(options.clients),
+            ),
             ("latency".into(), latency.to_json()),
             ("completed".into(), JsonValue::number_from_usize(total)),
             (
@@ -1010,6 +1028,14 @@ fn run_distributed(options: &BinOptions) -> Result<(), Box<dyn std::error::Error
             (
                 "throughput_requests_per_second".into(),
                 JsonValue::number_from_f64(throughput),
+            ),
+            (
+                "steady_state_requests_per_second".into(),
+                JsonValue::number_from_f64(steady_throughput),
+            ),
+            (
+                "concurrent_client_connections".into(),
+                JsonValue::number_from_usize(options.clients),
             ),
             (
                 "p50_seconds".into(),

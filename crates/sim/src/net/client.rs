@@ -2,9 +2,12 @@
 //!
 //! [`NetClient`] keeps one connection to one of its configured endpoints
 //! (normally a single router; a list of shard addresses also works for
-//! router-less deployments). On a transport failure it reconnects —
-//! rotating to the next endpoint — and transparently retries the request
-//! with exponential backoff, up to [`ClientConfig::max_retries`] times.
+//! router-less deployments). On a transport failure it reconnects and
+//! transparently retries the request with exponential backoff, up to
+//! [`ClientConfig::max_retries`] times. Redials prefer the endpoint that
+//! last worked — after a transient drop the client goes straight back to
+//! the peer that was just serving it — and rotate to the next endpoint
+//! only when a dial itself fails.
 //! Only **retryable** failures are retried (transport errors, `overloaded`
 //! and `unavailable` remote codes — see [`NetError::is_retryable`]); a
 //! simulation error or protocol violation is returned immediately.
@@ -55,6 +58,9 @@ pub struct ClientStats {
 /// A blocking wire-protocol client with endpoint rotation and retry.
 pub struct NetClient {
     endpoints: Vec<String>,
+    /// Index of the endpoint to dial next: stays put across successful
+    /// dials (sticky to the last endpoint that worked), advances only
+    /// when a dial fails.
     next_endpoint: usize,
     conn: Option<TcpStream>,
     config: ClientConfig,
@@ -133,6 +139,9 @@ impl NetClient {
                     reason: format!("undecodable response payload: {e}"),
                 })?;
                 if response.id != request.id {
+                    // A desynced stream must not serve the next request:
+                    // drop the connection so the next attempt redials.
+                    self.conn = None;
                     return Err(NetError::Protocol {
                         reason: format!(
                             "response id {} does not match request id {}",
@@ -198,21 +207,29 @@ impl NetClient {
                 Ok(reply) => {
                     // A retryable error frame (e.g. overloaded) is retried
                     // like a transport failure; any other reply returns.
-                    if reply.kind == FrameKind::Error {
-                        if let Ok(json) = reply.payload_json() {
-                            if let Ok(failure) = WireFailure::from_json(&json) {
-                                if failure.code.is_retryable() && attempt < self.config.max_retries
-                                {
-                                    last = Some(NetError::Remote {
-                                        code: failure.code,
-                                        message: failure.message,
-                                    });
-                                    continue;
-                                }
-                            }
+                    let retryable =
+                        if reply.kind == FrameKind::Error && attempt < self.config.max_retries {
+                            reply
+                                .payload_json()
+                                .ok()
+                                .and_then(|json| WireFailure::from_json(&json).ok())
+                                .filter(|failure| failure.code.is_retryable())
+                        } else {
+                            None
+                        };
+                    match retryable {
+                        Some(failure) => {
+                            last = Some(NetError::Remote {
+                                code: failure.code,
+                                message: failure.message,
+                            });
+                            // The reply frame is consumed here, not
+                            // returned — reclaim its buffer so the pool
+                            // survives the retry.
+                            self.decode_buf = reply.into_payload();
                         }
+                        None => return Ok(reply),
                     }
-                    return Ok(reply);
                 }
                 Err(error) if error.is_retryable() => {
                     last = Some(error);
@@ -233,18 +250,27 @@ impl NetClient {
     }
 
     /// One request/response exchange on the current connection, dialing
-    /// (with endpoint rotation) when there is none. Any failure drops the
-    /// connection so the next attempt redials.
+    /// when there is none. Redials go to the endpoint that last connected
+    /// successfully; rotation to the next endpoint happens only when a
+    /// dial fails — so a transient mid-exchange drop sends the client
+    /// straight back to the peer that was just serving it.
     fn exchange_once(&mut self, frame: &Frame) -> Result<Frame, NetError> {
         if self.conn.is_none() {
             let endpoint = &self.endpoints[self.next_endpoint % self.endpoints.len()];
-            self.next_endpoint = (self.next_endpoint + 1) % self.endpoints.len();
-            let stream = TcpStream::connect(endpoint).map_err(|e| NetError::Io {
-                kind: e.kind(),
-                reason: format!("connect {endpoint}: {e}"),
-            })?;
-            self.stats.connects += 1;
-            self.conn = Some(stream);
+            match TcpStream::connect(endpoint) {
+                Ok(stream) => {
+                    self.stats.connects += 1;
+                    self.conn = Some(stream);
+                }
+                Err(e) => {
+                    let error = NetError::Io {
+                        kind: e.kind(),
+                        reason: format!("connect {endpoint}: {e}"),
+                    };
+                    self.next_endpoint = (self.next_endpoint + 1) % self.endpoints.len();
+                    return Err(error);
+                }
+            }
         }
         let stream = self.conn.as_mut().expect("connection just ensured");
         let outcome = match frame.write_to(stream) {
@@ -255,6 +281,13 @@ impl NetClient {
             self.conn = None;
         }
         outcome
+    }
+
+    /// Test hook simulating a transient connection drop (e.g. a peer
+    /// restart) without touching the endpoint cursor.
+    #[cfg(test)]
+    fn drop_connection_for_test(&mut self) {
+        self.conn = None;
     }
 }
 
@@ -317,7 +350,26 @@ mod tests {
         let request = WireRequest::new(1, "BASELINE", LayerSpec::fc("DLRM-1", 64, 128, 128));
         let response = client.request(&request).unwrap();
         assert_eq!(response.id, 1);
-        assert!(client.stats().retries >= 1, "first endpoint was dead");
+        let after_first = client.stats();
+        assert!(after_first.retries >= 1, "first endpoint was dead");
+
+        // Redial stickiness: after a transient drop the client must go
+        // straight back to the endpoint that just worked — one fresh
+        // connect, no retries, no detour through the dead endpoint.
+        client.drop_connection_for_test();
+        let request = WireRequest::new(2, "BASELINE", LayerSpec::fc("DLRM-1", 64, 128, 128));
+        let response = client.request(&request).unwrap();
+        assert_eq!(response.id, 2);
+        let after_second = client.stats();
+        assert_eq!(
+            after_second.connects,
+            after_first.connects + 1,
+            "exactly one redial"
+        );
+        assert_eq!(
+            after_second.retries, after_first.retries,
+            "the redial preferred the last-successful endpoint"
+        );
         shard.shutdown();
     }
 

@@ -1,39 +1,170 @@
-//! Internal blocking frame-server loop shared by [`ShardServer`] and
-//! [`Router`]: bind, accept, one handler thread per connection, prompt
-//! join on shutdown.
+//! Internal frame-server front end shared by [`ShardServer`] and
+//! [`Router`]: bind, accept, answer every inbound frame through a
+//! handler, prompt join on shutdown.
+//!
+//! Two transports live behind the same [`FrameListener`] API:
+//!
+//! - **Readiness** (the default): the epoll/poll event loop in
+//!   [`crate::net::event_loop`] — one thread multiplexing every
+//!   connection over non-blocking sockets, scaling past
+//!   thread-per-connection.
+//! - **Blocking**: the legacy one-thread-per-connection loop, kept as a
+//!   fallback. Its historical framing bug is fixed: the per-connection
+//!   [`FrameDecoder`] makes partial reads resumable, so a poll timeout
+//!   mid-frame no longer discards consumed bytes, and finished connection
+//!   handles are reaped on every accept instead of leaking.
+//!
+//! The transport is selected per process with the `RASA_NET_TRANSPORT`
+//! environment variable (`readiness`/`epoll`, `poll` for the portable
+//! tick fallback, `blocking`), defaulting to readiness — the public
+//! `ShardServer`/`Router`/`NetClient` API and the wire bytes are
+//! identical on every transport.
 //!
 //! [`ShardServer`]: crate::net::ShardServer
 //! [`Router`]: crate::net::Router
+//! [`FrameDecoder`]: crate::net::wire::FrameDecoder
 
 use crate::json::ToJson;
-use crate::net::wire::{ErrorCode, Frame, WireFailure};
+use crate::net::event_loop::EventLoop;
+use crate::net::wire::{ErrorCode, Frame, FrameDecoder, WireFailure};
 use crate::net::NetError;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
-/// How long a connection handler waits in `read` before re-checking the
-/// shutdown flag. Small enough for prompt shutdown, large enough to stay
-/// off the scheduler between requests.
+/// How long a blocking connection handler waits in `read` before
+/// re-checking the shutdown flag. Small enough for prompt shutdown, large
+/// enough to stay off the scheduler between requests.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
 /// The frame→frame request handler a server plugs into the loop.
 pub(crate) type FrameHandler = Arc<dyn Fn(&Frame) -> Frame + Send + Sync>;
 
+/// Which transport a [`FrameListener`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Transport {
+    /// The readiness event loop on its platform poller (epoll on Linux).
+    Readiness,
+    /// The readiness event loop forced onto the portable tick fallback.
+    PollFallback,
+    /// The legacy blocking thread-per-connection loop.
+    Blocking,
+}
+
+impl Transport {
+    /// Reads `RASA_NET_TRANSPORT`; unknown or unset values mean the
+    /// readiness default.
+    pub(crate) fn from_env() -> Transport {
+        match std::env::var("RASA_NET_TRANSPORT").as_deref() {
+            Ok("blocking") => Transport::Blocking,
+            Ok("poll") => Transport::PollFallback,
+            _ => Transport::Readiness,
+        }
+    }
+}
+
 /// A bound TCP listener answering every inbound frame through a handler.
 pub(crate) struct FrameListener {
+    inner: ListenerImpl,
+}
+
+enum ListenerImpl {
+    Event(EventLoop),
+    Blocking(BlockingListener),
+}
+
+impl FrameListener {
+    /// Binds `addr` on the environment-selected transport and starts
+    /// accepting. `name` labels the threads.
+    pub(crate) fn bind(addr: &str, name: &str, handler: FrameHandler) -> Result<Self, NetError> {
+        FrameListener::bind_with(addr, name, handler, Transport::from_env())
+    }
+
+    /// [`bind`](Self::bind) on an explicit transport (tests exercise all
+    /// of them; production callers go through the env default).
+    pub(crate) fn bind_with(
+        addr: &str,
+        name: &str,
+        handler: FrameHandler,
+        transport: Transport,
+    ) -> Result<Self, NetError> {
+        let inner = match transport {
+            Transport::Readiness => {
+                ListenerImpl::Event(EventLoop::bind(addr, name, handler, false)?)
+            }
+            Transport::PollFallback => {
+                ListenerImpl::Event(EventLoop::bind(addr, name, handler, true)?)
+            }
+            Transport::Blocking => {
+                ListenerImpl::Blocking(BlockingListener::bind(addr, name, handler)?)
+            }
+        };
+        Ok(FrameListener { inner })
+    }
+
+    /// The bound address (with the resolved port when binding port 0).
+    pub(crate) fn local_addr(&self) -> SocketAddr {
+        match &self.inner {
+            ListenerImpl::Event(event) => event.local_addr(),
+            ListenerImpl::Blocking(blocking) => blocking.addr,
+        }
+    }
+
+    /// How many connections are currently open.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn open_connections(&self) -> usize {
+        match &self.inner {
+            ListenerImpl::Event(event) => event.open_connections(),
+            ListenerImpl::Blocking(blocking) => blocking.open_connections.load(Ordering::SeqCst),
+        }
+    }
+
+    /// How many per-connection thread handles the blocking transport is
+    /// currently tracking (0 on the event loop, which has none). The
+    /// reaping regression test pins this as bounded under churn.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn tracked_handles(&self) -> usize {
+        match &self.inner {
+            ListenerImpl::Event(_) => 0,
+            ListenerImpl::Blocking(blocking) => blocking
+                .connections
+                .lock()
+                .expect("listener conn lock")
+                .len(),
+        }
+    }
+
+    /// Stops accepting and joins every thread. Idempotent; called from the
+    /// owning server's `Drop`.
+    pub(crate) fn stop_and_join(&mut self) {
+        match &mut self.inner {
+            ListenerImpl::Event(event) => event.stop_and_join(),
+            ListenerImpl::Blocking(blocking) => blocking.stop_and_join(),
+        }
+    }
+}
+
+impl Drop for FrameListener {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// The legacy blocking transport: one accept thread, one handler thread
+/// per connection.
+struct BlockingListener {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<thread::JoinHandle<()>>,
     connections: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+    open_connections: Arc<AtomicUsize>,
 }
 
-impl FrameListener {
-    /// Binds `addr` and starts accepting. `name` labels the threads.
-    pub(crate) fn bind(addr: &str, name: &str, handler: FrameHandler) -> Result<Self, NetError> {
+impl BlockingListener {
+    fn bind(addr: &str, name: &str, handler: FrameHandler) -> Result<Self, NetError> {
         let listener = TcpListener::bind(addr).map_err(|e| NetError::Io {
             kind: e.kind(),
             reason: format!("bind {addr}: {e}"),
@@ -41,8 +172,10 @@ impl FrameListener {
         let local = listener.local_addr().map_err(NetError::from)?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let connections = Arc::new(Mutex::new(Vec::new()));
+        let open_connections = Arc::new(AtomicUsize::new(0));
         let accept_shutdown = Arc::clone(&shutdown);
         let accept_connections = Arc::clone(&connections);
+        let accept_open = Arc::clone(&open_connections);
         let thread_name = name.to_string();
         let accept_thread = thread::Builder::new()
             .name(format!("{name}-accept"))
@@ -52,26 +185,21 @@ impl FrameListener {
                     &thread_name,
                     &accept_shutdown,
                     &accept_connections,
+                    &accept_open,
                     &handler,
                 );
             })
             .map_err(NetError::from)?;
-        Ok(FrameListener {
+        Ok(BlockingListener {
             addr: local,
             shutdown,
             accept_thread: Some(accept_thread),
             connections,
+            open_connections,
         })
     }
 
-    /// The bound address (with the resolved port when binding port 0).
-    pub(crate) fn local_addr(&self) -> SocketAddr {
-        self.addr
-    }
-
-    /// Stops accepting and joins every thread. Idempotent; called from the
-    /// owning server's `Drop`.
-    pub(crate) fn stop_and_join(&mut self) {
+    fn stop_and_join(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // The accept loop blocks in accept(); a dummy connection to our own
         // listener wakes it so it can observe the flag and exit.
@@ -86,17 +214,12 @@ impl FrameListener {
     }
 }
 
-impl Drop for FrameListener {
-    fn drop(&mut self) {
-        self.stop_and_join();
-    }
-}
-
 fn accept_loop(
     listener: &TcpListener,
     name: &str,
     shutdown: &Arc<AtomicBool>,
     connections: &Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+    open_connections: &Arc<AtomicUsize>,
     handler: &FrameHandler,
 ) {
     while !shutdown.load(Ordering::SeqCst) {
@@ -108,17 +231,33 @@ fn accept_loop(
         }
         let conn_shutdown = Arc::clone(shutdown);
         let conn_handler = Arc::clone(handler);
+        let conn_open = Arc::clone(open_connections);
+        conn_open.fetch_add(1, Ordering::SeqCst);
         let Ok(handle) = thread::Builder::new()
             .name(format!("{name}-conn"))
-            .spawn(move || handle_connection(stream, &conn_shutdown, conn_handler.as_ref()))
+            .spawn(move || {
+                handle_connection(stream, &conn_shutdown, conn_handler.as_ref());
+                conn_open.fetch_sub(1, Ordering::SeqCst);
+            })
         else {
+            open_connections.fetch_sub(1, Ordering::SeqCst);
             continue;
         };
-        connections.lock().expect("listener conn lock").push(handle);
+        // Reap finished handles on every accept so a long-lived server
+        // tracks live connections, not its whole connection history.
+        let mut handles = connections.lock().expect("listener conn lock");
+        handles.retain(|handle| !handle.is_finished());
+        handles.push(handle);
     }
 }
 
 /// Serves one connection until the peer hangs up or the server shuts down.
+///
+/// The connection's [`FrameDecoder`] makes partial reads resumable: a poll
+/// timeout that lands mid-frame (a slow writer straddling
+/// [`POLL_INTERVAL`]) keeps every consumed byte and resumes exactly where
+/// the stream stopped, instead of silently discarding a partial length
+/// prefix and desyncing the framing.
 fn handle_connection(stream: TcpStream, shutdown: &AtomicBool, handler: &dyn Fn(&Frame) -> Frame) {
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     let mut reader = match stream.try_clone() {
@@ -126,22 +265,24 @@ fn handle_connection(stream: TcpStream, shutdown: &AtomicBool, handler: &dyn Fn(
         Err(_) => return,
     };
     let mut writer = stream;
-    // The connection's decode buffer: the previous request frame's payload
-    // is recycled into the next read, so steady-state serving decodes
-    // every frame into the same allocation.
-    let mut decode_buf = Vec::new();
+    // The connection's decoder owns the recycled decode buffer: each
+    // dispatched frame's payload is handed back after the reply, so
+    // steady-state serving decodes every frame into the same allocation.
+    let mut decoder = FrameDecoder::new();
     loop {
-        match Frame::read_from_pooled(&mut reader, &mut decode_buf) {
-            Ok(frame) => {
+        match decoder.read_step(&mut reader) {
+            Ok(Some(frame)) => {
                 let reply = handler(&frame);
-                decode_buf = frame.into_payload();
+                decoder.recycle(frame.into_payload());
                 if reply.write_to(&mut writer).is_err() {
                     return;
                 }
             }
-            // A poll timeout between frames: check the flag and keep
-            // listening. (read_exact maps timeouts to either kind,
-            // depending on platform.)
+            // More bytes needed for the frame in progress: keep reading.
+            Ok(None) => {}
+            // A poll timeout — between frames or mid-frame, the decoder
+            // holds whatever partial bytes arrived: check the flag and
+            // resume.
             Err(NetError::Io { kind, .. })
                 if kind == io::ErrorKind::WouldBlock || kind == io::ErrorKind::TimedOut =>
             {
@@ -161,5 +302,185 @@ fn handle_connection(stream: TcpStream, shutdown: &AtomicBool, handler: &dyn Fn(
                 return;
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::wire::FrameKind;
+    use std::io::{Read, Write};
+
+    /// An echo handler: answers every frame with the same payload as a
+    /// Response frame.
+    fn echo_handler() -> FrameHandler {
+        Arc::new(|frame: &Frame| Frame {
+            kind: FrameKind::Response,
+            payload: frame.payload.clone(),
+        })
+    }
+
+    fn request_frame(text: &str) -> Frame {
+        Frame {
+            kind: FrameKind::Request,
+            payload: text.as_bytes().to_vec(),
+        }
+    }
+
+    const ALL_TRANSPORTS: [Transport; 3] = [
+        Transport::Readiness,
+        Transport::PollFallback,
+        Transport::Blocking,
+    ];
+
+    #[test]
+    fn every_transport_answers_framed_requests() {
+        for transport in ALL_TRANSPORTS {
+            let mut listener =
+                FrameListener::bind_with("127.0.0.1:0", "test-echo", echo_handler(), transport)
+                    .unwrap();
+            let mut stream = TcpStream::connect(listener.local_addr()).unwrap();
+            for i in 0..3 {
+                let frame = request_frame(&format!("{{\"seq\":{i}}}"));
+                frame.write_to(&mut stream).unwrap();
+                let reply = Frame::read_from(&mut stream).unwrap();
+                assert_eq!(reply.kind, FrameKind::Response, "{transport:?}");
+                assert_eq!(reply.payload, frame.payload, "{transport:?}");
+            }
+            drop(stream);
+            listener.stop_and_join();
+        }
+    }
+
+    /// The mid-frame-timeout desync regression: one frame written a byte
+    /// at a time with gaps well past the 50 ms poll interval, placed to
+    /// straddle the length prefix, the kind byte and the payload. The old
+    /// blocking reader discarded partially consumed prefixes on timeout
+    /// and desynced; both new paths must answer correctly.
+    #[test]
+    fn slow_writers_straddling_poll_timeouts_do_not_desync() {
+        for transport in ALL_TRANSPORTS {
+            let mut listener =
+                FrameListener::bind_with("127.0.0.1:0", "test-slow", echo_handler(), transport)
+                    .unwrap();
+            let mut stream = TcpStream::connect(listener.local_addr()).unwrap();
+            let frame = request_frame("{\"slow\":true}");
+            let bytes = frame.encode();
+            // Gaps after the 2nd byte (mid length prefix), the 5th byte
+            // (between version and kind) and the 8th byte (mid payload):
+            // every gap exceeds the blocking transport's poll interval.
+            for (at, byte) in bytes.iter().enumerate() {
+                stream.write_all(std::slice::from_ref(byte)).unwrap();
+                stream.flush().unwrap();
+                if matches!(at, 1 | 4 | 7) {
+                    std::thread::sleep(Duration::from_millis(70));
+                }
+            }
+            let reply = Frame::read_from(&mut stream).unwrap();
+            assert_eq!(reply.kind, FrameKind::Response, "{transport:?}");
+            assert_eq!(reply.payload, frame.payload, "{transport:?}");
+            // The connection is still usable afterwards — framing stayed
+            // in sync.
+            let follow_up = request_frame("{\"after\":1}");
+            follow_up.write_to(&mut stream).unwrap();
+            let reply = Frame::read_from(&mut stream).unwrap();
+            assert_eq!(reply.payload, follow_up.payload, "{transport:?}");
+            drop(stream);
+            listener.stop_and_join();
+        }
+    }
+
+    /// The handle-leak regression: connection churn against the blocking
+    /// transport must not grow the tracked handle vector without bound —
+    /// finished handles are reaped on every accept.
+    #[test]
+    fn blocking_transport_reaps_finished_connection_handles() {
+        let mut listener = FrameListener::bind_with(
+            "127.0.0.1:0",
+            "test-churn",
+            echo_handler(),
+            Transport::Blocking,
+        )
+        .unwrap();
+        let churn = 40;
+        for i in 0..churn {
+            let mut stream = TcpStream::connect(listener.local_addr()).unwrap();
+            let frame = request_frame(&format!("{{\"churn\":{i}}}"));
+            frame.write_to(&mut stream).unwrap();
+            let reply = Frame::read_from(&mut stream).unwrap();
+            assert_eq!(reply.payload, frame.payload);
+            drop(stream);
+        }
+        // Each handler thread needs a poll interval to notice its EOF;
+        // wait for the population to settle, then one more accept reaps.
+        std::thread::sleep(POLL_INTERVAL + Duration::from_millis(50));
+        let mut stream = TcpStream::connect(listener.local_addr()).unwrap();
+        let frame = request_frame("{\"final\":true}");
+        frame.write_to(&mut stream).unwrap();
+        let _ = Frame::read_from(&mut stream).unwrap();
+        let tracked = listener.tracked_handles();
+        assert!(
+            tracked <= 4,
+            "{churn} sequential connections left {tracked} tracked handles — the reap is broken"
+        );
+        drop(stream);
+        listener.stop_and_join();
+    }
+
+    /// A corrupt frame on the event loop gets an error-frame answer and
+    /// the connection is closed — matching the blocking transport's
+    /// contract.
+    #[test]
+    fn event_loop_answers_corrupt_frames_then_closes() {
+        for transport in [Transport::Readiness, Transport::PollFallback] {
+            let mut listener =
+                FrameListener::bind_with("127.0.0.1:0", "test-corrupt", echo_handler(), transport)
+                    .unwrap();
+            let mut stream = TcpStream::connect(listener.local_addr()).unwrap();
+            // A frame with a bad version byte.
+            let mut bytes = request_frame("{}").encode();
+            bytes[4] = 9;
+            stream.write_all(&bytes).unwrap();
+            let reply = Frame::read_from(&mut stream).unwrap();
+            assert_eq!(reply.kind, FrameKind::Error, "{transport:?}");
+            // ... then EOF: the server closed the connection.
+            let mut rest = Vec::new();
+            stream.read_to_end(&mut rest).unwrap();
+            assert!(rest.is_empty(), "{transport:?}");
+            listener.stop_and_join();
+        }
+    }
+
+    /// The event loop serves many concurrent connections from one thread;
+    /// open_connections tracks the population and returns to zero.
+    #[test]
+    fn event_loop_counts_open_connections() {
+        let mut listener = FrameListener::bind_with(
+            "127.0.0.1:0",
+            "test-count",
+            echo_handler(),
+            Transport::Readiness,
+        )
+        .unwrap();
+        let mut streams = Vec::new();
+        for _ in 0..20 {
+            streams.push(TcpStream::connect(listener.local_addr()).unwrap());
+        }
+        // Drive one request over each to prove they are all registered.
+        for (i, stream) in streams.iter_mut().enumerate() {
+            let frame = request_frame(&format!("{{\"conn\":{i}}}"));
+            frame.write_to(stream).unwrap();
+            let reply = Frame::read_from(stream).unwrap();
+            assert_eq!(reply.payload, frame.payload);
+        }
+        assert_eq!(listener.open_connections(), 20);
+        drop(streams);
+        // The loop notices the EOFs within a few poll intervals.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while listener.open_connections() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(listener.open_connections(), 0);
+        listener.stop_and_join();
     }
 }

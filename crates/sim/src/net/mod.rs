@@ -10,26 +10,38 @@
 //!   semantic shape key to a shard, so repeated shapes always land where
 //!   the LRU cell cache is already warm.
 //! - [`shard`] — [`ShardServer`]: one TCP worker wrapping a `GemmServer`
-//!   behind a blocking accept loop.
+//!   behind the shared frame-server front end.
 //! - [`router`] — [`Router`]: consistent-hash routing across N shards with
 //!   per-shard bounded in-flight windows (the PR 3 admission-control
 //!   semantics, applied per backend) and dead-shard failover.
 //! - [`client`] — [`NetClient`]: a blocking client library with bounded
 //!   retry/backoff and endpoint rotation.
 //!
-//! Everything is plain `std::net` blocking I/O — the crate keeps its
-//! zero-dependency stance, so there is no async runtime. Responses carry
-//! full [`SimReport`](crate::SimReport)s whose JSON is byte-identical to
-//! what the same job produces in process (`tests/net_wire.rs` proves it).
+//! Servers run on a **readiness-based event loop** by default: one thread
+//! multiplexes every connection over non-blocking sockets (a hand-rolled
+//! epoll binding on Linux, a portable level-triggered poll fallback
+//! elsewhere), each connection carrying an incremental
+//! [`wire::FrameDecoder`] so partial frames survive across readiness
+//! events, with complete frames dispatched to a worker pool. The legacy
+//! blocking thread-per-connection transport remains available via
+//! `RASA_NET_TRANSPORT=blocking`. There is still no async runtime and no
+//! new dependency — the crate keeps its zero-dependency stance. Responses
+//! carry full [`SimReport`](crate::SimReport)s whose JSON is
+//! byte-identical to what the same job produces in process
+//! (`tests/net_wire.rs` proves it), on every transport.
 //!
 //! See `docs/ARCHITECTURE.md` for where this tier sits in the crate map
-//! and `docs/WIRE_PROTOCOL.md` for the byte-level frame spec.
+//! (including the transport section: event loop, buffer lifecycle,
+//! fallback matrix) and `docs/WIRE_PROTOCOL.md` for the byte-level frame
+//! spec.
 
 pub mod client;
+mod event_loop;
 pub mod hash;
 mod listener;
 pub mod router;
 pub mod shard;
+mod sys;
 pub mod wire;
 
 pub use client::{ClientConfig, ClientStats, NetClient};
@@ -37,8 +49,8 @@ pub use hash::HashRing;
 pub use router::{Router, RouterConfig, RouterHealth, RouterStats, DEFAULT_RESULT_CACHE_CAPACITY};
 pub use shard::{ShardConfig, ShardServer};
 pub use wire::{
-    ErrorCode, Frame, FrameKind, HealthStatus, WireFailure, WireRequest, WireResponse,
-    MAX_FRAME_LEN, WIRE_VERSION,
+    ErrorCode, Frame, FrameDecoder, FrameKind, HealthStatus, WireFailure, WireRequest,
+    WireResponse, MAX_FRAME_LEN, WIRE_VERSION,
 };
 
 use crate::SimError;

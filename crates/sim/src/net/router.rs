@@ -577,7 +577,24 @@ impl RouterCore {
                     if attempt > 0 {
                         self.counters.failovers.fetch_add(1, Ordering::SeqCst);
                     }
-                    let response = self.parse_reply(&reply, request, backend)?;
+                    let response = match self.parse_reply(&reply, request, backend) {
+                        Ok(response) => response,
+                        Err(error) => {
+                            // A protocol violation (wrong frame kind, id
+                            // mismatch, unparseable payload) means the
+                            // pooled stream is desynced: whatever bytes
+                            // follow belong to the reply we failed to
+                            // understand. Exchange already returned the
+                            // connection to the pool, so drop every pooled
+                            // stream for this backend before surfacing the
+                            // error — a desynced stream must not serve the
+                            // next request.
+                            if matches!(error, NetError::Protocol { .. }) {
+                                backend.pool.lock().expect("router pool lock").clear();
+                            }
+                            return Err(error);
+                        }
+                    };
                     backend.reclaim(reply);
                     self.store_result(&key, &response);
                     return Ok(response);
@@ -882,6 +899,33 @@ mod tests {
         for shard in shards {
             shard.shutdown();
         }
+    }
+
+    #[test]
+    fn protocol_violations_poison_the_backend_connection_pool() {
+        // A rogue shard that echoes every frame back verbatim: answering
+        // a request with a Request frame is a protocol violation, and the
+        // stream that produced it is desynced by definition.
+        let rogue = FrameListener::bind(
+            "127.0.0.1:0",
+            "rogue",
+            Arc::new(|frame: &Frame| frame.clone()),
+        )
+        .unwrap();
+        let addrs = vec![rogue.local_addr().to_string()];
+        let router = Router::new(&addrs, router_config()).unwrap();
+
+        let request = WireRequest::new(7, "BASELINE", LayerSpec::fc("L", 64, 64, 128));
+        let err = router.route(&request).unwrap_err();
+        assert!(matches!(err, NetError::Protocol { .. }), "got {err}");
+        assert!(
+            router.core.backends[0]
+                .pool
+                .lock()
+                .expect("router pool lock")
+                .is_empty(),
+            "a desynced stream must not be returned to the pool"
+        );
     }
 
     #[test]

@@ -273,6 +273,25 @@ impl Frame {
         })
     }
 
+    /// Appends the frame's encoded bytes — 4-byte big-endian length,
+    /// version byte, kind byte, payload — to `out` without flushing
+    /// anything. This is the event loop's encoder: replies accumulate in
+    /// a per-connection write buffer and drain as the socket reports
+    /// writability, so a slow reader never blocks the loop.
+    pub fn append_to(&self, out: &mut Vec<u8>) {
+        let encode = prof::time(Stage::FrameEncode);
+        let body_len = 2 + self.payload.len();
+        out.extend_from_slice(
+            &u32::try_from(body_len)
+                .expect("frame fits in u32")
+                .to_be_bytes(),
+        );
+        out.push(WIRE_VERSION);
+        out.push(self.kind.as_byte());
+        out.extend_from_slice(&self.payload);
+        drop(encode);
+    }
+
     fn check_body_len(body_len: usize) -> Result<(), NetError> {
         if body_len < 2 {
             return Err(NetError::Frame {
@@ -326,6 +345,191 @@ fn write_all_vectored(
         payload_done += wrote.min(payload.len() - payload_done);
     }
     Ok(())
+}
+
+/// An incremental, resumable frame decoder: the state machine form of
+/// [`Frame::read_from_pooled`].
+///
+/// A connection owns one decoder for its whole lifetime and feeds it
+/// whatever bytes the transport produces — a readiness event's read burst,
+/// or a blocking read that may time out mid-frame. Partial header or
+/// payload bytes **survive across calls**, which eliminates the classic
+/// blocking-reader desync by construction: a poll timeout that lands
+/// after part of a length prefix has been consumed resumes exactly where
+/// it stopped instead of silently discarding the prefix and re-parsing
+/// payload bytes as a header.
+///
+/// The decoder enforces the same validation as the one-shot parser — the
+/// [`MAX_FRAME_LEN`] guard runs when the 6-byte header completes, *before*
+/// any payload allocation — and produces byte-identical frames
+/// (`tests/net_wire.rs` proves parity under random split points).
+///
+/// Payload buffers are pooled: hand a completed frame's allocation back
+/// with [`recycle`](Self::recycle) and the next payload decodes into it.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    /// The 6 framing bytes, accumulated across calls.
+    header: [u8; HEADER_LEN],
+    /// How many header bytes have arrived (0..=[`HEADER_LEN`]).
+    header_filled: usize,
+    /// The validated kind once the header is complete; `None` while the
+    /// header is still being accumulated.
+    kind: Option<FrameKind>,
+    /// The payload in flight, pre-sized to the declared length.
+    payload: Vec<u8>,
+    /// How many payload bytes have arrived.
+    payload_filled: usize,
+    /// A recycled buffer awaiting the next frame's payload.
+    spare: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// A decoder with no buffered bytes.
+    #[must_use]
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Whether the decoder is holding a partially received frame. A clean
+    /// connection close is only clean when this is `false`.
+    #[must_use]
+    pub fn is_mid_frame(&self) -> bool {
+        self.header_filled > 0 || self.kind.is_some()
+    }
+
+    /// Hands a payload buffer back for reuse (contents discarded, capacity
+    /// kept). Connection loops pass each dispatched frame's allocation
+    /// back via [`Frame::into_payload`] so steady-state serving decodes
+    /// every frame into the same buffer.
+    pub fn recycle(&mut self, mut buf: Vec<u8>) {
+        if buf.capacity() > self.spare.capacity() {
+            buf.clear();
+            self.spare = buf;
+        }
+    }
+
+    /// Consumes as many of `bytes` as one frame needs, returning how many
+    /// were consumed and the frame if it completed. Callers loop while
+    /// consumed < `bytes.len()` to drain a burst holding several frames.
+    ///
+    /// # Errors
+    ///
+    /// The same validation errors as [`Frame::decode`], raised as soon as
+    /// the header completes. After an error the stream cannot be resynced
+    /// — the connection must be closed.
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<(usize, Option<Frame>), NetError> {
+        let decode = prof::time(Stage::FrameDecode);
+        let mut consumed = 0;
+        if self.kind.is_none() {
+            let take = (HEADER_LEN - self.header_filled).min(bytes.len());
+            self.header[self.header_filled..self.header_filled + take]
+                .copy_from_slice(&bytes[..take]);
+            self.header_filled += take;
+            consumed += take;
+            if self.header_filled < HEADER_LEN {
+                return Ok((consumed, None));
+            }
+            self.finish_header()?;
+        }
+        let take = (self.payload.len() - self.payload_filled).min(bytes.len() - consumed);
+        self.payload[self.payload_filled..self.payload_filled + take]
+            .copy_from_slice(&bytes[consumed..consumed + take]);
+        self.payload_filled += take;
+        consumed += take;
+        drop(decode);
+        if self.payload_filled == self.payload.len() {
+            return Ok((consumed, Some(self.complete())));
+        }
+        Ok((consumed, None))
+    }
+
+    /// One resumable read step for blocking transports: issues a single
+    /// `read` into whichever gap (header or payload) is open. Unlike
+    /// [`Frame::read_from_pooled`], a timeout mid-frame
+    /// (`WouldBlock`/`TimedOut`) leaves all partial bytes in place, so the
+    /// caller can poll a shutdown flag and resume exactly where the stream
+    /// stopped.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] on transport failure or timeout (state is
+    /// preserved for timeouts; an `UnexpectedEof` means the peer closed —
+    /// mid-frame if [`is_mid_frame`](Self::is_mid_frame) was true), plus
+    /// the same validation errors as [`Frame::decode`].
+    pub fn read_step(&mut self, reader: &mut impl Read) -> Result<Option<Frame>, NetError> {
+        if self.kind.is_none() {
+            let n = reader
+                .read(&mut self.header[self.header_filled..])
+                .map_err(NetError::from)?;
+            if n == 0 {
+                return Err(FrameDecoder::eof());
+            }
+            self.header_filled += n;
+            if self.header_filled < HEADER_LEN {
+                return Ok(None);
+            }
+            let decode = prof::time(Stage::FrameDecode);
+            self.finish_header()?;
+            drop(decode);
+            if self.payload.is_empty() {
+                return Ok(Some(self.complete()));
+            }
+            return Ok(None);
+        }
+        let n = reader
+            .read(&mut self.payload[self.payload_filled..])
+            .map_err(NetError::from)?;
+        if n == 0 {
+            return Err(FrameDecoder::eof());
+        }
+        self.payload_filled += n;
+        if self.payload_filled == self.payload.len() {
+            return Ok(Some(self.complete()));
+        }
+        Ok(None)
+    }
+
+    /// Validates the completed header and prepares the payload buffer
+    /// (recycled capacity when available). Runs the [`MAX_FRAME_LEN`]
+    /// guard before any allocation.
+    fn finish_header(&mut self) -> Result<(), NetError> {
+        let body_len = u32::from_be_bytes([
+            self.header[0],
+            self.header[1],
+            self.header[2],
+            self.header[3],
+        ]) as usize;
+        Frame::check_body_len(body_len)?;
+        Frame::check_version(self.header[4])?;
+        let kind = FrameKind::from_byte(self.header[5]).ok_or_else(|| NetError::Frame {
+            reason: format!("unknown frame kind byte 0x{:02x}", self.header[5]),
+        })?;
+        self.kind = Some(kind);
+        let mut buf = std::mem::take(&mut self.spare);
+        buf.clear();
+        buf.resize(body_len - 2, 0);
+        self.payload = buf;
+        self.payload_filled = 0;
+        Ok(())
+    }
+
+    /// Emits the completed frame and resets for the next one.
+    fn complete(&mut self) -> Frame {
+        let kind = self.kind.take().expect("complete requires a full header");
+        self.header_filled = 0;
+        self.payload_filled = 0;
+        Frame {
+            kind,
+            payload: std::mem::take(&mut self.payload),
+        }
+    }
+
+    fn eof() -> NetError {
+        NetError::Io {
+            kind: std::io::ErrorKind::UnexpectedEof,
+            reason: "peer closed the connection".to_string(),
+        }
+    }
 }
 
 /// Machine-readable failure categories carried by error frames.
@@ -822,6 +1026,170 @@ mod tests {
             LayerSpec::fc("DLRM-1", 512, 1024, 1024).with_batch(512),
         );
         assert_eq!(rebatched.shape_key(Some(64)).unwrap(), key);
+    }
+
+    #[test]
+    fn decoder_matches_one_shot_parser_byte_by_byte() {
+        let request = WireRequest::new(7, "BASELINE", LayerSpec::fc("DLRM-1", 512, 1024, 1024));
+        let frames = [
+            Frame::json(FrameKind::Request, &request.to_json()),
+            Frame::health_probe(),
+            Frame {
+                kind: FrameKind::Response,
+                payload: b"{\"id\":7}".to_vec(),
+            },
+        ];
+        let mut stream = Vec::new();
+        for frame in &frames {
+            frame.append_to(&mut stream);
+        }
+        // Feed the concatenated stream one byte at a time; every frame
+        // must come out identical to the one-shot parser's result.
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        for byte in &stream {
+            let (consumed, frame) = decoder.feed(std::slice::from_ref(byte)).unwrap();
+            assert_eq!(consumed, 1);
+            if let Some(frame) = frame {
+                decoded.push(frame);
+            }
+        }
+        assert!(!decoder.is_mid_frame());
+        assert_eq!(decoded.len(), frames.len());
+        let mut offset = 0;
+        for (incremental, expected) in decoded.iter().zip(&frames) {
+            let (one_shot, consumed) = Frame::decode(&stream[offset..]).unwrap();
+            offset += consumed;
+            assert_eq!(incremental, &one_shot);
+            assert_eq!(incremental, expected);
+        }
+    }
+
+    #[test]
+    fn decoder_drains_multi_frame_bursts_and_recycles_buffers() {
+        let mut stream = Vec::new();
+        let frames = [
+            Frame {
+                kind: FrameKind::Request,
+                payload: b"{\"id\":1}".to_vec(),
+            },
+            Frame {
+                kind: FrameKind::Request,
+                payload: b"{\"id\":2}".to_vec(),
+            },
+        ];
+        for frame in &frames {
+            frame.append_to(&mut stream);
+        }
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        let mut offset = 0;
+        // One burst holding both frames: the caller's drain loop.
+        while offset < stream.len() {
+            let (consumed, frame) = decoder.feed(&stream[offset..]).unwrap();
+            offset += consumed;
+            if let Some(frame) = frame {
+                // Recycle each payload as the connection loop would.
+                decoded.push(frame.kind);
+                decoder.recycle(frame.into_payload());
+            }
+        }
+        assert_eq!(decoded, vec![FrameKind::Request, FrameKind::Request]);
+        // The recycled capacity must actually be reused: decode another
+        // frame and check its payload buffer carries the pooled capacity.
+        let mut tail = Vec::new();
+        frames[0].append_to(&mut tail);
+        let (_, frame) = decoder.feed(&tail).unwrap();
+        assert!(frame.unwrap().into_payload().capacity() >= frames[0].payload.len());
+    }
+
+    #[test]
+    fn decoder_rejects_bad_headers_before_any_payload() {
+        // Oversized declared payload: rejected at header completion.
+        let huge = u32::try_from(MAX_FRAME_LEN + 3).unwrap();
+        let mut bytes = huge.to_be_bytes().to_vec();
+        bytes.extend_from_slice(&[WIRE_VERSION, 0x04]);
+        let err = FrameDecoder::new().feed(&bytes).unwrap_err();
+        assert!(matches!(err, NetError::FrameTooLarge { .. }), "{err}");
+
+        // Future version byte.
+        let mut bytes = Frame::health_probe().encode();
+        bytes[4] = 9;
+        let err = FrameDecoder::new().feed(&bytes).unwrap_err();
+        assert!(matches!(err, NetError::BadVersion { got: 9 }), "{err}");
+
+        // Unknown kind byte.
+        let mut bytes = Frame::health_probe().encode();
+        bytes[5] = 0x7f;
+        let err = FrameDecoder::new().feed(&bytes).unwrap_err();
+        assert!(matches!(err, NetError::Frame { .. }), "{err}");
+    }
+
+    #[test]
+    fn decoder_read_step_survives_timeouts_mid_frame() {
+        use std::io::Read;
+
+        /// A reader yielding one byte per call, with a `WouldBlock`
+        /// timeout before every byte — the slow-writer-straddling-a-poll
+        /// shape that desynced the old blocking reader.
+        struct OneByteWithTimeouts {
+            bytes: Vec<u8>,
+            at: usize,
+            timeout_next: bool,
+        }
+        impl Read for OneByteWithTimeouts {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.timeout_next {
+                    self.timeout_next = false;
+                    return Err(std::io::ErrorKind::WouldBlock.into());
+                }
+                self.timeout_next = true;
+                if self.at == self.bytes.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.bytes[self.at];
+                self.at += 1;
+                Ok(1)
+            }
+        }
+
+        let frame = Frame {
+            kind: FrameKind::Request,
+            payload: b"{\"id\":9}".to_vec(),
+        };
+        let mut reader = OneByteWithTimeouts {
+            bytes: frame.encode(),
+            at: 0,
+            timeout_next: true,
+        };
+        let mut decoder = FrameDecoder::new();
+        let mut timeouts = 0;
+        let decoded = loop {
+            match decoder.read_step(&mut reader) {
+                Ok(Some(frame)) => break frame,
+                Ok(None) => {}
+                Err(NetError::Io {
+                    kind: std::io::ErrorKind::WouldBlock,
+                    ..
+                }) => {
+                    timeouts += 1;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        };
+        assert_eq!(decoded, frame);
+        assert!(timeouts >= decoded.encode().len() as u64);
+        assert!(!decoder.is_mid_frame());
+        // EOF after the frame is a clean close.
+        reader.timeout_next = false;
+        let err = decoder.read_step(&mut reader).unwrap_err();
+        assert!(matches!(
+            err,
+            NetError::Io {
+                kind: std::io::ErrorKind::UnexpectedEof,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //!
 //! The stages cover the end-to-end request pipeline: trace generation and
 //! core simulation (the cell itself), JSON serialization, wire-frame
-//! encode/decode, and cell-cache probes. Bench binaries enable the
+//! encode/decode, cell-cache probes, and the readiness transport's
+//! poll-wait and socket-work phases. Bench binaries enable the
 //! registry (`rasa_bench::prof` re-exports it and adds a counting global
 //! allocator), run their workload, and emit a `prof` section into the
 //! perf document via [`snapshot`] — so a BENCH document *attributes*
@@ -34,16 +35,24 @@ pub enum Stage {
     FrameDecode,
     /// Probing a cell cache (runner memoization or router result cache).
     CacheProbe,
+    /// Blocking in the readiness poller (epoll_wait or the portable
+    /// fallback's tick) waiting for sockets to become ready.
+    NetPoll,
+    /// Non-blocking socket work in the event loop: accepting, reading
+    /// bursts into the frame decoders, flushing write buffers.
+    NetIo,
 }
 
 /// Every stage, in display order.
-pub const STAGES: [Stage; 6] = [
+pub const STAGES: [Stage; 8] = [
     Stage::TraceGen,
     Stage::Simulate,
     Stage::JsonSerialize,
     Stage::FrameEncode,
     Stage::FrameDecode,
     Stage::CacheProbe,
+    Stage::NetPoll,
+    Stage::NetIo,
 ];
 
 impl Stage {
@@ -58,6 +67,8 @@ impl Stage {
             Stage::FrameEncode => "frame_encode",
             Stage::FrameDecode => "frame_decode",
             Stage::CacheProbe => "cache_probe",
+            Stage::NetPoll => "net_poll",
+            Stage::NetIo => "net_io",
         }
     }
 
@@ -69,6 +80,8 @@ impl Stage {
             Stage::FrameEncode => 3,
             Stage::FrameDecode => 4,
             Stage::CacheProbe => 5,
+            Stage::NetPoll => 6,
+            Stage::NetIo => 7,
         }
     }
 }

@@ -7,10 +7,13 @@
 use proptest::prelude::*;
 use rasa::prelude::*;
 use rasa::sim::net::{
-    ErrorCode, Frame, FrameKind, HashRing, NetError, RouterConfig, ShardConfig, WireFailure,
-    WireResponse, MAX_FRAME_LEN, WIRE_VERSION,
+    ErrorCode, Frame, FrameDecoder, FrameKind, HashRing, NetError, RouterConfig, ShardConfig,
+    WireFailure, WireResponse, MAX_FRAME_LEN, WIRE_VERSION,
 };
 use rasa::sim::serve::AdmissionControl;
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
 
 fn small_layer(m: usize, k: usize, n: usize) -> LayerSpec {
     LayerSpec::fc(format!("GEMM-{m}x{k}x{n}"), m, k, n)
@@ -64,6 +67,70 @@ proptest! {
             Err(NetError::BadVersion { got }) => prop_assert_eq!(got, version),
             other => prop_assert!(false, "expected BadVersion, got {:?}", other.map(|_| ())),
         }
+    }
+
+    /// The incremental decoder is split-point-invariant: a multi-frame
+    /// byte stream chopped at arbitrary boundaries (including mid-header
+    /// and mid-payload) decodes to exactly the frames the one-shot parser
+    /// sees, in order — the invariant the readiness event loop rests on,
+    /// since TCP readiness events deliver bytes at arbitrary boundaries.
+    #[test]
+    fn incremental_decoder_matches_one_shot_parser_at_any_split(
+        id in any::<u64>(),
+        m in 1usize..64,
+        k in 1usize..64,
+        n in 1usize..64,
+        message_len in 0usize..48,
+        chunk_sizes in proptest::collection::vec(1usize..17, 4..64),
+    ) {
+        // Three frames of different kinds and payload sizes, including an
+        // empty-payload health probe (a frame that completes at its
+        // header, the edge the incremental path must get right).
+        let request = WireRequest::new(id, "BASELINE", small_layer(m, k, n));
+        let failure = WireFailure::new(id, ErrorCode::Internal, "e".repeat(message_len));
+        let frames = [
+            Frame::json(FrameKind::Request, &request.to_json()),
+            Frame::health_probe(),
+            Frame::json(FrameKind::Error, &failure.to_json()),
+        ];
+        let mut stream = Vec::new();
+        for frame in &frames {
+            stream.extend_from_slice(&frame.encode());
+        }
+
+        // One-shot reference: decode the concatenated stream whole.
+        let mut expected = Vec::new();
+        let mut offset = 0;
+        while offset < stream.len() {
+            let (frame, consumed) = Frame::decode(&stream[offset..]).expect("whole-stream decode");
+            expected.push(frame);
+            offset += consumed;
+        }
+
+        // Incremental: the same bytes in arbitrary-size chunks (cycling
+        // the generated sizes until the stream is exhausted).
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        let mut offset = 0;
+        let mut chunk_index = 0;
+        while offset < stream.len() {
+            let size = chunk_sizes[chunk_index % chunk_sizes.len()].min(stream.len() - offset);
+            chunk_index += 1;
+            let chunk = &stream[offset..offset + size];
+            offset += size;
+            let mut fed = 0;
+            while fed < chunk.len() {
+                let (consumed, frame) = decoder.feed(&chunk[fed..]).expect("valid stream");
+                fed += consumed;
+                if let Some(frame) = frame {
+                    decoded.push(frame);
+                } else {
+                    prop_assert_eq!(fed, chunk.len(), "no frame means the chunk was drained");
+                }
+            }
+        }
+        prop_assert!(!decoder.is_mid_frame(), "clean streams leave no partial frame");
+        prop_assert_eq!(decoded, expected);
     }
 
     /// Ring routing is deterministic and total: the same key always lands
@@ -226,4 +293,124 @@ fn distributed_serving_is_byte_identical_and_survives_a_shard_death() {
     reference.shutdown();
     router.shutdown();
     shard_b.shutdown();
+}
+
+/// A corrupt byte stream pushed at a real server over a real socket: the
+/// server answers with a typed `BadRequest` error frame and then closes
+/// the connection — a desynced stream must never serve another request.
+#[test]
+fn corrupt_streams_are_answered_then_closed() {
+    let designs = [DesignPoint::baseline()];
+    let serve = ServeConfig {
+        workers_per_design: 1,
+        cache_capacity: 4,
+        matmul_cap: Some(64),
+        ..ServeConfig::default()
+    };
+    let shard = rasa::sim::net::ShardServer::bind(
+        "127.0.0.1:0",
+        ShardConfig { shard_id: 0, serve },
+        &designs,
+    )
+    .unwrap();
+
+    // Two distinct corruptions: a bad version byte, and a declared body
+    // length past the frame cap (rejected before any payload allocation).
+    let bad_version = {
+        let mut bytes = Frame::health_probe().encode();
+        bytes[4] = 0x7f;
+        bytes
+    };
+    let oversized = {
+        let mut bytes = ((MAX_FRAME_LEN + 3) as u32).to_be_bytes().to_vec();
+        bytes.extend_from_slice(&[WIRE_VERSION, 0x01]);
+        bytes
+    };
+    for corrupt in [bad_version, oversized] {
+        let mut stream = TcpStream::connect(shard.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.write_all(&corrupt).unwrap();
+        let mut decoder = FrameDecoder::new();
+        let reply = loop {
+            match decoder.read_step(&mut stream) {
+                Ok(Some(frame)) => break frame,
+                Ok(None) => {}
+                Err(error) => panic!("expected an error frame before close, got {error}"),
+            }
+        };
+        assert_eq!(reply.kind, FrameKind::Error);
+        let failure = WireFailure::from_json(&reply.payload_json().unwrap()).unwrap();
+        assert_eq!(failure.code, ErrorCode::BadRequest);
+        // ...then EOF: the server must hang up after the error frame.
+        let mut decoder = FrameDecoder::new();
+        match decoder.read_step(&mut stream) {
+            Err(NetError::Io { kind, .. }) => {
+                assert_eq!(kind, std::io::ErrorKind::UnexpectedEof);
+            }
+            other => panic!("expected EOF after the error frame, got {other:?}"),
+        }
+    }
+    shard.shutdown();
+}
+
+/// High-fanout loopback: one shard's event loop holds several hundred
+/// concurrent connections at once — far beyond what thread-per-connection
+/// could sustain cheaply — and every one of them gets a correct answer
+/// while all the others stay open.
+#[test]
+fn one_event_loop_sustains_hundreds_of_concurrent_connections() {
+    const CONNECTIONS: usize = 300;
+    let designs = [DesignPoint::baseline()];
+    let serve = ServeConfig {
+        workers_per_design: 1,
+        cache_capacity: 8,
+        matmul_cap: Some(64),
+        ..ServeConfig::default()
+    };
+    let shard = rasa::sim::net::ShardServer::bind(
+        "127.0.0.1:0",
+        ShardConfig { shard_id: 0, serve },
+        &designs,
+    )
+    .unwrap();
+
+    // Open every connection before exchanging a single frame, so the full
+    // fanout is concurrently resident in the event loop's slab.
+    let mut streams: Vec<TcpStream> = (0..CONNECTIONS)
+        .map(|i| {
+            let stream = TcpStream::connect(shard.local_addr())
+                .unwrap_or_else(|e| panic!("connection {i}: {e}"));
+            stream
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .unwrap();
+            stream
+        })
+        .collect();
+
+    // A health probe on every connection: each must be answered while the
+    // other 299 stay open and idle.
+    for (i, stream) in streams.iter_mut().enumerate() {
+        Frame::health_probe().write_to(stream).unwrap();
+        let reply = Frame::read_from(stream).unwrap_or_else(|e| panic!("connection {i}: {e}"));
+        assert_eq!(reply.kind, FrameKind::Health);
+    }
+
+    // Real simulation traffic on a sample of the fanout, interleaved, to
+    // prove the loop still dispatches work amid hundreds of idle peers.
+    let layer = small_layer(32, 48, 32);
+    for (i, stream) in streams.iter_mut().enumerate().step_by(29) {
+        let request = WireRequest::new(i as u64, "BASELINE", layer.clone());
+        Frame::json(FrameKind::Request, &request.to_json())
+            .write_to(stream)
+            .unwrap();
+        let reply = Frame::read_from(stream).unwrap();
+        assert_eq!(reply.kind, FrameKind::Response);
+        let response = WireResponse::from_json(&reply.payload_json().unwrap()).unwrap();
+        assert_eq!(response.id, i as u64);
+    }
+
+    drop(streams);
+    shard.shutdown();
 }
